@@ -1,0 +1,104 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! * **lock kind** — the lazy list with TAS vs ticket vs MCS node locks;
+//!   the paper (§3.2) observed "no benefits from more complex locks" for
+//!   CSDSs because per-lock contention is tiny;
+//! * **elision retry budget** — the §6.4 model assumes 5 speculative
+//!   retries before falling back; sweep the budget on a contended counter;
+//! * **wait-free helping overhead** — the wait-free list with 1 vs many
+//!   announced-slot scans is implicit in its design; we measure updates vs
+//!   reads split to expose the helping cost on the update path.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csds_bench::{tune, BenchMap};
+use csds_core::list::{LazyList, LazyListMcs, LazyListTicket};
+use csds_core::ConcurrentMap;
+use csds_harness::{timed_ops, AlgoKind};
+use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
+use csds_workload::KeyDist;
+
+fn lock_kind(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lock_kind_lazy_list_512elems_20pct");
+    tune(&mut g);
+    let maps: Vec<(&str, Arc<Box<dyn ConcurrentMap<u64>>>)> = vec![
+        ("tas", Arc::new(Box::new(LazyList::<u64>::new()) as Box<dyn ConcurrentMap<u64>>)),
+        ("ticket", Arc::new(Box::new(LazyListTicket::<u64>::new()) as Box<dyn ConcurrentMap<u64>>)),
+        ("mcs", Arc::new(Box::new(LazyListMcs::<u64>::new()) as Box<dyn ConcurrentMap<u64>>)),
+    ];
+    for (label, map) in maps {
+        csds_harness::prefill(map.as_ref().as_ref(), 512, 1024, 0xAB1A);
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                timed_ops(&map, KeyDist::Uniform, 1024, 20, 4, iters, 0x10C4)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn elision_retry_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_elision_retry_budget");
+    tune(&mut g);
+    for retries in [1u32, 5, 16] {
+        g.bench_function(format!("retries_{retries}"), |b| {
+            b.iter_custom(|iters| {
+                let region = Arc::new(TxRegion::new());
+                let counter = Arc::new(AtomicUsize::new(0));
+                let threads = 4;
+                let per = iters.div_ceil(threads as u64);
+                let start = Instant::now();
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let region = Arc::clone(&region);
+                        let counter = Arc::clone(&counter);
+                        std::thread::spawn(move || {
+                            for _ in 0..per {
+                                loop {
+                                    match attempt_elision(&region, retries, |tx| {
+                                        let v = tx.read(&counter);
+                                        tx.write(&counter, v + 1);
+                                        SpecStep::Commit(())
+                                    }) {
+                                        Elided::Committed(()) => break,
+                                        Elided::Invalid => {}
+                                        Elided::FellBack => {
+                                            let _fb = region.enter_fallback();
+                                            counter
+                                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                start.elapsed()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn waitfree_update_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_waitfree_helping_cost_512elems");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(600));
+    let map = BenchMap::new(AlgoKind::WaitFreeList, 512);
+    // Reads traverse without helping; updates publish + help: the gap is
+    // the announce/help machinery's price.
+    g.bench_function("reads_only", |b| b.iter_custom(|iters| map.run(iters, 2, 0)));
+    g.bench_function("updates_only", |b| b.iter_custom(|iters| map.run(iters, 2, 100)));
+    g.finish();
+}
+
+criterion_group!(benches, lock_kind, elision_retry_budget, waitfree_update_cost);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! **Figure 1** — blocking vs lock-free vs wait-free linked lists:
+//! 1024 elements, 10 % updates. Expected shape: wait-free ≈ 50 % of the
+//! throughput of the other two; blocking ≈ lock-free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csds_bench::{tune, BenchMap};
+use csds_harness::AlgoKind;
+
+fn fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_lists_1024elems_10pct");
+    tune(&mut g);
+    for (label, algo) in [
+        ("blocking_lazy", AlgoKind::LazyList),
+        ("lockfree_harris", AlgoKind::HarrisList),
+        ("waitfree", AlgoKind::WaitFreeList),
+    ] {
+        let map = BenchMap::new(algo, 1024);
+        for threads in [1usize, 4] {
+            g.bench_function(format!("{label}/t{threads}"), |b| {
+                b.iter_custom(|iters| map.run(iters, threads, 10));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! **Figure 2** (ablation) — the cost of interposed concurrency-data
+//! objects. Read-only traversals of a plain-pointer list (lazy) vs the
+//! wait-free list's node → link → node layout: the interposed design pays
+//! two dereferences per hop, which is the paper's explanation for the ~2×
+//! throughput gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csds_bench::{tune, BenchMap};
+use csds_harness::AlgoKind;
+
+fn fig2(c: &mut Criterion) {
+    for size in [256usize, 1024] {
+        let mut g = c.benchmark_group(format!("fig2_readonly_traversal_{size}"));
+        tune(&mut g);
+        for (label, algo) in [
+            ("direct_pointers", AlgoKind::LazyList),
+            ("interposed_links", AlgoKind::WaitFreeList),
+        ] {
+            let map = BenchMap::new(algo, size);
+            g.bench_function(label, |b| {
+                b.iter_custom(|iters| map.run(iters, 1, 0)); // 100% reads
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

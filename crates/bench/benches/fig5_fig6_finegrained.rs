@@ -1,0 +1,29 @@
+//! **Figures 5–6** (throughput companion) — update-heavy operation cost on
+//! each blocking structure. The wait/restart *fractions* themselves are
+//! produced by `repro run fig5` / `repro run fig6`; this bench tracks the
+//! latency cost of the write phases those figures instrument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csds_bench::{tune, BenchMap};
+use csds_harness::Family;
+
+fn fig5_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fig6_write_phase_cost");
+    tune(&mut g);
+    for family in Family::all() {
+        let map = BenchMap::new(family.best_blocking(), 2048);
+        let label = family.label().replace(' ', "_").to_lowercase();
+        // 50% updates: maximal write-phase pressure from the paper's grid.
+        g.bench_function(format!("{label}/u50/t4"), |b| {
+            b.iter_custom(|iters| map.run(iters, 4, 50));
+        });
+        // 1% updates: the near-read-only end.
+        g.bench_function(format!("{label}/u1/t4"), |b| {
+            b.iter_custom(|iters| map.run(iters, 4, 1));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5_fig6);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! **Figure 7** — Zipfian (s = 0.8) vs uniform access. Expected: a small
+//! throughput penalty and slightly higher conflict rates under skew, but
+//! nothing that breaks practical wait-freedom (`repro run fig7` prints the
+//! wait/restart fractions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csds_bench::{tune, BenchMap};
+use csds_harness::Family;
+use csds_workload::KeyDist;
+
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_zipf_vs_uniform_2048elems_10pct");
+    tune(&mut g);
+    for family in Family::all() {
+        let map = BenchMap::new(family.best_blocking(), 2048);
+        let label = family.label().replace(' ', "_").to_lowercase();
+        g.bench_function(format!("{label}/uniform"), |b| {
+            b.iter_custom(|iters| map.run_dist(iters, 4, 10, KeyDist::Uniform));
+        });
+        g.bench_function(format!("{label}/zipf08"), |b| {
+            b.iter_custom(|iters| map.run_dist(iters, 4, 10, KeyDist::PAPER_ZIPF));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

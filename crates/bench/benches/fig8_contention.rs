@@ -1,0 +1,29 @@
+//! **Figure 8** — extreme contention: tiny structures, 25 % updates, many
+//! threads. Expected: throughput per op degrades as the structure shrinks
+//! (conflicts rise steeply), matching the exponential decay of the delay
+//! metrics printed by `repro run fig8`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csds_bench::{tune, BenchMap};
+use csds_harness::AlgoKind;
+
+fn fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_contention_25pct_8threads");
+    tune(&mut g);
+    for size in [16usize, 64, 512] {
+        let map = BenchMap::new(AlgoKind::LazyList, size);
+        g.bench_function(format!("lazy_list/n{size}"), |b| {
+            b.iter_custom(|iters| map.run(iters, 8, 25));
+        });
+    }
+    for size in [16usize, 64, 512] {
+        let map = BenchMap::new(AlgoKind::BstTk, size);
+        g.bench_function(format!("bst_tk/n{size}"), |b| {
+            b.iter_custom(|iters| map.run(iters, 8, 25));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! **Tables 2–3** — emulated-TSX lock elision vs plain locking under
+//! multiprogramming (more threads than cores). Expected: elision wins,
+//! most visibly for the skiplist (multiple locks per update). The fallback
+//! fractions of Table 2 are printed by `repro run table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csds_bench::{tune, BenchMap};
+use csds_harness::Family;
+
+fn elision(c: &mut Criterion) {
+    // Oversubscribe the host so lock holders get descheduled.
+    let threads = 4 * std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for family in Family::all() {
+        let mut g = c.benchmark_group(format!(
+            "table2_3_elision_{}_t{}",
+            family.label().replace(' ', "_").to_lowercase(),
+            threads
+        ));
+        tune(&mut g);
+        let locks = BenchMap::new(family.best_blocking(), 1024);
+        let elided = BenchMap::new(family.best_blocking_elided(), 1024);
+        for pct in [20u32, 100] {
+            g.bench_function(format!("locks/u{pct}"), |b| {
+                b.iter_custom(|iters| locks.run(iters, threads, pct));
+            });
+            g.bench_function(format!("elided/u{pct}"), |b| {
+                b.iter_custom(|iters| elided.run(iters, threads, pct));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, elision);
+criterion_main!(benches);

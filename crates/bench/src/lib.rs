@@ -1,0 +1,76 @@
+//! Shared helpers for the criterion benches (one bench target per paper
+//! figure/table; see `benches/`).
+//!
+//! Criterion measures *time per iteration*; we define one iteration as one
+//! map operation and split the requested iteration count across worker
+//! threads with [`csds_harness::timed_ops`], so throughput comparisons
+//! between algorithms reproduce the paper's figures' shapes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use csds_core::ConcurrentMap;
+use csds_harness::{prefill, timed_ops, AlgoKind};
+use csds_workload::KeyDist;
+
+/// An owned, prefilled structure ready to be hammered by a bench.
+pub struct BenchMap {
+    map: Arc<Box<dyn ConcurrentMap<u64>>>,
+    key_range: u64,
+}
+
+impl BenchMap {
+    /// Build and prefill `algo` to `size` elements (key range 2×size).
+    pub fn new(algo: AlgoKind, size: usize) -> Self {
+        let key_range = size as u64 * 2;
+        let map: Arc<Box<dyn ConcurrentMap<u64>>> = Arc::new(algo.make(key_range as usize));
+        prefill(map.as_ref().as_ref(), size, key_range, 0xB0B5EED);
+        BenchMap { map, key_range }
+    }
+
+    /// Run `total_ops` operations (uniform keys) across `threads`.
+    pub fn run(&self, total_ops: u64, threads: usize, update_pct: u32) -> Duration {
+        self.run_dist(total_ops, threads, update_pct, KeyDist::Uniform)
+    }
+
+    /// Run with an explicit key distribution.
+    pub fn run_dist(
+        &self,
+        total_ops: u64,
+        threads: usize,
+        update_pct: u32,
+        dist: KeyDist,
+    ) -> Duration {
+        timed_ops(
+            &self.map,
+            dist,
+            self.key_range,
+            update_pct,
+            threads,
+            total_ops,
+            0x5EED ^ total_ops,
+        )
+    }
+}
+
+/// Criterion group defaults tuned for a small CI host: minimum sample
+/// count, sub-second measurement windows.
+pub fn tune<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_map_prefills_and_runs() {
+        let bm = BenchMap::new(AlgoKind::LazyHashTable, 128);
+        let d = bm.run(10_000, 2, 10);
+        assert!(d > Duration::ZERO);
+    }
+}

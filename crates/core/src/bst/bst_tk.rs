@@ -1,0 +1,600 @@
+//! BST-TK: external binary search tree with versioned ticket trylocks
+//! (David, Guerraoui, Trigonakis — ASPLOS'15 [9]; locks per OPTIK [22]).
+//!
+//! *External* tree: internal nodes are pure routers; key-value pairs live
+//! only in leaves. A search key `x` descends left when `x < node.key`,
+//! right otherwise.
+//!
+//! * `get` descends with no stores;
+//! * `insert` replaces the leaf's parent-slot with a freshly built internal
+//!   node (two leaves) — it needs the **parent** only;
+//! * `remove` unlinks the leaf *and* its parent, splicing the sibling into
+//!   the **grandparent**'s slot — it needs grandparent and parent.
+//!
+//! Both updates record [`OptikLock`] versions during the parse and acquire
+//! via `try_lock_version`: a version mismatch means the neighborhood
+//! changed, and the operation restarts instead of waiting. The root slot is
+//! guarded by a dedicated holder lock so the tree can shrink to a single
+//! leaf or to empty.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use csds_ebr::{pin, Atomic, Guard, Shared};
+use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
+use csds_sync::{OptikLock, RawMutex};
+
+use crate::{ConcurrentMap, SyncMode, ELISION_RETRIES};
+
+struct Node<V> {
+    key: u64,
+    /// `Some` for leaves, `None` for internal (router) nodes.
+    value: Option<V>,
+    leaf: bool,
+    lock: OptikLock,
+    /// 0 = in tree, 1 = unlinked (validated by speculative sections).
+    removed: AtomicUsize,
+    left: Atomic<Node<V>>,
+    right: Atomic<Node<V>>,
+}
+
+impl<V> Node<V> {
+    fn leaf(key: u64, value: V) -> Self {
+        Node {
+            key,
+            value: Some(value),
+            leaf: true,
+            lock: OptikLock::new(),
+            removed: AtomicUsize::new(0),
+            left: Atomic::null(),
+            right: Atomic::null(),
+        }
+    }
+
+    fn internal(key: u64) -> Self {
+        Node {
+            key,
+            value: None,
+            leaf: false,
+            lock: OptikLock::new(),
+            removed: AtomicUsize::new(0),
+            left: Atomic::null(),
+            right: Atomic::null(),
+        }
+    }
+
+    #[inline]
+    fn child(&self, go_left: bool) -> &Atomic<Node<V>> {
+        if go_left {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+}
+
+/// One parse-phase edge: the slot that points at the current node, the lock
+/// guarding that slot, the version observed *before* reading the slot, and
+/// the owner's removed flag (None for the root holder).
+struct Edge<'g, V> {
+    slot: &'g Atomic<Node<V>>,
+    lock: &'g OptikLock,
+    ver: u64,
+    owner: Option<Shared<'g, Node<V>>>,
+}
+
+impl<'g, V> Edge<'g, V> {
+    fn owner_removed(&self) -> Option<&'g AtomicUsize> {
+        // SAFETY: owner (if any) is pinned for 'g.
+        self.owner.map(|o| &unsafe { o.deref() }.removed)
+    }
+}
+
+/// BST-TK external search tree. See the module docs.
+pub struct BstTk<V> {
+    root: Atomic<Node<V>>,
+    root_lock: OptikLock,
+    region: Option<TxRegion>,
+}
+
+impl<V: Clone + Send + Sync> Default for BstTk<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Send + Sync> BstTk<V> {
+    /// Empty tree with versioned trylocks.
+    pub fn new() -> Self {
+        Self::with_mode(SyncMode::Locks)
+    }
+
+    /// Empty tree with an explicit write-phase synchronization mode.
+    pub fn with_mode(mode: SyncMode) -> Self {
+        BstTk {
+            root: Atomic::null(),
+            root_lock: OptikLock::new(),
+            region: match mode {
+                SyncMode::Locks => None,
+                SyncMode::Elision => Some(TxRegion::new()),
+            },
+        }
+    }
+
+    /// Parse phase: descend to the leaf responsible for `key`. Returns
+    /// `(grandparent_edge, parent_edge, leaf)`; `None` leaf means the tree
+    /// is empty. No stores, no restarts.
+    fn parse<'g>(
+        &'g self,
+        key: u64,
+        guard: &'g Guard,
+    ) -> (Option<Edge<'g, V>>, Edge<'g, V>, Option<Shared<'g, Node<V>>>) {
+        let mut gp: Option<Edge<'g, V>> = None;
+        let mut p = Edge {
+            slot: &self.root,
+            lock: &self.root_lock,
+            ver: self.root_lock.version(),
+            owner: None,
+        };
+        let mut curr = p.slot.load(guard);
+        loop {
+            if curr.is_null() {
+                return (gp, p, None);
+            }
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.leaf {
+                return (gp, p, Some(curr));
+            }
+            let ver = c.lock.version();
+            let go_left = key < c.key;
+            let next = Edge { slot: c.child(go_left), lock: &c.lock, ver, owner: Some(curr) };
+            gp = Some(p);
+            p = next;
+            curr = p.slot.load(guard);
+        }
+    }
+
+    fn insert_impl(&self, key: u64, value: V) -> bool {
+        let guard = pin();
+        let mut value = Some(value);
+        loop {
+            let (_gp, p, leaf) = self.parse(key, &guard);
+            if let Some(leaf_s) = leaf {
+                // SAFETY: pinned.
+                if unsafe { leaf_s.deref() }.key == key {
+                    return false;
+                }
+            }
+            // Build the replacement subtree (new leaf alone, or an internal
+            // router with the old leaf and the new leaf).
+            let new_leaf = Shared::boxed(Node::leaf(key, value.take().unwrap()));
+            let replacement = match leaf {
+                None => new_leaf,
+                Some(old_leaf) => {
+                    // SAFETY: pinned.
+                    let ol = unsafe { old_leaf.deref() };
+                    // Router key: the larger of the two; smaller goes left.
+                    let internal = Shared::boxed(Node::internal(key.max(ol.key)));
+                    // SAFETY: unpublished.
+                    let i = unsafe { internal.deref() };
+                    if key < ol.key {
+                        i.left.store(new_leaf);
+                        i.right.store(old_leaf);
+                    } else {
+                        i.left.store(old_leaf);
+                        i.right.store(new_leaf);
+                    }
+                    internal
+                }
+            };
+            let expected = leaf.unwrap_or_else(Shared::null);
+
+            let reclaim = |repl: Shared<'_, Node<V>>, value_out: &mut Option<V>| {
+                // Take back ownership of the unpublished replacement (and
+                // recover the moved value for the retry).
+                // SAFETY: never published.
+                unsafe {
+                    if leaf.is_some() {
+                        let internal = repl.into_box();
+                        let new_leaf_raw = if internal.left.load_raw()
+                            == expected.as_raw()
+                        {
+                            internal.right.load_raw()
+                        } else {
+                            internal.left.load_raw()
+                        };
+                        let mut nl = Box::from_raw(new_leaf_raw as *mut Node<V>);
+                        *value_out = nl.value.take();
+                        // Prevent the internal's Drop (if any) — nodes have
+                        // no Drop impl; children are raw, nothing to do.
+                    } else {
+                        let mut nl = repl.into_box();
+                        *value_out = nl.value.take();
+                    }
+                }
+            };
+
+            if let Some(region) = &self.region {
+                let p_removed = p.owner_removed();
+                match attempt_elision(region, ELISION_RETRIES, |tx| {
+                    if let Some(r) = p_removed {
+                        if tx.read(r) != 0 {
+                            return SpecStep::Invalid;
+                        }
+                    }
+                    if tx.read(p.slot.as_raw_atomic()) != expected.as_raw() {
+                        return SpecStep::Invalid;
+                    }
+                    tx.write(p.slot.as_raw_atomic(), replacement.as_raw());
+                    SpecStep::Commit(())
+                }) {
+                    Elided::Committed(()) => return true,
+                    Elided::Invalid => {
+                        reclaim(replacement, &mut value);
+                        csds_metrics::restart();
+                        continue;
+                    }
+                    Elided::FellBack => {
+                        // Pessimistic: take the real lock (waiting allowed on
+                        // the fallback path), re-validate, apply under seq.
+                        p.lock.lock();
+                        let ok = p.owner_removed().map_or(true, |r| {
+                            r.load(Ordering::Acquire) == 0
+                        }) && p.slot.load(&guard) == expected;
+                        if !ok {
+                            p.lock.unlock();
+                            reclaim(replacement, &mut value);
+                            csds_metrics::restart();
+                            continue;
+                        }
+                        let fb = region.enter_fallback();
+                        p.slot.store(replacement);
+                        drop(fb);
+                        p.lock.unlock();
+                        return true;
+                    }
+                }
+            }
+
+            // Locking mode: versioned trylock on the parent; restart on any
+            // version movement (BST-TK never waits).
+            if !p.lock.try_lock_version(p.ver) {
+                reclaim(replacement, &mut value);
+                csds_metrics::restart();
+                continue;
+            }
+            // Version matched ⇒ the slot is unchanged since the parse.
+            debug_assert!(p.slot.load(&guard) == expected);
+            p.slot.store(replacement);
+            p.lock.unlock();
+            return true;
+        }
+    }
+
+    fn remove_impl(&self, key: u64) -> Option<V> {
+        let guard = pin();
+        loop {
+            let (gp, p, leaf) = self.parse(key, &guard);
+            let Some(leaf_s) = leaf else { return None };
+            // SAFETY: pinned.
+            let l = unsafe { leaf_s.deref() };
+            if l.key != key {
+                return None;
+            }
+            match gp {
+                None => {
+                    // The leaf is the entire tree: empty it.
+                    if let Some(region) = &self.region {
+                        match attempt_elision(region, ELISION_RETRIES, |tx| {
+                            if tx.read(&l.removed) != 0 {
+                                return SpecStep::Invalid;
+                            }
+                            if tx.read(p.slot.as_raw_atomic()) != leaf_s.as_raw() {
+                                return SpecStep::Invalid;
+                            }
+                            tx.write(p.slot.as_raw_atomic(), 0);
+                            tx.write(&l.removed, 1);
+                            SpecStep::Commit(())
+                        }) {
+                            Elided::Committed(()) => {}
+                            Elided::Invalid => {
+                                csds_metrics::restart();
+                                continue;
+                            }
+                            Elided::FellBack => {
+                                p.lock.lock();
+                                if p.slot.load(&guard) != leaf_s {
+                                    p.lock.unlock();
+                                    csds_metrics::restart();
+                                    continue;
+                                }
+                                let fb = region.enter_fallback();
+                                p.slot.store(Shared::null());
+                                l.removed.store(1, Ordering::Release);
+                                drop(fb);
+                                p.lock.unlock();
+                            }
+                        }
+                    } else {
+                        if !p.lock.try_lock_version(p.ver) {
+                            csds_metrics::restart();
+                            continue;
+                        }
+                        p.slot.store(Shared::null());
+                        l.removed.store(1, Ordering::Release);
+                        p.lock.unlock();
+                    }
+                    let out = l.value.clone();
+                    // SAFETY: unlinked; retired once by this remover (the
+                    // winning unlink).
+                    unsafe { guard.defer_drop(leaf_s) };
+                    return out;
+                }
+                Some(gp) => {
+                    // Unlink the leaf and its parent router; splice the
+                    // sibling into the grandparent slot.
+                    let parent_s = p.owner.expect("edge below root has an owner");
+                    // SAFETY: pinned.
+                    let parent = unsafe { parent_s.deref() };
+                    let sibling_slot =
+                        if std::ptr::eq(p.slot, &parent.left) { &parent.right } else { &parent.left };
+
+                    if let Some(region) = &self.region {
+                        let gp_removed = gp.owner_removed();
+                        match attempt_elision(region, ELISION_RETRIES, |tx| {
+                            if let Some(r) = gp_removed {
+                                if tx.read(r) != 0 {
+                                    return SpecStep::Invalid;
+                                }
+                            }
+                            if tx.read(&parent.removed) != 0 || tx.read(&l.removed) != 0 {
+                                return SpecStep::Invalid;
+                            }
+                            if tx.read(gp.slot.as_raw_atomic()) != parent_s.as_raw() {
+                                return SpecStep::Invalid;
+                            }
+                            if tx.read(p.slot.as_raw_atomic()) != leaf_s.as_raw() {
+                                return SpecStep::Invalid;
+                            }
+                            let sibling = tx.read(sibling_slot.as_raw_atomic());
+                            tx.write(gp.slot.as_raw_atomic(), sibling);
+                            tx.write(&parent.removed, 1);
+                            tx.write(&l.removed, 1);
+                            SpecStep::Commit(())
+                        }) {
+                            Elided::Committed(()) => {}
+                            Elided::Invalid => {
+                                csds_metrics::restart();
+                                continue;
+                            }
+                            Elided::FellBack => {
+                                gp.lock.lock();
+                                parent.lock.lock();
+                                let ok = gp
+                                    .owner_removed()
+                                    .map_or(true, |r| r.load(Ordering::Acquire) == 0)
+                                    && parent.removed.load(Ordering::Acquire) == 0
+                                    && gp.slot.load(&guard) == parent_s
+                                    && p.slot.load(&guard) == leaf_s;
+                                if !ok {
+                                    parent.lock.unlock();
+                                    gp.lock.unlock();
+                                    csds_metrics::restart();
+                                    continue;
+                                }
+                                let fb = region.enter_fallback();
+                                let sibling = sibling_slot.load(&guard);
+                                gp.slot.store(sibling);
+                                parent.removed.store(1, Ordering::Release);
+                                l.removed.store(1, Ordering::Release);
+                                drop(fb);
+                                parent.lock.unlock();
+                                gp.lock.unlock();
+                            }
+                        }
+                    } else {
+                        // Locking mode: grandparent first, then parent —
+                        // both versioned trylocks; restart on failure.
+                        if !gp.lock.try_lock_version(gp.ver) {
+                            csds_metrics::restart();
+                            continue;
+                        }
+                        if !parent.lock.try_lock_version(p.ver) {
+                            gp.lock.unlock();
+                            csds_metrics::restart();
+                            continue;
+                        }
+                        let sibling = sibling_slot.load(&guard);
+                        gp.slot.store(sibling);
+                        parent.removed.store(1, Ordering::Release);
+                        l.removed.store(1, Ordering::Release);
+                        // The unlinked router stays locked *forever*: a
+                        // thread that reached it through a stale pointer
+                        // and then read its (post-unlink) version must not
+                        // be able to acquire it — its version word is odd
+                        // for the rest of its (EBR-bounded) lifetime, so
+                        // every try_lock_version on it fails. Without this,
+                        // a stale insert could link below a dead router
+                        // (lost update) or a stale remove could splice out
+                        // of one (double retire).
+                        gp.lock.unlock();
+                    }
+                    let out = l.value.clone();
+                    // SAFETY: both unlinked by the winning unlink; retired
+                    // exactly once.
+                    unsafe {
+                        guard.defer_drop(parent_s);
+                        guard.defer_drop(leaf_s);
+                    }
+                    return out;
+                }
+            }
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentMap<V> for BstTk<V> {
+    fn get(&self, key: u64) -> Option<V> {
+        let guard = pin();
+        let mut curr = self.root.load(&guard);
+        loop {
+            if curr.is_null() {
+                return None;
+            }
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.leaf {
+                return if c.key == key { c.value.clone() } else { None };
+            }
+            curr = c.child(key < c.key).load(&guard);
+        }
+    }
+
+    fn insert(&self, key: u64, value: V) -> bool {
+        self.insert_impl(key, value)
+    }
+
+    fn remove(&self, key: u64) -> Option<V> {
+        self.remove_impl(key)
+    }
+
+    fn len(&self) -> usize {
+        let guard = pin();
+        let mut n = 0;
+        let mut stack = vec![self.root.load(&guard)];
+        while let Some(s) = stack.pop() {
+            if s.is_null() {
+                continue;
+            }
+            // SAFETY: pinned traversal.
+            let node = unsafe { s.deref() };
+            if node.leaf {
+                n += 1;
+            } else {
+                stack.push(node.left.load(&guard));
+                stack.push(node.right.load(&guard));
+            }
+        }
+        n
+    }
+}
+
+impl<V> Drop for BstTk<V> {
+    fn drop(&mut self) {
+        let mut stack = vec![self.root.load_raw()];
+        while let Some(p) = stack.pop() {
+            if p == 0 {
+                continue;
+            }
+            // SAFETY: exclusive via &mut self.
+            let node = unsafe { Box::from_raw(p as *mut Node<V>) };
+            stack.push(node.left.load_raw());
+            stack.push(node.right.load_raw());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_semantics() {
+        let t = BstTk::new();
+        assert!(t.is_empty());
+        assert!(t.insert(50, 1));
+        assert!(t.insert(30, 2));
+        assert!(t.insert(70, 3));
+        assert!(!t.insert(50, 9));
+        assert_eq!(t.get(30), Some(2));
+        assert_eq!(t.get(31), None);
+        assert_eq!(t.remove(30), Some(2));
+        assert_eq!(t.remove(30), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn shrink_to_empty_and_regrow() {
+        let t = BstTk::new();
+        assert!(t.insert(5, 5));
+        assert_eq!(t.remove(5), Some(5));
+        assert!(t.is_empty());
+        assert!(t.insert(6, 6));
+        assert!(t.insert(2, 2));
+        assert_eq!(t.remove(6), Some(6));
+        assert_eq!(t.remove(2), Some(2));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sequential_model() {
+        testutil::sequential_model_check(BstTk::new(), 5_000, 128);
+    }
+
+    #[test]
+    fn sequential_model_elision() {
+        testutil::sequential_model_check(BstTk::with_mode(SyncMode::Elision), 5_000, 128);
+    }
+
+    #[test]
+    fn concurrent_net_effect() {
+        testutil::concurrent_net_effect(Arc::new(BstTk::new()), 4, 5_000, 64);
+    }
+
+    #[test]
+    fn concurrent_net_effect_elision() {
+        testutil::concurrent_net_effect(
+            Arc::new(BstTk::with_mode(SyncMode::Elision)),
+            4,
+            3_000,
+            64,
+        );
+    }
+
+    #[test]
+    fn updates_never_wait_for_locks() {
+        // BST-TK's locking-mode updates use trylocks only: lock-wait time
+        // must be zero even under contention (paper Fig. 5, BST column).
+        let t = Arc::new(BstTk::new());
+        let mut handles = Vec::new();
+        for id in 0..4u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let _ = csds_metrics::take_and_reset();
+                for i in 0..3_000u64 {
+                    let k = (i * 7 + id) % 32;
+                    if i % 2 == 0 {
+                        t.insert(k, k);
+                    } else {
+                        t.remove(k);
+                    }
+                }
+                csds_metrics::take_and_reset()
+            }));
+        }
+        for h in handles {
+            let snap = h.join().unwrap();
+            assert_eq!(snap.lock_wait_ns, 0, "BST-TK must not wait for locks");
+        }
+    }
+
+    #[test]
+    fn external_tree_routing_is_consistent() {
+        let t = BstTk::new();
+        let keys = [8u64, 3, 10, 1, 6, 14, 4, 7, 13];
+        for &k in &keys {
+            assert!(t.insert(k, k * 10));
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(k * 10), "key {k}");
+        }
+        assert_eq!(t.len(), keys.len());
+        // Remove in a different order.
+        for &k in &[6u64, 8, 1, 14, 3, 13, 10, 4, 7] {
+            assert_eq!(t.remove(k), Some(k * 10), "remove {k}");
+        }
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! The paper's blocking hash table: one lock per bucket, chains read
+//! without synchronization.
+//!
+//! Updates acquire the bucket lock and then **cannot fail**: with the whole
+//! bucket serialized there is nothing to validate, which is why the paper's
+//! Figure 6 reports a restart fraction of exactly 0 for the hash table, and
+//! why equation (4) reduces to the classical birthday paradox (the parse
+//! phase has length zero — "the lock is acquired immediately after the
+//! update starts", §6.1).
+//!
+//! Reads traverse the bucket chain under an EBR pin, skipping nodes whose
+//! `marked` flag is set (a node is marked, then unlinked, both under the
+//! bucket lock — or both inside one speculative transaction in
+//! [`SyncMode::Elision`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use csds_ebr::{pin, Atomic, Guard, Shared};
+use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
+use csds_sync::{lock_guard, RawMutex, TicketLock};
+
+use crate::hashtable::{bucket_count, bucket_of};
+use crate::{ConcurrentMap, SyncMode, ELISION_RETRIES};
+
+struct Node<V> {
+    key: u64,
+    value: Option<V>,
+    marked: AtomicUsize,
+    next: Atomic<Node<V>>,
+}
+
+struct Bucket<V> {
+    lock: TicketLock,
+    head: Atomic<Node<V>>,
+}
+
+/// Per-bucket-lock hash table. See the module docs.
+pub struct LazyHashTable<V> {
+    buckets: Vec<Bucket<V>>,
+    mask: usize,
+    region: Option<TxRegion>,
+}
+
+impl<V: Clone + Send + Sync> LazyHashTable<V> {
+    /// Table sized for `capacity` elements at load factor 1.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_mode(capacity, SyncMode::Locks)
+    }
+
+    /// Table with an explicit write-phase synchronization mode.
+    pub fn with_capacity_and_mode(capacity: usize, mode: SyncMode) -> Self {
+        let n = bucket_count(capacity);
+        LazyHashTable {
+            buckets: (0..n)
+                .map(|_| Bucket { lock: TicketLock::new(), head: Atomic::null() })
+                .collect(),
+            mask: n - 1,
+            region: match mode {
+                SyncMode::Locks => None,
+                SyncMode::Elision => Some(TxRegion::new()),
+            },
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &Bucket<V> {
+        &self.buckets[bucket_of(key, self.mask)]
+    }
+
+    /// Unsynchronized scan: `(pred, curr)` such that `curr` is the node with
+    /// `key` (pred null ⇒ curr is the head node), or curr null if absent.
+    fn scan<'g>(
+        bucket: &Bucket<V>,
+        key: u64,
+        guard: &'g Guard,
+    ) -> (Shared<'g, Node<V>>, Shared<'g, Node<V>>) {
+        let mut pred = Shared::null();
+        let mut curr = bucket.head.load(guard);
+        while !curr.is_null() {
+            // SAFETY: pinned traversal.
+            let c = unsafe { curr.deref() };
+            if c.key == key {
+                return (pred, curr);
+            }
+            pred = curr;
+            curr = c.next.load(guard);
+        }
+        (pred, curr)
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
+    fn get(&self, key: u64) -> Option<V> {
+        let guard = pin();
+        let (_, curr) = Self::scan(self.bucket(key), key, &guard);
+        if curr.is_null() {
+            return None;
+        }
+        // SAFETY: pinned.
+        let c = unsafe { curr.deref() };
+        if c.marked.load(Ordering::Acquire) != 0 {
+            None
+        } else {
+            c.value.clone()
+        }
+    }
+
+    fn insert(&self, key: u64, value: V) -> bool {
+        let guard = pin();
+        let bucket = self.bucket(key);
+
+        if let Some(region) = &self.region {
+            let mut value = Some(value);
+            let mut new_node: Option<Shared<'_, Node<V>>> = None;
+            loop {
+                let head = bucket.head.load(&guard);
+                let (_, curr) = Self::scan(bucket, key, &guard);
+                if !curr.is_null() {
+                    // SAFETY: pinned.
+                    if unsafe { curr.deref() }.marked.load(Ordering::Acquire) == 0 {
+                        if let Some(n) = new_node.take() {
+                            // SAFETY: never published.
+                            unsafe { drop(n.into_box()) };
+                        }
+                        return false;
+                    }
+                    // Mid-removal; re-scan.
+                    csds_metrics::restart();
+                    continue;
+                }
+                let new_s = *new_node.get_or_insert_with(|| {
+                    Shared::boxed(Node {
+                        key,
+                        value: value.take(),
+                        marked: AtomicUsize::new(0),
+                        next: Atomic::null(),
+                    })
+                });
+                // SAFETY: unpublished.
+                unsafe { new_s.deref() }.next.store(head);
+                // Any insert to this bucket moves `head`; any removal of the
+                // head node moves `head` too — validating `head` therefore
+                // rules out a duplicate appearing since our scan.
+                match attempt_elision(region, ELISION_RETRIES, |tx| {
+                    if tx.read(bucket.head.as_raw_atomic()) != head.as_raw() {
+                        return SpecStep::Invalid;
+                    }
+                    tx.write(bucket.head.as_raw_atomic(), new_s.as_raw());
+                    SpecStep::Commit(())
+                }) {
+                    Elided::Committed(()) => return true,
+                    Elided::Invalid => {
+                        csds_metrics::restart();
+                        continue;
+                    }
+                    Elided::FellBack => {
+                        let g = lock_guard(&bucket.lock);
+                        // Re-scan under the lock (serialized: cannot fail).
+                        let (_, curr) = Self::scan(bucket, key, &guard);
+                        if !curr.is_null() {
+                            drop(g);
+                            // SAFETY: never published.
+                            unsafe { drop(new_s.into_box()) };
+                            return false;
+                        }
+                        // SAFETY: unpublished.
+                        unsafe { new_s.deref() }.next.store(bucket.head.load(&guard));
+                        let fb = region.enter_fallback();
+                        bucket.head.store(new_s);
+                        drop(fb);
+                        drop(g);
+                        return true;
+                    }
+                }
+            }
+        }
+
+        // Locking mode: serialize the bucket; no restarts possible.
+        let g = lock_guard(&bucket.lock);
+        let (_, curr) = Self::scan(bucket, key, &guard);
+        if !curr.is_null() {
+            drop(g);
+            return false;
+        }
+        let new_s = Shared::boxed(Node {
+            key,
+            value: Some(value),
+            marked: AtomicUsize::new(0),
+            next: Atomic::null(),
+        });
+        // SAFETY: unpublished.
+        unsafe { new_s.deref() }.next.store(bucket.head.load(&guard));
+        bucket.head.store(new_s);
+        drop(g);
+        true
+    }
+
+    fn remove(&self, key: u64) -> Option<V> {
+        let guard = pin();
+        let bucket = self.bucket(key);
+
+        if let Some(region) = &self.region {
+            loop {
+                let (pred, curr) = Self::scan(bucket, key, &guard);
+                if curr.is_null() {
+                    return None;
+                }
+                // SAFETY: pinned.
+                let c = unsafe { curr.deref() };
+                if c.marked.load(Ordering::Acquire) != 0 {
+                    return None;
+                }
+                let link = if pred.is_null() {
+                    bucket.head.as_raw_atomic()
+                } else {
+                    // SAFETY: pinned.
+                    unsafe { pred.deref() }.next.as_raw_atomic()
+                };
+                let pred_marked = if pred.is_null() {
+                    None
+                } else {
+                    // SAFETY: pinned.
+                    Some(&unsafe { pred.deref() }.marked)
+                };
+                match attempt_elision(region, ELISION_RETRIES, |tx| {
+                    if let Some(pm) = pred_marked {
+                        if tx.read(pm) != 0 {
+                            return SpecStep::Invalid;
+                        }
+                    }
+                    if tx.read(&c.marked) != 0 {
+                        return SpecStep::Invalid;
+                    }
+                    if tx.read(link) != curr.as_raw() {
+                        return SpecStep::Invalid;
+                    }
+                    let succ = tx.read(c.next.as_raw_atomic());
+                    tx.write(&c.marked, 1);
+                    tx.write(link, succ);
+                    SpecStep::Commit(())
+                }) {
+                    Elided::Committed(()) => {
+                        let out = c.value.clone();
+                        // SAFETY: unlinked atomically; retired once.
+                        unsafe { guard.defer_drop(curr) };
+                        return out;
+                    }
+                    Elided::Invalid => {
+                        csds_metrics::restart();
+                        continue;
+                    }
+                    Elided::FellBack => {
+                        let g = lock_guard(&bucket.lock);
+                        let (pred, curr) = Self::scan(bucket, key, &guard);
+                        if curr.is_null() {
+                            drop(g);
+                            return None;
+                        }
+                        // SAFETY: pinned.
+                        let c = unsafe { curr.deref() };
+                        let fb = region.enter_fallback();
+                        c.marked.store(1, Ordering::Release);
+                        let succ = c.next.load(&guard);
+                        if pred.is_null() {
+                            bucket.head.store(succ);
+                        } else {
+                            // SAFETY: pinned; bucket serialized by the lock.
+                            unsafe { pred.deref() }.next.store(succ);
+                        }
+                        drop(fb);
+                        drop(g);
+                        let out = c.value.clone();
+                        // SAFETY: unlinked; retired once.
+                        unsafe { guard.defer_drop(curr) };
+                        return out;
+                    }
+                }
+            }
+        }
+
+        // Locking mode: serialize the bucket; no restarts possible.
+        let g = lock_guard(&bucket.lock);
+        let (pred, curr) = Self::scan(bucket, key, &guard);
+        if curr.is_null() {
+            drop(g);
+            return None;
+        }
+        // SAFETY: pinned.
+        let c = unsafe { curr.deref() };
+        c.marked.store(1, Ordering::Release);
+        let succ = c.next.load(&guard);
+        if pred.is_null() {
+            bucket.head.store(succ);
+        } else {
+            // SAFETY: pinned; serialized by the bucket lock.
+            unsafe { pred.deref() }.next.store(succ);
+        }
+        drop(g);
+        let out = c.value.clone();
+        // SAFETY: unlinked under the bucket lock; retired once.
+        unsafe { guard.defer_drop(curr) };
+        out
+    }
+
+    fn len(&self) -> usize {
+        let guard = pin();
+        let mut n = 0;
+        for b in &self.buckets {
+            let mut curr = b.head.load(&guard);
+            while !curr.is_null() {
+                // SAFETY: pinned traversal.
+                let c = unsafe { curr.deref() };
+                if c.marked.load(Ordering::Acquire) == 0 {
+                    n += 1;
+                }
+                curr = c.next.load(&guard);
+            }
+        }
+        n
+    }
+}
+
+impl<V> Drop for LazyHashTable<V> {
+    fn drop(&mut self) {
+        for b in &self.buckets {
+            let mut p = b.head.load_raw();
+            while p != 0 {
+                // SAFETY: exclusive via &mut self.
+                let node = unsafe { Box::from_raw(p as *mut Node<V>) };
+                p = node.next.load_raw();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_semantics() {
+        let h = LazyHashTable::with_capacity(16);
+        assert!(h.insert(1, 10));
+        assert!(h.insert(17, 170)); // possible collision with 1
+        assert!(!h.insert(1, 99));
+        assert_eq!(h.get(1), Some(10));
+        assert_eq!(h.get(17), Some(170));
+        assert_eq!(h.remove(1), Some(10));
+        assert_eq!(h.remove(1), None);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn sequential_model() {
+        testutil::sequential_model_check(LazyHashTable::with_capacity(64), 5_000, 256);
+    }
+
+    #[test]
+    fn sequential_model_elision() {
+        testutil::sequential_model_check(
+            LazyHashTable::with_capacity_and_mode(64, SyncMode::Elision),
+            5_000,
+            256,
+        );
+    }
+
+    #[test]
+    fn concurrent_net_effect() {
+        testutil::concurrent_net_effect(Arc::new(LazyHashTable::with_capacity(32)), 4, 5_000, 64);
+    }
+
+    #[test]
+    fn concurrent_net_effect_elision() {
+        testutil::concurrent_net_effect(
+            Arc::new(LazyHashTable::with_capacity_and_mode(32, SyncMode::Elision)),
+            4,
+            3_000,
+            64,
+        );
+    }
+
+    #[test]
+    fn updates_never_restart_in_locking_mode() {
+        let _ = csds_metrics::take_and_reset();
+        let h = LazyHashTable::with_capacity(8);
+        for k in 0..64 {
+            h.insert(k, k);
+        }
+        for k in 0..64 {
+            h.remove(k);
+        }
+        let snap = csds_metrics::take_and_reset();
+        assert_eq!(snap.restarts, 0, "paper Fig. 6: hash-table restarts are zero");
+    }
+
+    #[test]
+    fn single_bucket_table_degenerates_to_list() {
+        let h = LazyHashTable::with_capacity(1);
+        for k in 0..32 {
+            assert!(h.insert(k, k * 2));
+        }
+        assert_eq!(h.len(), 32);
+        for k in 0..32 {
+            assert_eq!(h.get(k), Some(k * 2));
+        }
+    }
+}

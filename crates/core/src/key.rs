@@ -1,0 +1,49 @@
+//! Internal key encoding.
+//!
+//! List- and skiplist-shaped structures use head/tail sentinel nodes. To
+//! keep the full `u64` traversal comparisons branch-free, user keys are
+//! shifted up by one: internal key 0 is the head sentinel, `u64::MAX` is the
+//! tail sentinel, and user keys occupy `1 ..= u64::MAX - 1`.
+
+/// Largest user-facing key supported by the sentinel encoding.
+pub const MAX_USER_KEY: u64 = u64::MAX - 2;
+
+/// Internal key of the head sentinel.
+pub const HEAD_IKEY: u64 = 0;
+
+/// Internal key of the tail sentinel.
+pub const TAIL_IKEY: u64 = u64::MAX;
+
+/// Map a user key into the internal key space.
+#[inline]
+pub fn ikey(user: u64) -> u64 {
+    assert!(user <= MAX_USER_KEY, "key {user} exceeds supported range (0..=u64::MAX-2)");
+    user + 1
+}
+
+/// Map an internal (non-sentinel) key back to the user key space.
+#[inline]
+pub fn ukey(internal: u64) -> u64 {
+    debug_assert!(internal != HEAD_IKEY && internal != TAIL_IKEY);
+    internal - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for k in [0, 1, 42, MAX_USER_KEY] {
+            assert_eq!(ukey(ikey(k)), k);
+        }
+        assert!(ikey(0) > HEAD_IKEY);
+        assert!(ikey(MAX_USER_KEY) < TAIL_IKEY);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds supported range")]
+    fn rejects_reserved_keys() {
+        ikey(u64::MAX - 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Concurrent search data structures (CSDSs): blocking, lock-free and
+//! wait-free implementations of the set/map abstraction, plus the blocking
+//! queues and stacks of the paper's §7.
+//!
+//! This is the Rust counterpart of the ASCYLIB-style library evaluated in
+//! *"Concurrent Search Data Structures Can Be Blocking and Practically
+//! Wait-Free"* (David & Guerraoui, SPAA 2016). Every structure follows the
+//! asynchronized-concurrency patterns of §3.1:
+//!
+//! * **reads** perform no stores and never restart;
+//! * **updates** consist of a synchronization-free *parse phase* followed by
+//!   a short *write phase* that locks (or CASes) only the neighborhood of
+//!   nodes being modified;
+//! * validation failure in the write phase restarts the operation (counted
+//!   via `csds-metrics`).
+//!
+//! Blocking structures can optionally run their write phases under
+//! **emulated HTM lock elision** ([`SyncMode::Elision`]), reproducing the
+//! paper's TSX experiments (§5.4, Tables 2–3).
+//!
+//! | family | blocking | lock-free | wait-free |
+//! |---|---|---|---|
+//! | linked list | [`list::LazyList`], [`list::CouplingList`] | [`list::HarrisList`] | [`list::WaitFreeList`] |
+//! | skip list | [`skiplist::HerlihySkipList`], [`skiplist::PughSkipList`] | [`skiplist::LockFreeSkipList`] | — |
+//! | hash table | [`hashtable::LazyHashTable`], [`hashtable::CouplingHashTable`], [`hashtable::CowHashTable`] | [`hashtable::LockFreeHashTable`] | [`hashtable::WaitFreeHashTable`] |
+//! | BST | [`bst::BstTk`] | — | — |
+//! | queue/stack (§7) | [`queuestack::TwoLockQueue`], [`queuestack::LockedStack`] | [`queuestack::MsQueue`], [`queuestack::TreiberStack`] | — |
+
+pub mod bst;
+pub mod hashtable;
+pub mod list;
+pub mod queuestack;
+
+pub mod skiplist;
+
+pub(crate) mod key;
+
+/// How a blocking structure synchronizes its write phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Plain fine-grained locking (the paper's default configuration).
+    #[default]
+    Locks,
+    /// Emulated HTM lock elision with lock fallback (the paper's TSX
+    /// configuration, §5.4).
+    Elision,
+}
+
+/// Number of speculative attempts before falling back to locks; the paper's
+/// model assumes five (§6.4).
+pub const ELISION_RETRIES: u32 = 5;
+
+/// The set/map abstraction of paper §2.2.
+///
+/// Keys are 64-bit; values are arbitrary (cloned out on reads). The
+/// supported key range is `0 ..= u64::MAX - 2` (two values are reserved for
+/// internal sentinels).
+pub trait ConcurrentMap<V>: Send + Sync {
+    /// `get(k)`: the value associated with `k`, if present.
+    fn get(&self, key: u64) -> Option<V>;
+    /// `put(k,v)`: insert if absent. Returns `false` if `k` was present
+    /// (no overwrite), `true` if the pair was inserted.
+    fn insert(&self, key: u64, value: V) -> bool;
+    /// `remove(k)`: remove and return the value, or `None` if absent.
+    fn remove(&self, key: u64) -> Option<V>;
+    /// Number of elements (O(n); quiescently consistent).
+    fn len(&self) -> usize;
+    /// Whether the structure is empty (quiescently consistent).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Queues, stacks and other single-hotspot pools (paper §7).
+pub trait ConcurrentPool<V>: Send + Sync {
+    /// Insert an element (enqueue / push).
+    fn push(&self, value: V);
+    /// Remove an element (dequeue / pop), or `None` if empty.
+    fn pop(&self) -> Option<V>;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test drivers: every structure is exercised through the same
+    //! sequential-model comparison and the same concurrent net-effect
+    //! invariant check.
+
+    use super::ConcurrentMap;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Compare against `BTreeMap` under a deterministic pseudo-random
+    /// sequential workload.
+    pub fn sequential_model_check<M: ConcurrentMap<u64>>(map: M, ops: u64, key_range: u64) {
+        let mut model = BTreeMap::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..ops {
+            let key = rng() % key_range;
+            match rng() % 3 {
+                0 => {
+                    let expected = !model.contains_key(&key);
+                    let got = map.insert(key, i);
+                    assert_eq!(got, expected, "insert({key}) disagreed at op {i}");
+                    if expected {
+                        model.insert(key, i);
+                    }
+                }
+                1 => {
+                    let expected = model.remove(&key);
+                    let got = map.remove(key);
+                    assert_eq!(got, expected, "remove({key}) disagreed at op {i}");
+                }
+                _ => {
+                    let expected = model.get(&key).copied();
+                    let got = map.get(key);
+                    assert_eq!(got, expected, "get({key}) disagreed at op {i}");
+                }
+            }
+        }
+        assert_eq!(map.len(), model.len(), "final length disagreed");
+        for (&k, &v) in &model {
+            assert_eq!(map.get(k), Some(v), "final content disagreed at key {k}");
+        }
+    }
+
+    /// Concurrent net-effect invariant: after `threads` workers issue random
+    /// inserts/removes, for every key the final presence must equal
+    /// (successful inserts − successful removes), which is 0 or 1.
+    pub fn concurrent_net_effect<M: ConcurrentMap<u64> + 'static>(
+        map: Arc<M>,
+        threads: usize,
+        ops_per_thread: u64,
+        key_range: u64,
+    ) {
+        let ins: Arc<Vec<AtomicU64>> =
+            Arc::new((0..key_range).map(|_| AtomicU64::new(0)).collect());
+        let rem: Arc<Vec<AtomicU64>> =
+            Arc::new((0..key_range).map(|_| AtomicU64::new(0)).collect());
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let map = Arc::clone(&map);
+            let ins = Arc::clone(&ins);
+            let rem = Arc::clone(&rem);
+            handles.push(std::thread::spawn(move || {
+                let mut state = 0xDEADBEEF ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut rng = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for _ in 0..ops_per_thread {
+                    let key = rng() % key_range;
+                    match rng() % 3 {
+                        0 => {
+                            if map.insert(key, key) {
+                                ins[key as usize].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        1 => {
+                            if map.remove(key).is_some() {
+                                rem[key as usize].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            if let Some(v) = map.get(key) {
+                                assert_eq!(v, key, "value corruption at key {key}");
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut expected_len = 0usize;
+        for k in 0..key_range {
+            let net = ins[k as usize].load(Ordering::Relaxed) as i64
+                - rem[k as usize].load(Ordering::Relaxed) as i64;
+            assert!(
+                net == 0 || net == 1,
+                "key {k}: net successful updates must be 0 or 1, got {net}"
+            );
+            let present = map.get(k).is_some();
+            assert_eq!(present, net == 1, "key {k}: presence {present} but net {net}");
+            expected_len += net as usize;
+        }
+        assert_eq!(map.len(), expected_len);
+    }
+}

@@ -1,0 +1,216 @@
+//! Hand-over-hand (lock-coupling) list [Herlihy & Shavit, 30].
+//!
+//! Every operation — reads included — acquires locks as it traverses:
+//! lock `pred`, lock `curr`, release `pred`, advance. The paper uses this
+//! algorithm to show that practical wait-freedom is **not** a property of
+//! locking in general: with 20 threads and just 1 % updates, threads spend
+//! ≈10 % of their time waiting for locks, "regardless of the structure
+//! size" (§5.1), so lock-coupling is *not* practically wait-free.
+//!
+//! Because every access path holds locks, no unlocked traversals exist:
+//! a node that has been unlinked under both locks can be freed directly,
+//! without epoch protection. (To wait on a node's lock a thread must hold
+//! the predecessor's lock, which the unlinking thread owns.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use csds_sync::{RawMutex, TicketLock};
+
+use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
+use crate::ConcurrentMap;
+
+struct Node<V> {
+    key: u64,
+    value: Option<V>,
+    lock: TicketLock,
+    /// Raw pointer to the successor, mutated only under this node's lock.
+    /// (Atomic so cross-thread publication is well-defined; the lock's
+    /// release/acquire pair provides the ordering.)
+    next: AtomicUsize,
+}
+
+impl<V> Node<V> {
+    fn alloc(ikey: u64, value: Option<V>, next: usize) -> *mut Node<V> {
+        Box::into_raw(Box::new(Node {
+            key: ikey,
+            value,
+            lock: TicketLock::new(),
+            next: AtomicUsize::new(next),
+        }))
+    }
+}
+
+/// Lock-coupling sorted list. See the module docs.
+pub struct CouplingList<V> {
+    head: *mut Node<V>,
+}
+
+// SAFETY: all node access is serialized per node by the per-node locks;
+// values are only read, never mutated, after publication.
+unsafe impl<V: Send + Sync> Send for CouplingList<V> {}
+unsafe impl<V: Send + Sync> Sync for CouplingList<V> {}
+
+impl<V: Clone + Send + Sync> Default for CouplingList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Send + Sync> CouplingList<V> {
+    /// Empty list.
+    pub fn new() -> Self {
+        let tail = Node::<V>::alloc(TAIL_IKEY, None, 0);
+        let head = Node::alloc(HEAD_IKEY, None, tail as usize);
+        CouplingList { head }
+    }
+
+    /// Hand-over-hand traversal. Returns `(pred, curr)`, **both locked**,
+    /// with `pred.key < ikey <= curr.key`.
+    fn locate(&self, ikey: u64) -> (*mut Node<V>, *mut Node<V>) {
+        // SAFETY: head is never freed while &self is alive; each node we
+        // touch is protected by the lock we hold on it or its predecessor.
+        unsafe {
+            let mut pred = self.head;
+            (*pred).lock.lock();
+            let mut curr = (*pred).next.load(Ordering::Relaxed) as *mut Node<V>;
+            (*curr).lock.lock();
+            while (*curr).key < ikey {
+                (*pred).lock.unlock();
+                pred = curr;
+                curr = (*pred).next.load(Ordering::Relaxed) as *mut Node<V>;
+                (*curr).lock.lock();
+            }
+            (pred, curr)
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentMap<V> for CouplingList<V> {
+    fn get(&self, key: u64) -> Option<V> {
+        let ikey = key::ikey(key);
+        let (pred, curr) = self.locate(ikey);
+        // SAFETY: both nodes locked by us.
+        unsafe {
+            let out =
+                if (*curr).key == ikey { (*curr).value.clone() } else { None };
+            (*curr).lock.unlock();
+            (*pred).lock.unlock();
+            out
+        }
+    }
+
+    fn insert(&self, key: u64, value: V) -> bool {
+        let ikey = key::ikey(key);
+        let (pred, curr) = self.locate(ikey);
+        // SAFETY: both nodes locked by us; the new node is private until
+        // the `next` store publishes it under the pred lock.
+        unsafe {
+            if (*curr).key == ikey {
+                (*curr).lock.unlock();
+                (*pred).lock.unlock();
+                return false;
+            }
+            let node = Node::alloc(ikey, Some(value), curr as usize);
+            (*pred).next.store(node as usize, Ordering::Release);
+            (*curr).lock.unlock();
+            (*pred).lock.unlock();
+            true
+        }
+    }
+
+    fn remove(&self, key: u64) -> Option<V> {
+        let ikey = key::ikey(key);
+        let (pred, curr) = self.locate(ikey);
+        // SAFETY: both nodes locked. After unlinking, `curr` is unreachable
+        // and no thread can be waiting on its lock (that would require
+        // holding `pred`'s lock, which we own), so direct free is sound.
+        unsafe {
+            if (*curr).key != ikey {
+                (*curr).lock.unlock();
+                (*pred).lock.unlock();
+                return None;
+            }
+            (*pred).next.store((*curr).next.load(Ordering::Relaxed), Ordering::Release);
+            (*curr).lock.unlock();
+            (*pred).lock.unlock();
+            let boxed = Box::from_raw(curr);
+            boxed.value
+        }
+    }
+
+    fn len(&self) -> usize {
+        // Hand-over-hand count.
+        let mut n = 0;
+        // SAFETY: same locking discipline as `locate`.
+        unsafe {
+            let mut pred = self.head;
+            (*pred).lock.lock();
+            let mut curr = (*pred).next.load(Ordering::Relaxed) as *mut Node<V>;
+            (*curr).lock.lock();
+            while (*curr).key != TAIL_IKEY {
+                n += 1;
+                (*pred).lock.unlock();
+                pred = curr;
+                curr = (*pred).next.load(Ordering::Relaxed) as *mut Node<V>;
+                (*curr).lock.lock();
+            }
+            (*curr).lock.unlock();
+            (*pred).lock.unlock();
+        }
+        n
+    }
+}
+
+impl<V> Drop for CouplingList<V> {
+    fn drop(&mut self) {
+        let mut p = self.head;
+        while !p.is_null() {
+            // SAFETY: exclusive access via &mut self.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next.load(Ordering::Relaxed) as *mut Node<V>;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_semantics() {
+        let l = CouplingList::new();
+        assert!(l.insert(10, 1));
+        assert!(l.insert(20, 2));
+        assert!(!l.insert(10, 3));
+        assert_eq!(l.get(10), Some(1));
+        assert_eq!(l.get(15), None);
+        assert_eq!(l.remove(10), Some(1));
+        assert_eq!(l.remove(10), None);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn sequential_model() {
+        testutil::sequential_model_check(CouplingList::new(), 3_000, 64);
+    }
+
+    #[test]
+    fn concurrent_net_effect() {
+        testutil::concurrent_net_effect(Arc::new(CouplingList::new()), 4, 2_000, 16);
+    }
+
+    #[test]
+    fn reads_do_wait_for_locks() {
+        // Unlike the lazy list, coupling reads acquire locks — the very
+        // reason the paper rejects it as practically wait-free.
+        let _ = csds_metrics::take_and_reset();
+        let l = CouplingList::new();
+        l.insert(1, 1);
+        let _ = csds_metrics::take_and_reset();
+        let _ = l.get(1);
+        let snap = csds_metrics::take_and_reset();
+        assert!(snap.lock_acquires > 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Harris's lock-free linked list [23], with the stepwise physical-deletion
+//! variant of Michael [43].
+//!
+//! The logical-deletion mark lives in the low tag bit of a node's `next`
+//! pointer (no interposed objects — compare the wait-free list). Searches
+//! physically unlink marked nodes they encounter; a search that loses a
+//! cleanup CAS restarts (counted as a restart, feeding Fig. 6's lock-free
+//! baseline comparisons).
+
+use csds_ebr::{pin, Atomic, Guard, Shared};
+
+use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
+use crate::ConcurrentMap;
+
+/// Tag bit marking a node as logically deleted (set on its `next` pointer).
+const MARK: usize = 1;
+
+struct Node<V> {
+    key: u64,
+    value: Option<V>,
+    next: Atomic<Node<V>>,
+}
+
+/// Harris/Michael lock-free sorted list. See the module docs.
+pub struct HarrisList<V> {
+    head: Atomic<Node<V>>,
+}
+
+impl<V: Clone + Send + Sync> Default for HarrisList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Send + Sync> HarrisList<V> {
+    /// Empty list.
+    pub fn new() -> Self {
+        let tail = Atomic::new(Node { key: TAIL_IKEY, value: None, next: Atomic::null() });
+        HarrisList {
+            head: Atomic::new(Node { key: HEAD_IKEY, value: None, next: tail }),
+        }
+    }
+
+    /// Find `(pred, curr)` with `pred.key < ikey <= curr.key`, where both
+    /// are unmarked; unlinks marked nodes encountered on the way.
+    fn search<'g>(
+        &self,
+        ikey: u64,
+        guard: &'g Guard,
+    ) -> (Shared<'g, Node<V>>, Shared<'g, Node<V>>) {
+        'retry: loop {
+            let pred_start = self.head.load(guard);
+            let mut pred = pred_start;
+            // SAFETY: head is never retired.
+            let mut curr = unsafe { pred.deref() }.next.load(guard);
+            loop {
+                // The mark observed on `curr` as stored in pred.next is the
+                // *pred* deletion state only when pred is marked; here curr's
+                // own deletion state is the tag on curr.next.
+                let curr_ptr = curr.with_tag(0);
+                // SAFETY: reachable under pin.
+                let c = unsafe { curr_ptr.deref() };
+                let next = c.next.load(guard);
+                if next.tag() == MARK {
+                    // curr is logically deleted: unlink it.
+                    // SAFETY: pred reachable under pin.
+                    let p = unsafe { pred.with_tag(0).deref() };
+                    match p.next.compare_exchange(curr_ptr, next.with_tag(0), guard) {
+                        Ok(_) => {
+                            // SAFETY: we won the unlink; retire exactly once.
+                            unsafe { guard.defer_drop(curr_ptr) };
+                            curr = next.with_tag(0);
+                            continue;
+                        }
+                        Err(_) => {
+                            csds_metrics::restart();
+                            continue 'retry;
+                        }
+                    }
+                }
+                if c.key >= ikey {
+                    return (pred, curr_ptr);
+                }
+                pred = curr_ptr;
+                curr = next;
+            }
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
+    fn get(&self, key: u64) -> Option<V> {
+        let ikey = key::ikey(key);
+        let guard = pin();
+        // Pure wait-free traversal: no stores, no cleanup, no restarts.
+        // SAFETY: head never retired; traversal pinned.
+        let mut curr = unsafe { self.head.load(&guard).deref() }.next.load(&guard);
+        loop {
+            // SAFETY: pinned traversal.
+            let c = unsafe { curr.with_tag(0).deref() };
+            if c.key >= ikey {
+                let marked = c.next.load(&guard).tag() == MARK;
+                return if c.key == ikey && !marked { c.value.clone() } else { None };
+            }
+            curr = c.next.load(&guard);
+        }
+    }
+
+    fn insert(&self, key: u64, value: V) -> bool {
+        let ikey = key::ikey(key);
+        let guard = pin();
+        let mut new_node: Option<Shared<'_, Node<V>>> = None;
+        let mut value = Some(value);
+        loop {
+            let (pred, curr) = self.search(ikey, &guard);
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == ikey {
+                if let Some(n) = new_node.take() {
+                    // SAFETY: never published.
+                    unsafe { drop(n.into_box()) };
+                }
+                return false;
+            }
+            let new_s = *new_node.get_or_insert_with(|| {
+                Shared::boxed(Node { key: ikey, value: value.take(), next: Atomic::null() })
+            });
+            // SAFETY: unpublished, exclusive.
+            unsafe { new_s.deref() }.next.store(curr);
+            // SAFETY: pinned.
+            let p = unsafe { pred.deref() };
+            match p.next.compare_exchange(curr, new_s, &guard) {
+                Ok(_) => return true,
+                Err(_) => {
+                    csds_metrics::restart();
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn remove(&self, key: u64) -> Option<V> {
+        let ikey = key::ikey(key);
+        let guard = pin();
+        loop {
+            let (pred, curr) = self.search(ikey, &guard);
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key != ikey {
+                return None;
+            }
+            let next = c.next.load(&guard);
+            if next.tag() == MARK {
+                // Another remover won; the key is logically gone.
+                return None;
+            }
+            // Logical deletion: set the mark on curr.next.
+            if c.next.compare_exchange(next, next.with_tag(MARK), &guard).is_err() {
+                // next changed (insert after curr, or competing remove).
+                csds_metrics::restart();
+                continue;
+            }
+            let out = c.value.clone();
+            // Physical deletion: best effort; on failure a later search
+            // cleans up (and retires) the node.
+            // SAFETY: pinned.
+            let p = unsafe { pred.deref() };
+            if p.next.compare_exchange(curr, next.with_tag(0), &guard).is_ok() {
+                // SAFETY: we unlinked it; retire exactly once. (Cleanup in
+                // `search` only retires nodes *it* unlinks.)
+                unsafe { guard.defer_drop(curr) };
+            }
+            return out;
+        }
+    }
+
+    fn len(&self) -> usize {
+        let guard = pin();
+        let mut n = 0;
+        // SAFETY: head never retired; traversal pinned.
+        let mut curr = unsafe { self.head.load(&guard).deref() }.next.load(&guard);
+        loop {
+            // SAFETY: pinned traversal.
+            let c = unsafe { curr.with_tag(0).deref() };
+            if c.key == TAIL_IKEY {
+                return n;
+            }
+            if c.next.load(&guard).tag() != MARK {
+                n += 1;
+            }
+            curr = c.next.load(&guard);
+        }
+    }
+}
+
+impl<V> Drop for HarrisList<V> {
+    fn drop(&mut self) {
+        let mut p = self.head.load_raw() & !MARK;
+        while p != 0 {
+            // SAFETY: exclusive access via &mut self; marked-but-unlinked
+            // nodes were retired to EBR and are not reachable here.
+            let node = unsafe { Box::from_raw(p as *mut Node<V>) };
+            p = node.next.load_raw() & !MARK;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_semantics() {
+        let l = HarrisList::new();
+        assert!(l.insert(1, 10));
+        assert!(l.insert(3, 30));
+        assert!(l.insert(2, 20));
+        assert!(!l.insert(2, 99));
+        assert_eq!(l.get(2), Some(20));
+        assert_eq!(l.remove(2), Some(20));
+        assert_eq!(l.remove(2), None);
+        assert_eq!(l.get(2), None);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn sequential_model() {
+        testutil::sequential_model_check(HarrisList::new(), 4_000, 64);
+    }
+
+    #[test]
+    fn concurrent_net_effect() {
+        testutil::concurrent_net_effect(Arc::new(HarrisList::new()), 4, 5_000, 32);
+    }
+
+    #[test]
+    fn heavy_same_key_contention() {
+        // All threads fight over a single key: exercises mark/unlink races.
+        let l = Arc::new(HarrisList::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..3_000u64 {
+                    if (i + t) % 2 == 0 {
+                        l.insert(7, i);
+                    } else {
+                        l.remove(7);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Structure must still be a consistent sorted list.
+        let present = l.get(7).is_some();
+        assert_eq!(l.len(), usize::from(present));
+    }
+
+    #[test]
+    fn reads_are_store_free() {
+        let _ = csds_metrics::take_and_reset();
+        let l = HarrisList::new();
+        for k in 0..50 {
+            l.insert(k, k);
+        }
+        let _ = csds_metrics::take_and_reset();
+        for k in 0..50 {
+            assert_eq!(l.get(k), Some(k));
+        }
+        let snap = csds_metrics::take_and_reset();
+        assert_eq!(snap.restarts, 0);
+        assert_eq!(snap.lock_acquires, 0);
+    }
+}

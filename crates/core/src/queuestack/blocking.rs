@@ -1,0 +1,236 @@
+//! Blocking queue and stack (paper §7).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use csds_sync::{lock_guard, RawMutex, TicketLock};
+
+use crate::ConcurrentPool;
+
+struct QNode<V> {
+    /// Written once by the enqueuer before publication; taken by the
+    /// dequeuer that retires the slot (serialized by the head lock).
+    value: UnsafeCell<Option<V>>,
+    next: AtomicUsize,
+}
+
+impl<V> QNode<V> {
+    fn alloc(value: Option<V>) -> *mut QNode<V> {
+        Box::into_raw(Box::new(QNode { value: UnsafeCell::new(value), next: AtomicUsize::new(0) }))
+    }
+}
+
+/// Michael & Scott's two-lock queue [46]: enqueuers serialize on the tail
+/// lock, dequeuers on the head lock; a dummy node decouples the two ends.
+pub struct TwoLockQueue<V> {
+    head: AtomicUsize, // *mut QNode — touched only under head_lock
+    tail: AtomicUsize, // *mut QNode — touched only under tail_lock
+    head_lock: TicketLock,
+    tail_lock: TicketLock,
+    _pd: std::marker::PhantomData<fn() -> V>,
+}
+
+// SAFETY: head/tail pointer fields are lock-protected; `value` slots are
+// written before publication and taken under the head lock.
+unsafe impl<V: Send> Send for TwoLockQueue<V> {}
+unsafe impl<V: Send> Sync for TwoLockQueue<V> {}
+
+impl<V: Send> Default for TwoLockQueue<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Send> TwoLockQueue<V> {
+    /// Empty queue (one dummy node).
+    pub fn new() -> Self {
+        let dummy = QNode::<V>::alloc(None) as usize;
+        TwoLockQueue {
+            head: AtomicUsize::new(dummy),
+            tail: AtomicUsize::new(dummy),
+            head_lock: TicketLock::new(),
+            tail_lock: TicketLock::new(),
+            _pd: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<V: Send + Sync> ConcurrentPool<V> for TwoLockQueue<V> {
+    fn push(&self, value: V) {
+        let node = QNode::alloc(Some(value)) as usize;
+        let g = lock_guard(&self.tail_lock);
+        let tail = self.tail.load(Ordering::Relaxed);
+        // SAFETY: `tail` is valid (nodes are freed only after being
+        // dequeued, and a node is dequeued only once it has a successor,
+        // so the tail node is never freed while we hold the tail lock).
+        unsafe { (*(tail as *mut QNode<V>)).next.store(node, Ordering::Release) };
+        self.tail.store(node, Ordering::Relaxed);
+        drop(g);
+    }
+
+    fn pop(&self) -> Option<V> {
+        let g = lock_guard(&self.head_lock);
+        let head = self.head.load(Ordering::Relaxed) as *mut QNode<V>;
+        // SAFETY: the head dummy is owned by the head-lock holder.
+        let next = unsafe { (*head).next.load(Ordering::Acquire) } as *mut QNode<V>;
+        if next.is_null() {
+            drop(g);
+            return None;
+        }
+        // SAFETY: `next` was fully initialized before its publication in
+        // `push`; we hold the head lock, making us the unique taker.
+        let value = unsafe { (*(*next).value.get()).take() };
+        self.head.store(next as usize, Ordering::Relaxed);
+        drop(g);
+        // SAFETY: the old dummy is unreachable: head has moved past it and
+        // any enqueuer that could touch it (tail == head case) published its
+        // `next` before we observed it, so `tail` no longer equals `head`.
+        unsafe { drop(Box::from_raw(head)) };
+        value
+    }
+}
+
+impl<V> Drop for TwoLockQueue<V> {
+    fn drop(&mut self) {
+        let mut p = self.head.load(Ordering::Relaxed) as *mut QNode<V>;
+        while !p.is_null() {
+            // SAFETY: exclusive via &mut self.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next.load(Ordering::Relaxed) as *mut QNode<V>;
+        }
+    }
+}
+
+/// Single-lock stack: the bluntest blocking hotspot object.
+pub struct LockedStack<V> {
+    lock: TicketLock,
+    items: UnsafeCell<Vec<V>>,
+}
+
+// SAFETY: `items` is only touched under `lock`.
+unsafe impl<V: Send> Send for LockedStack<V> {}
+unsafe impl<V: Send> Sync for LockedStack<V> {}
+
+impl<V: Send> Default for LockedStack<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Send> LockedStack<V> {
+    /// Empty stack.
+    pub fn new() -> Self {
+        LockedStack { lock: TicketLock::new(), items: UnsafeCell::new(Vec::new()) }
+    }
+
+    /// Current depth (takes the lock).
+    pub fn len(&self) -> usize {
+        let g = lock_guard(&self.lock);
+        // SAFETY: lock held.
+        let n = unsafe { &*self.items.get() }.len();
+        drop(g);
+        n
+    }
+
+    /// Whether the stack is empty (takes the lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V: Send + Sync> ConcurrentPool<V> for LockedStack<V> {
+    fn push(&self, value: V) {
+        let g = lock_guard(&self.lock);
+        // SAFETY: lock held.
+        unsafe { &mut *self.items.get() }.push(value);
+        drop(g);
+    }
+
+    fn pop(&self) -> Option<V> {
+        let g = lock_guard(&self.lock);
+        // SAFETY: lock held.
+        let v = unsafe { &mut *self.items.get() }.pop();
+        drop(g);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_fifo_order() {
+        let q = TwoLockQueue::new();
+        assert_eq!(q.pop(), None);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.push(4);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stack_lifo_order() {
+        let s = LockedStack::new();
+        assert_eq!(s.pop(), None);
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        s.push(3);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(1));
+        assert!(s.is_empty());
+    }
+
+    fn pool_stress<P: ConcurrentPool<u64> + 'static>(pool: Arc<P>) {
+        const THREADS: u64 = 4;
+        const PER: u64 = 5_000;
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut popped = Vec::new();
+                for i in 0..PER {
+                    pool.push(t * PER + i);
+                    if i % 2 == 0 {
+                        if let Some(v) = pool.pop() {
+                            popped.push(v);
+                        }
+                    }
+                }
+                popped
+            }));
+        }
+        let mut seen = HashSet::new();
+        let mut total_popped = 0u64;
+        for h in handles {
+            for v in h.join().unwrap() {
+                assert!(seen.insert(v), "duplicate pop of {v}");
+                total_popped += 1;
+            }
+        }
+        // Drain the remainder.
+        while let Some(v) = pool.pop() {
+            assert!(seen.insert(v), "duplicate pop of {v}");
+            total_popped += 1;
+        }
+        assert_eq!(total_popped, THREADS * PER, "pushed items must all pop exactly once");
+    }
+
+    #[test]
+    fn queue_concurrent_no_loss_no_dup() {
+        pool_stress(Arc::new(TwoLockQueue::new()));
+    }
+
+    #[test]
+    fn stack_concurrent_no_loss_no_dup() {
+        pool_stress(Arc::new(LockedStack::new()));
+    }
+}

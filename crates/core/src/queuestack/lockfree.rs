@@ -1,0 +1,234 @@
+//! Lock-free queue and stack baselines for the §7 comparison: for hotspot
+//! objects the paper recommends non-blocking designs, and these are the
+//! canonical ones.
+
+use csds_ebr::{pin, Atomic, Shared};
+
+use crate::ConcurrentPool;
+
+struct Node<V> {
+    value: Option<V>,
+    next: Atomic<Node<V>>,
+}
+
+/// Michael & Scott's lock-free queue [46].
+pub struct MsQueue<V> {
+    head: Atomic<Node<V>>, // dummy
+    tail: Atomic<Node<V>>,
+}
+
+impl<V: Clone + Send + Sync> Default for MsQueue<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Send + Sync> MsQueue<V> {
+    /// Empty queue (one dummy node).
+    pub fn new() -> Self {
+        let dummy = Shared::boxed(Node { value: None, next: Atomic::null() });
+        let q = MsQueue { head: Atomic::null(), tail: Atomic::null() };
+        q.head.store(dummy);
+        q.tail.store(dummy);
+        q
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentPool<V> for MsQueue<V> {
+    fn push(&self, value: V) {
+        let guard = pin();
+        let node = Shared::boxed(Node { value: Some(value), next: Atomic::null() });
+        loop {
+            let tail = self.tail.load(&guard);
+            // SAFETY: pinned; tail is never null.
+            let t = unsafe { tail.deref() };
+            let next = t.next.load(&guard);
+            if !next.is_null() {
+                // Tail lags; help swing it.
+                let _ = self.tail.compare_exchange(tail, next, &guard);
+                continue;
+            }
+            if t.next.compare_exchange(Shared::null(), node, &guard).is_ok() {
+                let _ = self.tail.compare_exchange(tail, node, &guard);
+                return;
+            }
+            csds_metrics::restart();
+        }
+    }
+
+    fn pop(&self) -> Option<V> {
+        let guard = pin();
+        loop {
+            let head = self.head.load(&guard);
+            let tail = self.tail.load(&guard);
+            // SAFETY: pinned; head is never null.
+            let h = unsafe { head.deref() };
+            let next = h.next.load(&guard);
+            if next.is_null() {
+                return None;
+            }
+            if head == tail {
+                // Tail lags behind a non-empty queue; help it.
+                let _ = self.tail.compare_exchange(tail, next, &guard);
+                continue;
+            }
+            // Read the value *before* the CAS publishes the dummy role.
+            // SAFETY: pinned.
+            let value = unsafe { next.deref() }.value.clone();
+            if self.head.compare_exchange(head, next, &guard).is_ok() {
+                // SAFETY: the old dummy is unreachable; retired once.
+                unsafe { guard.defer_drop(head) };
+                return value;
+            }
+            csds_metrics::restart();
+        }
+    }
+}
+
+impl<V> Drop for MsQueue<V> {
+    fn drop(&mut self) {
+        let mut p = self.head.load_raw();
+        while p != 0 {
+            // SAFETY: exclusive via &mut self.
+            let node = unsafe { Box::from_raw(p as *mut Node<V>) };
+            p = node.next.load_raw();
+        }
+    }
+}
+
+/// Treiber's lock-free stack.
+pub struct TreiberStack<V> {
+    top: Atomic<Node<V>>,
+}
+
+impl<V: Clone + Send + Sync> Default for TreiberStack<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Send + Sync> TreiberStack<V> {
+    /// Empty stack.
+    pub fn new() -> Self {
+        TreiberStack { top: Atomic::null() }
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentPool<V> for TreiberStack<V> {
+    fn push(&self, value: V) {
+        let guard = pin();
+        let node = Shared::boxed(Node { value: Some(value), next: Atomic::null() });
+        loop {
+            let top = self.top.load(&guard);
+            // SAFETY: unpublished until the CAS.
+            unsafe { node.deref() }.next.store(top);
+            if self.top.compare_exchange(top, node, &guard).is_ok() {
+                return;
+            }
+            csds_metrics::restart();
+        }
+    }
+
+    fn pop(&self) -> Option<V> {
+        let guard = pin();
+        loop {
+            let top = self.top.load(&guard);
+            if top.is_null() {
+                return None;
+            }
+            // SAFETY: pinned.
+            let t = unsafe { top.deref() };
+            let next = t.next.load(&guard);
+            if self.top.compare_exchange(top, next, &guard).is_ok() {
+                let value = t.value.clone();
+                // SAFETY: unlinked by the winning CAS; retired once.
+                unsafe { guard.defer_drop(top) };
+                return value;
+            }
+            csds_metrics::restart();
+        }
+    }
+}
+
+impl<V> Drop for TreiberStack<V> {
+    fn drop(&mut self) {
+        let mut p = self.top.load_raw();
+        while p != 0 {
+            // SAFETY: exclusive via &mut self.
+            let node = unsafe { Box::from_raw(p as *mut Node<V>) };
+            p = node.next.load_raw();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn ms_queue_fifo() {
+        let q = MsQueue::new();
+        assert_eq!(q.pop(), None);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn treiber_lifo() {
+        let s = TreiberStack::new();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    fn pool_stress<P: ConcurrentPool<u64> + 'static>(pool: Arc<P>) {
+        const THREADS: u64 = 4;
+        const PER: u64 = 5_000;
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut popped = Vec::new();
+                for i in 0..PER {
+                    pool.push(t * PER + i);
+                    if i % 2 == 0 {
+                        if let Some(v) = pool.pop() {
+                            popped.push(v);
+                        }
+                    }
+                }
+                popped
+            }));
+        }
+        let mut seen = HashSet::new();
+        let mut total = 0u64;
+        for h in handles {
+            for v in h.join().unwrap() {
+                assert!(seen.insert(v), "duplicate pop of {v}");
+                total += 1;
+            }
+        }
+        while let Some(v) = pool.pop() {
+            assert!(seen.insert(v), "duplicate pop of {v}");
+            total += 1;
+        }
+        assert_eq!(total, THREADS * PER);
+    }
+
+    #[test]
+    fn ms_queue_concurrent_no_loss_no_dup() {
+        pool_stress(Arc::new(MsQueue::new()));
+    }
+
+    #[test]
+    fn treiber_concurrent_no_loss_no_dup() {
+        pool_stress(Arc::new(TreiberStack::new()));
+    }
+}

@@ -1,0 +1,20 @@
+//! Queues and stacks — the "beyond search data structures" objects of
+//! paper §7.
+//!
+//! Unlike CSDSs, these structures concentrate every operation on one or two
+//! *hotspots* (head/tail/top). Blocking implementations therefore serialize
+//! completely: Fig. 10 shows the fraction of time spent waiting for locks
+//! approaching 1 as threads are added, and §7 argues HTM does not help
+//! because virtually all transactions conflict. These implementations exist
+//! to reproduce that negative result:
+//!
+//! * [`TwoLockQueue`] — Michael & Scott's two-lock blocking queue [46];
+//! * [`LockedStack`] — a single-lock stack;
+//! * [`MsQueue`] / [`TreiberStack`] — the lock-free counterparts, for the
+//!   comparison benches.
+
+mod blocking;
+mod lockfree;
+
+pub use blocking::{LockedStack, TwoLockQueue};
+pub use lockfree::{MsQueue, TreiberStack};

@@ -1,0 +1,569 @@
+//! The optimistic lazy skiplist (Herlihy, Lev, Luchangco, Shavit —
+//! "A simple optimistic skiplist algorithm", SIROCCO'07 [28]).
+//!
+//! The blocking skiplist used throughout the paper's evaluation. Shape:
+//!
+//! * `get` descends the towers with no stores and no restarts;
+//! * `insert` parses to the per-level `(pred, succ)` windows, locks the
+//!   distinct predecessors bottom-up, validates
+//!   (`!pred.marked && !succ.marked && pred.next[l] == succ`), links the new
+//!   tower bottom-up and finally sets `fully_linked`;
+//! * `remove` locks the victim, sets `marked` (linearization point), then
+//!   locks the predecessors and unlinks every level.
+//!
+//! An update that needs several locks makes the skiplist the structure with
+//! the largest speculative footprint under HTM elision — which is exactly
+//! why the paper's Table 2 reports its highest fallback rate and Table 3 its
+//! largest elision speedup.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use csds_ebr::{pin, Atomic, Guard, Shared};
+use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
+use csds_sync::{lock_guard, LockGuard, RawMutex, TasLock};
+
+use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
+use crate::skiplist::{random_level, MAX_LEVEL};
+use crate::{ConcurrentMap, SyncMode, ELISION_RETRIES};
+
+struct Node<V> {
+    key: u64,
+    value: Option<V>,
+    lock: TasLock,
+    /// 0 = live, 1 = logically deleted.
+    marked: AtomicUsize,
+    /// 0 until the full tower is linked; readers ignore half-built towers.
+    fully_linked: AtomicUsize,
+    /// Index of the highest level this node occupies (height - 1).
+    top_level: usize,
+    next: Box<[Atomic<Node<V>>]>,
+}
+
+impl<V> Node<V> {
+    fn new(ikey: u64, value: Option<V>, height: usize) -> Self {
+        Node {
+            key: ikey,
+            value,
+            lock: TasLock::new(),
+            marked: AtomicUsize::new(0),
+            fully_linked: AtomicUsize::new(0),
+            top_level: height - 1,
+            next: (0..height).map(|_| Atomic::null()).collect(),
+        }
+    }
+
+    #[inline]
+    fn is_marked(&self) -> bool {
+        self.marked.load(Ordering::Acquire) != 0
+    }
+
+    #[inline]
+    fn is_fully_linked(&self) -> bool {
+        self.fully_linked.load(Ordering::Acquire) != 0
+    }
+}
+
+/// Optimistic lazy skiplist. See the module docs.
+pub struct HerlihySkipList<V> {
+    head: Atomic<Node<V>>,
+    region: Option<TxRegion>,
+}
+
+impl<V: Clone + Send + Sync> Default for HerlihySkipList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+type Windows<'g, V> = ([Shared<'g, Node<V>>; MAX_LEVEL], [Shared<'g, Node<V>>; MAX_LEVEL]);
+
+impl<V: Clone + Send + Sync> HerlihySkipList<V> {
+    /// Empty skiplist with per-node locks.
+    pub fn new() -> Self {
+        Self::with_mode(SyncMode::Locks)
+    }
+
+    /// Empty skiplist with an explicit write-phase synchronization mode.
+    pub fn with_mode(mode: SyncMode) -> Self {
+        let tail = Shared::boxed(Node::new(TAIL_IKEY, None, MAX_LEVEL));
+        let head = Node::new(HEAD_IKEY, None, MAX_LEVEL);
+        for l in 0..MAX_LEVEL {
+            head.next[l].store(tail);
+        }
+        // Sentinels are always "fully linked".
+        head.fully_linked.store(1, Ordering::Relaxed);
+        // SAFETY: unpublished.
+        unsafe { tail.deref() }.fully_linked.store(1, Ordering::Relaxed);
+        HerlihySkipList {
+            head: Atomic::new(head),
+            region: match mode {
+                SyncMode::Locks => None,
+                SyncMode::Elision => Some(TxRegion::new()),
+            },
+        }
+    }
+
+    /// Parse phase: per-level windows. Returns the level at which `ikey`
+    /// was found, if any. No stores, no restarts.
+    fn find<'g>(&self, ikey: u64, guard: &'g Guard) -> (Windows<'g, V>, Option<usize>) {
+        let mut preds = [Shared::null(); MAX_LEVEL];
+        let mut succs = [Shared::null(); MAX_LEVEL];
+        let mut found = None;
+        let mut pred = self.head.load(guard);
+        for level in (0..MAX_LEVEL).rev() {
+            // SAFETY: pinned traversal; head never retired.
+            let mut curr = unsafe { pred.deref() }.next[level].load(guard);
+            loop {
+                // SAFETY: pinned.
+                let c = unsafe { curr.deref() };
+                if c.key < ikey {
+                    pred = curr;
+                    curr = c.next[level].load(guard);
+                } else {
+                    break;
+                }
+            }
+            // SAFETY: pinned.
+            if found.is_none() && unsafe { curr.deref() }.key == ikey {
+                found = Some(level);
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        ((preds, succs), found)
+    }
+
+    /// Lock the distinct predecessors of levels `0..=top`, bottom-up.
+    /// (Duplicate predecessors across levels are consecutive, so comparing
+    /// with the previous level suffices.)
+    fn lock_preds<'g>(
+        preds: &[Shared<'g, Node<V>>; MAX_LEVEL],
+        top: usize,
+    ) -> Vec<LockGuard<'g, TasLock>>
+    where
+        V: 'g,
+    {
+        let mut guards = Vec::with_capacity(top + 1);
+        let mut prev = Shared::null();
+        for (_l, &p) in preds.iter().enumerate().take(top + 1) {
+            if p != prev {
+                // SAFETY: pinned (shared refs outlive the guards we return).
+                guards.push(lock_guard(&unsafe { p.deref() }.lock));
+                prev = p;
+            }
+        }
+        guards
+    }
+
+    fn validate_windows(
+        &self,
+        preds: &[Shared<'_, Node<V>>; MAX_LEVEL],
+        succs: &[Shared<'_, Node<V>>; MAX_LEVEL],
+        top: usize,
+        guard: &Guard,
+    ) -> bool {
+        for l in 0..=top {
+            // SAFETY: pinned.
+            let p = unsafe { preds[l].deref() };
+            let s = unsafe { succs[l].deref() };
+            if p.is_marked() || s.is_marked() || p.next[l].load(guard) != succs[l] {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn insert_impl(&self, ukey: u64, value: V) -> bool {
+        let ikey = key::ikey(ukey);
+        let guard = pin();
+        let height = random_level();
+        let top = height - 1;
+        let mut new_node: Option<Shared<'_, Node<V>>> = None;
+        let mut value = Some(value);
+        loop {
+            let ((preds, succs), found) = self.find(ikey, &guard);
+            if let Some(lf) = found {
+                // SAFETY: pinned.
+                let node = unsafe { succs[lf].deref() };
+                if !node.is_marked() {
+                    // Wait until it is fully linked, then report "present".
+                    while !node.is_fully_linked() {
+                        std::hint::spin_loop();
+                    }
+                    if let Some(n) = new_node.take() {
+                        // SAFETY: never published.
+                        unsafe { drop(n.into_box()) };
+                    }
+                    return false;
+                }
+                // Marked: its removal is in flight; re-parse.
+                csds_metrics::restart();
+                continue;
+            }
+            let new_s = *new_node.get_or_insert_with(|| {
+                Shared::boxed(Node::new(ikey, value.take(), height))
+            });
+            // SAFETY: unpublished; exclusive access.
+            let new_ref = unsafe { new_s.deref() };
+            for l in 0..=top {
+                new_ref.next[l].store(succs[l]);
+            }
+
+            if let Some(region) = &self.region {
+                // Speculative write phase: validate + link all levels in one
+                // transaction; `fully_linked` can be set pre-publication.
+                new_ref.fully_linked.store(1, Ordering::Relaxed);
+                match attempt_elision(region, ELISION_RETRIES, |tx| {
+                    for l in 0..=top {
+                        // SAFETY: pinned.
+                        let p = unsafe { preds[l].deref() };
+                        let s = unsafe { succs[l].deref() };
+                        if tx.read(&p.marked) != 0 || tx.read(&s.marked) != 0 {
+                            return SpecStep::Invalid;
+                        }
+                        if tx.read(p.next[l].as_raw_atomic()) != succs[l].as_raw() {
+                            return SpecStep::Invalid;
+                        }
+                    }
+                    for l in 0..=top {
+                        // SAFETY: pinned.
+                        let p = unsafe { preds[l].deref() };
+                        tx.write(p.next[l].as_raw_atomic(), new_s.as_raw());
+                    }
+                    SpecStep::Commit(())
+                }) {
+                    Elided::Committed(()) => return true,
+                    Elided::Invalid => {
+                        csds_metrics::restart();
+                        continue;
+                    }
+                    Elided::FellBack => {
+                        let guards = Self::lock_preds(&preds, top);
+                        if !self.validate_windows(&preds, &succs, top, &guard) {
+                            drop(guards);
+                            csds_metrics::restart();
+                            continue;
+                        }
+                        let fb = region.enter_fallback();
+                        for l in 0..=top {
+                            // SAFETY: pinned.
+                            unsafe { preds[l].deref() }.next[l].store(new_s);
+                        }
+                        drop(fb);
+                        drop(guards);
+                        return true;
+                    }
+                }
+            }
+
+            // Locking write phase.
+            let guards = Self::lock_preds(&preds, top);
+            if !self.validate_windows(&preds, &succs, top, &guard) {
+                drop(guards);
+                csds_metrics::restart();
+                continue;
+            }
+            for l in 0..=top {
+                // SAFETY: pinned.
+                unsafe { preds[l].deref() }.next[l].store(new_s);
+            }
+            new_ref.fully_linked.store(1, Ordering::Release);
+            drop(guards);
+            return true;
+        }
+    }
+
+    fn remove_impl(&self, ukey: u64) -> Option<V> {
+        let ikey = key::ikey(ukey);
+        let guard = pin();
+        // First iteration: identify and mark the victim (holding its lock
+        // across retries, as in the published algorithm).
+        let mut victim_s: Option<Shared<'_, Node<V>>> = None;
+        let mut victim_guard: Option<LockGuard<'_, TasLock>> = None;
+        loop {
+            let ((preds, succs), found) = self.find(ikey, &guard);
+            if victim_s.is_none() {
+                let Some(lf) = found else { return None };
+                // SAFETY: pinned.
+                let v = unsafe { succs[lf].deref() };
+                // Only delete nodes that are fully linked at their full
+                // height and not already marked.
+                if !v.is_fully_linked() || v.top_level != lf || v.is_marked() {
+                    return None;
+                }
+
+                if let Some(region) = &self.region {
+                    // In elision mode, marking happens inside the same
+                    // transaction as unlinking — fall through below with the
+                    // victim recorded but unmarked/unlocked.
+                    let _ = region;
+                    victim_s = Some(succs[lf]);
+                } else {
+                    let g = lock_guard(&v.lock);
+                    if v.is_marked() {
+                        return None; // lost the race to another remover
+                    }
+                    v.marked.store(1, Ordering::Release); // linearization
+                    victim_s = Some(succs[lf]);
+                    victim_guard = Some(g);
+                }
+            }
+            let victim = victim_s.unwrap();
+            // SAFETY: pinned; marked nodes stay reachable until unlinked.
+            let v = unsafe { victim.deref() };
+            let top = v.top_level;
+
+            if let Some(region) = &self.region {
+                if found.map(|lf| succs[lf]) != Some(victim) && v.is_marked() {
+                    // Someone else's transaction marked it first.
+                    return None;
+                }
+                match attempt_elision(region, ELISION_RETRIES, |tx| {
+                    if tx.read(&v.marked) != 0 {
+                        return SpecStep::Invalid; // another remover won
+                    }
+                    for l in 0..=top {
+                        // SAFETY: pinned.
+                        let p = unsafe { preds[l].deref() };
+                        if tx.read(&p.marked) != 0 {
+                            return SpecStep::Invalid;
+                        }
+                        if tx.read(p.next[l].as_raw_atomic()) != victim.as_raw() {
+                            return SpecStep::Invalid;
+                        }
+                    }
+                    tx.write(&v.marked, 1);
+                    for l in 0..=top {
+                        // SAFETY: pinned.
+                        let p = unsafe { preds[l].deref() };
+                        let succ = tx.read(v.next[l].as_raw_atomic());
+                        tx.write(p.next[l].as_raw_atomic(), succ);
+                    }
+                    SpecStep::Commit(())
+                }) {
+                    Elided::Committed(()) => {
+                        let out = v.value.clone();
+                        // SAFETY: unlinked at all levels in one commit;
+                        // retired exactly once by this remover.
+                        unsafe { guard.defer_drop(victim) };
+                        return out;
+                    }
+                    Elided::Invalid => {
+                        if v.is_marked() {
+                            return None; // lost to a concurrent remover
+                        }
+                        csds_metrics::restart();
+                        victim_s = None;
+                        continue;
+                    }
+                    Elided::FellBack => {
+                        let vg = lock_guard(&v.lock);
+                        if v.is_marked() {
+                            return None;
+                        }
+                        let guards = Self::lock_preds(&preds, top);
+                        let mut valid = true;
+                        for l in 0..=top {
+                            // SAFETY: pinned.
+                            let p = unsafe { preds[l].deref() };
+                            if p.is_marked() || p.next[l].load(&guard) != victim {
+                                valid = false;
+                                break;
+                            }
+                        }
+                        if !valid {
+                            drop(guards);
+                            drop(vg);
+                            csds_metrics::restart();
+                            victim_s = None;
+                            continue;
+                        }
+                        let fb = region.enter_fallback();
+                        v.marked.store(1, Ordering::Release);
+                        for l in (0..=top).rev() {
+                            // SAFETY: pinned.
+                            let p = unsafe { preds[l].deref() };
+                            p.next[l].store(v.next[l].load(&guard));
+                        }
+                        drop(fb);
+                        drop(guards);
+                        drop(vg);
+                        let out = v.value.clone();
+                        // SAFETY: unlinked; retired once.
+                        unsafe { guard.defer_drop(victim) };
+                        return out;
+                    }
+                }
+            }
+
+            // Locking mode: victim already marked and locked; lock preds,
+            // validate, unlink.
+            let guards = Self::lock_preds(&preds, top);
+            let mut valid = true;
+            for l in 0..=top {
+                // SAFETY: pinned.
+                let p = unsafe { preds[l].deref() };
+                if p.is_marked() || p.next[l].load(&guard) != victim {
+                    valid = false;
+                    break;
+                }
+            }
+            if !valid {
+                drop(guards);
+                csds_metrics::restart();
+                continue; // victim stays marked & locked; re-find windows
+            }
+            for l in (0..=top).rev() {
+                // SAFETY: pinned.
+                let p = unsafe { preds[l].deref() };
+                p.next[l].store(v.next[l].load(&guard));
+            }
+            drop(guards);
+            drop(victim_guard.take());
+            let out = v.value.clone();
+            // SAFETY: unlinked at every level; retired once by this remover
+            // (uniqueness guaranteed by the marked flag).
+            unsafe { guard.defer_drop(victim) };
+            return out;
+        }
+    }
+
+    /// Present user keys (racy but safe; tests/diagnostics).
+    pub fn keys(&self) -> Vec<u64> {
+        let guard = pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(&guard).deref() }.next[0].load(&guard);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return out;
+            }
+            if !c.is_marked() && c.is_fully_linked() {
+                out.push(key::ukey(c.key));
+            }
+            curr = c.next[0].load(&guard);
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentMap<V> for HerlihySkipList<V> {
+    fn get(&self, key: u64) -> Option<V> {
+        let ikey = key::ikey(key);
+        let guard = pin();
+        let ((_, succs), found) = self.find(ikey, &guard);
+        let lf = found?;
+        // SAFETY: pinned.
+        let node = unsafe { succs[lf].deref() };
+        if node.is_fully_linked() && !node.is_marked() {
+            node.value.clone()
+        } else {
+            None
+        }
+    }
+
+    fn insert(&self, key: u64, value: V) -> bool {
+        self.insert_impl(key, value)
+    }
+
+    fn remove(&self, key: u64) -> Option<V> {
+        self.remove_impl(key)
+    }
+
+    fn len(&self) -> usize {
+        self.keys().len()
+    }
+}
+
+impl<V> Drop for HerlihySkipList<V> {
+    fn drop(&mut self) {
+        // Walk level 0 and free everything (towers share one allocation).
+        let mut p = self.head.load_raw();
+        while p != 0 {
+            // SAFETY: exclusive via &mut self.
+            let node = unsafe { Box::from_raw(p as *mut Node<V>) };
+            p = node.next[0].load_raw();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_semantics() {
+        let s = HerlihySkipList::new();
+        assert!(s.insert(10, 100));
+        assert!(s.insert(5, 50));
+        assert!(s.insert(20, 200));
+        assert!(!s.insert(10, 999));
+        assert_eq!(s.get(10), Some(100));
+        assert_eq!(s.keys(), vec![5, 10, 20]);
+        assert_eq!(s.remove(10), Some(100));
+        assert_eq!(s.remove(10), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sequential_model() {
+        testutil::sequential_model_check(HerlihySkipList::new(), 4_000, 128);
+    }
+
+    #[test]
+    fn sequential_model_elision() {
+        testutil::sequential_model_check(
+            HerlihySkipList::with_mode(SyncMode::Elision),
+            4_000,
+            128,
+        );
+    }
+
+    #[test]
+    fn concurrent_net_effect() {
+        testutil::concurrent_net_effect(Arc::new(HerlihySkipList::new()), 4, 4_000, 48);
+    }
+
+    #[test]
+    fn concurrent_net_effect_elision() {
+        testutil::concurrent_net_effect(
+            Arc::new(HerlihySkipList::with_mode(SyncMode::Elision)),
+            4,
+            2_500,
+            48,
+        );
+    }
+
+    #[test]
+    fn tall_towers_survive_removal() {
+        let s = HerlihySkipList::new();
+        for k in 0..256 {
+            assert!(s.insert(k, k));
+        }
+        for k in (0..256).step_by(2) {
+            assert_eq!(s.remove(k), Some(k));
+        }
+        for k in 0..256 {
+            assert_eq!(s.get(k).is_some(), k % 2 == 1, "key {k}");
+        }
+        assert_eq!(s.len(), 128);
+    }
+
+    #[test]
+    fn reads_never_lock_or_restart() {
+        let s = HerlihySkipList::new();
+        for k in 0..64 {
+            s.insert(k, k);
+        }
+        let _ = csds_metrics::take_and_reset();
+        for k in 0..64 {
+            assert_eq!(s.get(k), Some(k));
+        }
+        let snap = csds_metrics::take_and_reset();
+        assert_eq!(snap.restarts, 0);
+        assert_eq!(snap.lock_acquires, 0);
+    }
+}

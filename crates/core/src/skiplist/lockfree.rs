@@ -1,0 +1,351 @@
+//! Lock-free skiplist (Fraser [18] / Herlihy–Shavit style).
+//!
+//! Mark bits live in the tag of each level's `next` pointer. Removal marks
+//! the tower top-down; the level-0 mark is the linearization point. A
+//! subsequent `find` physically snips the node out of every level it still
+//! occupies, **top-down**, so the thread whose CAS removes the node from
+//! level 0 knows the node is fully unlinked and is the unique retirer.
+//!
+//! An inserter that discovers (after linking an upper level) that its node
+//! was concurrently marked runs one more `find` to guarantee the node is
+//! snipped from whatever it just linked, before unpinning — this closes the
+//! link-after-retire race without reference counting.
+
+use csds_ebr::{pin, Atomic, Guard, Shared};
+
+use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
+use crate::skiplist::{random_level, MAX_LEVEL};
+use crate::ConcurrentMap;
+
+/// Tag bit: the node owning this `next` pointer is deleted at this level.
+const MARK: usize = 1;
+
+struct Node<V> {
+    key: u64,
+    value: Option<V>,
+    top_level: usize,
+    next: Box<[Atomic<Node<V>>]>,
+}
+
+impl<V> Node<V> {
+    fn new(ikey: u64, value: Option<V>, height: usize) -> Self {
+        Node {
+            key: ikey,
+            value,
+            top_level: height - 1,
+            next: (0..height).map(|_| Atomic::null()).collect(),
+        }
+    }
+}
+
+/// Fraser-style lock-free skiplist. See the module docs.
+pub struct LockFreeSkipList<V> {
+    head: Atomic<Node<V>>,
+}
+
+impl<V: Clone + Send + Sync> Default for LockFreeSkipList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+type Windows<'g, V> = ([Shared<'g, Node<V>>; MAX_LEVEL], [Shared<'g, Node<V>>; MAX_LEVEL]);
+
+impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
+    /// Empty skiplist.
+    pub fn new() -> Self {
+        let tail = Shared::boxed(Node::new(TAIL_IKEY, None, MAX_LEVEL));
+        let head = Node::new(HEAD_IKEY, None, MAX_LEVEL);
+        for l in 0..MAX_LEVEL {
+            head.next[l].store(tail);
+        }
+        LockFreeSkipList { head: Atomic::new(head) }
+    }
+
+    /// Find per-level windows, snipping marked nodes top-down. The thread
+    /// whose CAS removes a node from level 0 retires it.
+    fn find<'g>(&self, ikey: u64, guard: &'g Guard) -> (Windows<'g, V>, bool) {
+        'retry: loop {
+            let mut preds = [Shared::null(); MAX_LEVEL];
+            let mut succs = [Shared::null(); MAX_LEVEL];
+            let mut pred = self.head.load(guard);
+            for level in (0..MAX_LEVEL).rev() {
+                // SAFETY: pinned traversal; head never retired.
+                let mut curr = unsafe { pred.deref() }.next[level].load(guard).with_tag(0);
+                loop {
+                    // SAFETY: pinned.
+                    let c = unsafe { curr.deref() };
+                    let mut succ = c.next[level].load(guard);
+                    while succ.tag() == MARK {
+                        // curr is deleted at this level: snip it.
+                        // SAFETY: pinned.
+                        let p = unsafe { pred.deref() };
+                        match p.next[level].compare_exchange(curr, succ.with_tag(0), guard)
+                        {
+                            Ok(_) => {
+                                if level == 0 {
+                                    // Fully unlinked (upper levels were
+                                    // snipped by this or earlier finds).
+                                    // SAFETY: unique retirer — the winning
+                                    // level-0 snip.
+                                    unsafe { guard.defer_drop(curr) };
+                                }
+                            }
+                            Err(_) => {
+                                csds_metrics::restart();
+                                continue 'retry;
+                            }
+                        }
+                        curr = succ.with_tag(0);
+                        // SAFETY: pinned.
+                        succ = unsafe { curr.deref() }.next[level].load(guard);
+                    }
+                    // SAFETY: pinned.
+                    if unsafe { curr.deref() }.key < ikey {
+                        pred = curr;
+                        curr = succ.with_tag(0);
+                    } else {
+                        break;
+                    }
+                }
+                preds[level] = pred;
+                succs[level] = curr;
+            }
+            // SAFETY: pinned.
+            let found = unsafe { succs[0].deref() }.key == ikey;
+            return ((preds, succs), found);
+        }
+    }
+
+    /// Present user keys (racy but safe).
+    pub fn keys(&self) -> Vec<u64> {
+        let guard = pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(&guard).deref() }.next[0].load(&guard).with_tag(0);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return out;
+            }
+            let next = c.next[0].load(&guard);
+            if next.tag() != MARK {
+                out.push(key::ukey(c.key));
+            }
+            curr = next.with_tag(0);
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
+    fn get(&self, key: u64) -> Option<V> {
+        let ikey = key::ikey(key);
+        let guard = pin();
+        // Wait-free traversal: descend without snipping (no stores).
+        let mut pred = self.head.load(&guard);
+        let mut candidate = Shared::null();
+        for level in (0..MAX_LEVEL).rev() {
+            // SAFETY: pinned; head never retired.
+            let mut curr = unsafe { pred.deref() }.next[level].load(&guard).with_tag(0);
+            loop {
+                // SAFETY: pinned.
+                let c = unsafe { curr.deref() };
+                if c.key < ikey {
+                    pred = curr;
+                    curr = c.next[level].load(&guard).with_tag(0);
+                } else {
+                    if c.key == ikey && candidate.is_null() {
+                        candidate = curr;
+                    }
+                    break;
+                }
+            }
+        }
+        if candidate.is_null() {
+            return None;
+        }
+        // SAFETY: pinned.
+        let c = unsafe { candidate.deref() };
+        if c.next[0].load(&guard).tag() == MARK {
+            None
+        } else {
+            c.value.clone()
+        }
+    }
+
+    fn insert(&self, ukey: u64, value: V) -> bool {
+        let ikey = key::ikey(ukey);
+        let guard = pin();
+        let height = random_level();
+        let top = height - 1;
+        let mut new_node: Option<Shared<'_, Node<V>>> = None;
+        let mut value = Some(value);
+        loop {
+            let ((preds, succs), found) = self.find(ikey, &guard);
+            if found {
+                if let Some(n) = new_node.take() {
+                    // SAFETY: never published.
+                    unsafe { drop(n.into_box()) };
+                }
+                return false;
+            }
+            let new_s = *new_node.get_or_insert_with(|| {
+                Shared::boxed(Node::new(ikey, value.take(), height))
+            });
+            // SAFETY: unpublished (level 0 not linked yet).
+            let new_ref = unsafe { new_s.deref() };
+            for l in 0..=top {
+                new_ref.next[l].store(succs[l]);
+            }
+            // Level-0 CAS is the linearization point.
+            // SAFETY: pinned.
+            let p0 = unsafe { preds[0].deref() };
+            if p0.next[0].compare_exchange(succs[0], new_s, &guard).is_err() {
+                csds_metrics::restart();
+                continue;
+            }
+            // Link upper levels (best effort; abandon if we get deleted).
+            for l in 1..=top {
+                loop {
+                    let nl = new_ref.next[l].load(&guard);
+                    if nl.tag() == MARK {
+                        // Concurrently deleted: make sure whatever we linked
+                        // is snipped before we unpin.
+                        let _ = self.find(ikey, &guard);
+                        return true;
+                    }
+                    let ((preds2, succs2), _) = self.find(ikey, &guard);
+                    if succs2[0] != new_s {
+                        // Our node is gone from level 0: deleted + snipped.
+                        return true;
+                    }
+                    if nl.with_tag(0) != succs2[l] {
+                        if new_ref.next[l].compare_exchange(nl, succs2[l], &guard).is_err() {
+                            // Marked underneath us; handled on next loop.
+                            continue;
+                        }
+                    }
+                    // SAFETY: pinned.
+                    let p = unsafe { preds2[l].deref() };
+                    if p.next[l].compare_exchange(succs2[l], new_s, &guard).is_ok() {
+                        // If a remover marked us while we linked, snip.
+                        if new_ref.next[0].load(&guard).tag() == MARK {
+                            let _ = self.find(ikey, &guard);
+                            return true;
+                        }
+                        break;
+                    }
+                    csds_metrics::restart();
+                }
+            }
+            return true;
+        }
+    }
+
+    fn remove(&self, ukey: u64) -> Option<V> {
+        let ikey = key::ikey(ukey);
+        let guard = pin();
+        let ((_, succs), found) = self.find(ikey, &guard);
+        if !found {
+            return None;
+        }
+        let victim = succs[0];
+        // SAFETY: pinned.
+        let v = unsafe { victim.deref() };
+        // Mark upper levels top-down (idempotent).
+        for l in (1..=v.top_level).rev() {
+            loop {
+                let nxt = v.next[l].load(&guard);
+                if nxt.tag() == MARK {
+                    break;
+                }
+                if v.next[l].compare_exchange(nxt, nxt.with_tag(MARK), &guard).is_ok() {
+                    break;
+                }
+            }
+        }
+        // Level-0 mark: linearization; only one remover can win it.
+        loop {
+            let nxt = v.next[0].load(&guard);
+            if nxt.tag() == MARK {
+                return None; // another remover linearized first
+            }
+            if v.next[0].compare_exchange(nxt, nxt.with_tag(MARK), &guard).is_ok() {
+                let out = v.value.clone();
+                // Snip it out of every level (the find that performs the
+                // level-0 snip retires the node).
+                let _ = self.find(ikey, &guard);
+                return out;
+            }
+            csds_metrics::restart();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.keys().len()
+    }
+}
+
+impl<V> Drop for LockFreeSkipList<V> {
+    fn drop(&mut self) {
+        let mut p = self.head.load_raw() & !MARK;
+        while p != 0 {
+            // SAFETY: exclusive via &mut self; retired nodes are EBR-owned.
+            let node = unsafe { Box::from_raw(p as *mut Node<V>) };
+            p = node.next[0].load_raw() & !MARK;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_semantics() {
+        let s = LockFreeSkipList::new();
+        assert!(s.insert(8, 80));
+        assert!(s.insert(3, 30));
+        assert!(!s.insert(8, 88));
+        assert_eq!(s.get(8), Some(80));
+        assert_eq!(s.remove(8), Some(80));
+        assert_eq!(s.remove(8), None);
+        assert_eq!(s.keys(), vec![3]);
+    }
+
+    #[test]
+    fn sequential_model() {
+        testutil::sequential_model_check(LockFreeSkipList::new(), 4_000, 96);
+    }
+
+    #[test]
+    fn concurrent_net_effect() {
+        testutil::concurrent_net_effect(Arc::new(LockFreeSkipList::new()), 4, 4_000, 32);
+    }
+
+    #[test]
+    fn insert_remove_interleaving_on_one_key() {
+        let s = Arc::new(LockFreeSkipList::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_500u64 {
+                    if (i + t) % 2 == 0 {
+                        s.insert(11, i);
+                    } else {
+                        s.remove(11);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let present = s.get(11).is_some();
+        assert_eq!(s.len(), usize::from(present));
+    }
+}

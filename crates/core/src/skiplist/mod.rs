@@ -1,0 +1,69 @@
+//! Skip-list implementations of the set/map abstraction.
+//!
+//! * [`HerlihySkipList`] — the optimistic lazy skiplist of Herlihy, Lev,
+//!   Luchangco and Shavit [28]: the best-performing blocking skiplist in the
+//!   paper (used in Figs. 3–9 and Tables 2–3).
+//! * [`PughSkipList`] — Pugh's concurrent skiplist maintenance [53]:
+//!   per-level locking, one level at a time.
+//! * [`LockFreeSkipList`] — Fraser/Herlihy-Shavit style lock-free skiplist
+//!   (baseline).
+//!
+//! All three share the tower-height distribution (p = 1/2, max height
+//! [`MAX_LEVEL`]).
+
+mod herlihy;
+mod lockfree;
+mod pugh;
+
+pub use herlihy::HerlihySkipList;
+pub use lockfree::LockFreeSkipList;
+pub use pugh::PughSkipList;
+
+/// Maximum tower height; supports structures well beyond the paper's
+/// largest (8192 elements) with p = 1/2.
+pub const MAX_LEVEL: usize = 20;
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    static LEVEL_RNG: Cell<u64> = {
+        static SEED: AtomicU64 = AtomicU64::new(0x853C49E6748FEA9B);
+        Cell::new(SEED.fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed) | 1)
+    };
+}
+
+/// Geometric tower height in `1..=MAX_LEVEL` (p = 1/2).
+pub(crate) fn random_level() -> usize {
+    LEVEL_RNG.with(|cell| {
+        let mut x = cell.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        cell.set(x);
+        // Count trailing ones in the low bits: P(height = h) = 2^-h.
+        let h = (x.trailing_ones() as usize) + 1;
+        h.min(MAX_LEVEL)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_distribution_is_roughly_geometric() {
+        let mut counts = [0usize; MAX_LEVEL + 1];
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let l = random_level();
+            assert!((1..=MAX_LEVEL).contains(&l));
+            counts[l] += 1;
+        }
+        // Level 1 should occur for about half the samples.
+        let f1 = counts[1] as f64 / N as f64;
+        assert!((0.45..0.55).contains(&f1), "P(level=1) = {f1}");
+        // Monotone decreasing in expectation across the first few levels.
+        assert!(counts[1] > counts[2] && counts[2] > counts[3]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Pugh's concurrent skiplist maintenance [53].
+//!
+//! The second blocking skiplist of the paper's Table 1. Unlike the
+//! optimistic Herlihy skiplist — which locks *all* predecessors after an
+//! unsynchronized parse — Pugh's algorithm updates the structure **one
+//! level at a time**, holding at most one predecessor lock plus the lock of
+//! the node being inserted/removed:
+//!
+//! * reads descend without any synchronization;
+//! * `insert` creates the node, takes the node's own lock, then links level
+//!   by level bottom-up; each level acquires the predecessor's lock with a
+//!   locked hand-over-hand walk ([`PughSkipList::get_lock`]);
+//! * `remove` takes the victim's lock, flips its `deleted` flag
+//!   (linearization point), then unlinks level by level top-down.
+//!
+//! Locks are always acquired right-to-left (a node's own lock before its
+//! predecessor's), which yields a global acquisition order and rules out
+//! deadlock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use csds_ebr::{pin, Atomic, Guard, Shared};
+use csds_sync::{lock_guard, RawMutex, TasLock};
+
+use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
+use crate::skiplist::{random_level, MAX_LEVEL};
+use crate::ConcurrentMap;
+
+struct Node<V> {
+    key: u64,
+    value: Option<V>,
+    lock: TasLock,
+    /// 0 = live, 1 = deleted (set under the node's lock).
+    deleted: AtomicUsize,
+    top_level: usize,
+    next: Box<[Atomic<Node<V>>]>,
+}
+
+impl<V> Node<V> {
+    fn new(ikey: u64, value: Option<V>, height: usize) -> Self {
+        Node {
+            key: ikey,
+            value,
+            lock: TasLock::new(),
+            deleted: AtomicUsize::new(0),
+            top_level: height - 1,
+            next: (0..height).map(|_| Atomic::null()).collect(),
+        }
+    }
+
+    #[inline]
+    fn is_deleted(&self) -> bool {
+        self.deleted.load(Ordering::Acquire) != 0
+    }
+}
+
+/// Pugh-style skiplist. See the module docs.
+pub struct PughSkipList<V> {
+    head: Atomic<Node<V>>,
+}
+
+impl<V: Clone + Send + Sync> Default for PughSkipList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Send + Sync> PughSkipList<V> {
+    /// Empty skiplist.
+    pub fn new() -> Self {
+        let tail = Shared::boxed(Node::new(TAIL_IKEY, None, MAX_LEVEL));
+        let head = Node::new(HEAD_IKEY, None, MAX_LEVEL);
+        for l in 0..MAX_LEVEL {
+            head.next[l].store(tail);
+        }
+        PughSkipList { head: Atomic::new(head) }
+    }
+
+    /// Unsynchronized parse: per-level predecessors and the found node.
+    fn find<'g>(
+        &self,
+        ikey: u64,
+        guard: &'g Guard,
+    ) -> ([Shared<'g, Node<V>>; MAX_LEVEL], Option<Shared<'g, Node<V>>>) {
+        let mut preds = [Shared::null(); MAX_LEVEL];
+        let mut found = None;
+        let mut pred = self.head.load(guard);
+        for level in (0..MAX_LEVEL).rev() {
+            // SAFETY: pinned traversal; head never retired.
+            let mut curr = unsafe { pred.deref() }.next[level].load(guard);
+            loop {
+                // SAFETY: pinned.
+                let c = unsafe { curr.deref() };
+                if c.key < ikey {
+                    pred = curr;
+                    curr = c.next[level].load(guard);
+                } else {
+                    if c.key == ikey && found.is_none() {
+                        found = Some(curr);
+                    }
+                    break;
+                }
+            }
+            preds[level] = pred;
+        }
+        (preds, found)
+    }
+
+    /// Locked hand-over-hand walk at `level` starting from `start`: returns
+    /// a **locked**, live predecessor with `pred.key < ikey <=
+    /// pred.next[level].key`, or `None` if the walk ran into a deleted node
+    /// (caller re-parses).
+    fn get_lock<'g>(
+        &self,
+        start: Shared<'g, Node<V>>,
+        ikey: u64,
+        level: usize,
+        guard: &'g Guard,
+    ) -> Option<Shared<'g, Node<V>>> {
+        let mut pred = start;
+        // SAFETY: pinned.
+        unsafe { pred.deref() }.lock.lock();
+        csds_metrics::maybe_delay_in_cs();
+        loop {
+            // SAFETY: pinned.
+            let p = unsafe { pred.deref() };
+            if p.is_deleted() {
+                p.lock.unlock();
+                return None;
+            }
+            let next = p.next[level].load(guard);
+            // SAFETY: pinned.
+            if unsafe { next.deref() }.key < ikey {
+                p.lock.unlock();
+                pred = next;
+                // SAFETY: pinned.
+                unsafe { pred.deref() }.lock.lock();
+            } else {
+                return Some(pred);
+            }
+        }
+    }
+
+    /// Present user keys (racy but safe).
+    pub fn keys(&self) -> Vec<u64> {
+        let guard = pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(&guard).deref() }.next[0].load(&guard);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return out;
+            }
+            if !c.is_deleted() {
+                out.push(key::ukey(c.key));
+            }
+            curr = c.next[0].load(&guard);
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentMap<V> for PughSkipList<V> {
+    fn get(&self, key: u64) -> Option<V> {
+        let ikey = key::ikey(key);
+        let guard = pin();
+        let (_, found) = self.find(ikey, &guard);
+        let node = found?;
+        // SAFETY: pinned.
+        let n = unsafe { node.deref() };
+        if n.is_deleted() {
+            None
+        } else {
+            n.value.clone()
+        }
+    }
+
+    fn insert(&self, ukey: u64, value: V) -> bool {
+        let ikey = key::ikey(ukey);
+        let guard = pin();
+        let height = random_level();
+        let mut new_node: Option<Shared<'_, Node<V>>> = None;
+        let mut value = Some(value);
+        'op: loop {
+            let (mut preds, found) = self.find(ikey, &guard);
+            if let Some(node) = found {
+                // SAFETY: pinned.
+                if !unsafe { node.deref() }.is_deleted() {
+                    if let Some(n) = new_node.take() {
+                        // SAFETY: never published.
+                        unsafe { drop(n.into_box()) };
+                    }
+                    return false;
+                }
+                // A deleted node with our key is still being unlinked.
+                csds_metrics::restart();
+                continue;
+            }
+            let new_s = *new_node.get_or_insert_with(|| {
+                Shared::boxed(Node::new(ikey, value.take(), height))
+            });
+            // SAFETY: published below level by level; we hold its lock for
+            // the whole linking phase, so removers wait for us.
+            let new_ref = unsafe { new_s.deref() };
+            let ng = lock_guard(&new_ref.lock);
+            for level in 0..height {
+                loop {
+                    let Some(pred) = self.get_lock(preds[level], ikey, level, &guard) else {
+                        // Predecessor chain hit a deleted node; re-parse and
+                        // retry this level (lower levels stay linked).
+                        csds_metrics::restart();
+                        let (np, nf) = self.find(ikey, &guard);
+                        if let Some(f) = nf {
+                            if f != new_s {
+                                // A competing insert won at level 0; nothing
+                                // of ours is linked yet.
+                                debug_assert!(level == 0);
+                                drop(ng);
+                                // SAFETY: nothing linked; we still own the
+                                // node — recover the value and retry/fail.
+                                let boxed = unsafe { new_s.into_box() };
+                                value = boxed.value;
+                                new_node = None;
+                                // SAFETY: pinned.
+                                if !unsafe { f.deref() }.is_deleted() {
+                                    return false;
+                                }
+                                continue 'op;
+                            }
+                        }
+                        preds = np;
+                        continue;
+                    };
+                    // SAFETY: pinned; `pred` is locked and live.
+                    let p = unsafe { pred.deref() };
+                    let succ = p.next[level].load(&guard);
+                    // SAFETY: pinned.
+                    let s = unsafe { succ.deref() };
+                    if level == 0 && s.key == ikey {
+                        // Lost the level-0 race to a competing insert.
+                        let deleted = s.is_deleted();
+                        p.lock.unlock();
+                        drop(ng);
+                        if deleted {
+                            csds_metrics::restart();
+                            continue 'op;
+                        }
+                        // SAFETY: nothing linked yet; we still own the node.
+                        let boxed = unsafe { new_s.into_box() };
+                        drop(boxed);
+                        return false;
+                    }
+                    new_ref.next[level].store(succ);
+                    p.next[level].store(new_s);
+                    p.lock.unlock();
+                    break;
+                }
+            }
+            drop(ng);
+            return true;
+        }
+    }
+
+    fn remove(&self, ukey: u64) -> Option<V> {
+        let ikey = key::ikey(ukey);
+        let guard = pin();
+        let (_, found) = self.find(ikey, &guard);
+        let victim = found?;
+        // SAFETY: pinned.
+        let v = unsafe { victim.deref() };
+        // Serialize with the inserter (which holds the node lock while
+        // linking) and with competing removers.
+        let vg = lock_guard(&v.lock);
+        if v.is_deleted() {
+            return None;
+        }
+        v.deleted.store(1, Ordering::Release); // linearization point
+        // Unlink level by level, top-down, one predecessor lock at a time.
+        for level in (0..=v.top_level).rev() {
+            loop {
+                let (preds, _) = self.find(ikey, &guard);
+                let Some(pred) = self.get_lock(preds[level], ikey, level, &guard) else {
+                    csds_metrics::restart();
+                    continue;
+                };
+                // SAFETY: pinned; locked.
+                let p = unsafe { pred.deref() };
+                if p.next[level].load(&guard) == victim {
+                    p.next[level].store(v.next[level].load(&guard));
+                    p.lock.unlock();
+                    break;
+                }
+                // Not linked here (pred advanced past us is impossible for
+                // a live pred; but the window may have shifted) — retry.
+                p.lock.unlock();
+                csds_metrics::restart();
+            }
+        }
+        drop(vg);
+        let out = v.value.clone();
+        // SAFETY: unlinked at every level; the deleted flag (set under the
+        // node lock) makes us the unique remover; retired exactly once.
+        unsafe { guard.defer_drop(victim) };
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.keys().len()
+    }
+}
+
+impl<V> Drop for PughSkipList<V> {
+    fn drop(&mut self) {
+        let mut p = self.head.load_raw();
+        while p != 0 {
+            // SAFETY: exclusive via &mut self.
+            let node = unsafe { Box::from_raw(p as *mut Node<V>) };
+            p = node.next[0].load_raw();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_semantics() {
+        let s = PughSkipList::new();
+        assert!(s.insert(4, 40));
+        assert!(s.insert(2, 20));
+        assert!(!s.insert(4, 44));
+        assert_eq!(s.get(4), Some(40));
+        assert_eq!(s.remove(4), Some(40));
+        assert_eq!(s.remove(4), None);
+        assert_eq!(s.keys(), vec![2]);
+    }
+
+    #[test]
+    fn sequential_model() {
+        testutil::sequential_model_check(PughSkipList::new(), 4_000, 96);
+    }
+
+    #[test]
+    fn concurrent_net_effect() {
+        testutil::concurrent_net_effect(Arc::new(PughSkipList::new()), 4, 3_000, 32);
+    }
+
+    #[test]
+    fn bulk_insert_remove_roundtrip() {
+        let s = PughSkipList::new();
+        for k in 0..200 {
+            assert!(s.insert(k, k * 3));
+        }
+        assert_eq!(s.len(), 200);
+        for k in 0..200 {
+            assert_eq!(s.remove(k), Some(k * 3));
+        }
+        assert!(s.is_empty());
+    }
+}

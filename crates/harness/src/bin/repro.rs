@@ -1,0 +1,58 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                 # show every experiment
+//! repro run <id> [--full]    # run one experiment (quick by default)
+//! repro all [--full]         # run everything, in paper order
+//! ```
+
+use csds_harness::experiments;
+use csds_harness::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  repro list\n  repro run <experiment> [--full]\n  repro all [--full]\n\
+         \nexperiments:"
+    );
+    for e in experiments::registry() {
+        eprintln!("  {:10} {}", e.id, e.description);
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = Scale { quick: !full };
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    match positional.first().map(|s| s.as_str()) {
+        Some("list") => {
+            for e in experiments::registry() {
+                println!("{:10} {}", e.id, e.description);
+            }
+        }
+        Some("run") => {
+            let Some(id) = positional.get(1) else { usage() };
+            let Some(exp) = experiments::find(id) else {
+                eprintln!("unknown experiment '{id}'");
+                usage()
+            };
+            println!("# {} — {}", exp.id, exp.description);
+            println!(
+                "# scale: {} (duration {:?}/point, {} rep(s))",
+                if scale.quick { "quick" } else { "full" },
+                scale.duration(),
+                scale.reps()
+            );
+            (exp.run)(scale);
+        }
+        Some("all") => {
+            for exp in experiments::registry() {
+                println!("\n################ {} ################", exp.id);
+                println!("# {}", exp.description);
+                (exp.run)(scale);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,212 @@
+//! Every algorithm in the library behind a single enum, so experiments can
+//! be written against `Box<dyn ConcurrentMap<u64>>`.
+
+use csds_core::bst::BstTk;
+use csds_core::hashtable::{
+    CouplingHashTable, CowHashTable, LazyHashTable, LockFreeHashTable, WaitFreeHashTable,
+};
+use csds_core::list::{CouplingList, HarrisList, LazyList, WaitFreeList};
+use csds_core::skiplist::{HerlihySkipList, LockFreeSkipList, PughSkipList};
+use csds_core::{ConcurrentMap, SyncMode};
+
+/// Data-structure family (the paper's four CSDS columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Sorted linked lists.
+    List,
+    /// Skip lists.
+    SkipList,
+    /// Hash tables (load factor 1).
+    HashTable,
+    /// Binary search trees.
+    Bst,
+}
+
+impl Family {
+    /// The four families, in the paper's column order.
+    pub fn all() -> [Family; 4] {
+        [Family::List, Family::SkipList, Family::HashTable, Family::Bst]
+    }
+
+    /// Column label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::List => "Linked list",
+            Family::SkipList => "Skip list",
+            Family::HashTable => "Hash table",
+            Family::Bst => "BST",
+        }
+    }
+
+    /// The best-performing blocking algorithm per family — the ones shown
+    /// in the paper's figures (§3: lazy list, Herlihy skiplist, lazy hash
+    /// table, BST-TK).
+    pub fn best_blocking(&self) -> AlgoKind {
+        match self {
+            Family::List => AlgoKind::LazyList,
+            Family::SkipList => AlgoKind::HerlihySkipList,
+            Family::HashTable => AlgoKind::LazyHashTable,
+            Family::Bst => AlgoKind::BstTk,
+        }
+    }
+
+    /// The elided (emulated-TSX) variant per family (Tables 2–3).
+    pub fn best_blocking_elided(&self) -> AlgoKind {
+        match self {
+            Family::List => AlgoKind::LazyListElided,
+            Family::SkipList => AlgoKind::HerlihySkipListElided,
+            Family::HashTable => AlgoKind::LazyHashTableElided,
+            Family::Bst => AlgoKind::BstTkElided,
+        }
+    }
+}
+
+/// Every map algorithm in the library.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AlgoKind {
+    LazyList,
+    LazyListElided,
+    CouplingList,
+    HarrisList,
+    WaitFreeList,
+    HerlihySkipList,
+    HerlihySkipListElided,
+    PughSkipList,
+    LockFreeSkipList,
+    LazyHashTable,
+    LazyHashTableElided,
+    CouplingHashTable,
+    CowHashTable,
+    LockFreeHashTable,
+    WaitFreeHashTable,
+    BstTk,
+    BstTkElided,
+}
+
+impl AlgoKind {
+    /// All algorithms (for exhaustive sweeps and tests).
+    pub fn all() -> &'static [AlgoKind] {
+        use AlgoKind::*;
+        &[
+            LazyList,
+            LazyListElided,
+            CouplingList,
+            HarrisList,
+            WaitFreeList,
+            HerlihySkipList,
+            HerlihySkipListElided,
+            PughSkipList,
+            LockFreeSkipList,
+            LazyHashTable,
+            LazyHashTableElided,
+            CouplingHashTable,
+            CowHashTable,
+            LockFreeHashTable,
+            WaitFreeHashTable,
+            BstTk,
+            BstTkElided,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        use AlgoKind::*;
+        match self {
+            LazyList => "lazy-list",
+            LazyListElided => "lazy-list+tsx",
+            CouplingList => "coupling-list",
+            HarrisList => "harris-list",
+            WaitFreeList => "waitfree-list",
+            HerlihySkipList => "herlihy-skiplist",
+            HerlihySkipListElided => "herlihy-skiplist+tsx",
+            PughSkipList => "pugh-skiplist",
+            LockFreeSkipList => "lockfree-skiplist",
+            LazyHashTable => "lazy-ht",
+            LazyHashTableElided => "lazy-ht+tsx",
+            CouplingHashTable => "coupling-ht",
+            CowHashTable => "cow-ht",
+            LockFreeHashTable => "lockfree-ht",
+            WaitFreeHashTable => "waitfree-ht",
+            BstTk => "bst-tk",
+            BstTkElided => "bst-tk+tsx",
+        }
+    }
+
+    /// Family this algorithm belongs to.
+    pub fn family(&self) -> Family {
+        use AlgoKind::*;
+        match self {
+            LazyList | LazyListElided | CouplingList | HarrisList | WaitFreeList => Family::List,
+            HerlihySkipList | HerlihySkipListElided | PughSkipList | LockFreeSkipList => {
+                Family::SkipList
+            }
+            LazyHashTable | LazyHashTableElided | CouplingHashTable | CowHashTable
+            | LockFreeHashTable | WaitFreeHashTable => Family::HashTable,
+            BstTk | BstTkElided => Family::Bst,
+        }
+    }
+
+    /// Instantiate; `capacity` sizes hash tables (load factor 1).
+    pub fn make(&self, capacity: usize) -> Box<dyn ConcurrentMap<u64>> {
+        match self {
+            Self::LazyList => Box::new(LazyList::<u64>::new()),
+            Self::LazyListElided => Box::new(LazyList::<u64>::with_mode(SyncMode::Elision)),
+            Self::CouplingList => Box::new(CouplingList::<u64>::new()),
+            Self::HarrisList => Box::new(HarrisList::<u64>::new()),
+            Self::WaitFreeList => Box::new(WaitFreeList::<u64>::new()),
+            Self::HerlihySkipList => Box::new(HerlihySkipList::<u64>::new()),
+            Self::HerlihySkipListElided => {
+                Box::new(HerlihySkipList::<u64>::with_mode(SyncMode::Elision))
+            }
+            Self::PughSkipList => Box::new(PughSkipList::<u64>::new()),
+            Self::LockFreeSkipList => Box::new(LockFreeSkipList::<u64>::new()),
+            Self::LazyHashTable => Box::new(LazyHashTable::<u64>::with_capacity(capacity)),
+            Self::LazyHashTableElided => Box::new(LazyHashTable::<u64>::with_capacity_and_mode(
+                capacity,
+                SyncMode::Elision,
+            )),
+            Self::CouplingHashTable => {
+                Box::new(CouplingHashTable::<u64>::with_capacity(capacity))
+            }
+            Self::CowHashTable => Box::new(CowHashTable::<u64>::with_capacity(capacity)),
+            Self::LockFreeHashTable => {
+                Box::new(LockFreeHashTable::<u64>::with_capacity(capacity))
+            }
+            Self::WaitFreeHashTable => {
+                Box::new(WaitFreeHashTable::<u64>::with_capacity(capacity))
+            }
+            Self::BstTk => Box::new(BstTk::<u64>::new()),
+            Self::BstTkElided => Box::new(BstTk::<u64>::with_mode(SyncMode::Elision)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algo_supports_the_map_interface() {
+        for algo in AlgoKind::all() {
+            let m = algo.make(64);
+            assert!(m.insert(1, 10), "{}", algo.name());
+            assert!(!m.insert(1, 11), "{}", algo.name());
+            assert_eq!(m.get(1), Some(10), "{}", algo.name());
+            assert_eq!(m.remove(1), Some(10), "{}", algo.name());
+            assert_eq!(m.remove(1), None, "{}", algo.name());
+            assert!(m.is_empty(), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn families_and_defaults_are_consistent() {
+        for f in Family::all() {
+            assert_eq!(f.best_blocking().family(), f);
+            assert_eq!(f.best_blocking_elided().family(), f);
+        }
+        for a in AlgoKind::all() {
+            assert!(!a.name().is_empty());
+        }
+    }
+}

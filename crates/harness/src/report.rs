@@ -1,0 +1,133 @@
+//! Fixed-width text tables for experiment output.
+
+/// A simple left-padded text table with a title.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a fraction as a percentage with adaptive precision
+/// (`0.58%`, `0.0123%`, `1.2e-6%`).
+pub fn pct(f: f64) -> String {
+    let p = f * 100.0;
+    if p == 0.0 {
+        "0%".to_string()
+    } else if p >= 0.1 {
+        format!("{p:.2}%")
+    } else if p >= 1e-4 {
+        format!("{p:.4}%")
+    } else {
+        format!("{p:.1e}%")
+    }
+}
+
+/// Format a throughput in Mops/s.
+pub fn mops(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a ratio (speedup) like the paper's Table 3.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "23".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer-name"));
+        // Both value cells right-aligned to the same column.
+        // Layout: [0] empty, [1] title, [2] headers, [3] rule, [4..] rows.
+        let lines: Vec<&str> = s.lines().collect();
+        let header_end = lines[2].rfind("value").unwrap() + "value".len();
+        let v1_end = lines[4].rfind('1').unwrap() + 1;
+        assert_eq!(header_end, v1_end);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0), "0%");
+        assert_eq!(pct(0.0058), "0.58%");
+        assert_eq!(pct(0.000123), "0.0123%");
+        assert!(pct(1e-8).contains('e'));
+        assert_eq!(mops(123.4), "123");
+        assert_eq!(mops(12.34), "12.3");
+        assert_eq!(mops(1.234), "1.23");
+        assert_eq!(ratio(2.5), "2.50x");
+    }
+}

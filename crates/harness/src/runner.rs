@@ -1,0 +1,517 @@
+//! The measurement loop.
+//!
+//! Follows the paper's methodology (§3.3): the structure is prefilled to
+//! its target size from a key space twice that size; worker threads
+//! continuously issue requests drawn from the configured distribution and
+//! operation mix; a run lasts a fixed duration; per-thread throughput and
+//! the fine-grained delay metrics are collected at the end.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use csds_core::{ConcurrentMap, ConcurrentPool};
+use csds_metrics::{DelayPolicy, StatsSnapshot};
+use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix};
+
+use crate::factory::AlgoKind;
+
+/// Configuration of one map-structure run.
+#[derive(Clone, Debug)]
+pub struct MapRunConfig {
+    /// Algorithm under test.
+    pub algo: AlgoKind,
+    /// Initial (and stationary) element count.
+    pub size: usize,
+    /// Key-space size; the paper uses `2 * size`.
+    pub key_range: u64,
+    /// Percentage of operations that are updates (half insert/half remove).
+    pub update_pct: u32,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Optional lock-holder delay injection (paper §5.4).
+    pub delay: Option<DelayPolicy>,
+    /// Base seed (thread `i` derives its own stream).
+    pub seed: u64,
+}
+
+impl MapRunConfig {
+    /// The paper's default shape for a given algorithm/size/mix/threads:
+    /// key range 2×size, uniform keys, no delays.
+    pub fn paper_default(
+        algo: AlgoKind,
+        size: usize,
+        update_pct: u32,
+        threads: usize,
+        duration: Duration,
+    ) -> Self {
+        MapRunConfig {
+            algo,
+            size,
+            key_range: (size as u64) * 2,
+            update_pct,
+            threads,
+            duration,
+            dist: KeyDist::Uniform,
+            delay: None,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Result of one run: totals plus per-thread breakdowns.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Completed operations, all threads.
+    pub total_ops: u64,
+    /// Per-thread completed operations (fairness, Fig. 4).
+    pub per_thread_ops: Vec<u64>,
+    /// Merged instrumentation counters.
+    pub stats: StatsSnapshot,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Actual measured wall-clock window.
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Aggregate throughput in Mops/s.
+    pub fn throughput_mops(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// Mean per-thread throughput (ops/s).
+    pub fn per_thread_mean(&self) -> f64 {
+        self.total_ops as f64 / self.threads as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Standard deviation of per-thread throughput (ops/s).
+    pub fn per_thread_std(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        let mean = self.per_thread_mean();
+        let var = self
+            .per_thread_ops
+            .iter()
+            .map(|&o| {
+                let t = o as f64 / secs;
+                (t - mean) * (t - mean)
+            })
+            .sum::<f64>()
+            / self.threads as f64;
+        var.sqrt()
+    }
+
+    /// Fraction of total thread-time spent waiting for locks (Figs. 5/7/8/9/10).
+    pub fn wait_fraction(&self) -> f64 {
+        self.stats.wait_fraction(self.elapsed, self.threads)
+    }
+
+    /// Fraction of operations restarted at least once (Fig. 6).
+    pub fn restart_fraction(&self) -> f64 {
+        self.stats.restart_fraction()
+    }
+
+    /// Fraction of operations restarted more than three times (Fig. 8).
+    pub fn repeated_restart_fraction(&self) -> f64 {
+        self.stats.repeated_restart_fraction()
+    }
+
+    /// Fraction of elided critical sections that fell back to locking
+    /// (Table 2).
+    pub fn fallback_fraction(&self) -> f64 {
+        self.stats.fallback_fraction()
+    }
+
+    /// Merge (average) several repetitions of the same configuration.
+    pub fn merge_reps(mut reps: Vec<RunResult>) -> RunResult {
+        assert!(!reps.is_empty());
+        if reps.len() == 1 {
+            return reps.pop().unwrap();
+        }
+        let n = reps.len() as u64;
+        let mut out = reps.pop().unwrap();
+        for r in reps {
+            out.total_ops += r.total_ops;
+            for (a, b) in out.per_thread_ops.iter_mut().zip(r.per_thread_ops) {
+                *a += b;
+            }
+            out.stats.merge(&r.stats);
+            out.elapsed += r.elapsed;
+        }
+        out.total_ops /= n;
+        for a in out.per_thread_ops.iter_mut() {
+            *a /= n;
+        }
+        out.elapsed /= n as u32;
+        // StatsSnapshot fields stay summed, but every fraction we derive is
+        // a ratio of summed numerators/denominators, i.e. the rep-weighted
+        // mean — except wait_fraction, which divides by elapsed*threads, so
+        // rescale the wait time to the averaged window.
+        out.stats.lock_wait_ns /= n;
+        out
+    }
+}
+
+/// Prefill `map` to `size` distinct keys drawn uniformly from the range.
+pub fn prefill(map: &dyn ConcurrentMap<u64>, size: usize, key_range: u64, seed: u64) {
+    assert!(size as u64 <= key_range, "cannot fit {size} elements in range {key_range}");
+    let mut rng = FastRng::new(seed | 1);
+    let mut n = 0;
+    while n < size {
+        let k = rng.bounded(key_range);
+        if map.insert(k, k) {
+            n += 1;
+        }
+    }
+}
+
+/// Execute one timed run of a map workload.
+pub fn run_map(cfg: &MapRunConfig) -> RunResult {
+    let map: Arc<Box<dyn ConcurrentMap<u64>>> = Arc::new(cfg.algo.make(cfg.key_range as usize));
+    prefill(map.as_ref().as_ref(), cfg.size, cfg.key_range, cfg.seed);
+    let sampler = Arc::new(KeySampler::new(cfg.dist, cfg.key_range));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+    let mut handles = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        let map = Arc::clone(&map);
+        let sampler = Arc::clone(&sampler);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let mix = OpMix::updates(cfg.update_pct);
+        let delay = cfg.delay;
+        let seed = cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = FastRng::new(seed);
+            // Clear anything accumulated before the measured window and arm
+            // the delay injector (with a per-thread seed).
+            let _ = csds_metrics::take_and_reset();
+            csds_metrics::set_delay_policy(delay.map(|mut d| {
+                d.seed ^= seed;
+                d
+            }));
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = sampler.sample(&mut rng);
+                match mix.sample(&mut rng) {
+                    Op::Get => {
+                        let _ = map.get(key);
+                    }
+                    Op::Insert => {
+                        let _ = map.insert(key, key);
+                    }
+                    Op::Remove => {
+                        let _ = map.remove(key);
+                    }
+                }
+                csds_metrics::op_boundary();
+                ops += 1;
+            }
+            csds_metrics::set_delay_policy(None);
+            (ops, csds_metrics::take_and_reset())
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut per_thread_ops = Vec::with_capacity(cfg.threads);
+    let mut stats = StatsSnapshot::default();
+    for h in handles {
+        let (ops, snap) = h.join().expect("worker panicked");
+        per_thread_ops.push(ops);
+        stats.merge(&snap);
+    }
+    let elapsed = start.elapsed();
+    RunResult {
+        total_ops: per_thread_ops.iter().sum(),
+        per_thread_ops,
+        stats,
+        threads: cfg.threads,
+        elapsed,
+    }
+}
+
+/// Hotspot pool kinds for the §7 experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Two-lock Michael–Scott queue (blocking).
+    TwoLockQueue,
+    /// Single-lock stack (blocking).
+    LockedStack,
+    /// Lock-free Michael–Scott queue.
+    MsQueue,
+    /// Treiber stack (lock-free).
+    TreiberStack,
+}
+
+impl PoolKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PoolKind::TwoLockQueue => "two-lock-queue",
+            PoolKind::LockedStack => "locked-stack",
+            PoolKind::MsQueue => "ms-queue",
+            PoolKind::TreiberStack => "treiber-stack",
+        }
+    }
+
+    fn make(&self) -> Box<dyn ConcurrentPool<u64>> {
+        match self {
+            PoolKind::TwoLockQueue => Box::new(csds_core::queuestack::TwoLockQueue::new()),
+            PoolKind::LockedStack => Box::new(csds_core::queuestack::LockedStack::new()),
+            PoolKind::MsQueue => Box::new(csds_core::queuestack::MsQueue::new()),
+            PoolKind::TreiberStack => Box::new(csds_core::queuestack::TreiberStack::new()),
+        }
+    }
+}
+
+/// Configuration of one queue/stack run (paper §7: 50 % push / 50 % pop,
+/// 1024 prefilled nodes).
+#[derive(Clone, Debug)]
+pub struct PoolRunConfig {
+    /// Structure under test.
+    pub kind: PoolKind,
+    /// Prefilled node count.
+    pub prefill: usize,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Execute one timed run of a pool (queue/stack) workload.
+pub fn run_pool(cfg: &PoolRunConfig) -> RunResult {
+    let pool: Arc<Box<dyn ConcurrentPool<u64>>> = Arc::new(cfg.kind.make());
+    for i in 0..cfg.prefill {
+        pool.push(i as u64);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+    let mut handles = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let seed = cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = FastRng::new(seed);
+            let _ = csds_metrics::take_and_reset();
+            barrier.wait();
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if rng.bounded(2) == 0 {
+                    pool.push(ops);
+                } else {
+                    let _ = pool.pop();
+                }
+                csds_metrics::op_boundary();
+                ops += 1;
+            }
+            (ops, csds_metrics::take_and_reset())
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut per_thread_ops = Vec::with_capacity(cfg.threads);
+    let mut stats = StatsSnapshot::default();
+    for h in handles {
+        let (ops, snap) = h.join().expect("worker panicked");
+        per_thread_ops.push(ops);
+        stats.merge(&snap);
+    }
+    let elapsed = start.elapsed();
+    RunResult {
+        total_ops: per_thread_ops.iter().sum(),
+        per_thread_ops,
+        stats,
+        threads: cfg.threads,
+        elapsed,
+    }
+}
+
+/// Time a fixed number of operations on an existing map, split across
+/// `threads` workers (the building block for criterion benches, which need
+/// work proportional to their iteration count).
+///
+/// Returns the wall-clock time from the start barrier to the last worker
+/// finishing. The map should be prefilled by the caller.
+pub fn timed_ops(
+    map: &Arc<Box<dyn ConcurrentMap<u64>>>,
+    dist: KeyDist,
+    key_range: u64,
+    update_pct: u32,
+    threads: usize,
+    total_ops: u64,
+    seed: u64,
+) -> Duration {
+    let sampler = Arc::new(KeySampler::new(dist, key_range));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let per_thread = total_ops.div_ceil(threads as u64);
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let map = Arc::clone(map);
+        let sampler = Arc::clone(&sampler);
+        let barrier = Arc::clone(&barrier);
+        let mix = OpMix::updates(update_pct);
+        let seed = seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = FastRng::new(seed);
+            barrier.wait();
+            for _ in 0..per_thread {
+                let key = sampler.sample(&mut rng);
+                match mix.sample(&mut rng) {
+                    Op::Get => {
+                        let _ = map.get(key);
+                    }
+                    Op::Insert => {
+                        let _ = map.insert(key, key);
+                    }
+                    Op::Remove => {
+                        let _ = map.remove(key);
+                    }
+                }
+            }
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    start.elapsed()
+}
+
+/// Run `reps` repetitions and average (the paper averages 11 runs).
+pub fn run_map_avg(cfg: &MapRunConfig, reps: usize) -> RunResult {
+    let results: Vec<RunResult> = (0..reps)
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(i as u64 * 0x1234_5678);
+            run_map(&c)
+        })
+        .collect();
+    RunResult::merge_reps(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(algo: AlgoKind) -> MapRunConfig {
+        MapRunConfig::paper_default(algo, 128, 10, 3, Duration::from_millis(60))
+    }
+
+    #[test]
+    fn run_produces_operations_for_every_algo_family() {
+        for algo in [
+            AlgoKind::LazyList,
+            AlgoKind::HerlihySkipList,
+            AlgoKind::LazyHashTable,
+            AlgoKind::BstTk,
+        ] {
+            let r = run_map(&quick_cfg(algo));
+            assert!(r.total_ops > 100, "{}: only {} ops", algo.name(), r.total_ops);
+            assert_eq!(r.per_thread_ops.len(), 3);
+            assert_eq!(r.stats.ops, r.total_ops, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn prefill_reaches_target_size() {
+        let map = AlgoKind::HarrisList.make(256);
+        prefill(map.as_ref(), 100, 256, 42);
+        assert_eq!(map.len(), 100);
+    }
+
+    #[test]
+    fn size_stays_stationary() {
+        // Equal insert/remove rates over 2× key range keep size ~stable.
+        let cfg = MapRunConfig::paper_default(
+            AlgoKind::LazyHashTable,
+            256,
+            50,
+            4,
+            Duration::from_millis(150),
+        );
+        let map = cfg.algo.make(cfg.key_range as usize);
+        prefill(map.as_ref(), cfg.size, cfg.key_range, 7);
+        // Inline mini-run against the same map.
+        let map = Arc::new(map);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            let range = cfg.key_range;
+            handles.push(std::thread::spawn(move || {
+                let mut rng = FastRng::new(t as u64 + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.bounded(range);
+                    if rng.bounded(2) == 0 {
+                        map.insert(k, k);
+                    } else {
+                        map.remove(k);
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let len = map.len();
+        assert!(
+            (len as i64 - cfg.size as i64).unsigned_abs() < cfg.size as u64 / 2,
+            "size drifted to {len} (target {})",
+            cfg.size
+        );
+    }
+
+    #[test]
+    fn pool_run_smoke() {
+        let r = run_pool(&PoolRunConfig {
+            kind: PoolKind::TwoLockQueue,
+            prefill: 64,
+            threads: 3,
+            duration: Duration::from_millis(60),
+            seed: 1,
+        });
+        assert!(r.total_ops > 100);
+        assert!(r.wait_fraction() >= 0.0);
+    }
+
+    #[test]
+    fn merge_reps_averages() {
+        let mk = |ops: u64| RunResult {
+            total_ops: ops,
+            per_thread_ops: vec![ops],
+            stats: StatsSnapshot::default(),
+            threads: 1,
+            elapsed: Duration::from_millis(100),
+        };
+        let m = RunResult::merge_reps(vec![mk(100), mk(300)]);
+        assert_eq!(m.total_ops, 200);
+        assert_eq!(m.elapsed, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn delay_injection_is_observed() {
+        let mut cfg = quick_cfg(AlgoKind::LazyList);
+        cfg.update_pct = 50;
+        cfg.delay = Some(DelayPolicy { every: 5, min_ns: 1_000, max_ns: 5_000, seed: 3 });
+        let r = run_map(&cfg);
+        assert!(r.stats.injected_delays > 0, "delay hook never fired");
+    }
+}

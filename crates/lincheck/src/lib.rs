@@ -1,0 +1,271 @@
+//! Linearizability checking for concurrent set/map histories.
+//!
+//! A testing substrate: worker threads record timestamped invocations and
+//! responses ([`Event`]); [`check_linearizable`] then searches for a legal
+//! sequential witness (Wing & Gong-style DFS over the partial order, with
+//! memoization over `(linearized-set, state)` in the spirit of Lowe's
+//! optimization).
+//!
+//! The checker is exponential in the worst case — use it on small histories
+//! (a few threads × tens of operations), which is exactly how the
+//! integration tests use it.
+
+use std::collections::{BTreeMap, HashSet};
+
+/// Operation kinds in a set/map history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// `get(k)` observed `Some`/`None` (payload: found).
+    Get {
+        /// Whether the read found the key.
+        found: bool,
+    },
+    /// `insert(k)` returned success/failure.
+    Insert {
+        /// Whether the insert took effect.
+        ok: bool,
+    },
+    /// `remove(k)` returned success/failure.
+    Remove {
+        /// Whether the remove took effect.
+        ok: bool,
+    },
+}
+
+/// One completed operation with its real-time interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Key the operation targeted.
+    pub key: u64,
+    /// What happened.
+    pub kind: OpKind,
+    /// Invocation timestamp (ns from a common origin).
+    pub invoke: u64,
+    /// Response timestamp (must be ≥ invoke).
+    pub respond: u64,
+}
+
+impl Event {
+    /// Convenience constructor.
+    pub fn new(key: u64, kind: OpKind, invoke: u64, respond: u64) -> Self {
+        assert!(invoke <= respond, "response before invocation");
+        Event { key, kind, invoke, respond }
+    }
+}
+
+/// Result of a linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckResult {
+    /// A legal sequential witness exists.
+    Linearizable,
+    /// No witness exists; contains a human-readable explanation.
+    NotLinearizable(String),
+}
+
+impl CheckResult {
+    /// Whether the history passed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CheckResult::Linearizable)
+    }
+}
+
+/// Check a history of operations **on a single key** against set semantics,
+/// given whether the key was initially present.
+///
+/// Histories on different keys of a set are independent (operations on
+/// distinct keys commute), so a full-map history can be checked key by key
+/// — see [`check_history`].
+pub fn check_single_key(initially_present: bool, events: &[Event]) -> CheckResult {
+    let n = events.len();
+    if n > 24 {
+        // The DFS is exponential; refuse rather than hang.
+        return CheckResult::NotLinearizable(format!(
+            "history too long for the checker ({n} > 24 events on one key)"
+        ));
+    }
+    // DFS over subsets: state = (mask of linearized ops, key present?).
+    let mut visited: HashSet<(u32, bool)> = HashSet::new();
+    if dfs(events, 0, initially_present, &mut visited) {
+        CheckResult::Linearizable
+    } else {
+        CheckResult::NotLinearizable(format!(
+            "no legal linearization for {n} events (initially_present = {initially_present})"
+        ))
+    }
+}
+
+fn applies(kind: OpKind, present: bool) -> Option<bool> {
+    // Returns the new `present` state if the response is legal.
+    match kind {
+        OpKind::Get { found } => (found == present).then_some(present),
+        OpKind::Insert { ok } => {
+            if ok {
+                (!present).then_some(true)
+            } else {
+                present.then_some(true)
+            }
+        }
+        OpKind::Remove { ok } => {
+            if ok {
+                present.then_some(false)
+            } else {
+                (!present).then_some(false)
+            }
+        }
+    }
+}
+
+fn dfs(events: &[Event], done: u32, present: bool, visited: &mut HashSet<(u32, bool)>) -> bool {
+    let n = events.len();
+    if done == (1u32 << n) - 1 {
+        return true;
+    }
+    if !visited.insert((done, present)) {
+        return false;
+    }
+    // An operation is a candidate next linearization point iff it is not
+    // done and no other not-done operation *responded* before it was
+    // *invoked* (real-time order must be respected).
+    let mut min_respond = u64::MAX;
+    for (i, e) in events.iter().enumerate() {
+        if done & (1 << i) == 0 {
+            min_respond = min_respond.min(e.respond);
+        }
+    }
+    for (i, e) in events.iter().enumerate() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        if e.invoke > min_respond {
+            continue; // some pending op finished before this one started
+        }
+        if let Some(next_present) = applies(e.kind, present) {
+            if dfs(events, done | (1 << i), next_present, visited) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Check a multi-key history: partitions by key (set operations on distinct
+/// keys commute) and checks each partition independently.
+pub fn check_history(initial_keys: &[u64], events: &[Event]) -> CheckResult {
+    let initial: HashSet<u64> = initial_keys.iter().copied().collect();
+    let mut by_key: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+    for e in events {
+        by_key.entry(e.key).or_default().push(*e);
+    }
+    for (key, evs) in by_key {
+        match check_single_key(initial.contains(&key), &evs) {
+            CheckResult::Linearizable => {}
+            CheckResult::NotLinearizable(why) => {
+                return CheckResult::NotLinearizable(format!("key {key}: {why}"));
+            }
+        }
+    }
+    CheckResult::Linearizable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(key: u64, kind: OpKind, invoke: u64, respond: u64) -> Event {
+        Event::new(key, kind, invoke, respond)
+    }
+
+    #[test]
+    fn sequential_legal_history_passes() {
+        let h = [
+            ev(1, OpKind::Insert { ok: true }, 0, 1),
+            ev(1, OpKind::Get { found: true }, 2, 3),
+            ev(1, OpKind::Remove { ok: true }, 4, 5),
+            ev(1, OpKind::Get { found: false }, 6, 7),
+        ];
+        assert!(check_single_key(false, &h).is_ok());
+    }
+
+    #[test]
+    fn sequential_illegal_history_fails() {
+        // get(found) before any insert on an initially absent key.
+        let h = [
+            ev(1, OpKind::Get { found: true }, 0, 1),
+            ev(1, OpKind::Insert { ok: true }, 2, 3),
+        ];
+        assert!(!check_single_key(false, &h).is_ok());
+    }
+
+    #[test]
+    fn overlapping_ops_can_reorder() {
+        // A get(found=false) overlapping an insert may linearize first.
+        let h = [
+            ev(1, OpKind::Insert { ok: true }, 0, 10),
+            ev(1, OpKind::Get { found: false }, 1, 2),
+        ];
+        assert!(check_single_key(false, &h).is_ok());
+        // But a get that *starts after* the insert responded must see it.
+        let h2 = [
+            ev(1, OpKind::Insert { ok: true }, 0, 1),
+            ev(1, OpKind::Get { found: false }, 5, 6),
+        ];
+        assert!(!check_single_key(false, &h2).is_ok());
+    }
+
+    #[test]
+    fn double_successful_insert_without_remove_fails() {
+        let h = [
+            ev(1, OpKind::Insert { ok: true }, 0, 1),
+            ev(1, OpKind::Insert { ok: true }, 2, 3),
+        ];
+        assert!(!check_single_key(false, &h).is_ok());
+    }
+
+    #[test]
+    fn failed_operations_constrain_state() {
+        // insert fails ⇒ key present ⇒ initial must be present or a
+        // concurrent insert precedes it.
+        let h = [ev(1, OpKind::Insert { ok: false }, 0, 1)];
+        assert!(!check_single_key(false, &h).is_ok());
+        assert!(check_single_key(true, &h).is_ok());
+        let h2 = [ev(1, OpKind::Remove { ok: false }, 0, 1)];
+        assert!(check_single_key(false, &h2).is_ok());
+        assert!(!check_single_key(true, &h2).is_ok());
+    }
+
+    #[test]
+    fn multi_key_histories_partition() {
+        let h = [
+            ev(1, OpKind::Insert { ok: true }, 0, 1),
+            ev(2, OpKind::Get { found: true }, 0, 1), // key 2 initially present
+            ev(1, OpKind::Remove { ok: true }, 2, 3),
+            ev(2, OpKind::Remove { ok: true }, 2, 3),
+        ];
+        assert!(check_history(&[2], &h).is_ok());
+        assert!(!check_history(&[], &h).is_ok());
+    }
+
+    #[test]
+    fn refuses_oversized_single_key_histories() {
+        let h: Vec<Event> = (0..30)
+            .map(|i| ev(1, OpKind::Get { found: false }, i * 2, i * 2 + 1))
+            .collect();
+        assert!(!check_single_key(false, &h).is_ok());
+    }
+
+    #[test]
+    fn concurrent_insert_race_one_winner() {
+        // Two overlapping inserts: exactly one succeeds — linearizable.
+        let h = [
+            ev(1, OpKind::Insert { ok: true }, 0, 10),
+            ev(1, OpKind::Insert { ok: false }, 0, 10),
+        ];
+        assert!(check_single_key(false, &h).is_ok());
+        // Both succeeding is not.
+        let h2 = [
+            ev(1, OpKind::Insert { ok: true }, 0, 10),
+            ev(1, OpKind::Insert { ok: true }, 0, 10),
+        ];
+        assert!(!check_single_key(false, &h2).is_ok());
+    }
+}

@@ -1,0 +1,166 @@
+//! A tiny log₂-bucketed histogram for nanosecond-scale durations.
+//!
+//! Wait times in the paper span six orders of magnitude (a few cycles to
+//! tens of microseconds), so exact bucketing is pointless; one bucket per
+//! power of two keeps recording at a handful of instructions and the whole
+//! histogram in a single cache line pair.
+
+/// Number of log₂ buckets; covers 0..2⁶³ ns.
+pub const BUCKETS: usize = 64;
+
+/// Log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// `bucket[i]` counts samples `v` with `floor(log2(v)) == i` (bucket 0 also
+/// holds `v == 0`).
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LogHistogram { buckets: [0; BUCKETS], count: 0, sum: 0 }
+    }
+
+    #[inline]
+    fn index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Upper bound (exclusive power of two) of the bucket containing the
+    /// `q`-quantile sample, or `None` when empty. The bound is conservative:
+    /// the true quantile is strictly below the returned value.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i >= 63 { u64::MAX } else { 1u64 << (i + 1) });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Iterate non-empty buckets as `(lower_bound, upper_bound_exclusive, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let lo = if i == 0 { 0 } else { 1u64 << i };
+            let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+            (lo, hi, c)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(LogHistogram::index(0), 0);
+        assert_eq!(LogHistogram::index(1), 0);
+        assert_eq!(LogHistogram::index(2), 1);
+        assert_eq!(LogHistogram::index(3), 1);
+        assert_eq!(LogHistogram::index(4), 2);
+        assert_eq!(LogHistogram::index(1023), 9);
+        assert_eq!(LogHistogram::index(1024), 10);
+        assert_eq!(LogHistogram::index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_and_mean() {
+        let mut h = LogHistogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 400);
+        assert!((h.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 3, upper bound 16
+        }
+        h.record(1 << 20); // one huge outlier
+        assert_eq!(h.quantile_upper_bound(0.5), Some(16));
+        assert_eq!(h.quantile_upper_bound(0.99), Some(16));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(1 << 21));
+        assert_eq!(LogHistogram::new().quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(5);
+        b.record(7);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 21);
+    }
+
+    #[test]
+    fn nonzero_buckets_bounds() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(5);
+        let v: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(v, vec![(0, 2, 1), (4, 8, 1)]);
+    }
+}

@@ -1,0 +1,498 @@
+//! Thread-local, fine-grained performance instrumentation.
+//!
+//! The SPAA'16 study of practical wait-freedom rests on two fine-grained
+//! metrics (paper §2.3): the **time an operation waits to acquire locks** and
+//! the **number of times an operation restarts**. This crate provides the
+//! plumbing every other crate reports through:
+//!
+//! * free functions ([`lock_wait`], [`restart`], [`op_boundary`], the
+//!   `elide_*` family) backed by thread-local [`core::cell::Cell`] counters —
+//!   a recorded event costs a few nanoseconds and never takes a lock;
+//! * a log₂-bucketed [`LogHistogram`] for wait-time distributions and a
+//!   per-operation restart histogram (paper §5.1 reports "2900 ops restarted
+//!   once, 9 twice, none more");
+//! * [`take_and_reset`] for the harness to snapshot a worker thread's counters
+//!   at the end of a run;
+//! * the delay-injection hook used by the "unresponsive threads" experiment
+//!   (paper §5.4): instrumented lock guards call [`maybe_delay_in_cs`], and
+//!   the harness arms a [`DelayPolicy`] that stalls the holder of a lock for
+//!   1–100 µs every N-th critical section.
+//!
+//! Structures never talk to the harness directly; they only call into this
+//! crate, which keeps the data-structure code free of benchmarking concerns.
+
+use std::cell::{Cell, RefCell};
+use std::time::{Duration, Instant};
+
+pub mod hist;
+
+pub use hist::LogHistogram;
+
+/// Number of exact buckets in the per-operation restart histogram.
+/// `restart_hist[k]` counts operations that restarted exactly `k` times;
+/// the last bucket accumulates everything at or beyond `RESTART_BUCKETS - 1`.
+pub const RESTART_BUCKETS: usize = 16;
+
+/// A complete snapshot of one thread's instrumentation counters.
+///
+/// Produced by [`take_and_reset`]; aggregated across threads by the harness.
+#[derive(Clone, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Total lock (or trylock-success) acquisitions.
+    pub lock_acquires: u64,
+    /// Acquisitions that did not succeed immediately (took the slow path).
+    pub contended_acquires: u64,
+    /// Total nanoseconds spent waiting for locks (slow path only).
+    pub lock_wait_ns: u64,
+    /// Largest single wait, in nanoseconds.
+    pub max_wait_ns: u64,
+    /// Distribution of individual waits (log₂ ns buckets).
+    pub wait_hist: LogHistogram,
+    /// Total operation restarts (validation failures, failed trylocks, ...).
+    pub restarts: u64,
+    /// Operations recorded through [`op_boundary`].
+    pub ops: u64,
+    /// Operations that restarted at least once.
+    pub ops_restarted: u64,
+    /// Operations that restarted more than three times (paper Fig. 8 series).
+    pub ops_restarted_gt3: u64,
+    /// Operations that waited for a lock at least once.
+    pub ops_waited: u64,
+    /// `restart_hist[k]` = operations restarted exactly `k` times.
+    pub restart_hist: [u64; RESTART_BUCKETS],
+    /// Speculative (elided) critical-section attempts.
+    pub elide_attempts: u64,
+    /// Speculative sections that committed.
+    pub elide_commits: u64,
+    /// Aborts due to data conflicts (validation failure / busy sequence lock).
+    pub elide_aborts_conflict: u64,
+    /// Aborts due to (emulated) interrupts or preemption.
+    pub elide_aborts_interrupt: u64,
+    /// Critical sections that exhausted retries and took the real locks.
+    pub elide_fallbacks: u64,
+    /// Delays injected by the active [`DelayPolicy`].
+    pub injected_delays: u64,
+    /// Total injected delay time in nanoseconds.
+    pub injected_delay_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Merge another snapshot into this one (for cross-thread aggregation).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.lock_acquires += other.lock_acquires;
+        self.contended_acquires += other.contended_acquires;
+        self.lock_wait_ns += other.lock_wait_ns;
+        self.max_wait_ns = self.max_wait_ns.max(other.max_wait_ns);
+        self.wait_hist.merge(&other.wait_hist);
+        self.restarts += other.restarts;
+        self.ops += other.ops;
+        self.ops_restarted += other.ops_restarted;
+        self.ops_restarted_gt3 += other.ops_restarted_gt3;
+        self.ops_waited += other.ops_waited;
+        for (a, b) in self.restart_hist.iter_mut().zip(other.restart_hist.iter()) {
+            *a += b;
+        }
+        self.elide_attempts += other.elide_attempts;
+        self.elide_commits += other.elide_commits;
+        self.elide_aborts_conflict += other.elide_aborts_conflict;
+        self.elide_aborts_interrupt += other.elide_aborts_interrupt;
+        self.elide_fallbacks += other.elide_fallbacks;
+        self.injected_delays += other.injected_delays;
+        self.injected_delay_ns += other.injected_delay_ns;
+    }
+
+    /// Fraction of wall-clock time spent waiting for locks, given the run's
+    /// per-thread duration (paper Figs. 5, 7, 8, 9, 10).
+    pub fn wait_fraction(&self, per_thread_runtime: Duration, threads: usize) -> f64 {
+        let total = per_thread_runtime.as_nanos() as f64 * threads as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.lock_wait_ns as f64 / total
+        }
+    }
+
+    /// Fraction of operations that restarted at least once (paper Fig. 6).
+    pub fn restart_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.ops_restarted as f64 / self.ops as f64
+        }
+    }
+
+    /// Fraction of operations that restarted more than three times (Fig. 8).
+    pub fn repeated_restart_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.ops_restarted_gt3 as f64 / self.ops as f64
+        }
+    }
+
+    /// Fraction of critical sections that fell back to real lock acquisition,
+    /// out of all completed critical sections (paper Table 2).
+    pub fn fallback_fraction(&self) -> f64 {
+        let total = self.elide_commits + self.elide_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.elide_fallbacks as f64 / total as f64
+        }
+    }
+}
+
+/// Specification for injected lock-holder delays (paper §5.4).
+///
+/// Every `every`-th instrumented critical section, the holder spins for a
+/// uniformly random duration in `[min_ns, max_ns]` *while holding the lock*
+/// (or inside the speculative section in elided mode).
+#[derive(Clone, Copy, Debug)]
+pub struct DelayPolicy {
+    /// Inject on every `every`-th critical section (paper: every 10 updates).
+    pub every: u32,
+    /// Minimum injected delay, ns (paper: 1_000).
+    pub min_ns: u64,
+    /// Maximum injected delay, ns (paper: 100_000).
+    pub max_ns: u64,
+    /// Seed for the thread-local xorshift generator that picks durations.
+    pub seed: u64,
+}
+
+impl DelayPolicy {
+    /// The exact configuration of paper §5.4: 1–100 µs every 10th critical
+    /// section.
+    pub fn paper_unresponsive(seed: u64) -> Self {
+        DelayPolicy { every: 10, min_ns: 1_000, max_ns: 100_000, seed }
+    }
+}
+
+struct DelayState {
+    policy: DelayPolicy,
+    countdown: u32,
+    rng: u64,
+}
+
+struct Recorder {
+    lock_acquires: Cell<u64>,
+    contended_acquires: Cell<u64>,
+    lock_wait_ns: Cell<u64>,
+    max_wait_ns: Cell<u64>,
+    wait_hist: RefCell<LogHistogram>,
+    restarts: Cell<u64>,
+    ops: Cell<u64>,
+    ops_restarted: Cell<u64>,
+    ops_restarted_gt3: Cell<u64>,
+    ops_waited: Cell<u64>,
+    restart_hist: RefCell<[u64; RESTART_BUCKETS]>,
+    elide_attempts: Cell<u64>,
+    elide_commits: Cell<u64>,
+    elide_aborts_conflict: Cell<u64>,
+    elide_aborts_interrupt: Cell<u64>,
+    elide_fallbacks: Cell<u64>,
+    injected_delays: Cell<u64>,
+    injected_delay_ns: Cell<u64>,
+    // Per-operation scratch state, folded in by `op_boundary`.
+    cur_op_restarts: Cell<u32>,
+    cur_op_waited: Cell<bool>,
+    delay: RefCell<Option<DelayState>>,
+}
+
+impl Recorder {
+    const fn new() -> Self {
+        Recorder {
+            lock_acquires: Cell::new(0),
+            contended_acquires: Cell::new(0),
+            lock_wait_ns: Cell::new(0),
+            max_wait_ns: Cell::new(0),
+            wait_hist: RefCell::new(LogHistogram::new()),
+            restarts: Cell::new(0),
+            ops: Cell::new(0),
+            ops_restarted: Cell::new(0),
+            ops_restarted_gt3: Cell::new(0),
+            ops_waited: Cell::new(0),
+            restart_hist: RefCell::new([0; RESTART_BUCKETS]),
+            elide_attempts: Cell::new(0),
+            elide_commits: Cell::new(0),
+            elide_aborts_conflict: Cell::new(0),
+            elide_aborts_interrupt: Cell::new(0),
+            elide_fallbacks: Cell::new(0),
+            injected_delays: Cell::new(0),
+            injected_delay_ns: Cell::new(0),
+            cur_op_restarts: Cell::new(0),
+            cur_op_waited: Cell::new(false),
+            delay: RefCell::new(None),
+        }
+    }
+}
+
+thread_local! {
+    static RECORDER: Recorder = const { Recorder::new() };
+}
+
+/// Record an acquired lock; `contended` marks slow-path acquisitions.
+#[inline]
+pub fn lock_acquire(contended: bool) {
+    RECORDER.with(|r| {
+        r.lock_acquires.set(r.lock_acquires.get() + 1);
+        if contended {
+            r.contended_acquires.set(r.contended_acquires.get() + 1);
+        }
+    });
+}
+
+/// Record `ns` nanoseconds spent waiting for a lock (slow path only).
+#[inline]
+pub fn lock_wait(ns: u64) {
+    RECORDER.with(|r| {
+        r.lock_wait_ns.set(r.lock_wait_ns.get() + ns);
+        if ns > r.max_wait_ns.get() {
+            r.max_wait_ns.set(ns);
+        }
+        r.wait_hist.borrow_mut().record(ns);
+        r.cur_op_waited.set(true);
+    });
+}
+
+/// Record one restart of the current operation (validation failure, failed
+/// trylock, lost CAS race that forces a re-traversal, ...).
+#[inline]
+pub fn restart() {
+    RECORDER.with(|r| {
+        r.restarts.set(r.restarts.get() + 1);
+        r.cur_op_restarts.set(r.cur_op_restarts.get() + 1);
+    });
+}
+
+/// Fold the per-operation scratch counters into the histograms and mark one
+/// completed operation. The harness calls this after every request.
+#[inline]
+pub fn op_boundary() {
+    RECORDER.with(|r| {
+        r.ops.set(r.ops.get() + 1);
+        let k = r.cur_op_restarts.replace(0) as usize;
+        if k > 0 {
+            r.ops_restarted.set(r.ops_restarted.get() + 1);
+            if k > 3 {
+                r.ops_restarted_gt3.set(r.ops_restarted_gt3.get() + 1);
+            }
+        }
+        let mut hist = r.restart_hist.borrow_mut();
+        hist[k.min(RESTART_BUCKETS - 1)] += 1;
+        if r.cur_op_waited.replace(false) {
+            r.ops_waited.set(r.ops_waited.get() + 1);
+        }
+    });
+}
+
+/// Record one speculative critical-section attempt.
+#[inline]
+pub fn elide_attempt() {
+    RECORDER.with(|r| r.elide_attempts.set(r.elide_attempts.get() + 1));
+}
+
+/// Record a committed speculative critical section.
+#[inline]
+pub fn elide_commit() {
+    RECORDER.with(|r| r.elide_commits.set(r.elide_commits.get() + 1));
+}
+
+/// Record a speculative abort caused by a data conflict.
+#[inline]
+pub fn elide_abort_conflict() {
+    RECORDER.with(|r| r.elide_aborts_conflict.set(r.elide_aborts_conflict.get() + 1));
+}
+
+/// Record a speculative abort caused by an (emulated) interrupt.
+#[inline]
+pub fn elide_abort_interrupt() {
+    RECORDER.with(|r| r.elide_aborts_interrupt.set(r.elide_aborts_interrupt.get() + 1));
+}
+
+/// Record a critical section that gave up on speculation and took real locks.
+#[inline]
+pub fn elide_fallback() {
+    RECORDER.with(|r| r.elide_fallbacks.set(r.elide_fallbacks.get() + 1));
+}
+
+/// Install (or clear) the delay-injection policy for the calling thread.
+pub fn set_delay_policy(policy: Option<DelayPolicy>) {
+    RECORDER.with(|r| {
+        *r.delay.borrow_mut() = policy.map(|p| DelayState {
+            countdown: p.every,
+            rng: p.seed | 1,
+            policy: p,
+        });
+    });
+}
+
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Hook called by instrumented lock guards (and by speculative sections)
+/// right after entering a critical section. If a [`DelayPolicy`] is armed and
+/// this is the N-th critical section, spin for a random duration — this is
+/// how the paper's "unresponsive threads" experiment (§5.4) stalls a thread
+/// *while it holds a lock*.
+#[inline]
+pub fn maybe_delay_in_cs() {
+    RECORDER.with(|r| {
+        let mut guard = r.delay.borrow_mut();
+        let Some(state) = guard.as_mut() else { return };
+        state.countdown -= 1;
+        if state.countdown > 0 {
+            return;
+        }
+        state.countdown = state.policy.every;
+        let span = state.policy.max_ns - state.policy.min_ns + 1;
+        let ns = state.policy.min_ns + xorshift(&mut state.rng) % span;
+        drop(guard);
+        spin_for(Duration::from_nanos(ns));
+        r.injected_delays.set(r.injected_delays.get() + 1);
+        r.injected_delay_ns.set(r.injected_delay_ns.get() + ns);
+    });
+}
+
+/// Busy-wait for approximately `d` (used by delay injection; deliberately
+/// burns CPU rather than sleeping, like a thread stuck in I/O polling or a
+/// page fault — the lock stays held the whole time).
+pub fn spin_for(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+/// Snapshot and clear the calling thread's counters.
+pub fn take_and_reset() -> StatsSnapshot {
+    RECORDER.with(|r| StatsSnapshot {
+        lock_acquires: r.lock_acquires.replace(0),
+        contended_acquires: r.contended_acquires.replace(0),
+        lock_wait_ns: r.lock_wait_ns.replace(0),
+        max_wait_ns: r.max_wait_ns.replace(0),
+        wait_hist: std::mem::take(&mut *r.wait_hist.borrow_mut()),
+        restarts: r.restarts.replace(0),
+        ops: r.ops.replace(0),
+        ops_restarted: r.ops_restarted.replace(0),
+        ops_restarted_gt3: r.ops_restarted_gt3.replace(0),
+        ops_waited: r.ops_waited.replace(0),
+        restart_hist: std::mem::replace(&mut *r.restart_hist.borrow_mut(), [0; RESTART_BUCKETS]),
+        elide_attempts: r.elide_attempts.replace(0),
+        elide_commits: r.elide_commits.replace(0),
+        elide_aborts_conflict: r.elide_aborts_conflict.replace(0),
+        elide_aborts_interrupt: r.elide_aborts_interrupt.replace(0),
+        elide_fallbacks: r.elide_fallbacks.replace(0),
+        injected_delays: r.injected_delays.replace(0),
+        injected_delay_ns: r.injected_delay_ns.replace(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roundtrip() {
+        let _ = take_and_reset();
+        lock_acquire(false);
+        lock_acquire(true);
+        lock_wait(1500);
+        restart();
+        restart();
+        op_boundary();
+        op_boundary();
+        let s = take_and_reset();
+        assert_eq!(s.lock_acquires, 2);
+        assert_eq!(s.contended_acquires, 1);
+        assert_eq!(s.lock_wait_ns, 1500);
+        assert_eq!(s.max_wait_ns, 1500);
+        assert_eq!(s.restarts, 2);
+        assert_eq!(s.ops, 2);
+        assert_eq!(s.ops_restarted, 1);
+        assert_eq!(s.restart_hist[2], 1); // one op restarted exactly twice
+        assert_eq!(s.restart_hist[0], 1); // one op never restarted
+        // Snapshot cleared everything.
+        let s2 = take_and_reset();
+        assert_eq!(s2.ops, 0);
+        assert_eq!(s2.restarts, 0);
+    }
+
+    #[test]
+    fn restart_overflow_bucket() {
+        let _ = take_and_reset();
+        for _ in 0..RESTART_BUCKETS + 5 {
+            restart();
+        }
+        op_boundary();
+        let s = take_and_reset();
+        assert_eq!(s.restart_hist[RESTART_BUCKETS - 1], 1);
+        assert_eq!(s.ops_restarted_gt3, 1);
+    }
+
+    #[test]
+    fn waited_op_flag() {
+        let _ = take_and_reset();
+        lock_wait(10);
+        op_boundary();
+        op_boundary();
+        let s = take_and_reset();
+        assert_eq!(s.ops_waited, 1);
+        assert_eq!(s.ops, 2);
+    }
+
+    #[test]
+    fn delay_policy_fires_every_nth() {
+        let _ = take_and_reset();
+        set_delay_policy(Some(DelayPolicy { every: 3, min_ns: 100, max_ns: 200, seed: 42 }));
+        for _ in 0..9 {
+            maybe_delay_in_cs();
+        }
+        set_delay_policy(None);
+        let s = take_and_reset();
+        assert_eq!(s.injected_delays, 3);
+        assert!(s.injected_delay_ns >= 300);
+        assert!(s.injected_delay_ns <= 600);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = StatsSnapshot { ops: 5, restarts: 1, max_wait_ns: 10, ..Default::default() };
+        let b = StatsSnapshot { ops: 7, restarts: 2, max_wait_ns: 30, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.ops, 12);
+        assert_eq!(a.restarts, 3);
+        assert_eq!(a.max_wait_ns, 30);
+    }
+
+    #[test]
+    fn fractions() {
+        let s = StatsSnapshot {
+            ops: 100,
+            ops_restarted: 5,
+            ops_restarted_gt3: 1,
+            lock_wait_ns: 500_000_000,
+            elide_commits: 99,
+            elide_fallbacks: 1,
+            ..Default::default()
+        };
+        assert!((s.restart_fraction() - 0.05).abs() < 1e-12);
+        assert!((s.repeated_restart_fraction() - 0.01).abs() < 1e-12);
+        assert!((s.fallback_fraction() - 0.01).abs() < 1e-12);
+        let f = s.wait_fraction(Duration::from_secs(1), 1);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spin_for_waits() {
+        let t = Instant::now();
+        spin_for(Duration::from_micros(200));
+        assert!(t.elapsed() >= Duration::from_micros(200));
+    }
+}

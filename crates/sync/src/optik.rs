@@ -1,0 +1,154 @@
+//! OPTIK-style versioned lock (Guerraoui & Trigonakis, PPoPP'16 [22]).
+//!
+//! The lock word is a version counter: even = free, odd = locked. The
+//! pattern that BST-TK builds on is *optimistic concurrency with version
+//! validation*: an update parses the structure without synchronization,
+//! records the versions of the nodes it will modify, and then acquires each
+//! lock **only if its version is unchanged** ([`OptikLock::try_lock_version`]).
+//! A failed acquisition means someone changed that neighborhood — the
+//! operation restarts instead of waiting, which is why BST-TK's measured
+//! lock-wait time is zero and its restart count is non-zero (paper §5.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::{Backoff, RawMutex};
+
+/// Versioned lock: even values mean unlocked, odd mean locked. Each
+/// lock/unlock pair advances the version by 2, so a reader can detect *any*
+/// intervening critical section by comparing versions.
+pub struct OptikLock {
+    version: AtomicU64,
+}
+
+impl OptikLock {
+    /// Current version. Even = free. Use with [`try_lock_version`] to
+    /// validate that the node is unchanged since it was parsed.
+    ///
+    /// [`try_lock_version`]: OptikLock::try_lock_version
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Acquire the lock only if the version still equals `seen` (which must
+    /// be even, i.e. observed free). Returns `false` — without waiting — if
+    /// the version moved or the lock is held.
+    #[inline]
+    pub fn try_lock_version(&self, seen: u64) -> bool {
+        if seen & 1 == 1 {
+            return false;
+        }
+        let ok = self
+            .version
+            .compare_exchange(seen, seen + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok();
+        if ok {
+            csds_metrics::lock_acquire(false);
+        }
+        ok
+    }
+
+    /// True if `v` denotes a locked state.
+    #[inline]
+    pub fn version_is_locked(v: u64) -> bool {
+        v & 1 == 1
+    }
+}
+
+impl RawMutex for OptikLock {
+    fn new() -> Self {
+        OptikLock { version: AtomicU64::new(0) }
+    }
+
+    fn lock(&self) {
+        // Fast path.
+        let v = self.version.load(Ordering::Relaxed);
+        if v & 1 == 0
+            && self
+                .version
+                .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            csds_metrics::lock_acquire(false);
+            return;
+        }
+        self.lock_slow();
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        let v = self.version.load(Ordering::Relaxed);
+        v & 1 == 0 && self.try_lock_version(v)
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        // Holder-only: version is odd; +1 makes it even and distinct from
+        // every previously observed version.
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    fn is_locked(&self) -> bool {
+        self.version.load(Ordering::Relaxed) & 1 == 1
+    }
+}
+
+impl OptikLock {
+    #[cold]
+    fn lock_slow(&self) {
+        let start = Instant::now();
+        let mut backoff = Backoff::new();
+        loop {
+            let v = self.version.load(Ordering::Relaxed);
+            if v & 1 == 0
+                && self
+                    .version
+                    .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break;
+            }
+            backoff.snooze();
+        }
+        csds_metrics::lock_wait(start.elapsed().as_nanos() as u64);
+        csds_metrics::lock_acquire(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_advances_by_two_per_critical_section() {
+        let l = OptikLock::new();
+        let v0 = l.version();
+        l.lock();
+        l.unlock();
+        assert_eq!(l.version(), v0 + 2);
+    }
+
+    #[test]
+    fn try_lock_version_detects_change() {
+        let l = OptikLock::new();
+        let seen = l.version();
+        // Someone else runs a critical section.
+        l.lock();
+        l.unlock();
+        assert!(!l.try_lock_version(seen), "stale version must be rejected");
+        let fresh = l.version();
+        assert!(l.try_lock_version(fresh));
+        l.unlock();
+    }
+
+    #[test]
+    fn try_lock_version_rejects_locked_observation() {
+        let l = OptikLock::new();
+        l.lock();
+        let seen = l.version();
+        assert!(OptikLock::version_is_locked(seen));
+        assert!(!l.try_lock_version(seen));
+        l.unlock();
+    }
+}

@@ -1,0 +1,291 @@
+//! Workload generation for the benchmark harness.
+//!
+//! The paper's methodology (§3.3): worker threads continuously issue
+//! requests; keys are drawn from a key space **twice the structure size**
+//! (so equal insert/remove rates keep the size stationary); updates are
+//! half inserts, half removes; distributions are uniform or Zipfian with
+//! `s = 0.8` (§5.2).
+//!
+//! This crate provides:
+//! * [`FastRng`] — a tiny xorshift64* generator (one multiply per draw, no
+//!   allocation, seedable) for per-thread use inside measurement loops;
+//! * [`KeyDist`] / [`KeySampler`] — uniform and Zipfian key distributions
+//!   (the Zipf sampler uses a precomputed CDF and binary search);
+//! * [`OpMix`] / [`Op`] — the paper's operation mix.
+
+use rand::Rng;
+
+/// xorshift64* PRNG: fast enough to disappear inside a measurement loop,
+/// deterministic from its seed.
+#[derive(Clone, Debug)]
+pub struct FastRng {
+    state: u64,
+}
+
+impl FastRng {
+    /// Seeded generator (seed 0 is mapped to a fixed non-zero constant).
+    pub fn new(seed: u64) -> Self {
+        FastRng { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Seed from the `rand` crate's thread RNG (for non-deterministic runs).
+    pub fn from_entropy() -> Self {
+        Self::new(rand::rng().random())
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)` (bound > 0).
+    #[inline]
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift mapping (bias far below measurement noise).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Key distribution specification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over `[0, range)`.
+    Uniform,
+    /// Zipfian with exponent `s` over ranks `1..=range` (rank r has
+    /// probability ∝ 1/r^s); the paper uses `s = 0.8`.
+    Zipf {
+        /// Skew exponent.
+        s: f64,
+    },
+}
+
+impl KeyDist {
+    /// The paper's non-uniform workload (§5.2).
+    pub const PAPER_ZIPF: KeyDist = KeyDist::Zipf { s: 0.8 };
+}
+
+/// A sampler for keys in `[0, range)` under a [`KeyDist`].
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    range: u64,
+    /// For Zipf: cumulative distribution over ranks (len == range).
+    cdf: Option<Box<[f64]>>,
+}
+
+impl KeySampler {
+    /// Build a sampler; Zipf precomputes an O(range) CDF table.
+    pub fn new(dist: KeyDist, range: u64) -> Self {
+        assert!(range > 0, "key range must be positive");
+        match dist {
+            KeyDist::Uniform => KeySampler { range, cdf: None },
+            KeyDist::Zipf { s } => {
+                let n = range as usize;
+                let mut cdf = Vec::with_capacity(n);
+                let mut acc = 0.0f64;
+                for r in 1..=n {
+                    acc += 1.0 / (r as f64).powf(s);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for c in cdf.iter_mut() {
+                    *c /= total;
+                }
+                KeySampler { range, cdf: Some(cdf.into_boxed_slice()) }
+            }
+        }
+    }
+
+    /// Key range.
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// Draw a key in `[0, range)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut FastRng) -> u64 {
+        match &self.cdf {
+            None => rng.bounded(self.range),
+            Some(cdf) => {
+                let u = rng.unit_f64();
+                // First index with cdf[i] >= u.
+                let idx = cdf.partition_point(|&c| c < u);
+                idx.min(cdf.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Per-key access probabilities (for the analytical model, Eq. 6).
+    pub fn probabilities(&self) -> Vec<f64> {
+        match &self.cdf {
+            None => vec![1.0 / self.range as f64; self.range as usize],
+            Some(cdf) => {
+                let mut p = Vec::with_capacity(cdf.len());
+                let mut prev = 0.0;
+                for &c in cdf.iter() {
+                    p.push(c - prev);
+                    prev = c;
+                }
+                p
+            }
+        }
+    }
+}
+
+/// One operation of the set interface (paper §2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `get(k)`
+    Get,
+    /// `put(k, v)`
+    Insert,
+    /// `remove(k)`
+    Remove,
+}
+
+/// Operation mix: `update_pct` percent updates, half inserts half removes
+/// (paper §3.3).
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    /// Percentage of operations that are updates (0–100).
+    pub update_pct: u32,
+}
+
+impl OpMix {
+    /// A mix with the given update percentage.
+    pub fn updates(update_pct: u32) -> Self {
+        assert!(update_pct <= 100);
+        OpMix { update_pct }
+    }
+
+    /// Draw the next operation.
+    #[inline]
+    pub fn sample(&self, rng: &mut FastRng) -> Op {
+        let r = rng.bounded(200) as u32; // halves of a percent
+        if r < self.update_pct {
+            Op::Insert
+        } else if r < 2 * self.update_pct {
+            Op::Remove
+        } else {
+            Op::Get
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_rng_is_deterministic_and_nontrivial() {
+        let mut a = FastRng::new(7);
+        let mut b = FastRng::new(7);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            distinct.insert(x);
+        }
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let mut rng = FastRng::new(3);
+        for bound in [1u64, 2, 7, 1000, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_covers_range() {
+        let s = KeySampler::new(KeyDist::Uniform, 16);
+        let mut rng = FastRng::new(11);
+        let mut seen = vec![0u32; 16];
+        for _ in 0..16_000 {
+            seen[s.sample(&mut rng) as usize] += 1;
+        }
+        for (k, &c) in seen.iter().enumerate() {
+            assert!(c > 500, "key {k} sampled only {c} times");
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed_and_in_range() {
+        let s = KeySampler::new(KeyDist::Zipf { s: 0.8 }, 1024);
+        let mut rng = FastRng::new(5);
+        let mut counts = vec![0u64; 1024];
+        const N: u64 = 200_000;
+        for _ in 0..N {
+            let k = s.sample(&mut rng) as usize;
+            counts[k] += 1;
+        }
+        // Rank 1 should be far more popular than rank 512.
+        assert!(counts[0] > counts[511] * 20, "{} vs {}", counts[0], counts[511]);
+        // Expected frequency of rank 1: 1/H where H = sum 1/r^0.8.
+        let h: f64 = (1..=1024).map(|r| 1.0 / (r as f64).powf(0.8)).sum();
+        let expect = N as f64 / h;
+        let got = counts[0] as f64;
+        assert!(
+            (got / expect - 1.0).abs() < 0.1,
+            "rank-1 count {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let s = KeySampler::new(KeyDist::Zipf { s: 0.8 }, 512);
+        let p = s.probabilities();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(p[0] > p[1] && p[1] > p[2]);
+    }
+
+    #[test]
+    fn op_mix_ratios() {
+        let mix = OpMix::updates(10);
+        let mut rng = FastRng::new(99);
+        let (mut ins, mut rem, mut get) = (0u32, 0u32, 0u32);
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            match mix.sample(&mut rng) {
+                Op::Insert => ins += 1,
+                Op::Remove => rem += 1,
+                Op::Get => get += 1,
+            }
+        }
+        let insf = ins as f64 / N as f64;
+        let remf = rem as f64 / N as f64;
+        let getf = get as f64 / N as f64;
+        assert!((insf - 0.05).abs() < 0.005, "inserts {insf}");
+        assert!((remf - 0.05).abs() < 0.005, "removes {remf}");
+        assert!((getf - 0.90).abs() < 0.01, "gets {getf}");
+    }
+
+    #[test]
+    fn op_mix_extremes() {
+        let mut rng = FastRng::new(1);
+        let all_reads = OpMix::updates(0);
+        for _ in 0..100 {
+            assert_eq!(all_reads.sample(&mut rng), Op::Get);
+        }
+        let all_updates = OpMix::updates(100);
+        for _ in 0..100 {
+            assert_ne!(all_updates.sample(&mut rng), Op::Get);
+        }
+    }
+}

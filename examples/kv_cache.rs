@@ -1,0 +1,118 @@
+//! A memcached-style key-value cache front-end — the workload that
+//! motivates the paper's introduction (search structures inside Memcached,
+//! RocksDB, LevelDB, ...).
+//!
+//! A hash table holds the hot set; requests follow a Zipfian popularity
+//! distribution (as real caches do); a background "expiry" thread evicts
+//! random keys, and an SLA monitor reports whether any request class was
+//! delayed by concurrency — the practical-wait-freedom question asked the
+//! way an operator would ask it.
+//!
+//! ```text
+//! cargo run --release --example kv_cache
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csds::prelude::*;
+use csds::workload::{FastRng, KeyDist, KeySampler};
+
+const CACHE_CAPACITY: usize = 4096;
+const FRONTEND_THREADS: usize = 4;
+const RUN: Duration = Duration::from_millis(800);
+
+fn main() {
+    // Per-bucket-lock hash table at load factor 1: the paper's blocking HT.
+    let cache: Arc<LazyHashTable<u64>> =
+        Arc::new(LazyHashTable::with_capacity(CACHE_CAPACITY));
+    for k in 0..CACHE_CAPACITY as u64 / 2 {
+        cache.insert(k, k ^ 0xABCD);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Front-end request threads: 95% GET / 5% SET on a Zipfian hot set.
+    for t in 0..FRONTEND_THREADS {
+        let cache = Arc::clone(&cache);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let sampler =
+                KeySampler::new(KeyDist::Zipf { s: 0.8 }, CACHE_CAPACITY as u64);
+            let mut rng = FastRng::new(0xCAFE + t as u64);
+            let _ = csds::metrics::take_and_reset();
+            let (mut hits, mut misses, mut sets) = (0u64, 0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                let key = sampler.sample(&mut rng);
+                if rng.bounded(100) < 95 {
+                    match cache.get(key) {
+                        Some(_) => hits += 1,
+                        None => {
+                            // Cache miss: fetch from "backend" and fill.
+                            misses += 1;
+                            cache.insert(key, key ^ 0xABCD);
+                        }
+                    }
+                } else {
+                    cache.remove(key);
+                    cache.insert(key, key ^ 0xABCD);
+                    sets += 1;
+                }
+                csds::metrics::op_boundary();
+            }
+            (hits, misses, sets, csds::metrics::take_and_reset())
+        }));
+    }
+
+    // Background eviction thread (TTL expiry stand-in).
+    let evictor = {
+        let cache = Arc::clone(&cache);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut rng = FastRng::new(0xE71C);
+            let mut evicted = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if cache.remove(rng.bounded(CACHE_CAPACITY as u64)).is_some() {
+                    evicted += 1;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            evicted
+        })
+    };
+
+    let start = Instant::now();
+    std::thread::sleep(RUN);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = start.elapsed();
+
+    let mut total = (0u64, 0u64, 0u64);
+    let mut merged = csds::metrics::StatsSnapshot::default();
+    for h in handles {
+        let (hits, misses, sets, stats) = h.join().unwrap();
+        total.0 += hits;
+        total.1 += misses;
+        total.2 += sets;
+        merged.merge(&stats);
+    }
+    let evicted = evictor.join().unwrap();
+
+    let requests = total.0 + total.1 + total.2;
+    println!("== kv-cache report ==");
+    println!(
+        "requests: {requests} ({:.2} Mops/s), hit rate {:.1}%, {} sets, {} evictions",
+        requests as f64 / elapsed.as_secs_f64() / 1e6,
+        100.0 * total.0 as f64 / (total.0 + total.1).max(1) as f64,
+        total.2,
+        evicted
+    );
+    println!(
+        "SLA / practical wait-freedom: {:.5}% of requests waited for a lock (max {} ns), {:.5}% restarted",
+        100.0 * merged.ops_waited as f64 / merged.ops.max(1) as f64,
+        merged.max_wait_ns,
+        100.0 * merged.restart_fraction(),
+    );
+    println!("cache size now: {}", cache.len());
+}

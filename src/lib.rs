@@ -1,0 +1,47 @@
+//! # csds — concurrent search data structures, practically wait-free
+//!
+//! Facade crate for the workspace reproducing *"Concurrent Search Data
+//! Structures Can Be Blocking and Practically Wait-Free"* (David &
+//! Guerraoui, SPAA 2016). Re-exports every sub-crate:
+//!
+//! * [`core`](csds_core) — the data structures (blocking / lock-free /
+//!   wait-free lists, skip lists, hash tables, BSTs, queues, stacks);
+//! * [`sync`](csds_sync) — spin locks (TAS, TTAS, ticket, MCS, OPTIK);
+//! * [`ebr`](csds_ebr) — epoch-based memory reclamation;
+//! * [`htm`](csds_htm) — emulated HTM lock elision (TSX substitute);
+//! * [`metrics`](csds_metrics) — fine-grained instrumentation;
+//! * [`workload`](csds_workload) — key distributions and operation mixes;
+//! * [`analysis`](csds_analysis) — the birthday-paradox conflict model;
+//! * [`harness`](csds_harness) — the experiment runner behind `repro`;
+//! * [`lincheck`](csds_lincheck) — linearizability checking for tests.
+//!
+//! ```
+//! use csds::prelude::*;
+//!
+//! let map: LazyList<&str> = LazyList::new();
+//! assert!(map.insert(7, "seven"));
+//! assert_eq!(map.get(7), Some("seven"));
+//! assert_eq!(map.remove(7), Some("seven"));
+//! ```
+
+pub use csds_analysis as analysis;
+pub use csds_core as core;
+pub use csds_ebr as ebr;
+pub use csds_harness as harness;
+pub use csds_htm as htm;
+pub use csds_lincheck as lincheck;
+pub use csds_metrics as metrics;
+pub use csds_sync as sync;
+pub use csds_workload as workload;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use csds_core::bst::BstTk;
+    pub use csds_core::hashtable::{
+        CouplingHashTable, CowHashTable, LazyHashTable, LockFreeHashTable, WaitFreeHashTable,
+    };
+    pub use csds_core::list::{CouplingList, HarrisList, LazyList, WaitFreeList};
+    pub use csds_core::queuestack::{LockedStack, MsQueue, TreiberStack, TwoLockQueue};
+    pub use csds_core::skiplist::{HerlihySkipList, LockFreeSkipList, PughSkipList};
+    pub use csds_core::{ConcurrentMap, ConcurrentPool, SyncMode};
+}

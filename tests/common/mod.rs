@@ -1,0 +1,98 @@
+//! Shared drivers for the cross-crate integration tests.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use csds::core::ConcurrentMap;
+
+/// Deterministic xorshift stream for test workloads.
+pub fn rng_stream(mut state: u64) -> impl FnMut() -> u64 {
+    if state == 0 {
+        state = 0x9E3779B97F4A7C15;
+    }
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+/// Sequential comparison against `BTreeMap` through the trait object the
+/// harness uses.
+pub fn model_check(map: &dyn ConcurrentMap<u64>, ops: u64, key_range: u64, seed: u64) {
+    let mut model = BTreeMap::new();
+    let mut rng = rng_stream(seed);
+    for i in 0..ops {
+        let key = rng() % key_range;
+        match rng() % 3 {
+            0 => {
+                let expected = !model.contains_key(&key);
+                assert_eq!(map.insert(key, i), expected, "insert({key}) at {i}");
+                if expected {
+                    model.insert(key, i);
+                }
+            }
+            1 => {
+                assert_eq!(map.remove(key), model.remove(&key), "remove({key}) at {i}");
+            }
+            _ => {
+                assert_eq!(map.get(key), model.get(&key).copied(), "get({key}) at {i}");
+            }
+        }
+    }
+    assert_eq!(map.len(), model.len());
+}
+
+/// Concurrent net-effect invariant through trait objects.
+pub fn net_effect(
+    map: Arc<Box<dyn ConcurrentMap<u64>>>,
+    threads: usize,
+    ops_per_thread: u64,
+    key_range: u64,
+) {
+    let ins: Arc<Vec<AtomicU64>> = Arc::new((0..key_range).map(|_| AtomicU64::new(0)).collect());
+    let rem: Arc<Vec<AtomicU64>> = Arc::new((0..key_range).map(|_| AtomicU64::new(0)).collect());
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let map = Arc::clone(&map);
+        let ins = Arc::clone(&ins);
+        let rem = Arc::clone(&rem);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = rng_stream(0xBEEF ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            for _ in 0..ops_per_thread {
+                let key = rng() % key_range;
+                match rng() % 3 {
+                    0 => {
+                        if map.insert(key, key) {
+                            ins[key as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    1 => {
+                        if map.remove(key).is_some() {
+                            rem[key as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    _ => {
+                        if let Some(v) = map.get(key) {
+                            assert_eq!(v, key, "value corruption at {key}");
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut expected = 0usize;
+    for k in 0..key_range as usize {
+        let net =
+            ins[k].load(Ordering::Relaxed) as i64 - rem[k].load(Ordering::Relaxed) as i64;
+        assert!((0..=1).contains(&net), "key {k}: net {net}");
+        assert_eq!(map.get(k as u64).is_some(), net == 1, "key {k}");
+        expected += net as usize;
+    }
+    assert_eq!(map.len(), expected);
+}

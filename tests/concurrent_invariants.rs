@@ -1,0 +1,88 @@
+//! Concurrent net-effect invariants for every algorithm, plus targeted
+//! high-contention scenarios (paper §5.3's extreme configuration).
+
+mod common;
+
+use std::sync::Arc;
+
+use csds::harness::AlgoKind;
+
+#[test]
+fn net_effect_holds_for_every_algorithm() {
+    for algo in AlgoKind::all() {
+        let map = Arc::new(algo.make(64));
+        common::net_effect(map, 4, 2_000, 48);
+    }
+}
+
+#[test]
+fn extreme_contention_tiny_structure() {
+    // Paper §5.3: 16 elements out of 32 keys, high update ratio, many
+    // threads — correctness must hold even where practical wait-freedom
+    // frays.
+    for algo in [
+        AlgoKind::LazyList,
+        AlgoKind::HerlihySkipList,
+        AlgoKind::LazyHashTable,
+        AlgoKind::BstTk,
+        AlgoKind::HarrisList,
+        AlgoKind::WaitFreeList,
+    ] {
+        let map = Arc::new(algo.make(32));
+        common::net_effect(map, 8, 2_000, 8);
+    }
+}
+
+#[test]
+fn elision_variants_under_contention() {
+    for algo in [
+        AlgoKind::LazyListElided,
+        AlgoKind::HerlihySkipListElided,
+        AlgoKind::LazyHashTableElided,
+        AlgoKind::BstTkElided,
+    ] {
+        let map = Arc::new(algo.make(32));
+        common::net_effect(map, 6, 1_500, 16);
+    }
+}
+
+#[test]
+fn mixed_readers_and_writers_see_no_torn_values() {
+    // Writers flip keys between two exact values; readers must only ever
+    // observe one of them.
+    let map = Arc::new(AlgoKind::HerlihySkipList.make(64));
+    for k in 0..32u64 {
+        map.insert(k, k * 1000);
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 0..2u64 {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = common::rng_stream(w + 1);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let k = rng() % 32;
+                map.remove(k);
+                map.insert(k, k * 1000);
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = common::rng_stream(0x5EED);
+            for _ in 0..30_000 {
+                let k = rng() % 32;
+                if let Some(v) = map.get(k) {
+                    assert_eq!(v, k * 1000, "torn value at key {k}");
+                }
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}

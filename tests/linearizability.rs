@@ -1,0 +1,118 @@
+//! Linearizability spot-checks: record real concurrent histories on small
+//! structures and feed them to the `csds-lincheck` checker.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use csds::harness::AlgoKind;
+use csds::lincheck::{check_history, Event, OpKind};
+
+/// Record a short concurrent history on `algo` over a handful of keys.
+fn record_history(
+    algo: AlgoKind,
+    threads: usize,
+    ops_per_thread: usize,
+    keys: u64,
+    seed: u64,
+) -> Vec<Event> {
+    let map = Arc::new(algo.make(16));
+    let origin = Instant::now();
+    let barrier = Arc::new(Barrier::new(threads));
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let map = Arc::clone(&map);
+        let barrier = Arc::clone(&barrier);
+        let events = Arc::clone(&events);
+        handles.push(std::thread::spawn(move || {
+            let mut state = seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut local = Vec::new();
+            barrier.wait();
+            for _ in 0..ops_per_thread {
+                let key = rng() % keys;
+                let invoke = origin.elapsed().as_nanos() as u64;
+                let kind = match rng() % 3 {
+                    0 => OpKind::Insert { ok: map.insert(key, key) },
+                    1 => OpKind::Remove { ok: map.remove(key).is_some() },
+                    _ => OpKind::Get { found: map.get(key).is_some() },
+                };
+                let respond = origin.elapsed().as_nanos() as u64;
+                local.push(Event::new(key, kind, invoke, respond.max(invoke)));
+            }
+            events.lock().unwrap().extend(local);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    Arc::try_unwrap(events).unwrap().into_inner().unwrap()
+}
+
+fn check_algo(algo: AlgoKind) {
+    // Several small rounds rather than one big history: the checker is
+    // exponential per key, and short rounds catch races just as well.
+    for round in 0..8u64 {
+        // 3 threads x 6 ops over 4 keys ⇒ ≤ 18 events, ≤ ~10 per key.
+        let history = record_history(algo, 3, 6, 4, 0xC0DE + round);
+        let result = check_history(&[], &history);
+        assert!(
+            result.is_ok(),
+            "{}: round {round} not linearizable: {result:?}\nhistory: {history:#?}",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn lazy_list_is_linearizable() {
+    check_algo(AlgoKind::LazyList);
+}
+
+#[test]
+fn harris_list_is_linearizable() {
+    check_algo(AlgoKind::HarrisList);
+}
+
+#[test]
+fn waitfree_list_is_linearizable() {
+    check_algo(AlgoKind::WaitFreeList);
+}
+
+#[test]
+fn herlihy_skiplist_is_linearizable() {
+    check_algo(AlgoKind::HerlihySkipList);
+}
+
+#[test]
+fn lazy_hashtable_is_linearizable() {
+    check_algo(AlgoKind::LazyHashTable);
+}
+
+#[test]
+fn bst_tk_is_linearizable() {
+    check_algo(AlgoKind::BstTk);
+}
+
+#[test]
+fn elided_lazy_list_is_linearizable() {
+    check_algo(AlgoKind::LazyListElided);
+}
+
+#[test]
+fn checker_rejects_a_corrupted_history() {
+    // Sanity: take a real history and corrupt one response; the checker
+    // must notice. (Flipping a successful insert to failed on a key that
+    // was previously absent breaks the witness.)
+    let history = vec![
+        Event::new(1, OpKind::Insert { ok: true }, 0, 1),
+        Event::new(1, OpKind::Get { found: true }, 2, 3),
+        Event::new(1, OpKind::Remove { ok: false }, 4, 5), // corrupted
+    ];
+    assert!(!check_history(&[], &history).is_ok());
+}

@@ -1,0 +1,132 @@
+//! Property-based tests: arbitrary operation sequences against a model,
+//! for each representative algorithm, plus distribution properties of the
+//! workload generators.
+
+use std::collections::BTreeMap;
+
+use csds::harness::AlgoKind;
+use csds::workload::{FastRng, KeyDist, KeySampler};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum MapOp {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_range: u64) -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0..key_range, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (0..key_range).prop_map(MapOp::Remove),
+        (0..key_range).prop_map(MapOp::Get),
+    ]
+}
+
+fn run_against_model(algo: AlgoKind, ops: &[MapOp]) {
+    let map = algo.make(64);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            MapOp::Insert(k, v) => {
+                let expected = !model.contains_key(&k);
+                assert_eq!(map.insert(k, v), expected, "{}: insert({k}) at {i}", algo.name());
+                if expected {
+                    model.insert(k, v);
+                }
+            }
+            MapOp::Remove(k) => {
+                assert_eq!(map.remove(k), model.remove(&k), "{}: remove({k}) at {i}", algo.name());
+            }
+            MapOp::Get(k) => {
+                assert_eq!(
+                    map.get(k),
+                    model.get(&k).copied(),
+                    "{}: get({k}) at {i}",
+                    algo.name()
+                );
+            }
+        }
+    }
+    assert_eq!(map.len(), model.len(), "{}", algo.name());
+    for (&k, &v) in &model {
+        assert_eq!(map.get(k), Some(v), "{}: final get({k})", algo.name());
+    }
+}
+
+macro_rules! model_prop {
+    ($name:ident, $algo:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+            #[test]
+            fn $name(ops in proptest::collection::vec(op_strategy(24), 1..200)) {
+                run_against_model($algo, &ops);
+            }
+        }
+    };
+}
+
+model_prop!(lazy_list_obeys_model, AlgoKind::LazyList);
+model_prop!(lazy_list_elided_obeys_model, AlgoKind::LazyListElided);
+model_prop!(coupling_list_obeys_model, AlgoKind::CouplingList);
+model_prop!(harris_list_obeys_model, AlgoKind::HarrisList);
+model_prop!(waitfree_list_obeys_model, AlgoKind::WaitFreeList);
+model_prop!(herlihy_skiplist_obeys_model, AlgoKind::HerlihySkipList);
+model_prop!(pugh_skiplist_obeys_model, AlgoKind::PughSkipList);
+model_prop!(lockfree_skiplist_obeys_model, AlgoKind::LockFreeSkipList);
+model_prop!(lazy_hashtable_obeys_model, AlgoKind::LazyHashTable);
+model_prop!(cow_hashtable_obeys_model, AlgoKind::CowHashTable);
+model_prop!(bst_tk_obeys_model, AlgoKind::BstTk);
+model_prop!(bst_tk_elided_obeys_model, AlgoKind::BstTkElided);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Zipf sampling stays in range and rank popularity is monotone
+    /// (statistically) for any range and skew.
+    #[test]
+    fn zipf_sampler_properties(range in 2u64..512, s in 0.1f64..1.5, seed in any::<u64>()) {
+        let sampler = KeySampler::new(KeyDist::Zipf { s }, range);
+        let mut rng = FastRng::new(seed);
+        let mut first_bucket = 0u64;
+        let mut last_bucket = 0u64;
+        for _ in 0..2_000 {
+            let k = sampler.sample(&mut rng);
+            prop_assert!(k < range);
+            if k < range / 2 { first_bucket += 1 } else { last_bucket += 1 }
+        }
+        // Lower ranks must collectively dominate.
+        prop_assert!(first_bucket > last_bucket);
+    }
+
+    /// Uniform sampling stays in range and is roughly balanced.
+    #[test]
+    fn uniform_sampler_properties(range in 2u64..512, seed in any::<u64>()) {
+        let sampler = KeySampler::new(KeyDist::Uniform, range);
+        let mut rng = FastRng::new(seed);
+        let mut low = 0u64;
+        for _ in 0..2_000 {
+            let k = sampler.sample(&mut rng);
+            prop_assert!(k < range);
+            if k < range / 2 { low += 1 }
+        }
+        let frac = low as f64 / 2_000.0;
+        let expect = (range / 2) as f64 / range as f64;
+        prop_assert!((frac - expect).abs() < 0.1, "low fraction {frac} vs {expect}");
+    }
+
+    /// The analysis crate's birthday probabilities are proper probabilities
+    /// and monotone in the number of writers.
+    #[test]
+    fn birthday_probabilities_are_sane(n in 8u64..4096, k in 2u64..16) {
+        prop_assume!(2 * k < n);
+        let ht = csds::analysis::birthday_hash_table(k, n);
+        let ll = csds::analysis::birthday_linked_list(k, n);
+        prop_assert!((0.0..=1.0).contains(&ht));
+        prop_assert!((0.0..=1.0).contains(&ll));
+        prop_assert!(csds::analysis::birthday_hash_table(k + 1, n) >= ht);
+        // Adjacent-window conflicts are at least as likely as exact-slot
+        // conflicts at equal k and n.
+        prop_assert!(ll >= ht - 1e-12);
+    }
+}

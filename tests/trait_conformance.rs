@@ -1,0 +1,55 @@
+//! Every algorithm in the library, exercised through the harness's trait
+//! object against a sequential model.
+
+mod common;
+
+use csds::harness::AlgoKind;
+
+#[test]
+fn all_algorithms_match_btreemap_sequentially() {
+    for algo in AlgoKind::all() {
+        let map = algo.make(128);
+        common::model_check(map.as_ref(), 2_500, 96, 0xA11C0DE);
+    }
+}
+
+#[test]
+fn all_algorithms_handle_empty_and_full_edges() {
+    for algo in AlgoKind::all() {
+        let map = algo.make(16);
+        let name = algo.name();
+        // Empty-structure queries.
+        assert_eq!(map.get(3), None, "{name}");
+        assert_eq!(map.remove(3), None, "{name}");
+        assert!(map.is_empty(), "{name}");
+        // Fill a dense range, drain it completely, refill.
+        for k in 0..32 {
+            assert!(map.insert(k, k * 7), "{name} insert {k}");
+        }
+        assert_eq!(map.len(), 32, "{name}");
+        for k in 0..32 {
+            assert_eq!(map.get(k), Some(k * 7), "{name} get {k}");
+        }
+        for k in 0..32 {
+            assert_eq!(map.remove(k), Some(k * 7), "{name} remove {k}");
+        }
+        assert!(map.is_empty(), "{name} after drain");
+        for k in (0..32).rev() {
+            assert!(map.insert(k, k), "{name} reinsert {k}");
+        }
+        assert_eq!(map.len(), 32, "{name} after refill");
+    }
+}
+
+#[test]
+fn values_are_independent_of_keys() {
+    // Structures must not assume value == key (the harness does that, the
+    // library must not).
+    for algo in AlgoKind::all() {
+        let map = algo.make(16);
+        assert!(map.insert(5, 999));
+        assert!(map.insert(6, 0));
+        assert_eq!(map.get(5), Some(999), "{}", algo.name());
+        assert_eq!(map.remove(6), Some(0), "{}", algo.name());
+    }
+}
