@@ -27,6 +27,9 @@
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma domain: x > 0 (got {x})");
     const G: f64 = 7.0;
+    // Published Lanczos coefficients, quoted verbatim (more digits than f64
+    // keeps, so the compiler rounds deterministically).
+    #[allow(clippy::excessive_precision)]
     const COEF: [f64; 9] = [
         0.99999999999980993,
         676.5203681218851,
@@ -88,9 +91,7 @@ pub fn write_phase_fraction(f_u: f64, d_write: f64, d_parse: f64) -> f64 {
 pub fn conflict_probability(t: u64, f_w: f64, birthday: impl Fn(u64) -> f64) -> f64 {
     let mut p = 0.0;
     for k in 1..=t {
-        let ln_binom = ln_choose(t, k)
-            + k as f64 * f_w.ln()
-            + (t - k) as f64 * (1.0 - f_w).ln();
+        let ln_binom = ln_choose(t, k) + k as f64 * f_w.ln() + (t - k) as f64 * (1.0 - f_w).ln();
         p += ln_binom.exp() * birthday(k);
     }
     p
@@ -124,9 +125,8 @@ pub fn birthday_linked_list(k: u64, n: u64) -> f64 {
     if 2 * k >= n || n < k + 1 {
         return 1.0;
     }
-    let ln_p = ln_factorial(n - k - 1)
-        - ln_factorial(n - 2 * k)
-        - (k as f64 - 1.0) * (n as f64).ln();
+    let ln_p =
+        ln_factorial(n - k - 1) - ln_factorial(n - 2 * k) - (k as f64 - 1.0) * (n as f64).ln();
     (1.0 - ln_p.exp()).clamp(0.0, 1.0)
 }
 
@@ -169,11 +169,9 @@ pub fn birthday_linked_list_tsx(k: u64, n: u64, t: u64) -> f64 {
     if 2 * k + 1 >= n {
         return 1.0;
     }
-    let ln_base = ln_factorial(n - k - 1)
-        - ln_factorial(n - 2 * k)
-        - (k as f64 - 1.0) * (n as f64).ln();
-    let ratio = ((n - 2 * k) as f64 * (n - 2 * k - 1) as f64)
-        / (n as f64 * (n - k - 1) as f64);
+    let ln_base =
+        ln_factorial(n - k - 1) - ln_factorial(n - 2 * k) - (k as f64 - 1.0) * (n as f64).ln();
+    let ratio = ((n - 2 * k) as f64 * (n - 2 * k - 1) as f64) / (n as f64 * (n - k - 1) as f64);
     let ln_p = ln_base + (t - k) as f64 * ratio.ln();
     (1.0 - ln_p.exp()).clamp(0.0, 1.0)
 }

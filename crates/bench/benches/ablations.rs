@@ -21,20 +21,29 @@ use csds_harness::{timed_ops, AlgoKind};
 use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
 use csds_workload::KeyDist;
 
+type NamedMap = (&'static str, Arc<Box<dyn ConcurrentMap<u64>>>);
+
 fn lock_kind(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_lock_kind_lazy_list_512elems_20pct");
     tune(&mut g);
-    let maps: Vec<(&str, Arc<Box<dyn ConcurrentMap<u64>>>)> = vec![
-        ("tas", Arc::new(Box::new(LazyList::<u64>::new()) as Box<dyn ConcurrentMap<u64>>)),
-        ("ticket", Arc::new(Box::new(LazyListTicket::<u64>::new()) as Box<dyn ConcurrentMap<u64>>)),
-        ("mcs", Arc::new(Box::new(LazyListMcs::<u64>::new()) as Box<dyn ConcurrentMap<u64>>)),
+    let maps: Vec<NamedMap> = vec![
+        (
+            "tas",
+            Arc::new(Box::new(LazyList::<u64>::new()) as Box<dyn ConcurrentMap<u64>>),
+        ),
+        (
+            "ticket",
+            Arc::new(Box::new(LazyListTicket::<u64>::new()) as Box<dyn ConcurrentMap<u64>>),
+        ),
+        (
+            "mcs",
+            Arc::new(Box::new(LazyListMcs::<u64>::new()) as Box<dyn ConcurrentMap<u64>>),
+        ),
     ];
     for (label, map) in maps {
         csds_harness::prefill(map.as_ref().as_ref(), 512, 1024, 0xAB1A);
         g.bench_function(label, |b| {
-            b.iter_custom(|iters| {
-                timed_ops(&map, KeyDist::Uniform, 1024, 20, 4, iters, 0x10C4)
-            });
+            b.iter_custom(|iters| timed_ops(&map, KeyDist::Uniform, 1024, 20, 4, iters, 0x10C4));
         });
     }
     g.finish();
@@ -95,10 +104,19 @@ fn waitfree_update_cost(c: &mut Criterion) {
     let map = BenchMap::new(AlgoKind::WaitFreeList, 512);
     // Reads traverse without helping; updates publish + help: the gap is
     // the announce/help machinery's price.
-    g.bench_function("reads_only", |b| b.iter_custom(|iters| map.run(iters, 2, 0)));
-    g.bench_function("updates_only", |b| b.iter_custom(|iters| map.run(iters, 2, 100)));
+    g.bench_function("reads_only", |b| {
+        b.iter_custom(|iters| map.run(iters, 2, 0))
+    });
+    g.bench_function("updates_only", |b| {
+        b.iter_custom(|iters| map.run(iters, 2, 100))
+    });
     g.finish();
 }
 
-criterion_group!(benches, lock_kind, elision_retry_budget, waitfree_update_cost);
+criterion_group!(
+    benches,
+    lock_kind,
+    elision_retry_budget,
+    waitfree_update_cost
+);
 criterion_main!(benches);

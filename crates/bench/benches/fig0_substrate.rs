@@ -1,0 +1,197 @@
+//! **Figure 0** (not in the paper) — substrate microbenchmarks.
+//!
+//! Every structure in this repo funnels through `csds_ebr::pin()` and the
+//! `csds_sync` spin locks, so their per-operation cost taxes every figure.
+//! This bench quantifies that substrate directly:
+//!
+//! * `pin`: cost of a full pin/unpin cycle, a nested (re-entrant) pin, and a
+//!   pin while another thread holds the epoch pinned;
+//! * `defer`: retire throughput (defer_drop of Box-allocated nodes plus the
+//!   amortized maintenance that frees them);
+//! * `lock_uncontended`: acquire+release latency per lock kind;
+//! * `lock_handoff`: two threads alternating on one lock (each acquisition
+//!   observes the line in the other core's cache — the handoff path).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use csds_bench::{tune, BenchMap};
+use csds_ebr::Shared;
+use csds_harness::AlgoKind;
+use csds_sync::{McsLock, OptikLock, RawMutex, TasLock, TicketLock, TtasLock};
+
+fn pin_costs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig0_pin");
+    tune(&mut g);
+
+    g.bench_function("pin_unpin", |b| {
+        b.iter(|| {
+            let guard = csds_ebr::pin();
+            black_box(&guard);
+        })
+    });
+
+    g.bench_function("pin_nested", |b| {
+        let outer = csds_ebr::pin();
+        black_box(&outer);
+        b.iter(|| {
+            let guard = csds_ebr::pin();
+            black_box(&guard);
+        })
+    });
+
+    // A second thread parks itself pinned at the current epoch: every
+    // pin/unpin on the measuring thread still has to publish its epoch.
+    g.bench_function("pin_unpin_with_pinned_peer", |b| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ready = Arc::new(Barrier::new(2));
+        let peer = {
+            let stop = Arc::clone(&stop);
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                let _g = csds_ebr::pin();
+                ready.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::yield_now();
+                }
+            })
+        };
+        ready.wait();
+        b.iter(|| {
+            let guard = csds_ebr::pin();
+            black_box(&guard);
+        });
+        stop.store(true, Ordering::Relaxed);
+        peer.join().unwrap();
+    });
+
+    g.finish();
+}
+
+fn defer_costs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig0_defer");
+    tune(&mut g);
+
+    // One retired node per iteration; maintenance (epoch advance + free)
+    // amortizes behind the pin counter exactly as in production use.
+    g.bench_function("defer_drop_u64", |b| {
+        b.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let guard = csds_ebr::pin();
+                let node = Shared::boxed(0u64);
+                // SAFETY: never published, unique allocation, retired once.
+                unsafe { guard.defer_drop(node) };
+            }
+            let elapsed = start.elapsed();
+            // Drain outside the measured window so iterations stay uniform.
+            let guard = csds_ebr::pin();
+            guard.flush();
+            elapsed
+        })
+    });
+
+    g.finish();
+}
+
+fn lock_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig0_lock_uncontended");
+    tune(&mut g);
+    fn bench_one<L: RawMutex>(
+        g: &mut criterion::BenchmarkGroup<'_, impl criterion::measurement::Measurement>,
+        name: &str,
+    ) {
+        let lock = L::new();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                lock.lock();
+                lock.unlock();
+            })
+        });
+    }
+    bench_one::<TasLock>(&mut g, "tas");
+    bench_one::<TtasLock>(&mut g, "ttas");
+    bench_one::<TicketLock>(&mut g, "ticket");
+    bench_one::<McsLock>(&mut g, "mcs");
+    bench_one::<OptikLock>(&mut g, "optik");
+    g.finish();
+}
+
+/// Two threads splitting `iters` acquisitions of one shared lock; each
+/// acquisition migrates the lock state between caches.
+fn handoff_run<L: RawMutex + 'static>(total_ops: u64) -> Duration {
+    let lock = Arc::new(L::new());
+    let counter = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(3));
+    let per_thread = total_ops / 2 + 1;
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let lock = Arc::clone(&lock);
+        let counter = Arc::clone(&counter);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..per_thread {
+                lock.lock();
+                counter.fetch_add(1, Ordering::Relaxed);
+                lock.unlock();
+            }
+            barrier.wait();
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    barrier.wait();
+    let elapsed = start.elapsed();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Acquisitions are serialized through the one lock, so wall time divided
+    // by the requested op count is the per-handoff latency.
+    assert_eq!(counter.load(Ordering::Relaxed), per_thread * 2);
+    elapsed
+}
+
+fn lock_handoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig0_lock_handoff_2threads");
+    tune(&mut g);
+    g.bench_function("tas", |b| b.iter_custom(handoff_run::<TasLock>));
+    g.bench_function("ttas", |b| b.iter_custom(handoff_run::<TtasLock>));
+    g.bench_function("ticket", |b| b.iter_custom(handoff_run::<TicketLock>));
+    g.bench_function("mcs", |b| b.iter_custom(handoff_run::<McsLock>));
+    g.bench_function("optik", |b| b.iter_custom(handoff_run::<OptikLock>));
+    g.finish();
+}
+
+/// End-to-end check that substrate changes translate into structure
+/// throughput: read-heavy (10 % updates) runs of one structure per
+/// synchronization family, 1024 elements.
+fn structures_readheavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig0_structures_readheavy_1024elems_10pct");
+    tune(&mut g);
+    for (label, algo) in [
+        ("lazy_list", AlgoKind::LazyList),
+        ("harris_list", AlgoKind::HarrisList),
+        ("lockfree_hashtable", AlgoKind::LockFreeHashTable),
+    ] {
+        let map = BenchMap::new(algo, 1024);
+        for threads in [1usize, 2] {
+            g.bench_function(format!("{label}/t{threads}"), |b| {
+                b.iter_custom(|iters| map.run(iters, threads, 10));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    pin_costs,
+    defer_costs,
+    lock_uncontended,
+    lock_handoff,
+    structures_readheavy
+);
+criterion_main!(benches);

@@ -9,7 +9,9 @@ use csds_harness::Family;
 
 fn elision(c: &mut Criterion) {
     // Oversubscribe the host so lock holders get descheduled.
-    let threads = 4 * std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = 4 * std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for family in Family::all() {
         let mut g = c.benchmark_group(format!(
             "table2_3_elision_{}_t{}",

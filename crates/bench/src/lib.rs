@@ -55,9 +55,7 @@ impl BenchMap {
 
 /// Criterion group defaults tuned for a small CI host: minimum sample
 /// count, sub-second measurement windows.
-pub fn tune<M: criterion::measurement::Measurement>(
-    group: &mut criterion::BenchmarkGroup<'_, M>,
-) {
+pub fn tune<M: criterion::measurement::Measurement>(group: &mut criterion::BenchmarkGroup<'_, M>) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(200));
     group.measurement_time(Duration::from_millis(600));

@@ -89,6 +89,13 @@ impl<'g, V> Edge<'g, V> {
     }
 }
 
+/// Result of the parse phase: `(grandparent_edge, parent_edge, leaf)`.
+type ParseResult<'g, V> = (
+    Option<Edge<'g, V>>,
+    Edge<'g, V>,
+    Option<Shared<'g, Node<V>>>,
+);
+
 /// BST-TK external search tree. See the module docs.
 pub struct BstTk<V> {
     root: Atomic<Node<V>>,
@@ -123,11 +130,7 @@ impl<V: Clone + Send + Sync> BstTk<V> {
     /// Parse phase: descend to the leaf responsible for `key`. Returns
     /// `(grandparent_edge, parent_edge, leaf)`; `None` leaf means the tree
     /// is empty. No stores, no restarts.
-    fn parse<'g>(
-        &'g self,
-        key: u64,
-        guard: &'g Guard,
-    ) -> (Option<Edge<'g, V>>, Edge<'g, V>, Option<Shared<'g, Node<V>>>) {
+    fn parse<'g>(&'g self, key: u64, guard: &'g Guard) -> ParseResult<'g, V> {
         let mut gp: Option<Edge<'g, V>> = None;
         let mut p = Edge {
             slot: &self.root,
@@ -147,7 +150,12 @@ impl<V: Clone + Send + Sync> BstTk<V> {
             }
             let ver = c.lock.version();
             let go_left = key < c.key;
-            let next = Edge { slot: c.child(go_left), lock: &c.lock, ver, owner: Some(curr) };
+            let next = Edge {
+                slot: c.child(go_left),
+                lock: &c.lock,
+                ver,
+                owner: Some(curr),
+            };
             gp = Some(p);
             p = next;
             curr = p.slot.load(guard);
@@ -196,9 +204,7 @@ impl<V: Clone + Send + Sync> BstTk<V> {
                 unsafe {
                     if leaf.is_some() {
                         let internal = repl.into_box();
-                        let new_leaf_raw = if internal.left.load_raw()
-                            == expected.as_raw()
-                        {
+                        let new_leaf_raw = if internal.left.load_raw() == expected.as_raw() {
                             internal.right.load_raw()
                         } else {
                             internal.left.load_raw()
@@ -238,9 +244,10 @@ impl<V: Clone + Send + Sync> BstTk<V> {
                         // Pessimistic: take the real lock (waiting allowed on
                         // the fallback path), re-validate, apply under seq.
                         p.lock.lock();
-                        let ok = p.owner_removed().map_or(true, |r| {
-                            r.load(Ordering::Acquire) == 0
-                        }) && p.slot.load(&guard) == expected;
+                        let ok = p
+                            .owner_removed()
+                            .map_or(true, |r| r.load(Ordering::Acquire) == 0)
+                            && p.slot.load(&guard) == expected;
                         if !ok {
                             p.lock.unlock();
                             reclaim(replacement, &mut value);
@@ -275,7 +282,7 @@ impl<V: Clone + Send + Sync> BstTk<V> {
         let guard = pin();
         loop {
             let (gp, p, leaf) = self.parse(key, &guard);
-            let Some(leaf_s) = leaf else { return None };
+            let leaf_s = leaf?;
             // SAFETY: pinned.
             let l = unsafe { leaf_s.deref() };
             if l.key != key {
@@ -336,8 +343,11 @@ impl<V: Clone + Send + Sync> BstTk<V> {
                     let parent_s = p.owner.expect("edge below root has an owner");
                     // SAFETY: pinned.
                     let parent = unsafe { parent_s.deref() };
-                    let sibling_slot =
-                        if std::ptr::eq(p.slot, &parent.left) { &parent.right } else { &parent.left };
+                    let sibling_slot = if std::ptr::eq(p.slot, &parent.left) {
+                        &parent.right
+                    } else {
+                        &parent.left
+                    };
 
                     if let Some(region) = &self.region {
                         let gp_removed = gp.owner_removed();

@@ -35,6 +35,12 @@ struct Bucket<V> {
 }
 
 /// Per-bucket-lock hash table. See the module docs.
+///
+/// Buckets (lock + chain head, 16 bytes) are deliberately **not** padded to
+/// cache lines: at load factor 1 the bucket array is the table's hot memory
+/// and an 8× footprint blow-up costs far more in capacity misses than
+/// adjacent-bucket false sharing (measured on `fig0_substrate`, where
+/// padding the sibling lock-free table's buckets cost 13×).
 pub struct LazyHashTable<V> {
     buckets: Vec<Bucket<V>>,
     mask: usize,
@@ -52,7 +58,10 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
         let n = bucket_count(capacity);
         LazyHashTable {
             buckets: (0..n)
-                .map(|_| Bucket { lock: TicketLock::new(), head: Atomic::null() })
+                .map(|_| Bucket {
+                    lock: TicketLock::new(),
+                    head: Atomic::null(),
+                })
                 .collect(),
             mask: n - 1,
             region: match mode {
@@ -164,7 +173,9 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
                             return false;
                         }
                         // SAFETY: unpublished.
-                        unsafe { new_s.deref() }.next.store(bucket.head.load(&guard));
+                        unsafe { new_s.deref() }
+                            .next
+                            .store(bucket.head.load(&guard));
                         let fb = region.enter_fallback();
                         bucket.head.store(new_s);
                         drop(fb);
@@ -189,7 +200,9 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
             next: Atomic::null(),
         });
         // SAFETY: unpublished.
-        unsafe { new_s.deref() }.next.store(bucket.head.load(&guard));
+        unsafe { new_s.deref() }
+            .next
+            .store(bucket.head.load(&guard));
         bucket.head.store(new_s);
         drop(g);
         true
@@ -392,7 +405,10 @@ mod tests {
             h.remove(k);
         }
         let snap = csds_metrics::take_and_reset();
-        assert_eq!(snap.restarts, 0, "paper Fig. 6: hash-table restarts are zero");
+        assert_eq!(
+            snap.restarts, 0,
+            "paper Fig. 6: hash-table restarts are zero"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub const TAIL_IKEY: u64 = u64::MAX;
 /// Map a user key into the internal key space.
 #[inline]
 pub fn ikey(user: u64) -> u64 {
-    assert!(user <= MAX_USER_KEY, "key {user} exceeds supported range (0..=u64::MAX-2)");
+    assert!(
+        user <= MAX_USER_KEY,
+        "key {user} exceeds supported range (0..=u64::MAX-2)"
+    );
     user + 1
 }
 

@@ -190,7 +190,11 @@ pub(crate) mod testutil {
                 "key {k}: net successful updates must be 0 or 1, got {net}"
             );
             let present = map.get(k).is_some();
-            assert_eq!(present, net == 1, "key {k}: presence {present} but net {net}");
+            assert_eq!(
+                present,
+                net == 1,
+                "key {k}: presence {present} but net {net}"
+            );
             expected_len += net as usize;
         }
         assert_eq!(map.len(), expected_len);

@@ -91,8 +91,11 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for CouplingList<V> {
         let (pred, curr) = self.locate(ikey);
         // SAFETY: both nodes locked by us.
         unsafe {
-            let out =
-                if (*curr).key == ikey { (*curr).value.clone() } else { None };
+            let out = if (*curr).key == ikey {
+                (*curr).value.clone()
+            } else {
+                None
+            };
             (*curr).lock.unlock();
             (*pred).lock.unlock();
             out
@@ -130,7 +133,9 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for CouplingList<V> {
                 (*pred).lock.unlock();
                 return None;
             }
-            (*pred).next.store((*curr).next.load(Ordering::Relaxed), Ordering::Release);
+            (*pred)
+                .next
+                .store((*curr).next.load(Ordering::Relaxed), Ordering::Release);
             (*curr).lock.unlock();
             (*pred).lock.unlock();
             let boxed = Box::from_raw(curr);

@@ -35,9 +35,17 @@ impl<V: Clone + Send + Sync> Default for HarrisList<V> {
 impl<V: Clone + Send + Sync> HarrisList<V> {
     /// Empty list.
     pub fn new() -> Self {
-        let tail = Atomic::new(Node { key: TAIL_IKEY, value: None, next: Atomic::null() });
+        let tail = Atomic::new(Node {
+            key: TAIL_IKEY,
+            value: None,
+            next: Atomic::null(),
+        });
         HarrisList {
-            head: Atomic::new(Node { key: HEAD_IKEY, value: None, next: tail }),
+            head: Atomic::new(Node {
+                key: HEAD_IKEY,
+                value: None,
+                next: tail,
+            }),
         }
     }
 
@@ -100,7 +108,11 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
             let c = unsafe { curr.with_tag(0).deref() };
             if c.key >= ikey {
                 let marked = c.next.load(&guard).tag() == MARK;
-                return if c.key == ikey && !marked { c.value.clone() } else { None };
+                return if c.key == ikey && !marked {
+                    c.value.clone()
+                } else {
+                    None
+                };
             }
             curr = c.next.load(&guard);
         }
@@ -123,7 +135,11 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
                 return false;
             }
             let new_s = *new_node.get_or_insert_with(|| {
-                Shared::boxed(Node { key: ikey, value: value.take(), next: Atomic::null() })
+                Shared::boxed(Node {
+                    key: ikey,
+                    value: value.take(),
+                    next: Atomic::null(),
+                })
             });
             // SAFETY: unpublished, exclusive.
             unsafe { new_s.deref() }.next.store(curr);
@@ -155,7 +171,10 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
                 return None;
             }
             // Logical deletion: set the mark on curr.next.
-            if c.next.compare_exchange(next, next.with_tag(MARK), &guard).is_err() {
+            if c.next
+                .compare_exchange(next, next.with_tag(MARK), &guard)
+                .is_err()
+            {
                 // next changed (insert after curr, or competing remove).
                 csds_metrics::restart();
                 continue;
@@ -165,7 +184,10 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
             // cleans up (and retires) the node.
             // SAFETY: pinned.
             let p = unsafe { pred.deref() };
-            if p.next.compare_exchange(curr, next.with_tag(0), &guard).is_ok() {
+            if p.next
+                .compare_exchange(curr, next.with_tag(0), &guard)
+                .is_ok()
+            {
                 // SAFETY: we unlinked it; retire exactly once. (Cleanup in
                 // `search` only retires nodes *it* unlinks.)
                 unsafe { guard.defer_drop(curr) };

@@ -52,6 +52,9 @@ impl<V, L: RawMutex> Node<V, L> {
     }
 }
 
+/// A `(pred, curr)` pair returned by the parse phase.
+type NodePair<'g, V, L> = (Shared<'g, Node<V, L>>, Shared<'g, Node<V, L>>);
+
 /// Lazy list-based set. See the module docs.
 ///
 /// Generic over the per-node lock `L` (default [`TasLock`], as in the
@@ -97,11 +100,7 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
 
     /// Parse phase: find `(pred, curr)` with `pred.key < ikey <= curr.key`.
     /// Synchronization-free; never restarts.
-    fn search<'g>(
-        &self,
-        ikey: u64,
-        guard: &'g Guard,
-    ) -> (Shared<'g, Node<V, L>>, Shared<'g, Node<V, L>>) {
+    fn search<'g>(&self, ikey: u64, guard: &'g Guard) -> NodePair<'g, V, L> {
         let mut pred = self.head.load(guard);
         // SAFETY: the head sentinel is never retired.
         let mut curr = unsafe { pred.deref() }.next.load(guard);
@@ -169,9 +168,7 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
                     }
                     Elided::FellBack => {
                         let g = lock_guard(&pred.lock);
-                        if pred.is_marked()
-                            || curr.is_marked()
-                            || pred.next.load(&guard) != curr_s
+                        if pred.is_marked() || curr.is_marked() || pred.next.load(&guard) != curr_s
                         {
                             drop(g);
                             csds_metrics::restart();
@@ -242,9 +239,7 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
                     Elided::FellBack => {
                         let gp = lock_guard(&pred.lock);
                         let gc = lock_guard(&curr.lock);
-                        if pred.is_marked()
-                            || curr.is_marked()
-                            || pred.next.load(&guard) != curr_s
+                        if pred.is_marked() || curr.is_marked() || pred.next.load(&guard) != curr_s
                         {
                             drop(gc);
                             drop(gp);

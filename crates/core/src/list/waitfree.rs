@@ -69,7 +69,13 @@ struct Link<V> {
 
 impl<V> Link<V> {
     fn plain(succ: usize, marked: bool) -> Self {
-        Link { succ, marked, desc: 0, home: 0, _pd: PhantomData }
+        Link {
+            succ,
+            marked,
+            desc: 0,
+            home: 0,
+            _pd: PhantomData,
+        }
     }
 }
 
@@ -279,12 +285,9 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
         }
 
         // (c) finalize.
-        let _ = d.state.compare_exchange(
-            flag.as_raw(),
-            SUCCESS,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        );
+        let _ =
+            d.state
+                .compare_exchange(flag.as_raw(), SUCCESS, Ordering::AcqRel, Ordering::Acquire);
     }
 
     // ------------------------------------------------------------------
@@ -341,7 +344,12 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
                     }
                 }
                 if c.key >= ikey {
-                    return Window { pred, pred_link, curr, curr_link };
+                    return Window {
+                        pred,
+                        pred_link,
+                        curr,
+                        curr_link,
+                    };
                 }
                 pred = curr;
                 pred_link = curr_link;
@@ -502,7 +510,7 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
     }
 
     /// Help every announced operation whose phase is at most `my_phase`.
-    fn help_others<'g>(&self, my_phase: u64, guard: &'g Guard) {
+    fn help_others(&self, my_phase: u64, guard: &Guard) {
         for slot in &self.slots {
             let desc_s = slot.load(guard);
             if desc_s.is_null() {

@@ -3,7 +3,7 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use csds_sync::{lock_guard, RawMutex, TicketLock};
+use csds_sync::{lock_guard, CachePadded, RawMutex, TicketLock};
 
 use crate::ConcurrentPool;
 
@@ -16,17 +16,36 @@ struct QNode<V> {
 
 impl<V> QNode<V> {
     fn alloc(value: Option<V>) -> *mut QNode<V> {
-        Box::into_raw(Box::new(QNode { value: UnsafeCell::new(value), next: AtomicUsize::new(0) }))
+        Box::into_raw(Box::new(QNode {
+            value: UnsafeCell::new(value),
+            next: AtomicUsize::new(0),
+        }))
+    }
+}
+
+/// One end of the queue: the serializing lock plus the pointer it guards,
+/// deliberately on the same cache line (the holder touches both), while the
+/// `CachePadded` wrapper keeps the two *ends* on different lines so
+/// enqueuers and dequeuers do not false-share.
+struct QueueEnd {
+    lock: TicketLock,
+    ptr: AtomicUsize, // *mut QNode — touched only under `lock`
+}
+
+impl QueueEnd {
+    fn new(ptr: usize) -> Self {
+        QueueEnd {
+            lock: TicketLock::new(),
+            ptr: AtomicUsize::new(ptr),
+        }
     }
 }
 
 /// Michael & Scott's two-lock queue [46]: enqueuers serialize on the tail
 /// lock, dequeuers on the head lock; a dummy node decouples the two ends.
 pub struct TwoLockQueue<V> {
-    head: AtomicUsize, // *mut QNode — touched only under head_lock
-    tail: AtomicUsize, // *mut QNode — touched only under tail_lock
-    head_lock: TicketLock,
-    tail_lock: TicketLock,
+    head: CachePadded<QueueEnd>,
+    tail: CachePadded<QueueEnd>,
     _pd: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -46,10 +65,8 @@ impl<V: Send> TwoLockQueue<V> {
     pub fn new() -> Self {
         let dummy = QNode::<V>::alloc(None) as usize;
         TwoLockQueue {
-            head: AtomicUsize::new(dummy),
-            tail: AtomicUsize::new(dummy),
-            head_lock: TicketLock::new(),
-            tail_lock: TicketLock::new(),
+            head: CachePadded::new(QueueEnd::new(dummy)),
+            tail: CachePadded::new(QueueEnd::new(dummy)),
             _pd: std::marker::PhantomData,
         }
     }
@@ -58,19 +75,23 @@ impl<V: Send> TwoLockQueue<V> {
 impl<V: Send + Sync> ConcurrentPool<V> for TwoLockQueue<V> {
     fn push(&self, value: V) {
         let node = QNode::alloc(Some(value)) as usize;
-        let g = lock_guard(&self.tail_lock);
-        let tail = self.tail.load(Ordering::Relaxed);
+        let g = lock_guard(&self.tail.lock);
+        let tail = self.tail.ptr.load(Ordering::Relaxed);
         // SAFETY: `tail` is valid (nodes are freed only after being
         // dequeued, and a node is dequeued only once it has a successor,
         // so the tail node is never freed while we hold the tail lock).
-        unsafe { (*(tail as *mut QNode<V>)).next.store(node, Ordering::Release) };
-        self.tail.store(node, Ordering::Relaxed);
+        unsafe {
+            (*(tail as *mut QNode<V>))
+                .next
+                .store(node, Ordering::Release)
+        };
+        self.tail.ptr.store(node, Ordering::Relaxed);
         drop(g);
     }
 
     fn pop(&self) -> Option<V> {
-        let g = lock_guard(&self.head_lock);
-        let head = self.head.load(Ordering::Relaxed) as *mut QNode<V>;
+        let g = lock_guard(&self.head.lock);
+        let head = self.head.ptr.load(Ordering::Relaxed) as *mut QNode<V>;
         // SAFETY: the head dummy is owned by the head-lock holder.
         let next = unsafe { (*head).next.load(Ordering::Acquire) } as *mut QNode<V>;
         if next.is_null() {
@@ -80,7 +101,7 @@ impl<V: Send + Sync> ConcurrentPool<V> for TwoLockQueue<V> {
         // SAFETY: `next` was fully initialized before its publication in
         // `push`; we hold the head lock, making us the unique taker.
         let value = unsafe { (*(*next).value.get()).take() };
-        self.head.store(next as usize, Ordering::Relaxed);
+        self.head.ptr.store(next as usize, Ordering::Relaxed);
         drop(g);
         // SAFETY: the old dummy is unreachable: head has moved past it and
         // any enqueuer that could touch it (tail == head case) published its
@@ -92,7 +113,7 @@ impl<V: Send + Sync> ConcurrentPool<V> for TwoLockQueue<V> {
 
 impl<V> Drop for TwoLockQueue<V> {
     fn drop(&mut self) {
-        let mut p = self.head.load(Ordering::Relaxed) as *mut QNode<V>;
+        let mut p = self.head.ptr.load(Ordering::Relaxed) as *mut QNode<V>;
         while !p.is_null() {
             // SAFETY: exclusive via &mut self.
             let node = unsafe { Box::from_raw(p) };
@@ -101,9 +122,11 @@ impl<V> Drop for TwoLockQueue<V> {
     }
 }
 
-/// Single-lock stack: the bluntest blocking hotspot object.
+/// Single-lock stack: the bluntest blocking hotspot object. The lock word
+/// gets its own cache line so hammering it does not invalidate the Vec
+/// header next door.
 pub struct LockedStack<V> {
-    lock: TicketLock,
+    lock: CachePadded<TicketLock>,
     items: UnsafeCell<Vec<V>>,
 }
 
@@ -120,7 +143,10 @@ impl<V: Send> Default for LockedStack<V> {
 impl<V: Send> LockedStack<V> {
     /// Empty stack.
     pub fn new() -> Self {
-        LockedStack { lock: TicketLock::new(), items: UnsafeCell::new(Vec::new()) }
+        LockedStack {
+            lock: CachePadded::new(TicketLock::new()),
+            items: UnsafeCell::new(Vec::new()),
+        }
     }
 
     /// Current depth (takes the lock).
@@ -221,7 +247,11 @@ mod tests {
             assert!(seen.insert(v), "duplicate pop of {v}");
             total_popped += 1;
         }
-        assert_eq!(total_popped, THREADS * PER, "pushed items must all pop exactly once");
+        assert_eq!(
+            total_popped,
+            THREADS * PER,
+            "pushed items must all pop exactly once"
+        );
     }
 
     #[test]

@@ -26,8 +26,14 @@ impl<V: Clone + Send + Sync> Default for MsQueue<V> {
 impl<V: Clone + Send + Sync> MsQueue<V> {
     /// Empty queue (one dummy node).
     pub fn new() -> Self {
-        let dummy = Shared::boxed(Node { value: None, next: Atomic::null() });
-        let q = MsQueue { head: Atomic::null(), tail: Atomic::null() };
+        let dummy = Shared::boxed(Node {
+            value: None,
+            next: Atomic::null(),
+        });
+        let q = MsQueue {
+            head: Atomic::null(),
+            tail: Atomic::null(),
+        };
         q.head.store(dummy);
         q.tail.store(dummy);
         q
@@ -37,7 +43,10 @@ impl<V: Clone + Send + Sync> MsQueue<V> {
 impl<V: Clone + Send + Sync> ConcurrentPool<V> for MsQueue<V> {
     fn push(&self, value: V) {
         let guard = pin();
-        let node = Shared::boxed(Node { value: Some(value), next: Atomic::null() });
+        let node = Shared::boxed(Node {
+            value: Some(value),
+            next: Atomic::null(),
+        });
         loop {
             let tail = self.tail.load(&guard);
             // SAFETY: pinned; tail is never null.
@@ -48,7 +57,10 @@ impl<V: Clone + Send + Sync> ConcurrentPool<V> for MsQueue<V> {
                 let _ = self.tail.compare_exchange(tail, next, &guard);
                 continue;
             }
-            if t.next.compare_exchange(Shared::null(), node, &guard).is_ok() {
+            if t.next
+                .compare_exchange(Shared::null(), node, &guard)
+                .is_ok()
+            {
                 let _ = self.tail.compare_exchange(tail, node, &guard);
                 return;
             }
@@ -110,14 +122,19 @@ impl<V: Clone + Send + Sync> Default for TreiberStack<V> {
 impl<V: Clone + Send + Sync> TreiberStack<V> {
     /// Empty stack.
     pub fn new() -> Self {
-        TreiberStack { top: Atomic::null() }
+        TreiberStack {
+            top: Atomic::null(),
+        }
     }
 }
 
 impl<V: Clone + Send + Sync> ConcurrentPool<V> for TreiberStack<V> {
     fn push(&self, value: V) {
         let guard = pin();
-        let node = Shared::boxed(Node { value: Some(value), next: Atomic::null() });
+        let node = Shared::boxed(Node {
+            value: Some(value),
+            next: Atomic::null(),
+        });
         loop {
             let top = self.top.load(&guard);
             // SAFETY: unpublished until the CAS.

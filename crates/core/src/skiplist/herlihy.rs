@@ -10,6 +10,10 @@
 //!   tower bottom-up and finally sets `fully_linked`;
 //! * `remove` locks the victim, sets `marked` (linearization point), then
 //!   locks the predecessors and unlinks every level.
+
+// Per-level windows live in fixed arrays indexed by level; iterating the
+// level as an index keeps preds/succs visibly in lockstep.
+#![allow(clippy::needless_range_loop)]
 //!
 //! An update that needs several locks makes the skiplist the structure with
 //! the largest speculative footprint under HTM elision — which is exactly
@@ -75,7 +79,10 @@ impl<V: Clone + Send + Sync> Default for HerlihySkipList<V> {
     }
 }
 
-type Windows<'g, V> = ([Shared<'g, Node<V>>; MAX_LEVEL], [Shared<'g, Node<V>>; MAX_LEVEL]);
+type Windows<'g, V> = (
+    [Shared<'g, Node<V>>; MAX_LEVEL],
+    [Shared<'g, Node<V>>; MAX_LEVEL],
+);
 
 impl<V: Clone + Send + Sync> HerlihySkipList<V> {
     /// Empty skiplist with per-node locks.
@@ -93,7 +100,9 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
         // Sentinels are always "fully linked".
         head.fully_linked.store(1, Ordering::Relaxed);
         // SAFETY: unpublished.
-        unsafe { tail.deref() }.fully_linked.store(1, Ordering::Relaxed);
+        unsafe { tail.deref() }
+            .fully_linked
+            .store(1, Ordering::Relaxed);
         HerlihySkipList {
             head: Atomic::new(head),
             region: match mode {
@@ -200,9 +209,8 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
                 csds_metrics::restart();
                 continue;
             }
-            let new_s = *new_node.get_or_insert_with(|| {
-                Shared::boxed(Node::new(ikey, value.take(), height))
-            });
+            let new_s = *new_node
+                .get_or_insert_with(|| Shared::boxed(Node::new(ikey, value.take(), height)));
             // SAFETY: unpublished; exclusive access.
             let new_ref = unsafe { new_s.deref() };
             for l in 0..=top {
@@ -283,7 +291,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
         loop {
             let ((preds, succs), found) = self.find(ikey, &guard);
             if victim_s.is_none() {
-                let Some(lf) = found else { return None };
+                let lf = found?;
                 // SAFETY: pinned.
                 let v = unsafe { succs[lf].deref() };
                 // Only delete nodes that are fully linked at their full
@@ -515,11 +523,7 @@ mod tests {
 
     #[test]
     fn sequential_model_elision() {
-        testutil::sequential_model_check(
-            HerlihySkipList::with_mode(SyncMode::Elision),
-            4_000,
-            128,
-        );
+        testutil::sequential_model_check(HerlihySkipList::with_mode(SyncMode::Elision), 4_000, 128);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! snipped from whatever it just linked, before unpinning — this closes the
 //! link-after-retire race without reference counting.
 
+// Per-level windows live in fixed arrays indexed by level; iterating the
+// level as an index keeps preds/succs visibly in lockstep.
+#![allow(clippy::needless_range_loop)]
+
 use csds_ebr::{pin, Atomic, Guard, Shared};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
@@ -49,7 +53,10 @@ impl<V: Clone + Send + Sync> Default for LockFreeSkipList<V> {
     }
 }
 
-type Windows<'g, V> = ([Shared<'g, Node<V>>; MAX_LEVEL], [Shared<'g, Node<V>>; MAX_LEVEL]);
+type Windows<'g, V> = (
+    [Shared<'g, Node<V>>; MAX_LEVEL],
+    [Shared<'g, Node<V>>; MAX_LEVEL],
+);
 
 impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
     /// Empty skiplist.
@@ -59,7 +66,9 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
         for l in 0..MAX_LEVEL {
             head.next[l].store(tail);
         }
-        LockFreeSkipList { head: Atomic::new(head) }
+        LockFreeSkipList {
+            head: Atomic::new(head),
+        }
     }
 
     /// Find per-level windows, snipping marked nodes top-down. The thread
@@ -80,8 +89,7 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
                         // curr is deleted at this level: snip it.
                         // SAFETY: pinned.
                         let p = unsafe { pred.deref() };
-                        match p.next[level].compare_exchange(curr, succ.with_tag(0), guard)
-                        {
+                        match p.next[level].compare_exchange(curr, succ.with_tag(0), guard) {
                             Ok(_) => {
                                 if level == 0 {
                                     // Fully unlinked (upper levels were
@@ -122,7 +130,9 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
         let guard = pin();
         let mut out = Vec::new();
         // SAFETY: pinned bottom-level traversal.
-        let mut curr = unsafe { self.head.load(&guard).deref() }.next[0].load(&guard).with_tag(0);
+        let mut curr = unsafe { self.head.load(&guard).deref() }.next[0]
+            .load(&guard)
+            .with_tag(0);
         loop {
             // SAFETY: pinned.
             let c = unsafe { curr.deref() };
@@ -190,9 +200,8 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
                 }
                 return false;
             }
-            let new_s = *new_node.get_or_insert_with(|| {
-                Shared::boxed(Node::new(ikey, value.take(), height))
-            });
+            let new_s = *new_node
+                .get_or_insert_with(|| Shared::boxed(Node::new(ikey, value.take(), height)));
             // SAFETY: unpublished (level 0 not linked yet).
             let new_ref = unsafe { new_s.deref() };
             for l in 0..=top {
@@ -201,7 +210,10 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
             // Level-0 CAS is the linearization point.
             // SAFETY: pinned.
             let p0 = unsafe { preds[0].deref() };
-            if p0.next[0].compare_exchange(succs[0], new_s, &guard).is_err() {
+            if p0.next[0]
+                .compare_exchange(succs[0], new_s, &guard)
+                .is_err()
+            {
                 csds_metrics::restart();
                 continue;
             }
@@ -220,11 +232,13 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
                         // Our node is gone from level 0: deleted + snipped.
                         return true;
                     }
-                    if nl.with_tag(0) != succs2[l] {
-                        if new_ref.next[l].compare_exchange(nl, succs2[l], &guard).is_err() {
-                            // Marked underneath us; handled on next loop.
-                            continue;
-                        }
+                    if nl.with_tag(0) != succs2[l]
+                        && new_ref.next[l]
+                            .compare_exchange(nl, succs2[l], &guard)
+                            .is_err()
+                    {
+                        // Marked underneath us; handled on next loop.
+                        continue;
                     }
                     // SAFETY: pinned.
                     let p = unsafe { preds2[l].deref() };
@@ -260,7 +274,10 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
                 if nxt.tag() == MARK {
                     break;
                 }
-                if v.next[l].compare_exchange(nxt, nxt.with_tag(MARK), &guard).is_ok() {
+                if v.next[l]
+                    .compare_exchange(nxt, nxt.with_tag(MARK), &guard)
+                    .is_ok()
+                {
                     break;
                 }
             }
@@ -271,7 +288,10 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
             if nxt.tag() == MARK {
                 return None; // another remover linearized first
             }
-            if v.next[0].compare_exchange(nxt, nxt.with_tag(MARK), &guard).is_ok() {
+            if v.next[0]
+                .compare_exchange(nxt, nxt.with_tag(MARK), &guard)
+                .is_ok()
+            {
                 let out = v.value.clone();
                 // Snip it out of every level (the find that performs the
                 // level-0 snip retires the node).

@@ -54,6 +54,12 @@ impl<V> Node<V> {
     }
 }
 
+/// Result of the parse phase: per-level predecessors plus the found node.
+type FindResult<'g, V> = (
+    [Shared<'g, Node<V>>; MAX_LEVEL],
+    Option<Shared<'g, Node<V>>>,
+);
+
 /// Pugh-style skiplist. See the module docs.
 pub struct PughSkipList<V> {
     head: Atomic<Node<V>>,
@@ -73,15 +79,13 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
         for l in 0..MAX_LEVEL {
             head.next[l].store(tail);
         }
-        PughSkipList { head: Atomic::new(head) }
+        PughSkipList {
+            head: Atomic::new(head),
+        }
     }
 
     /// Unsynchronized parse: per-level predecessors and the found node.
-    fn find<'g>(
-        &self,
-        ikey: u64,
-        guard: &'g Guard,
-    ) -> ([Shared<'g, Node<V>>; MAX_LEVEL], Option<Shared<'g, Node<V>>>) {
+    fn find<'g>(&self, ikey: u64, guard: &'g Guard) -> FindResult<'g, V> {
         let mut preds = [Shared::null(); MAX_LEVEL];
         let mut found = None;
         let mut pred = self.head.load(guard);
@@ -197,9 +201,8 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for PughSkipList<V> {
                 csds_metrics::restart();
                 continue;
             }
-            let new_s = *new_node.get_or_insert_with(|| {
-                Shared::boxed(Node::new(ikey, value.take(), height))
-            });
+            let new_s = *new_node
+                .get_or_insert_with(|| Shared::boxed(Node::new(ikey, value.take(), height)));
             // SAFETY: published below level by level; we hold its lock for
             // the whole linking phase, so removers wait for us.
             let new_ref = unsafe { new_s.deref() };
@@ -276,7 +279,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for PughSkipList<V> {
             return None;
         }
         v.deleted.store(1, Ordering::Release); // linearization point
-        // Unlink level by level, top-down, one predecessor lock at a time.
+                                               // Unlink level by level, top-down, one predecessor lock at a time.
         for level in (0..=v.top_level).rev() {
             loop {
                 let (preds, _) = self.find(ikey, &guard);

@@ -39,19 +39,28 @@ impl<T> Default for Atomic<T> {
 impl<T> Atomic<T> {
     /// A null pointer (tag 0).
     pub const fn null() -> Self {
-        Atomic { data: AtomicUsize::new(0), _marker: PhantomData }
+        Atomic {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
     }
 
     /// Allocate `value` on the heap and point at it (tag 0).
     pub fn new(value: T) -> Self {
         let raw = Box::into_raw(Box::new(value)) as usize;
-        Atomic { data: AtomicUsize::new(raw), _marker: PhantomData }
+        Atomic {
+            data: AtomicUsize::new(raw),
+            _marker: PhantomData,
+        }
     }
 
     /// Load with `Acquire`; the guard certifies the pointee stays live.
     #[inline]
     pub fn load<'g>(&self, _guard: &'g Guard) -> Shared<'g, T> {
-        Shared { data: self.data.load(Ordering::Acquire), _marker: PhantomData }
+        Shared {
+            data: self.data.load(Ordering::Acquire),
+            _marker: PhantomData,
+        }
     }
 
     /// Store with `Release`.
@@ -75,15 +84,24 @@ impl<T> Atomic<T> {
             Ordering::AcqRel,
             Ordering::Acquire,
         ) {
-            Ok(v) => Ok(Shared { data: v, _marker: PhantomData }),
-            Err(v) => Err(Shared { data: v, _marker: PhantomData }),
+            Ok(v) => Ok(Shared {
+                data: v,
+                _marker: PhantomData,
+            }),
+            Err(v) => Err(Shared {
+                data: v,
+                _marker: PhantomData,
+            }),
         }
     }
 
     /// Unconditional swap (`AcqRel`).
     #[inline]
     pub fn swap<'g>(&self, new: Shared<'_, T>, _guard: &'g Guard) -> Shared<'g, T> {
-        Shared { data: self.data.swap(new.data, Ordering::AcqRel), _marker: PhantomData }
+        Shared {
+            data: self.data.swap(new.data, Ordering::AcqRel),
+            _marker: PhantomData,
+        }
     }
 
     /// Raw untyped load (`Relaxed`). For destructors and diagnostics only.
@@ -127,14 +145,20 @@ impl<T> Eq for Shared<'_, T> {}
 impl<'g, T> Shared<'g, T> {
     /// The null pointer (tag 0).
     pub const fn null() -> Self {
-        Shared { data: 0, _marker: PhantomData }
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
     }
 
     /// Heap-allocate `value` and return an (unpublished) shared pointer to
     /// it. Until published via a successful store/CAS, the caller owns the
     /// allocation and must free it on failure with [`Shared::into_box`].
     pub fn boxed(value: T) -> Self {
-        Shared { data: Box::into_raw(Box::new(value)) as usize, _marker: PhantomData }
+        Shared {
+            data: Box::into_raw(Box::new(value)) as usize,
+            _marker: PhantomData,
+        }
     }
 
     /// Reconstruct from a raw word (as produced by [`Shared::as_raw`]).
@@ -143,7 +167,10 @@ impl<'g, T> Shared<'g, T> {
     /// `data` must be null or a pointer obtained from this module whose
     /// pointee is valid for `'g`.
     pub unsafe fn from_raw(data: usize) -> Self {
-        Shared { data, _marker: PhantomData }
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
     }
 
     /// The raw word: pointer bits plus tag.
@@ -169,7 +196,10 @@ impl<'g, T> Shared<'g, T> {
     /// Same pointer with the tag replaced by `tag`.
     pub fn with_tag(&self, tag: usize) -> Self {
         debug_assert!(tag <= tag_mask::<T>(), "tag does not fit alignment bits");
-        Shared { data: self.as_untagged_raw() | (tag & tag_mask::<T>()), _marker: PhantomData }
+        Shared {
+            data: self.as_untagged_raw() | (tag & tag_mask::<T>()),
+            _marker: PhantomData,
+        }
     }
 
     /// Dereference.
@@ -207,7 +237,12 @@ impl<'g, T> Shared<'g, T> {
 
 impl<T> std::fmt::Debug for Shared<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Shared({:#x}, tag={})", self.as_untagged_raw(), self.tag())
+        write!(
+            f,
+            "Shared({:#x}, tag={})",
+            self.as_untagged_raw(),
+            self.tag()
+        )
     }
 }
 

@@ -3,7 +3,9 @@
 //! The paper's implementations "use an epoch-based memory management scheme,
 //! similar in principle to RCU" (§3.2). This crate is that substrate:
 //!
-//! * a global epoch counter and a registry of per-thread participant slots;
+//! * a global epoch counter and a **lock-free registry** of per-thread
+//!   participant slots (CAS push; slots of exited threads are logically
+//!   deleted and physically recycled by later registrations);
 //! * [`pin`] returns a [`Guard`]; while a guard is live, the thread is
 //!   *pinned* at an epoch and may dereference shared pointers loaded from
 //!   [`Atomic`] cells;
@@ -12,6 +14,34 @@
 //!   still hold a reference (the classic three-generation argument);
 //! * [`Shared`] pointers carry **tag bits** in their low-order alignment
 //!   bits — the Harris list's logical-deletion mark, at zero space cost.
+//!
+//! # Fast-path design
+//!
+//! Every operation of every structure in this workspace pins, so the pin
+//! fast path is engineered down to the minimum the memory model permits:
+//!
+//! * publication is a `Relaxed` store of the slot state followed by a single
+//!   `SeqCst` fence and a `Relaxed` validation load of the global epoch —
+//!   the only sequentially consistent synchronization on the path; unpin is
+//!   a plain `Release` store. (An earlier iteration kept threads *lazily*
+//!   pinned across guard drops so a repin at an unchanged epoch could skip
+//!   the fence. Measured on `fig0_substrate`, that made pin/unpin 4× faster
+//!   — and made every *structure* slower, up to 12× for the hash table:
+//!   any thread that pins once and then goes idle stalls the epoch for
+//!   everyone, and benchmarks, servers and thread pools all have such
+//!   threads. There is no sound way for an advancer to ignore a lazy pin,
+//!   because the reusing thread would have to re-validate with exactly the
+//!   fence being skipped. So guards always unpin; the sound remnant of the
+//!   idea is [`Guard::repin`], which skips the fence while a guard is
+//!   *live*, where the slot really is continuously published.)
+//! * each participant [`Slot`] is padded to 128 bytes so pin publication
+//!   never false-shares with a neighbouring slot;
+//! * retired nodes go into a **fixed-capacity inline bag** (no allocation
+//!   per retirement, a single `RefCell` borrow, never nested); full bags
+//!   are sealed into a flat Vec-backed ring. Epoch advance + collection
+//!   runs amortized behind the `MAINTENANCE_PERIOD` pin counter, and the
+//!   registry scan is skipped when neither this thread nor the orphan
+//!   stack holds garbage.
 //!
 //! # Safety argument (sketch)
 //!
@@ -23,17 +53,26 @@
 //! global epoch reaches `tag + 2`, no such thread is still pinned, and the
 //! object can be dropped.
 //!
-//! Threads that exit donate their unreclaimed garbage to a global orphan
-//! list, collected during later maintenance by any surviving thread.
+//! [`Guard::repin`] only ever *extends* a live, continuously published pin
+//! session (staying at the current epoch is what every pinned thread does
+//! anyway), so it preserves the invariant above.
+//!
+//! Threads that exit donate their unreclaimed garbage to a global lock-free
+//! orphan stack, collected during later maintenance by any surviving thread.
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 mod atomic;
 
 pub use atomic::{Atomic, Shared};
+
+/// Pad-to-cache-line wrapper (128 bytes covers the adjacent-line prefetcher
+/// pair on x86 and the native 128-byte lines on some ARM/POWER parts).
+#[repr(align(128))]
+struct CacheAligned<T>(T);
 
 /// A type-erased deferred destructor.
 struct Deferred {
@@ -53,7 +92,10 @@ impl Deferred {
         unsafe fn drop_box<T>(p: *mut u8) {
             drop(Box::from_raw(p as *mut T));
         }
-        Deferred { ptr: ptr as *mut u8, dropper: drop_box::<T> }
+        Deferred {
+            ptr: ptr as *mut u8,
+            dropper: drop_box::<T>,
+        }
     }
 
     fn execute(self) {
@@ -63,88 +105,221 @@ impl Deferred {
     }
 }
 
+/// A sealed batch of retired objects, stamped with its retirement epoch.
 struct Bag {
     epoch: u64,
     items: Vec<Deferred>,
 }
 
-/// Per-thread participant record, shared between the thread-local handle and
-/// the global registry.
+/// Per-thread participant record. Cache-line padded: `state` is stored by
+/// every pin and read by every registry scan, so one slot must never share
+/// a line with another.
+#[repr(align(128))]
 struct Slot {
     /// 0 when not pinned, `(epoch << 1) | 1` when pinned at `epoch`.
     state: AtomicU64,
-    /// Cleared when the owning thread exits; the registry skips and prunes
-    /// inactive slots.
+    /// Claimed by a live thread. Cleared on thread exit (logical delete);
+    /// a later registration recycles the slot instead of growing the list.
     active: AtomicBool,
+    /// Intrusive registry link; written once at push, immutable afterwards.
+    next: AtomicPtr<Slot>,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            state: AtomicU64::new(0),
+            active: AtomicBool::new(true),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+/// Lock-free singly-linked registry of participant slots.
+///
+/// Push-only: nodes are never unlinked or freed (scans run with no
+/// reclamation protection of their own, and EBR cannot bootstrap itself),
+/// but exited threads' slots are *logically* deleted via [`Slot::active`]
+/// and physically recycled by the next registration, so the list length is
+/// bounded by the peak number of concurrently live threads.
+struct Registry {
+    head: CacheAligned<AtomicPtr<Slot>>,
+}
+
+impl Registry {
+    const fn new() -> Registry {
+        Registry {
+            head: CacheAligned(AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    /// Claim a recycled slot or CAS-push a fresh one. Lock-free.
+    fn register(&self) -> &'static Slot {
+        // First pass: try to reclaim a logically deleted slot.
+        let mut p = self.head.0.load(Ordering::Acquire);
+        // SAFETY: registry nodes are immortal (`Box::leak` below).
+        while let Some(slot) = unsafe { p.as_ref() } {
+            if !slot.active.load(Ordering::Relaxed)
+                && slot
+                    .active
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                debug_assert_eq!(slot.state.load(Ordering::Relaxed), 0);
+                return slot;
+            }
+            p = slot.next.load(Ordering::Relaxed);
+        }
+        // None free: push a new slot.
+        let slot: &'static Slot = Box::leak(Box::new(Slot::new()));
+        let mut head = self.head.0.load(Ordering::Relaxed);
+        loop {
+            slot.next.store(head, Ordering::Relaxed);
+            match self.head.0.compare_exchange_weak(
+                head,
+                slot as *const Slot as *mut Slot,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return slot,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Iterate all slots (including inactive ones).
+    fn iter(&self) -> impl Iterator<Item = &'static Slot> {
+        let mut p = self.head.0.load(Ordering::Acquire);
+        std::iter::from_fn(move || {
+            // SAFETY: registry nodes are immortal.
+            let slot = unsafe { p.as_ref() }?;
+            p = slot.next.load(Ordering::Relaxed);
+            Some(slot)
+        })
+    }
+}
+
+/// One donation of orphaned garbage (all the bags of one exited thread).
+struct OrphanNode {
+    bags: Vec<Bag>,
+    next: *mut OrphanNode,
+}
+
+/// Lock-free Treiber stack of orphaned garbage donations.
+struct OrphanList {
+    head: CacheAligned<AtomicPtr<OrphanNode>>,
+}
+
+// SAFETY: OrphanNode chains are transferred wholesale between threads
+// through the atomic head; their contents (Bags of Deferred) are Send.
+unsafe impl Send for OrphanList {}
+unsafe impl Sync for OrphanList {}
+
+impl OrphanList {
+    const fn new() -> OrphanList {
+        OrphanList {
+            head: CacheAligned(AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    /// Cheap emptiness probe so maintenance can skip the collection pass.
+    fn is_empty(&self) -> bool {
+        self.head.0.load(Ordering::Relaxed).is_null()
+    }
+
+    fn donate(&self, bags: Vec<Bag>) {
+        if bags.is_empty() {
+            return;
+        }
+        let node = Box::into_raw(Box::new(OrphanNode {
+            bags,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.0.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is ours until the successful CAS publishes it.
+            unsafe { (*node).next = head };
+            match self.head.0.compare_exchange_weak(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Steal the whole stack, free what `global` permits, re-donate the rest.
+    fn collect(&self, global: u64) {
+        if self.is_empty() {
+            return;
+        }
+        let mut p = self.head.0.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut ready: Vec<Bag> = Vec::new();
+        let mut unready: Vec<Bag> = Vec::new();
+        while !p.is_null() {
+            // SAFETY: the swap made this chain exclusively ours.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next;
+            for bag in node.bags {
+                if bag.epoch + 2 <= global {
+                    ready.push(bag);
+                } else {
+                    unready.push(bag);
+                }
+            }
+        }
+        self.donate(unready);
+        for bag in ready {
+            for d in bag.items {
+                d.execute();
+            }
+        }
+    }
 }
 
 struct Collector {
-    epoch: AtomicU64,
-    registry: Mutex<Vec<Arc<Slot>>>,
-    orphans: Mutex<Vec<Bag>>,
+    epoch: CacheAligned<AtomicU64>,
+    registry: Registry,
+    orphans: OrphanList,
 }
 
 impl Collector {
     fn new() -> Self {
         Collector {
-            epoch: AtomicU64::new(0),
-            registry: Mutex::new(Vec::new()),
-            orphans: Mutex::new(Vec::new()),
+            epoch: CacheAligned(AtomicU64::new(0)),
+            registry: Registry::new(),
+            orphans: OrphanList::new(),
         }
     }
 
-    fn register(&self) -> Arc<Slot> {
-        let slot =
-            Arc::new(Slot { state: AtomicU64::new(0), active: AtomicBool::new(true) });
-        self.registry.lock().unwrap().push(Arc::clone(&slot));
-        slot
-    }
-
-    /// Attempt to advance the global epoch. Returns the (possibly advanced)
-    /// global epoch. Also prunes registry entries of exited threads.
+    /// Attempt to advance the global epoch; returns the (possibly advanced)
+    /// global epoch. Lock-free scan of the participant registry; inactive
+    /// (logically deleted) slots are skipped.
     fn try_advance(&self) -> u64 {
-        let global = self.epoch.load(Ordering::SeqCst);
-        let Ok(mut registry) = self.registry.try_lock() else {
-            return global;
-        };
-        registry.retain(|s| s.active.load(Ordering::Acquire));
-        for slot in registry.iter() {
-            let s = slot.state.load(Ordering::SeqCst);
+        let global = self.epoch.0.load(Ordering::Relaxed);
+        // Pairs with the fence in `Local::publish`: slot states read below
+        // are at least as fresh as any publication that precedes this fence
+        // in the total order of SeqCst operations.
+        fence(Ordering::SeqCst);
+        for slot in self.registry.iter() {
+            if !slot.active.load(Ordering::Acquire) {
+                continue;
+            }
+            let s = slot.state.load(Ordering::Relaxed);
             if s & 1 == 1 && (s >> 1) != global {
                 return global; // someone is pinned at an older epoch
             }
         }
-        drop(registry);
-        match self.epoch.compare_exchange(
-            global,
-            global + 1,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
+        match self
+            .epoch
+            .0
+            .compare_exchange(global, global + 1, Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => global + 1,
             Err(cur) => cur,
-        }
-    }
-
-    /// Execute orphaned garbage that is old enough.
-    fn collect_orphans(&self, global: u64) {
-        let ready: Vec<Bag> = {
-            let Ok(mut orphans) = self.orphans.try_lock() else { return };
-            let mut ready = Vec::new();
-            let mut i = 0;
-            while i < orphans.len() {
-                if orphans[i].epoch + 2 <= global {
-                    ready.push(orphans.swap_remove(i));
-                } else {
-                    i += 1;
-                }
-            }
-            ready
-        };
-        for bag in ready {
-            for d in bag.items {
-                d.execute();
-            }
         }
     }
 }
@@ -154,63 +329,220 @@ fn collector() -> &'static Collector {
     GLOBAL.get_or_init(Collector::new)
 }
 
-/// Seal the current open bag every time it grows past this many items.
-const BAG_SEAL_THRESHOLD: usize = 64;
+/// Capacity of the inline open bag; sealing happens when it fills.
+const BAG_CAP: usize = 64;
 /// Run maintenance (advance + collect) every this many pin operations.
 const MAINTENANCE_PERIOD: u64 = 64;
 
+/// Flat Vec-backed ring buffer of sealed bags (oldest-first FIFO).
+struct SealedRing {
+    /// Power-of-two capacity; `None` marks an empty cell.
+    buf: Vec<Option<Bag>>,
+    head: usize,
+    len: usize,
+}
+
+impl SealedRing {
+    fn new() -> SealedRing {
+        SealedRing {
+            buf: Vec::new(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn grow(&mut self) {
+        let old_cap = self.buf.len();
+        let new_cap = (old_cap * 2).max(8);
+        let mut buf: Vec<Option<Bag>> = Vec::with_capacity(new_cap);
+        for i in 0..self.len {
+            buf.push(self.buf[(self.head + i) & (old_cap - 1)].take());
+        }
+        buf.resize_with(new_cap, || None);
+        self.buf = buf;
+        self.head = 0;
+    }
+
+    fn push_back(&mut self, bag: Bag) {
+        if self.len == self.buf.len() {
+            self.grow();
+        }
+        let mask = self.buf.len() - 1;
+        let idx = (self.head + self.len) & mask;
+        debug_assert!(self.buf[idx].is_none());
+        self.buf[idx] = Some(bag);
+        self.len += 1;
+    }
+
+    /// Epoch of the oldest sealed bag, if any.
+    fn front_epoch(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        self.buf[self.head].as_ref().map(|b| b.epoch)
+    }
+
+    fn pop_front(&mut self) -> Option<Bag> {
+        if self.len == 0 {
+            return None;
+        }
+        let bag = self.buf[self.head].take();
+        debug_assert!(bag.is_some());
+        self.head = (self.head + 1) & (self.buf.len() - 1);
+        self.len -= 1;
+        bag
+    }
+}
+
+/// The thread's garbage: a fixed-capacity inline open bag plus the ring of
+/// sealed bags. Lives behind a single `RefCell`, borrowed at most once per
+/// operation and never while destructors run.
+struct LocalBags {
+    open_epoch: u64,
+    open_len: usize,
+    open: [Option<Deferred>; BAG_CAP],
+    sealed: SealedRing,
+}
+
+impl LocalBags {
+    fn new() -> LocalBags {
+        LocalBags {
+            open_epoch: 0,
+            open_len: 0,
+            open: [const { None }; BAG_CAP],
+            sealed: SealedRing::new(),
+        }
+    }
+
+    fn has_garbage(&self) -> bool {
+        self.open_len > 0 || !self.sealed.is_empty()
+    }
+
+    /// Move the open bag's contents into the sealed ring.
+    fn seal_open(&mut self) {
+        if self.open_len == 0 {
+            return;
+        }
+        let mut items = Vec::with_capacity(self.open_len);
+        for slot in self.open.iter_mut().take(self.open_len) {
+            items.push(slot.take().expect("open bag slot in 0..open_len is filled"));
+        }
+        self.open_len = 0;
+        self.sealed.push_back(Bag {
+            epoch: self.open_epoch,
+            items,
+        });
+    }
+
+    /// Append one deferred destructor tagged `tag`; returns the sealed-bag
+    /// count so the caller can decide whether to run early maintenance.
+    fn push(&mut self, tag: u64, d: Deferred) -> usize {
+        if self.open_epoch != tag {
+            self.seal_open();
+            self.open_epoch = tag;
+        }
+        self.open[self.open_len] = Some(d);
+        self.open_len += 1;
+        if self.open_len == BAG_CAP {
+            self.seal_open();
+        }
+        self.sealed.len()
+    }
+
+    /// Drain everything (for orphan donation at thread exit).
+    fn drain_all(&mut self) -> Vec<Bag> {
+        self.seal_open();
+        let mut bags = Vec::with_capacity(self.sealed.len());
+        while let Some(bag) = self.sealed.pop_front() {
+            bags.push(bag);
+        }
+        bags
+    }
+}
+
 struct Local {
-    slot: Arc<Slot>,
+    slot: &'static Slot,
     guard_depth: Cell<usize>,
+    /// Per-thread cache of the last-observed global epoch (the epoch of the
+    /// current publication while pinned); lets [`Guard::repin`] skip the
+    /// fence when the epoch has not moved.
     pin_epoch: Cell<u64>,
     pin_count: Cell<u64>,
-    /// Open bag: items retired during recent pin sessions, tagged `epoch`.
-    open: RefCell<Vec<Deferred>>,
-    open_epoch: Cell<u64>,
-    sealed: RefCell<VecDeque<Bag>>,
+    bags: RefCell<LocalBags>,
 }
 
 impl Local {
     fn new() -> Self {
         Local {
-            slot: collector().register(),
+            slot: collector().registry.register(),
             guard_depth: Cell::new(0),
             pin_epoch: Cell::new(0),
             pin_count: Cell::new(0),
-            open: RefCell::new(Vec::new()),
-            open_epoch: Cell::new(0),
-            sealed: RefCell::new(VecDeque::new()),
+            bags: RefCell::new(LocalBags::new()),
         }
     }
 
-    fn seal_open(&self) {
-        let mut open = self.open.borrow_mut();
-        if !open.is_empty() {
-            let items = std::mem::take(&mut *open);
-            self.sealed.borrow_mut().push_back(Bag { epoch: self.open_epoch.get(), items });
+    /// Top-level pin: publish with the store + SeqCst fence.
+    #[inline]
+    fn acquire(&self) {
+        let global = collector().epoch.0.load(Ordering::Relaxed);
+        self.publish(global);
+        self.guard_depth.set(1);
+        let n = self.pin_count.get() + 1;
+        self.pin_count.set(n);
+        if n % MAINTENANCE_PERIOD == 0 {
+            self.maintenance(false);
         }
     }
 
+    /// Publish the slot as pinned, starting from the epoch guess `e`. The
+    /// store races with concurrent epoch advances, so validate and
+    /// re-publish until the published epoch matches the global epoch.
+    fn publish(&self, mut e: u64) {
+        let c = collector();
+        loop {
+            self.slot.state.store((e << 1) | 1, Ordering::Relaxed);
+            // The single SeqCst publication point on the pin path: orders
+            // the state store before the validation load, pairing with the
+            // fence in `try_advance` (see the module-level safety sketch).
+            fence(Ordering::SeqCst);
+            let now = c.epoch.0.load(Ordering::Relaxed);
+            if now == e {
+                break;
+            }
+            e = now;
+        }
+        self.pin_epoch.set(e);
+    }
+
+    #[inline]
     fn defer(&self, d: Deferred) {
         // Tag = pin_epoch + 1: an upper bound on the global epoch at unlink
-        // time (see module docs).
+        // time (see module docs). Collection is amortized purely behind the
+        // MAINTENANCE_PERIOD pin counter: triggering extra maintenance on
+        // queue depth degenerates into a registry scan per retirement
+        // whenever a pinned thread is legitimately blocking the advance.
         let tag = self.pin_epoch.get() + 1;
-        if self.open_epoch.get() != tag {
-            self.seal_open();
-            self.open_epoch.set(tag);
-        }
-        self.open.borrow_mut().push(d);
-        if self.open.borrow().len() >= BAG_SEAL_THRESHOLD {
-            self.seal_open();
-        }
+        let _sealed = self.bags.borrow_mut().push(tag, d);
     }
 
+    /// Free local sealed bags old enough under `global`. Bags are taken out
+    /// of the ring before their destructors run, so a destructor that
+    /// re-enters this module never observes a held borrow.
     fn collect_sealed(&self, global: u64) {
         loop {
             let bag = {
-                let mut sealed = self.sealed.borrow_mut();
-                match sealed.front() {
-                    Some(b) if b.epoch + 2 <= global => sealed.pop_front(),
+                let mut bags = self.bags.borrow_mut();
+                match bags.sealed.front_epoch() {
+                    Some(e) if e + 2 <= global => bags.sealed.pop_front(),
                     _ => None,
                 }
             };
@@ -225,24 +557,28 @@ impl Local {
         }
     }
 
-    fn maintenance(&self) {
+    /// Amortized maintenance: attempt an epoch advance and collect. Unless
+    /// `force`d, the registry scan is skipped entirely when neither this
+    /// thread nor the orphan stack holds garbage.
+    fn maintenance(&self, force: bool) {
         let c = collector();
+        if !force && !self.bags.borrow().has_garbage() && c.orphans.is_empty() {
+            return;
+        }
         let global = c.try_advance();
         self.collect_sealed(global);
-        c.collect_orphans(global);
+        c.orphans.collect(global);
     }
 }
 
 impl Drop for Local {
     fn drop(&mut self) {
-        // Thread exit: unpin, deactivate, donate garbage to the orphan list.
-        self.slot.state.store(0, Ordering::SeqCst);
+        // Thread exit: donate garbage, then unpin and logically delete the
+        // slot so a future thread can recycle it.
+        let bags = self.bags.borrow_mut().drain_all();
+        collector().orphans.donate(bags);
+        self.slot.state.store(0, Ordering::Release);
         self.slot.active.store(false, Ordering::Release);
-        self.seal_open();
-        let bags: Vec<Bag> = self.sealed.borrow_mut().drain(..).collect();
-        if !bags.is_empty() {
-            collector().orphans.lock().unwrap().extend(bags);
-        }
     }
 }
 
@@ -265,29 +601,15 @@ pub fn pin() -> Guard {
     LOCAL.with(|l| {
         let depth = l.guard_depth.get();
         if depth == 0 {
-            let c = collector();
-            let mut e = c.epoch.load(Ordering::Relaxed);
-            loop {
-                l.slot.state.store((e << 1) | 1, Ordering::SeqCst);
-                fence(Ordering::SeqCst);
-                let now = c.epoch.load(Ordering::SeqCst);
-                if now == e {
-                    break;
-                }
-                e = now;
-            }
-            l.pin_epoch.set(e);
-            let n = l.pin_count.get() + 1;
-            l.pin_count.set(n);
-            l.guard_depth.set(1);
-            if n % MAINTENANCE_PERIOD == 0 {
-                l.maintenance();
-            }
+            l.acquire();
         } else {
             l.guard_depth.set(depth + 1);
         }
     });
-    Guard { pinned: true, _not_send: std::marker::PhantomData }
+    Guard {
+        pinned: true,
+        _not_send: std::marker::PhantomData,
+    }
 }
 
 /// Returns a guard that does **not** pin the thread.
@@ -298,12 +620,19 @@ pub fn pin() -> Guard {
 /// data structure (e.g. inside `Drop` with `&mut self`). Items retired
 /// through an unprotected guard are dropped immediately.
 pub unsafe fn unprotected() -> Guard {
-    Guard { pinned: false, _not_send: std::marker::PhantomData }
+    Guard {
+        pinned: false,
+        _not_send: std::marker::PhantomData,
+    }
 }
 
 impl Guard {
     /// Retire the pointee: it will be dropped (as a `Box<T>`) once no pinned
     /// thread can still reference it.
+    ///
+    /// `T: Send` because the destructor may run on another thread: garbage
+    /// of an exiting thread is donated to the global orphan stack and
+    /// collected by whichever thread runs maintenance next.
     ///
     /// # Safety
     ///
@@ -312,7 +641,7 @@ impl Guard {
     /// * it must be unreachable for threads that pin *after* this call
     ///   (i.e. already unlinked from the shared structure);
     /// * it must be retired exactly once.
-    pub unsafe fn defer_drop<T>(&self, shared: Shared<'_, T>) {
+    pub unsafe fn defer_drop<T: Send>(&self, shared: Shared<'_, T>) {
         debug_assert!(!shared.is_null());
         let d = Deferred::new(shared.as_untagged_raw() as *mut T);
         if self.pinned {
@@ -323,13 +652,48 @@ impl Guard {
         }
     }
 
+    /// Re-validate this guard's pin against the current global epoch.
+    ///
+    /// If the epoch has not moved, this is a fence-free no-op (the slot has
+    /// been continuously published since [`pin`], which is exactly what
+    /// being pinned at the current epoch means). If it has moved, the guard
+    /// re-publishes at the new epoch with the usual store + fence, letting
+    /// reclamation progress past the old one.
+    ///
+    /// Long-running read phases (helping loops, full traversals) can call
+    /// this periodically so they do not hold old epochs back, without
+    /// paying a fence per call.
+    ///
+    /// Takes `&mut self`: re-publishing at a newer epoch invalidates every
+    /// [`Shared`] previously loaded through this guard (their pointees may
+    /// be reclaimed once the old epoch is released), and `Shared<'g>`
+    /// borrows the guard, so the exclusive borrow makes holding one across
+    /// `repin` a compile error. If other guards are live on this thread
+    /// (nested pins), their loaded pointers would be invalidated too —
+    /// which the borrow checker cannot see — so `repin` is a no-op unless
+    /// this is the only live guard.
+    pub fn repin(&mut self) {
+        if !self.pinned {
+            return;
+        }
+        LOCAL.with(|l| {
+            if l.guard_depth.get() != 1 {
+                return;
+            }
+            let global = collector().epoch.0.load(Ordering::Relaxed);
+            if l.pin_epoch.get() != global {
+                l.publish(global);
+            }
+        });
+    }
+
     /// Force a maintenance round (epoch advance attempt + collection).
     /// Useful in tests and teardown paths.
     pub fn flush(&self) {
         if self.pinned {
             LOCAL.with(|l| {
-                l.seal_open();
-                l.maintenance();
+                l.bags.borrow_mut().seal_open();
+                l.maintenance(true);
             });
         }
     }
@@ -344,7 +708,9 @@ impl Drop for Guard {
             let depth = l.guard_depth.get();
             l.guard_depth.set(depth - 1);
             if depth == 1 {
-                l.slot.state.store(0, Ordering::SeqCst);
+                // Always unpin: an idle thread must never hold the epoch
+                // back (see the fast-path notes in the module docs).
+                l.slot.state.store(0, Ordering::Release);
             }
         });
     }
@@ -352,7 +718,20 @@ impl Drop for Guard {
 
 /// Current global epoch (for tests and diagnostics).
 pub fn global_epoch() -> u64 {
-    collector().epoch.load(Ordering::SeqCst)
+    collector().epoch.0.load(Ordering::Acquire)
+}
+
+/// Registry occupancy `(total_slots, active_slots)` — diagnostics; racy.
+pub fn registry_stats() -> (usize, usize) {
+    let mut total = 0;
+    let mut active = 0;
+    for slot in collector().registry.iter() {
+        total += 1;
+        if slot.active.load(Ordering::Relaxed) {
+            active += 1;
+        }
+    }
+    (total, active)
 }
 
 #[cfg(test)]
@@ -376,6 +755,56 @@ mod tests {
         drop(g2);
         drop(g1);
         LOCAL.with(|l| assert_eq!(l.guard_depth.get(), 0));
+    }
+
+    #[test]
+    fn slot_is_cache_line_padded() {
+        assert!(std::mem::align_of::<Slot>() >= 128);
+        assert!(std::mem::size_of::<Slot>() >= 128);
+    }
+
+    #[test]
+    fn unpin_clears_publication() {
+        // An idle (unpinned) thread must never hold the epoch back: the
+        // last guard drop clears the slot.
+        let g = pin();
+        LOCAL.with(|l| assert_eq!(l.slot.state.load(Ordering::Relaxed) & 1, 1));
+        drop(g);
+        LOCAL.with(|l| assert_eq!(l.slot.state.load(Ordering::Relaxed), 0));
+    }
+
+    #[test]
+    fn repin_tracks_the_global_epoch() {
+        let mut g = pin();
+        // No-op repin: the epoch cannot move while only we are pinned and
+        // nothing advances it, so the published state must be unchanged.
+        let before = LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed));
+        g.repin();
+        assert_eq!(LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed)), before);
+        // Force the epoch forward (our own pin is at the current epoch, so
+        // the advance is allowed), then repin must re-publish.
+        let e0 = global_epoch();
+        g.flush();
+        if global_epoch() > e0 {
+            g.repin();
+            let state = LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed));
+            assert_eq!(state & 1, 1);
+            assert_eq!(state >> 1, global_epoch());
+        }
+        drop(g);
+    }
+
+    #[test]
+    fn repin_is_inert_under_nested_guards() {
+        let outer = pin();
+        let mut inner = pin();
+        let before = LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed));
+        // With the outer guard (and its loaded pointers) live, repin must
+        // not move the published epoch out from under it.
+        inner.repin();
+        assert_eq!(LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed)), before);
+        drop(inner);
+        drop(outer);
     }
 
     /// Pin/flush in a loop (sleeping between rounds) until `pred` holds or a
@@ -451,7 +880,11 @@ mod tests {
             let g = pin();
             g.flush();
         }
-        assert_eq!(BLOCK_DROPS.load(Ordering::SeqCst), 0, "freed under a pinned reader");
+        assert_eq!(
+            BLOCK_DROPS.load(Ordering::SeqCst),
+            0,
+            "freed under a pinned reader"
+        );
 
         tx.send(()).unwrap();
         reader.join().unwrap();
@@ -477,6 +910,68 @@ mod tests {
         .join()
         .unwrap();
         assert!(churn_until(|| ORPHAN_DROPS.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn exited_threads_slots_are_recycled() {
+        // Warm up this thread's own registration.
+        drop(pin());
+        let (total_before, _) = registry_stats();
+        for _ in 0..32 {
+            std::thread::spawn(|| drop(pin())).join().unwrap();
+        }
+        let (total_after, _) = registry_stats();
+        // Sequential short-lived threads must reuse slots rather than grow
+        // the registry by one each: without recycling the 32 spawns add 32
+        // slots. Unrelated tests running concurrently in this process can
+        // legitimately claim slots and force a few fresh pushes, so the
+        // bound is "well under one per spawn", not an absolute count.
+        assert!(
+            total_after < total_before + 32,
+            "registry grew {total_before} -> {total_after} over 32 sequential \
+             threads; slots not recycled"
+        );
+    }
+
+    #[test]
+    fn sealed_ring_fifo_and_growth() {
+        let mut ring = SealedRing::new();
+        assert!(ring.is_empty());
+        for i in 0..100 {
+            ring.push_back(Bag {
+                epoch: i,
+                items: Vec::new(),
+            });
+        }
+        assert_eq!(ring.len(), 100);
+        assert_eq!(ring.front_epoch(), Some(0));
+        for i in 0..100 {
+            let bag = ring.pop_front().unwrap();
+            assert_eq!(bag.epoch, i);
+        }
+        assert!(ring.pop_front().is_none());
+        // Interleaved push/pop exercises wrap-around: pushes interleave the
+        // streams (r, r+1000) while FIFO pops drain them at half rate, so
+        // round r pops r/2 from the first stream or (r-1)/2 + 1000 from the
+        // second, alternating.
+        for round in 0..50u64 {
+            ring.push_back(Bag {
+                epoch: round,
+                items: Vec::new(),
+            });
+            ring.push_back(Bag {
+                epoch: round + 1000,
+                items: Vec::new(),
+            });
+            let popped = ring.pop_front().unwrap().epoch;
+            let expect = if round % 2 == 0 {
+                round / 2
+            } else {
+                (round - 1) / 2 + 1000
+            };
+            assert_eq!(popped, expect);
+        }
+        assert_eq!(ring.len(), 50);
     }
 
     #[test]

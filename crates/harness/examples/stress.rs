@@ -14,7 +14,10 @@ use csds_harness::AlgoKind;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "bst".into());
-    let rounds: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let rounds: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     let algo = match which.as_str() {
         "list" => AlgoKind::LazyList,
         "skip" => AlgoKind::HerlihySkipList,
@@ -72,7 +75,11 @@ fn main() {
         for k in 0..range as usize {
             let net = ins[k].load(Ordering::Relaxed) as i64 - rem[k].load(Ordering::Relaxed) as i64;
             assert!(net == 0 || net == 1, "round {round} key {k}: net {net}");
-            assert_eq!(map.get(k as u64).is_some(), net == 1, "round {round} key {k}");
+            assert_eq!(
+                map.get(k as u64).is_some(),
+                net == 1,
+                "round {round} key {k}"
+            );
             expect += net as usize;
         }
         assert_eq!(map.len(), expect, "round {round}");

@@ -12,10 +12,21 @@ use crate::Scale;
 pub fn fig10(scale: Scale) {
     let mut table = Table::new(
         "Fig. 10 - queue/stack wait fraction (50/50 push-pop, 1024 prefilled)",
-        &["threads", "queue wait", "stack wait", "queue Mops/s", "stack Mops/s", "ms-queue Mops/s", "treiber Mops/s"],
+        &[
+            "threads",
+            "queue wait",
+            "stack wait",
+            "queue Mops/s",
+            "stack Mops/s",
+            "ms-queue Mops/s",
+            "treiber Mops/s",
+        ],
     );
-    let threads_list: Vec<usize> =
-        if scale.quick { vec![2, 4, 8, 16, 20] } else { vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20] };
+    let threads_list: Vec<usize> = if scale.quick {
+        vec![2, 4, 8, 16, 20]
+    } else {
+        vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+    };
     for threads in threads_list {
         let run = |kind: PoolKind| -> RunResult {
             run_pool(&PoolRunConfig {

@@ -14,10 +14,20 @@ pub(crate) const UPDATE_PCTS: [u32; 3] = [1, 10, 50];
 /// increasing thread counts. The paper's shape: wait-free ≈ 50 % of the
 /// other two, blocking ≈ lock-free.
 pub fn fig1(scale: Scale) {
-    let algos = [AlgoKind::LazyList, AlgoKind::HarrisList, AlgoKind::WaitFreeList];
+    let algos = [
+        AlgoKind::LazyList,
+        AlgoKind::HarrisList,
+        AlgoKind::WaitFreeList,
+    ];
     let mut table = Table::new(
         "Fig. 1 - linked list throughput (Mops/s), 1024 elements, 10% updates",
-        &["threads", "blocking(lazy)", "lock-free(harris)", "wait-free", "wf/blocking"],
+        &[
+            "threads",
+            "blocking(lazy)",
+            "lock-free(harris)",
+            "wait-free",
+            "wf/blocking",
+        ],
     );
     for &threads in &scale.thread_curve() {
         let mut row = vec![threads.to_string()];
@@ -79,7 +89,14 @@ pub fn fig4(scale: Scale) {
     let threads = scale.default_threads();
     let mut table = Table::new(
         format!("Fig. 4 - per-thread throughput (ops/s) and stddev, {threads} threads"),
-        &["structure", "size", "upd%", "mean/thread", "stddev", "stddev/mean"],
+        &[
+            "structure",
+            "size",
+            "upd%",
+            "mean/thread",
+            "stddev",
+            "stddev/mean",
+        ],
     );
     for family in Family::all() {
         for size in SIZES {

@@ -95,7 +95,11 @@ pub fn outliers(scale: Scale) {
     table.row(vec!["operations completed".into(), r.total_ops.to_string()]);
     table.row(vec![
         "requests that waited for a lock".into(),
-        format!("{} ({})", r.stats.ops_waited, pct(r.stats.ops_waited as f64 / r.stats.ops.max(1) as f64)),
+        format!(
+            "{} ({})",
+            r.stats.ops_waited,
+            pct(r.stats.ops_waited as f64 / r.stats.ops.max(1) as f64)
+        ),
     ]);
     table.row(vec![
         "max single lock wait".into(),
@@ -187,17 +191,15 @@ pub fn fig8(scale: Scale) {
     let sizes = [16usize, 32, 64, 128, 256, 512];
     for family in Family::all() {
         let mut table = Table::new(
-            format!("Fig. 8 - {} under extreme contention (40 threads, 25% updates)", family.label()),
+            format!(
+                "Fig. 8 - {} under extreme contention (40 threads, 25% updates)",
+                family.label()
+            ),
             &["size", "wait fraction", "restarted >=1", "restarted >3"],
         );
         for size in sizes {
-            let cfg = MapRunConfig::paper_default(
-                family.best_blocking(),
-                size,
-                25,
-                40,
-                scale.duration(),
-            );
+            let cfg =
+                MapRunConfig::paper_default(family.best_blocking(), size, 25, 40, scale.duration());
             let r = run_map_avg(&cfg, scale.reps());
             table.row(vec![
                 size.to_string(),
@@ -221,7 +223,12 @@ pub fn fig9(scale: Scale) {
     let threads = scale.default_threads();
     let mut table = Table::new(
         format!("Fig. 9 - delayed lock holders (1-100us every 10th CS), {threads} threads"),
-        &["structure", "wait fraction", "restarted fraction", "delays injected"],
+        &[
+            "structure",
+            "wait fraction",
+            "restarted fraction",
+            "delays injected",
+        ],
     );
     for family in Family::all() {
         let mut cfg = MapRunConfig::paper_default(

@@ -19,14 +19,26 @@ pub fn model(scale: Scale) {
     );
     // 6.1 hash table: n=1024 buckets, t=20, u=10%.
     let p_ht = model_eqs::hash_table_example(1024, 20, 0.10);
-    table.row(vec!["6.1 hash table p_conflict".into(), "0.58%".into(), pct(p_ht)]);
+    table.row(vec![
+        "6.1 hash table p_conflict".into(),
+        "0.58%".into(),
+        pct(p_ht),
+    ]);
     // 6.2 linked list: n=512, t=40, u=20%.
     let p_ll = model_eqs::linked_list_example(512, 40, 0.20);
-    table.row(vec!["6.2 linked list p_conflict".into(), "0.21%".into(), pct(p_ll)]);
+    table.row(vec![
+        "6.2 linked list p_conflict".into(),
+        "0.21%".into(),
+        pct(p_ll),
+    ]);
     // 6.3 Zipf s=0.8 on the same list.
     let probs = KeySampler::new(KeyDist::PAPER_ZIPF, 512).probabilities();
     let p_zipf = model_eqs::linked_list_zipf_example(512, 40, 0.20, &probs);
-    table.row(vec!["6.3 zipf list p_conflict".into(), "0.47%".into(), pct(p_zipf)]);
+    table.row(vec![
+        "6.3 zipf list p_conflict".into(),
+        "0.47%".into(),
+        pct(p_zipf),
+    ]);
     // 6.4 TSX fallback probabilities.
     let f_u = model_eqs::update_time_fraction(0.10, 2.0, 1.0);
     let p_ht_tsx = model_eqs::conflict_probability(20, f_u, |k| {
@@ -58,7 +70,12 @@ pub fn model(scale: Scale) {
     // should track the modeled conflict probability's shape across sizes.
     let mut mvm = Table::new(
         "Sec. 6 - model vs measured (lazy list, 40 threads, 20% updates)",
-        &["size", "model p_conflict", "measured restart frac", "measured wait frac"],
+        &[
+            "size",
+            "model p_conflict",
+            "measured restart frac",
+            "measured wait frac",
+        ],
     );
     for size in [64usize, 128, 256, 512] {
         let p_model = model_eqs::linked_list_example(size as u64, 40, 0.20);

@@ -25,7 +25,12 @@ pub enum Family {
 impl Family {
     /// The four families, in the paper's column order.
     pub fn all() -> [Family; 4] {
-        [Family::List, Family::SkipList, Family::HashTable, Family::Bst]
+        [
+            Family::List,
+            Family::SkipList,
+            Family::HashTable,
+            Family::Bst,
+        ]
     }
 
     /// Column label used in the paper's figures.
@@ -166,16 +171,10 @@ impl AlgoKind {
                 capacity,
                 SyncMode::Elision,
             )),
-            Self::CouplingHashTable => {
-                Box::new(CouplingHashTable::<u64>::with_capacity(capacity))
-            }
+            Self::CouplingHashTable => Box::new(CouplingHashTable::<u64>::with_capacity(capacity)),
             Self::CowHashTable => Box::new(CowHashTable::<u64>::with_capacity(capacity)),
-            Self::LockFreeHashTable => {
-                Box::new(LockFreeHashTable::<u64>::with_capacity(capacity))
-            }
-            Self::WaitFreeHashTable => {
-                Box::new(WaitFreeHashTable::<u64>::with_capacity(capacity))
-            }
+            Self::LockFreeHashTable => Box::new(LockFreeHashTable::<u64>::with_capacity(capacity)),
+            Self::WaitFreeHashTable => Box::new(WaitFreeHashTable::<u64>::with_capacity(capacity)),
             Self::BstTk => Box::new(BstTk::<u64>::new()),
             Self::BstTkElided => Box::new(BstTk::<u64>::with_mode(SyncMode::Elision)),
         }

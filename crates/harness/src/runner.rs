@@ -158,7 +158,10 @@ impl RunResult {
 
 /// Prefill `map` to `size` distinct keys drawn uniformly from the range.
 pub fn prefill(map: &dyn ConcurrentMap<u64>, size: usize, key_range: u64, seed: u64) {
-    assert!(size as u64 <= key_range, "cannot fit {size} elements in range {key_range}");
+    assert!(
+        size as u64 <= key_range,
+        "cannot fit {size} elements in range {key_range}"
+    );
     let mut rng = FastRng::new(seed | 1);
     let mut n = 0;
     while n < size {
@@ -421,7 +424,12 @@ mod tests {
             AlgoKind::BstTk,
         ] {
             let r = run_map(&quick_cfg(algo));
-            assert!(r.total_ops > 100, "{}: only {} ops", algo.name(), r.total_ops);
+            assert!(
+                r.total_ops > 100,
+                "{}: only {} ops",
+                algo.name(),
+                r.total_ops
+            );
             assert_eq!(r.per_thread_ops.len(), 3);
             assert_eq!(r.stats.ops, r.total_ops, "{}", algo.name());
         }
@@ -510,7 +518,12 @@ mod tests {
     fn delay_injection_is_observed() {
         let mut cfg = quick_cfg(AlgoKind::LazyList);
         cfg.update_pct = 50;
-        cfg.delay = Some(DelayPolicy { every: 5, min_ns: 1_000, max_ns: 5_000, seed: 3 });
+        cfg.delay = Some(DelayPolicy {
+            every: 5,
+            min_ns: 1_000,
+            max_ns: 5_000,
+            seed: 3,
+        });
         let r = run_map(&cfg);
         assert!(r.stats.injected_delays > 0, "delay hook never fired");
     }

@@ -80,7 +80,11 @@ impl TxRegion {
 
     /// New region with an explicit abort-on-interrupt quantum.
     pub fn with_quantum(quantum: Duration) -> Self {
-        TxRegion { seq: AtomicU64::new(0), preempt: AtomicU64::new(0), quantum }
+        TxRegion {
+            seq: AtomicU64::new(0),
+            preempt: AtomicU64::new(0),
+            quantum,
+        }
     }
 
     /// Begin a speculative section. Returns `Err(Conflict)` if the region's
@@ -138,7 +142,10 @@ impl TxRegion {
                     .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
-                return FallbackGuard { region: self, held: s + 1 };
+                return FallbackGuard {
+                    region: self,
+                    held: s + 1,
+                };
             }
             backoff.snooze();
         }
@@ -270,7 +277,9 @@ impl<'r> Tx<'r> {
 
     #[inline]
     fn revalidate(&self) -> bool {
-        self.reads.iter().all(|(loc, v)| loc.load(Ordering::Acquire) == *v)
+        self.reads
+            .iter()
+            .all(|(loc, v)| loc.load(Ordering::Acquire) == *v)
     }
 }
 

@@ -49,7 +49,12 @@ impl Event {
     /// Convenience constructor.
     pub fn new(key: u64, kind: OpKind, invoke: u64, respond: u64) -> Self {
         assert!(invoke <= respond, "response before invocation");
-        Event { key, kind, invoke, respond }
+        Event {
+            key,
+            kind,
+            invoke,
+            respond,
+        }
     }
 }
 

@@ -28,7 +28,11 @@ impl Default for LogHistogram {
 impl LogHistogram {
     /// An empty histogram.
     pub const fn new() -> Self {
-        LogHistogram { buckets: [0; BUCKETS], count: 0, sum: 0 }
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
     }
 
     #[inline]
@@ -96,11 +100,15 @@ impl LogHistogram {
 
     /// Iterate non-empty buckets as `(lower_bound, upper_bound_exclusive, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
-        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
-            let lo = if i == 0 { 0 } else { 1u64 << i };
-            let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
-            (lo, hi, c)
-        })
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                (lo, hi, c)
+            })
     }
 }
 

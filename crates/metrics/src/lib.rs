@@ -163,7 +163,12 @@ impl DelayPolicy {
     /// The exact configuration of paper §5.4: 1–100 µs every 10th critical
     /// section.
     pub fn paper_unresponsive(seed: u64) -> Self {
-        DelayPolicy { every: 10, min_ns: 1_000, max_ns: 100_000, seed }
+        DelayPolicy {
+            every: 10,
+            min_ns: 1_000,
+            max_ns: 100_000,
+            seed,
+        }
     }
 }
 
@@ -173,6 +178,10 @@ struct DelayState {
     rng: u64,
 }
 
+/// Cache-line aligned (128 bytes) so one thread's hot counters never share
+/// a line with whatever the allocator placed next to its TLS block —
+/// recording an event must stay a purely local store.
+#[repr(align(128))]
 struct Recorder {
     lock_acquires: Cell<u64>,
     contended_acquires: Cell<u64>,
@@ -300,13 +309,19 @@ pub fn elide_commit() {
 /// Record a speculative abort caused by a data conflict.
 #[inline]
 pub fn elide_abort_conflict() {
-    RECORDER.with(|r| r.elide_aborts_conflict.set(r.elide_aborts_conflict.get() + 1));
+    RECORDER.with(|r| {
+        r.elide_aborts_conflict
+            .set(r.elide_aborts_conflict.get() + 1)
+    });
 }
 
 /// Record a speculative abort caused by an (emulated) interrupt.
 #[inline]
 pub fn elide_abort_interrupt() {
-    RECORDER.with(|r| r.elide_aborts_interrupt.set(r.elide_aborts_interrupt.get() + 1));
+    RECORDER.with(|r| {
+        r.elide_aborts_interrupt
+            .set(r.elide_aborts_interrupt.get() + 1)
+    });
 }
 
 /// Record a critical section that gave up on speculation and took real locks.
@@ -418,7 +433,7 @@ mod tests {
         assert_eq!(s.ops_restarted, 1);
         assert_eq!(s.restart_hist[2], 1); // one op restarted exactly twice
         assert_eq!(s.restart_hist[0], 1); // one op never restarted
-        // Snapshot cleared everything.
+                                          // Snapshot cleared everything.
         let s2 = take_and_reset();
         assert_eq!(s2.ops, 0);
         assert_eq!(s2.restarts, 0);
@@ -450,7 +465,12 @@ mod tests {
     #[test]
     fn delay_policy_fires_every_nth() {
         let _ = take_and_reset();
-        set_delay_policy(Some(DelayPolicy { every: 3, min_ns: 100, max_ns: 200, seed: 42 }));
+        set_delay_policy(Some(DelayPolicy {
+            every: 3,
+            min_ns: 100,
+            max_ns: 200,
+            seed: 42,
+        }));
         for _ in 0..9 {
             maybe_delay_in_cs();
         }
@@ -463,8 +483,18 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = StatsSnapshot { ops: 5, restarts: 1, max_wait_ns: 10, ..Default::default() };
-        let b = StatsSnapshot { ops: 7, restarts: 2, max_wait_ns: 30, ..Default::default() };
+        let mut a = StatsSnapshot {
+            ops: 5,
+            restarts: 1,
+            max_wait_ns: 10,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            ops: 7,
+            restarts: 2,
+            max_wait_ns: 30,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.ops, 12);
         assert_eq!(a.restarts, 3);

@@ -1,0 +1,349 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! This build environment has no access to a crates registry, so the
+//! workspace ships this minimal implementation of the criterion API subset
+//! the benches use: `Criterion::benchmark_group`, group tuning knobs,
+//! `bench_function` with `Bencher::iter` / `Bencher::iter_custom`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology (deliberately simple but honest):
+//! * a warm-up phase runs the routine with doubling iteration counts until
+//!   the configured warm-up time is spent, which also yields a per-iteration
+//!   estimate;
+//! * the measurement phase splits the configured measurement time into
+//!   `sample_size` samples, each running a fixed iteration count;
+//! * the report prints median / mean / min / max time per iteration.
+//!
+//! Command-line interface: positional arguments are substring filters on the
+//! full bench id (`group/function`); `--test` runs every matched bench for a
+//! single sample of one iteration (used by `cargo test --benches`); the
+//! `--bench` flag cargo passes is accepted and ignored, as are the common
+//! real-criterion flags (`--save-baseline`, `--baseline`, `--noplot`, ...).
+
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Marker trait mirroring criterion's measurement abstraction; only wall
+    /// time exists here.
+    pub trait Measurement {}
+
+    /// Wall-clock time measurement (the default).
+    pub struct WallTime;
+
+    impl Measurement for WallTime {}
+}
+
+use measurement::{Measurement, WallTime};
+
+/// Opaque black box preventing the optimizer from deleting a computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Top-level benchmark driver; one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+    config: Config,
+}
+
+impl Criterion {
+    /// Apply command-line arguments (filters, `--test`).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" | "-t" => self.test_mode = true,
+                "--bench" | "--noplot" | "--quiet" | "--verbose" | "--exact" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--sample-size"
+                | "--warm-up-time" | "--measurement-time" | "--profile-time" => {
+                    let _ = args.next(); // skip the flag's value
+                }
+                s if s.starts_with("--") => {}
+                s => self.filters.push(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: Config::default(),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.config.clone();
+        let id = id.into();
+        self.run_one(&id, config, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut config: Config, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        if self.test_mode {
+            config.sample_size = 1;
+            config.warm_up_time = Duration::ZERO;
+            config.measurement_time = Duration::ZERO;
+        }
+
+        // Warm-up: double the iteration count until the warm-up budget is
+        // spent; this also estimates the per-iteration cost.
+        let mut iters: u64 = 1;
+        let mut per_iter = Duration::from_nanos(1);
+        if !self.test_mode {
+            let warm_start = Instant::now();
+            loop {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                if b.elapsed > Duration::ZERO {
+                    per_iter = b.elapsed / iters.max(1) as u32;
+                }
+                if warm_start.elapsed() >= config.warm_up_time {
+                    break;
+                }
+                iters = iters.saturating_mul(2).min(1 << 40);
+            }
+        }
+
+        let sample_iters = if self.test_mode {
+            1
+        } else {
+            let target = config.measurement_time / config.sample_size.max(1) as u32;
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 40) as u64
+        };
+
+        let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+        for _ in 0..config.sample_size {
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / sample_iters.max(1) as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples.first().copied().unwrap_or(0.0);
+        let max = samples.last().copied().unwrap_or(0.0);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+
+        println!("{id}");
+        println!(
+            "    time: [{} {} {}]  ({} samples x {} iters, mean {})",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max),
+            samples.len(),
+            sample_iters,
+            fmt_ns(mean),
+        );
+    }
+
+    /// Print the run footer (no-op; kept for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and tuning knobs.
+pub struct BenchmarkGroup<'a, M: Measurement> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<'a, M: Measurement> BenchmarkGroup<'a, M> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget, split across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` under the id `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let config = self.config.clone();
+        self.criterion.run_one(&full, config, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmarked closure; runs the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hand the iteration count to `f`, which returns the measured duration
+    /// (used by the harness-driven benches, where `f` runs its own threads).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` for a bench binary from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn bencher_iter_custom_takes_reported_time() {
+        let mut b = Bencher {
+            iters: 7,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 3));
+        assert_eq!(b.elapsed, Duration::from_nanos(21));
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2)
+                .warm_up_time(Duration::ZERO)
+                .measurement_time(Duration::ZERO);
+            g.bench_function("f", |b| {
+                ran += 1;
+                b.iter(|| 1 + 1)
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["yes".to_string()],
+            ..Criterion::default()
+        };
+        let mut ran = Vec::new();
+        c.bench_function("group/yes_bench", |b| {
+            ran.push("yes");
+            b.iter(|| ())
+        });
+        c.bench_function("group/no_bench", |b| {
+            ran.push("no");
+            b.iter(|| ())
+        });
+        assert_eq!(ran, vec!["yes"]);
+    }
+}

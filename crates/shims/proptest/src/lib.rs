@@ -1,0 +1,466 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! This build environment has no access to a crates registry, so the
+//! workspace ships this minimal implementation of the proptest API subset
+//! the tests use: the [`Strategy`] trait with `prop_map`, integer / float
+//! range strategies, tuple strategies, [`collection::vec`], `any::<T>()`,
+//! the [`proptest!`] / [`prop_oneof!`] macros, and `prop_assert!` /
+//! `prop_assume!`.
+//!
+//! Differences from real proptest, by design:
+//! * **no shrinking** — a failing case reports the generated inputs as-is;
+//! * generation is a plain RNG draw (xorshift64*), deterministic per test
+//!   (seeded from the test name) unless `PROPTEST_SEED` is set;
+//! * `ProptestConfig` only honours `cases`.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Configuration for a `proptest!` block. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (there is no shrinking).
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; unused.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case is skipped, not counted as a failure.
+    Reject,
+    /// `prop_assert!` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic xorshift64* RNG driving generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG; seed 0 is remapped to a fixed odd constant.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Seed from `PROPTEST_SEED` if set, else from `fallback`.
+    pub fn from_env_or(fallback: u64) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(fallback);
+        Self::new(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be positive.
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a of a test name, used as its deterministic default seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between strategies of a common value type
+/// (the engine behind [`prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.bounded(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+
+/// Types with a canonical whole-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain.
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::*;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: vectors of `element` draws.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.bounded(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert inside a proptest body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b)
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b)
+    }};
+}
+
+/// Skip the current case (not counted towards `cases`) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::from_env_or($crate::seed_from_name(stringify!($name)));
+            let mut done: u32 = 0;
+            let mut rejects: u32 = 0;
+            while done < config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                    $(&$arg,)+
+                );
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => done += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejects += 1;
+                        assert!(
+                            rejects < config.max_global_rejects,
+                            "too many prop_assume! rejections ({rejects})"
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed: {msg}\ninputs:{inputs}");
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let mut rng = TestRng::new(2);
+        let s = prop_oneof![
+            (0u64..10).prop_map(|x| x as i64),
+            (10u64..20).prop_map(|x| -(x as i64)),
+        ];
+        let mut saw_pos = false;
+        let mut saw_neg = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            if v >= 0 {
+                assert!(v < 10);
+                saw_pos = true;
+            } else {
+                assert!((-20..=-10).contains(&v));
+                saw_neg = true;
+            }
+        }
+        assert!(saw_pos && saw_neg);
+    }
+
+    #[test]
+    fn vec_strategy_obeys_len_range() {
+        let mut rng = TestRng::new(3);
+        let s = crate::collection::vec(0u64..5, 2..6);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_runnable_tests(x in 1u64..100, y in any::<u64>()) {
+            prop_assume!(y.is_multiple_of(2));
+            prop_assert!((1..100).contains(&x));
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_uses_default(pair in (0u32..4, 0u32..4)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+    }
+}

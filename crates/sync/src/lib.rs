@@ -20,12 +20,14 @@
 pub mod backoff;
 pub mod mcs;
 pub mod optik;
+pub mod padded;
 pub mod tas;
 pub mod ticket;
 
 pub use backoff::Backoff;
 pub use mcs::McsLock;
 pub use optik::OptikLock;
+pub use padded::CachePadded;
 pub use tas::{TasLock, TtasLock};
 pub use ticket::TicketLock;
 
@@ -186,6 +188,10 @@ mod tests {
         lock.unlock();
         let snap = h.join().unwrap();
         assert_eq!(snap.contended_acquires, 1);
-        assert!(snap.lock_wait_ns >= 10_000_000, "waited {}ns", snap.lock_wait_ns);
+        assert!(
+            snap.lock_wait_ns >= 10_000_000,
+            "waited {}ns",
+            snap.lock_wait_ns
+        );
     }
 }

@@ -18,6 +18,10 @@ use std::time::Instant;
 
 use crate::{Backoff, RawMutex};
 
+/// A waiter's spin cell. Cache-line padded: the whole point of MCS is that
+/// each waiter spins on private state, which only holds if pooled nodes of
+/// different waiters never share a line.
+#[repr(align(128))]
 struct QNode {
     locked: AtomicBool,
     next: AtomicPtr<QNode>,
@@ -25,19 +29,26 @@ struct QNode {
 
 impl QNode {
     fn new() -> Box<QNode> {
-        Box::new(QNode { locked: AtomicBool::new(false), next: AtomicPtr::new(ptr::null_mut()) })
+        Box::new(QNode {
+            locked: AtomicBool::new(false),
+            next: AtomicPtr::new(ptr::null_mut()),
+        })
     }
 }
 
 thread_local! {
     // Pool of queue nodes for this thread. A thread can hold several MCS
     // locks at once (hand-over-hand traversals), so this is a stack, not a
-    // single slot.
+    // single slot. The nodes must be boxed: their addresses are published
+    // into the lock's queue and have to stay stable while pooled.
+    #[allow(clippy::vec_box)]
     static NODE_POOL: RefCell<Vec<Box<QNode>>> = const { RefCell::new(Vec::new()) };
 }
 
 fn pool_pop() -> Box<QNode> {
-    NODE_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_else(QNode::new)
+    NODE_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(QNode::new)
 }
 
 fn pool_push(node: Box<QNode>) {
@@ -45,15 +56,22 @@ fn pool_push(node: Box<QNode>) {
 }
 
 /// Mellor-Crummey–Scott queue lock.
+///
+/// `tail` (swapped by every arriving waiter) lives on its own cache line,
+/// away from `owner` (touched only by the holder), so enqueue traffic never
+/// invalidates the holder's line.
 pub struct McsLock {
-    tail: AtomicPtr<QNode>,
+    tail: crate::CachePadded<AtomicPtr<QNode>>,
     /// Queue node of the current holder; written only by the holder.
     owner: AtomicPtr<QNode>,
 }
 
 impl RawMutex for McsLock {
     fn new() -> Self {
-        McsLock { tail: AtomicPtr::new(ptr::null_mut()), owner: AtomicPtr::new(ptr::null_mut()) }
+        McsLock {
+            tail: crate::CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            owner: AtomicPtr::new(ptr::null_mut()),
+        }
     }
 
     fn lock(&self) {
@@ -97,12 +115,10 @@ impl RawMutex for McsLock {
             (*node).locked.store(true, Ordering::Relaxed);
             (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
         }
-        match self.tail.compare_exchange(
-            ptr::null_mut(),
-            node,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => {
                 self.owner.store(node, Ordering::Relaxed);
                 csds_metrics::lock_acquire(false);

@@ -58,7 +58,9 @@ impl OptikLock {
 
 impl RawMutex for OptikLock {
     fn new() -> Self {
-        OptikLock { version: AtomicU64::new(0) }
+        OptikLock {
+            version: AtomicU64::new(0),
+        }
     }
 
     fn lock(&self) {

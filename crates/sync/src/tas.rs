@@ -17,7 +17,9 @@ pub struct TasLock {
 
 impl RawMutex for TasLock {
     fn new() -> Self {
-        TasLock { flag: AtomicBool::new(false) }
+        TasLock {
+            flag: AtomicBool::new(false),
+        }
     }
 
     #[inline]
@@ -88,7 +90,9 @@ pub struct TtasLock {
 
 impl RawMutex for TtasLock {
     fn new() -> Self {
-        TtasLock { flag: AtomicBool::new(false) }
+        TtasLock {
+            flag: AtomicBool::new(false),
+        }
     }
 
     #[inline]

@@ -18,7 +18,10 @@ pub struct TicketLock {
 
 impl RawMutex for TicketLock {
     fn new() -> Self {
-        TicketLock { next: AtomicU32::new(0), serving: AtomicU32::new(0) }
+        TicketLock {
+            next: AtomicU32::new(0),
+            serving: AtomicU32::new(0),
+        }
     }
 
     #[inline]
@@ -41,7 +44,12 @@ impl RawMutex for TicketLock {
         // Taking the lock = claiming ticket `next` while it is being served.
         let ok = self
             .next
-            .compare_exchange(next, next.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                next,
+                next.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_ok();
         if ok {
             csds_metrics::lock_acquire(false);

@@ -13,8 +13,6 @@
 //!   (the Zipf sampler uses a precomputed CDF and binary search);
 //! * [`OpMix`] / [`Op`] — the paper's operation mix.
 
-use rand::Rng;
-
 /// xorshift64* PRNG: fast enough to disappear inside a measurement loop,
 /// deterministic from its seed.
 #[derive(Clone, Debug)]
@@ -25,12 +23,19 @@ pub struct FastRng {
 impl FastRng {
     /// Seeded generator (seed 0 is mapped to a fixed non-zero constant).
     pub fn new(seed: u64) -> Self {
-        FastRng { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+        FastRng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
     }
 
-    /// Seed from the `rand` crate's thread RNG (for non-deterministic runs).
+    /// Seed from ambient entropy (for non-deterministic runs): hashes the
+    /// process-random `RandomState` keys, the thread id and the clock.
     pub fn from_entropy() -> Self {
-        Self::new(rand::rng().random())
+        use std::hash::{BuildHasher, Hash, Hasher};
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        std::thread::current().id().hash(&mut h);
+        std::time::Instant::now().hash(&mut h);
+        Self::new(h.finish())
     }
 
     /// Next raw 64-bit value.
@@ -103,7 +108,10 @@ impl KeySampler {
                 for c in cdf.iter_mut() {
                     *c /= total;
                 }
-                KeySampler { range, cdf: Some(cdf.into_boxed_slice()) }
+                KeySampler {
+                    range,
+                    cdf: Some(cdf.into_boxed_slice()),
+                }
             }
         }
     }
@@ -215,7 +223,7 @@ mod tests {
     fn uniform_sampler_covers_range() {
         let s = KeySampler::new(KeyDist::Uniform, 16);
         let mut rng = FastRng::new(11);
-        let mut seen = vec![0u32; 16];
+        let mut seen = [0u32; 16];
         for _ in 0..16_000 {
             seen[s.sample(&mut rng) as usize] += 1;
         }
@@ -235,7 +243,12 @@ mod tests {
             counts[k] += 1;
         }
         // Rank 1 should be far more popular than rank 512.
-        assert!(counts[0] > counts[511] * 20, "{} vs {}", counts[0], counts[511]);
+        assert!(
+            counts[0] > counts[511] * 20,
+            "{} vs {}",
+            counts[0],
+            counts[511]
+        );
         // Expected frequency of rank 1: 1/H where H = sum 1/r^0.8.
         let h: f64 = (1..=1024).map(|r| 1.0 / (r as f64).powf(0.8)).sum();
         let expect = N as f64 / h;

@@ -19,7 +19,10 @@ fn main() {
     const THREADS: usize = 32; // paper: 8 threads per physical core
     const WINDOW: Duration = Duration::from_millis(600);
 
-    println!("multiprogramming: {THREADS} threads on {} core(s)\n", num_cpus());
+    println!(
+        "multiprogramming: {THREADS} threads on {} core(s)\n",
+        num_cpus()
+    );
 
     for update_pct in [20u32, 50, 100] {
         let base = MapRunConfig::paper_default(
@@ -29,8 +32,10 @@ fn main() {
             THREADS,
             WINDOW,
         );
-        let elided =
-            MapRunConfig { algo: AlgoKind::HerlihySkipListElided, ..base.clone() };
+        let elided = MapRunConfig {
+            algo: AlgoKind::HerlihySkipListElided,
+            ..base.clone()
+        };
 
         let r_base = run_map(&base);
         let r_elided = run_map(&elided);
@@ -57,5 +62,7 @@ fn main() {
 }
 
 fn num_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }

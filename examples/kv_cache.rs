@@ -25,8 +25,7 @@ const RUN: Duration = Duration::from_millis(800);
 
 fn main() {
     // Per-bucket-lock hash table at load factor 1: the paper's blocking HT.
-    let cache: Arc<LazyHashTable<u64>> =
-        Arc::new(LazyHashTable::with_capacity(CACHE_CAPACITY));
+    let cache: Arc<LazyHashTable<u64>> = Arc::new(LazyHashTable::with_capacity(CACHE_CAPACITY));
     for k in 0..CACHE_CAPACITY as u64 / 2 {
         cache.insert(k, k ^ 0xABCD);
     }
@@ -39,8 +38,7 @@ fn main() {
         let cache = Arc::clone(&cache);
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
-            let sampler =
-                KeySampler::new(KeyDist::Zipf { s: 0.8 }, CACHE_CAPACITY as u64);
+            let sampler = KeySampler::new(KeyDist::Zipf { s: 0.8 }, CACHE_CAPACITY as u64);
             let mut rng = FastRng::new(0xCAFE + t as u64);
             let _ = csds::metrics::take_and_reset();
             let (mut hits, mut misses, mut sets) = (0u64, 0u64, 0u64);

@@ -17,7 +17,9 @@ use std::time::Duration;
 use csds::harness::{run_map, AlgoKind, MapRunConfig};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "list".to_string());
     let algo = match which.as_str() {
         "list" => AlgoKind::LazyList,
         "skiplist" => AlgoKind::HerlihySkipList,

@@ -1,5 +1,8 @@
 //! Shared drivers for the cross-crate integration tests.
 
+// Each test binary compiles this module separately and uses a subset of it.
+#![allow(dead_code)]
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -88,8 +91,7 @@ pub fn net_effect(
     }
     let mut expected = 0usize;
     for k in 0..key_range as usize {
-        let net =
-            ins[k].load(Ordering::Relaxed) as i64 - rem[k].load(Ordering::Relaxed) as i64;
+        let net = ins[k].load(Ordering::Relaxed) as i64 - rem[k].load(Ordering::Relaxed) as i64;
         assert!((0..=1).contains(&net), "key {k}: net {net}");
         assert_eq!(map.get(k as u64).is_some(), net == 1, "key {k}");
         expected += net as usize;

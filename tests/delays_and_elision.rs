@@ -17,7 +17,12 @@ fn delayed_holders_inflate_lock_waits() {
     let calm = run_map(&base(AlgoKind::LazyList, 50, 4));
     // With the paper's §5.4 delay policy but aggressive (every 2nd CS).
     let mut cfg = base(AlgoKind::LazyList, 50, 4);
-    cfg.delay = Some(DelayPolicy { every: 2, min_ns: 20_000, max_ns: 60_000, seed: 9 });
+    cfg.delay = Some(DelayPolicy {
+        every: 2,
+        min_ns: 20_000,
+        max_ns: 60_000,
+        seed: 9,
+    });
     let delayed = run_map(&cfg);
     assert!(delayed.stats.injected_delays > 0, "injector never fired");
     // Holding locks while stalled must increase observed waiting.
@@ -55,7 +60,12 @@ fn delayed_elided_sections_abort_as_interrupted_not_block() {
     // Delays inside speculative sections should surface as interrupt
     // aborts, not as lock waiting (the whole point of TSX elision in §5.4).
     let mut cfg = base(AlgoKind::LazyListElided, 50, 4);
-    cfg.delay = Some(DelayPolicy { every: 2, min_ns: 150_000, max_ns: 300_000, seed: 5 });
+    cfg.delay = Some(DelayPolicy {
+        every: 2,
+        min_ns: 150_000,
+        max_ns: 300_000,
+        seed: 5,
+    });
     let r = run_map(&cfg);
     assert!(r.stats.injected_delays > 0);
     assert!(

@@ -38,9 +38,15 @@ fn record_history(
                 let key = rng() % keys;
                 let invoke = origin.elapsed().as_nanos() as u64;
                 let kind = match rng() % 3 {
-                    0 => OpKind::Insert { ok: map.insert(key, key) },
-                    1 => OpKind::Remove { ok: map.remove(key).is_some() },
-                    _ => OpKind::Get { found: map.get(key).is_some() },
+                    0 => OpKind::Insert {
+                        ok: map.insert(key, key),
+                    },
+                    1 => OpKind::Remove {
+                        ok: map.remove(key).is_some(),
+                    },
+                    _ => OpKind::Get {
+                        found: map.get(key).is_some(),
+                    },
                 };
                 let respond = origin.elapsed().as_nanos() as u64;
                 local.push(Event::new(key, kind, invoke, respond.max(invoke)));
