@@ -186,12 +186,38 @@ fn structures_readheavy(c: &mut Criterion) {
     g.finish();
 }
 
+/// API-path comparison: the same prefilled structure driven through the
+/// pin-per-op `ConcurrentMap` wrappers (full pin/unpin + value clone per
+/// read) versus a per-worker `MapHandle` (guard reuse, fence-free repin,
+/// clone-free reads) on a read-heavy loop. The handle path must come in at
+/// or below the pin-per-op cost.
+fn api_pin_vs_handle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig0_api_readheavy_1024elems_10pct");
+    tune(&mut g);
+    for (label, algo) in [
+        ("lazy_ht", AlgoKind::LazyHashTable),
+        ("harris_list", AlgoKind::HarrisList),
+    ] {
+        let map = BenchMap::new(algo, 1024);
+        for threads in [1usize, 2] {
+            g.bench_function(format!("{label}/pin_per_op/t{threads}"), |b| {
+                b.iter_custom(|iters| map.run_pin_per_op(iters, threads, 10));
+            });
+            g.bench_function(format!("{label}/handle_repin/t{threads}"), |b| {
+                b.iter_custom(|iters| map.run(iters, threads, 10));
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     pin_costs,
     defer_costs,
     lock_uncontended,
     lock_handoff,
-    structures_readheavy
+    structures_readheavy,
+    api_pin_vs_handle
 );
 criterion_main!(benches);

@@ -3,19 +3,24 @@
 //!
 //! Criterion measures *time per iteration*; we define one iteration as one
 //! map operation and split the requested iteration count across worker
-//! threads with [`csds_harness::timed_ops`], so throughput comparisons
-//! between algorithms reproduce the paper's figures' shapes.
+//! threads with [`csds_harness::timed_ops_handle`], so throughput
+//! comparisons between algorithms reproduce the paper's figures' shapes.
+//!
+//! Benches run the **handle** path by default (one `MapHandle` per worker,
+//! fence-free repin between operations — the production configuration);
+//! [`BenchMap::run_pin_per_op`] exposes the pin-per-op trait path so
+//! `fig0_substrate` can measure the difference directly.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use csds_core::ConcurrentMap;
-use csds_harness::{prefill, timed_ops, AlgoKind};
+use csds_core::GuardedMap;
+use csds_harness::{prefill, timed_ops, timed_ops_handle, AlgoKind};
 use csds_workload::KeyDist;
 
 /// An owned, prefilled structure ready to be hammered by a bench.
 pub struct BenchMap {
-    map: Arc<Box<dyn ConcurrentMap<u64>>>,
+    map: Arc<Box<dyn GuardedMap<u64>>>,
     key_range: u64,
 }
 
@@ -23,17 +28,18 @@ impl BenchMap {
     /// Build and prefill `algo` to `size` elements (key range 2×size).
     pub fn new(algo: AlgoKind, size: usize) -> Self {
         let key_range = size as u64 * 2;
-        let map: Arc<Box<dyn ConcurrentMap<u64>>> = Arc::new(algo.make(key_range as usize));
+        let map: Arc<Box<dyn GuardedMap<u64>>> = Arc::new(algo.make_guarded(key_range as usize));
         prefill(map.as_ref().as_ref(), size, key_range, 0xB0B5EED);
         BenchMap { map, key_range }
     }
 
-    /// Run `total_ops` operations (uniform keys) across `threads`.
+    /// Run `total_ops` operations (uniform keys) across `threads`, one
+    /// `MapHandle` per worker.
     pub fn run(&self, total_ops: u64, threads: usize, update_pct: u32) -> Duration {
         self.run_dist(total_ops, threads, update_pct, KeyDist::Uniform)
     }
 
-    /// Run with an explicit key distribution.
+    /// Run with an explicit key distribution (handle path).
     pub fn run_dist(
         &self,
         total_ops: u64,
@@ -41,9 +47,24 @@ impl BenchMap {
         update_pct: u32,
         dist: KeyDist,
     ) -> Duration {
-        timed_ops(
+        timed_ops_handle(
             &self.map,
             dist,
+            self.key_range,
+            update_pct,
+            threads,
+            total_ops,
+            0x5EED ^ total_ops,
+        )
+    }
+
+    /// Run through the pin-per-op [`csds_core::ConcurrentMap`] wrappers
+    /// (full pin/unpin cycle and a value clone per read) for comparison
+    /// against the handle path.
+    pub fn run_pin_per_op(&self, total_ops: u64, threads: usize, update_pct: u32) -> Duration {
+        timed_ops(
+            &self.map,
+            KeyDist::Uniform,
             self.key_range,
             update_pct,
             threads,
@@ -70,5 +91,7 @@ mod tests {
         let bm = BenchMap::new(AlgoKind::LazyHashTable, 128);
         let d = bm.run(10_000, 2, 10);
         assert!(d > Duration::ZERO);
+        let d2 = bm.run_pin_per_op(10_000, 2, 10);
+        assert!(d2 > Duration::ZERO);
     }
 }

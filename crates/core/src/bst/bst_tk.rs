@@ -19,11 +19,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use csds_ebr::{pin, Atomic, Guard, Shared};
+use csds_ebr::{Atomic, Guard, Shared};
 use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
 use csds_sync::{OptikLock, RawMutex};
 
-use crate::{ConcurrentMap, SyncMode, ELISION_RETRIES};
+use crate::{key, GuardedMap, SyncMode, ELISION_RETRIES};
 
 struct Node<V> {
     key: u64,
@@ -162,11 +162,13 @@ impl<V: Clone + Send + Sync> BstTk<V> {
         }
     }
 
-    fn insert_impl(&self, key: u64, value: V) -> bool {
-        let guard = pin();
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, k: u64, value: V, guard: &Guard) -> bool {
+        key::check_user_key(k);
+        let key = k;
         let mut value = Some(value);
         loop {
-            let (_gp, p, leaf) = self.parse(key, &guard);
+            let (_gp, p, leaf) = self.parse(key, guard);
             if let Some(leaf_s) = leaf {
                 // SAFETY: pinned.
                 if unsafe { leaf_s.deref() }.key == key {
@@ -247,7 +249,7 @@ impl<V: Clone + Send + Sync> BstTk<V> {
                         let ok = p
                             .owner_removed()
                             .map_or(true, |r| r.load(Ordering::Acquire) == 0)
-                            && p.slot.load(&guard) == expected;
+                            && p.slot.load(guard) == expected;
                         if !ok {
                             p.lock.unlock();
                             reclaim(replacement, &mut value);
@@ -271,17 +273,19 @@ impl<V: Clone + Send + Sync> BstTk<V> {
                 continue;
             }
             // Version matched ⇒ the slot is unchanged since the parse.
-            debug_assert!(p.slot.load(&guard) == expected);
+            debug_assert!(p.slot.load(guard) == expected);
             p.slot.store(replacement);
             p.lock.unlock();
             return true;
         }
     }
 
-    fn remove_impl(&self, key: u64) -> Option<V> {
-        let guard = pin();
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, k: u64, guard: &Guard) -> Option<V> {
+        key::check_user_key(k);
+        let key = k;
         loop {
-            let (gp, p, leaf) = self.parse(key, &guard);
+            let (gp, p, leaf) = self.parse(key, guard);
             let leaf_s = leaf?;
             // SAFETY: pinned.
             let l = unsafe { leaf_s.deref() };
@@ -310,7 +314,7 @@ impl<V: Clone + Send + Sync> BstTk<V> {
                             }
                             Elided::FellBack => {
                                 p.lock.lock();
-                                if p.slot.load(&guard) != leaf_s {
+                                if p.slot.load(guard) != leaf_s {
                                     p.lock.unlock();
                                     csds_metrics::restart();
                                     continue;
@@ -384,8 +388,8 @@ impl<V: Clone + Send + Sync> BstTk<V> {
                                     .owner_removed()
                                     .map_or(true, |r| r.load(Ordering::Acquire) == 0)
                                     && parent.removed.load(Ordering::Acquire) == 0
-                                    && gp.slot.load(&guard) == parent_s
-                                    && p.slot.load(&guard) == leaf_s;
+                                    && gp.slot.load(guard) == parent_s
+                                    && p.slot.load(guard) == leaf_s;
                                 if !ok {
                                     parent.lock.unlock();
                                     gp.lock.unlock();
@@ -393,7 +397,7 @@ impl<V: Clone + Send + Sync> BstTk<V> {
                                     continue;
                                 }
                                 let fb = region.enter_fallback();
-                                let sibling = sibling_slot.load(&guard);
+                                let sibling = sibling_slot.load(guard);
                                 gp.slot.store(sibling);
                                 parent.removed.store(1, Ordering::Release);
                                 l.removed.store(1, Ordering::Release);
@@ -414,7 +418,7 @@ impl<V: Clone + Send + Sync> BstTk<V> {
                             csds_metrics::restart();
                             continue;
                         }
-                        let sibling = sibling_slot.load(&guard);
+                        let sibling = sibling_slot.load(guard);
                         gp.slot.store(sibling);
                         parent.removed.store(1, Ordering::Release);
                         l.removed.store(1, Ordering::Release);
@@ -443,10 +447,11 @@ impl<V: Clone + Send + Sync> BstTk<V> {
     }
 }
 
-impl<V: Clone + Send + Sync> ConcurrentMap<V> for BstTk<V> {
-    fn get(&self, key: u64) -> Option<V> {
-        let guard = pin();
-        let mut curr = self.root.load(&guard);
+impl<V: Clone + Send + Sync> BstTk<V> {
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    pub fn get_in<'g>(&self, k: u64, guard: &'g Guard) -> Option<&'g V> {
+        key::check_user_key(k);
+        let mut curr = self.root.load(guard);
         loop {
             if curr.is_null() {
                 return None;
@@ -454,24 +459,16 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for BstTk<V> {
             // SAFETY: pinned.
             let c = unsafe { curr.deref() };
             if c.leaf {
-                return if c.key == key { c.value.clone() } else { None };
+                return if c.key == k { c.value.as_ref() } else { None };
             }
-            curr = c.child(key < c.key).load(&guard);
+            curr = c.child(k < c.key).load(guard);
         }
     }
 
-    fn insert(&self, key: u64, value: V) -> bool {
-        self.insert_impl(key, value)
-    }
-
-    fn remove(&self, key: u64) -> Option<V> {
-        self.remove_impl(key)
-    }
-
-    fn len(&self) -> usize {
-        let guard = pin();
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
         let mut n = 0;
-        let mut stack = vec![self.root.load(&guard)];
+        let mut stack = vec![self.root.load(guard)];
         while let Some(s) = stack.pop() {
             if s.is_null() {
                 continue;
@@ -481,11 +478,29 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for BstTk<V> {
             if node.leaf {
                 n += 1;
             } else {
-                stack.push(node.left.load(&guard));
-                stack.push(node.right.load(&guard));
+                stack.push(node.left.load(guard));
+                stack.push(node.right.load(guard));
             }
         }
         n
+    }
+}
+
+impl<V: Clone + Send + Sync> GuardedMap<V> for BstTk<V> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        BstTk::get_in(self, key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        BstTk::insert_in(self, key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        BstTk::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        BstTk::len_in(self, guard)
     }
 }
 
@@ -507,7 +522,7 @@ impl<V> Drop for BstTk<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]

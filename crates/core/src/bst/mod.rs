@@ -1,7 +1,7 @@
 //! Binary search trees.
 //!
 //! * [`BstTk`] — the BST-TK external tree of David, Guerraoui and
-//!   Trigonakis (ASPLOS'15 [9]), the tree used in every figure of the
+//!   Trigonakis (ASPLOS'15 \[9\]), the tree used in every figure of the
 //!   paper. Updates never wait for locks: they validate OPTIK-style
 //!   versioned trylocks and restart on failure, which is why the paper's
 //!   Fig. 5 reports zero lock-wait time for the BST and Fig. 6 a non-zero

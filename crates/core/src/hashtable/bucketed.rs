@@ -1,11 +1,11 @@
 //! Generic "one map per bucket" hash-table adapter.
 //!
-//! Hashing a key to a bucket and delegating to any [`ConcurrentMap`] turns
+//! Hashing a key to a bucket and delegating to any [`GuardedMap`] turns
 //! every list in this library into a hash table — exactly how the paper
 //! builds its tables ("one lazy linked list per bucket"). We use it for:
 //!
-//! * [`CouplingHashTable`] — lock-coupling chains (Herlihy & Shavit [30]);
-//! * [`LockFreeHashTable`] — Harris chains (≈ Michael's table [43]);
+//! * [`CouplingHashTable`] — lock-coupling chains (Herlihy & Shavit \[30\]);
+//! * [`LockFreeHashTable`] — Harris chains (≈ Michael's table \[43\]);
 //! * [`WaitFreeHashTable`] — wait-free chains: reproduces the paper's
 //!   footnote 2, where the wait-free hash table is only ≈33 % slower than
 //!   the blocking one because the chains have length ≈1 and the interposed
@@ -13,11 +13,13 @@
 
 use std::marker::PhantomData;
 
+use csds_ebr::Guard;
+
 use crate::hashtable::{bucket_count, bucket_of};
 use crate::list::{CouplingList, HarrisList, WaitFreeList};
-use crate::ConcurrentMap;
+use crate::{key, GuardedMap};
 
-/// Hash table delegating each bucket to an inner [`ConcurrentMap`].
+/// Hash table delegating each bucket to an inner [`GuardedMap`].
 ///
 /// Bucket heads are deliberately **not** cache-line padded: measured on the
 /// `fig0_substrate` read-heavy run, padding each bucket to 128 B blew the
@@ -32,7 +34,7 @@ pub struct Bucketed<M, V> {
 
 impl<M, V> Bucketed<M, V>
 where
-    M: ConcurrentMap<V>,
+    M: GuardedMap<V>,
     V: Clone + Send + Sync,
 {
     /// Build a table of `bucket_count(capacity)` buckets, constructing each
@@ -55,34 +57,57 @@ where
     pub fn buckets(&self) -> usize {
         self.buckets.len()
     }
+
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    pub fn get_in<'g>(&self, k: u64, guard: &'g Guard) -> Option<&'g V> {
+        key::check_user_key(k);
+        self.bucket(k).get_in(k, guard)
+    }
+
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, k: u64, value: V, guard: &Guard) -> bool {
+        key::check_user_key(k);
+        self.bucket(k).insert_in(k, value, guard)
+    }
+
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, k: u64, guard: &Guard) -> Option<V> {
+        key::check_user_key(k);
+        self.bucket(k).remove_in(k, guard)
+    }
+
+    /// Guard-scoped element count (one traversal under one guard).
+    pub fn len_in(&self, guard: &Guard) -> usize {
+        self.buckets.iter().map(|b| b.len_in(guard)).sum()
+    }
 }
 
-impl<M, V> ConcurrentMap<V> for Bucketed<M, V>
+impl<M, V> GuardedMap<V> for Bucketed<M, V>
 where
-    M: ConcurrentMap<V>,
+    M: GuardedMap<V>,
     V: Clone + Send + Sync,
 {
-    fn get(&self, key: u64) -> Option<V> {
-        self.bucket(key).get(key)
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        Bucketed::get_in(self, key, guard)
     }
 
-    fn insert(&self, key: u64, value: V) -> bool {
-        self.bucket(key).insert(key, value)
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        Bucketed::insert_in(self, key, value, guard)
     }
 
-    fn remove(&self, key: u64) -> Option<V> {
-        self.bucket(key).remove(key)
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        Bucketed::remove_in(self, key, guard)
     }
 
-    fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.len()).sum()
+    fn len_in(&self, guard: &Guard) -> usize {
+        Bucketed::len_in(self, guard)
     }
 }
 
-/// Lock-coupling hash table [30]: hand-over-hand chains per bucket.
+/// Lock-coupling hash table \[30\]: hand-over-hand chains per bucket.
 pub type CouplingHashTable<V> = Bucketed<CouplingList<V>, V>;
 
-/// Lock-free hash table (Harris chains; ≈ Michael [43]).
+/// Lock-free hash table (Harris chains; ≈ Michael \[43\]).
 pub type LockFreeHashTable<V> = Bucketed<HarrisList<V>, V>;
 
 /// Wait-free hash table (wait-free chains; paper footnote 2).

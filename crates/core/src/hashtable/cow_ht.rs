@@ -9,11 +9,11 @@
 //! tiny, which is why this design is competitive in the paper's Table 1
 //! company.
 
-use csds_ebr::{pin, Atomic, Shared};
+use csds_ebr::{Atomic, Guard, Shared};
 use csds_sync::{lock_guard, RawMutex, TicketLock};
 
 use crate::hashtable::{bucket_count, bucket_of};
-use crate::ConcurrentMap;
+use crate::{key, GuardedMap};
 
 struct Bucket<V> {
     lock: TicketLock,
@@ -52,22 +52,26 @@ impl<V: Clone + Send + Sync> CowHashTable<V> {
     }
 }
 
-impl<V: Clone + Send + Sync> ConcurrentMap<V> for CowHashTable<V> {
-    fn get(&self, key: u64) -> Option<V> {
-        let guard = pin();
-        let snap = self.bucket(key).data.load(&guard);
+impl<V: Clone + Send + Sync> CowHashTable<V> {
+    /// Guard-scoped `get`: clone-free reference into the bucket's current
+    /// immutable snapshot, valid for `'g`.
+    pub fn get_in<'g>(&self, k: u64, guard: &'g Guard) -> Option<&'g V> {
+        key::check_user_key(k);
+        let snap = self.bucket(k).data.load(guard);
         // SAFETY: pinned; snapshots are retired through EBR.
         let arr = unsafe { snap.deref() };
-        arr.binary_search_by_key(&key, |e| e.0)
+        arr.binary_search_by_key(&k, |e| e.0)
             .ok()
-            .map(|i| arr[i].1.clone())
+            .map(|i| &arr[i].1)
     }
 
-    fn insert(&self, key: u64, value: V) -> bool {
-        let guard = pin();
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, k: u64, value: V, guard: &Guard) -> bool {
+        key::check_user_key(k);
+        let key = k;
         let bucket = self.bucket(key);
         let g = lock_guard(&bucket.lock);
-        let snap = bucket.data.load(&guard);
+        let snap = bucket.data.load(guard);
         // SAFETY: pinned; we hold the bucket lock, so this snapshot is the
         // current one.
         let arr = unsafe { snap.deref() };
@@ -91,11 +95,13 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for CowHashTable<V> {
         }
     }
 
-    fn remove(&self, key: u64) -> Option<V> {
-        let guard = pin();
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, k: u64, guard: &Guard) -> Option<V> {
+        key::check_user_key(k);
+        let key = k;
         let bucket = self.bucket(key);
         let g = lock_guard(&bucket.lock);
-        let snap = bucket.data.load(&guard);
+        let snap = bucket.data.load(guard);
         // SAFETY: pinned + bucket lock held.
         let arr = unsafe { snap.deref() };
         match arr.binary_search_by_key(&key, |e| e.0) {
@@ -117,15 +123,33 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for CowHashTable<V> {
         }
     }
 
-    fn len(&self) -> usize {
-        let guard = pin();
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
         self.buckets
             .iter()
             .map(|b| {
                 // SAFETY: pinned.
-                unsafe { b.data.load(&guard).deref() }.len()
+                unsafe { b.data.load(guard).deref() }.len()
             })
             .sum()
+    }
+}
+
+impl<V: Clone + Send + Sync> GuardedMap<V> for CowHashTable<V> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        CowHashTable::get_in(self, key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        CowHashTable::insert_in(self, key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        CowHashTable::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        CowHashTable::len_in(self, guard)
     }
 }
 
@@ -144,7 +168,7 @@ impl<V> Drop for CowHashTable<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]

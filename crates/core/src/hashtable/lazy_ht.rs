@@ -15,12 +15,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use csds_ebr::{pin, Atomic, Guard, Shared};
+use csds_ebr::{Atomic, Guard, Shared};
 use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
 use csds_sync::{lock_guard, RawMutex, TicketLock};
 
 use crate::hashtable::{bucket_count, bucket_of};
-use crate::{ConcurrentMap, SyncMode, ELISION_RETRIES};
+use crate::{key, GuardedMap, SyncMode, ELISION_RETRIES};
 
 struct Node<V> {
     key: u64,
@@ -98,10 +98,11 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
     }
 }
 
-impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
-    fn get(&self, key: u64) -> Option<V> {
-        let guard = pin();
-        let (_, curr) = Self::scan(self.bucket(key), key, &guard);
+impl<V: Clone + Send + Sync> LazyHashTable<V> {
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    pub fn get_in<'g>(&self, k: u64, guard: &'g Guard) -> Option<&'g V> {
+        key::check_user_key(k);
+        let (_, curr) = Self::scan(self.bucket(k), k, guard);
         if curr.is_null() {
             return None;
         }
@@ -110,20 +111,21 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
         if c.marked.load(Ordering::Acquire) != 0 {
             None
         } else {
-            c.value.clone()
+            c.value.as_ref()
         }
     }
 
-    fn insert(&self, key: u64, value: V) -> bool {
-        let guard = pin();
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        crate::key::check_user_key(key);
         let bucket = self.bucket(key);
 
         if let Some(region) = &self.region {
             let mut value = Some(value);
             let mut new_node: Option<Shared<'_, Node<V>>> = None;
             loop {
-                let head = bucket.head.load(&guard);
-                let (_, curr) = Self::scan(bucket, key, &guard);
+                let head = bucket.head.load(guard);
+                let (_, curr) = Self::scan(bucket, key, guard);
                 if !curr.is_null() {
                     // SAFETY: pinned.
                     if unsafe { curr.deref() }.marked.load(Ordering::Acquire) == 0 {
@@ -165,7 +167,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
                     Elided::FellBack => {
                         let g = lock_guard(&bucket.lock);
                         // Re-scan under the lock (serialized: cannot fail).
-                        let (_, curr) = Self::scan(bucket, key, &guard);
+                        let (_, curr) = Self::scan(bucket, key, guard);
                         if !curr.is_null() {
                             drop(g);
                             // SAFETY: never published.
@@ -173,9 +175,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
                             return false;
                         }
                         // SAFETY: unpublished.
-                        unsafe { new_s.deref() }
-                            .next
-                            .store(bucket.head.load(&guard));
+                        unsafe { new_s.deref() }.next.store(bucket.head.load(guard));
                         let fb = region.enter_fallback();
                         bucket.head.store(new_s);
                         drop(fb);
@@ -188,7 +188,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
 
         // Locking mode: serialize the bucket; no restarts possible.
         let g = lock_guard(&bucket.lock);
-        let (_, curr) = Self::scan(bucket, key, &guard);
+        let (_, curr) = Self::scan(bucket, key, guard);
         if !curr.is_null() {
             drop(g);
             return false;
@@ -200,21 +200,20 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
             next: Atomic::null(),
         });
         // SAFETY: unpublished.
-        unsafe { new_s.deref() }
-            .next
-            .store(bucket.head.load(&guard));
+        unsafe { new_s.deref() }.next.store(bucket.head.load(guard));
         bucket.head.store(new_s);
         drop(g);
         true
     }
 
-    fn remove(&self, key: u64) -> Option<V> {
-        let guard = pin();
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        crate::key::check_user_key(key);
         let bucket = self.bucket(key);
 
         if let Some(region) = &self.region {
             loop {
-                let (pred, curr) = Self::scan(bucket, key, &guard);
+                let (pred, curr) = Self::scan(bucket, key, guard);
                 if curr.is_null() {
                     return None;
                 }
@@ -264,7 +263,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
                     }
                     Elided::FellBack => {
                         let g = lock_guard(&bucket.lock);
-                        let (pred, curr) = Self::scan(bucket, key, &guard);
+                        let (pred, curr) = Self::scan(bucket, key, guard);
                         if curr.is_null() {
                             drop(g);
                             return None;
@@ -273,7 +272,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
                         let c = unsafe { curr.deref() };
                         let fb = region.enter_fallback();
                         c.marked.store(1, Ordering::Release);
-                        let succ = c.next.load(&guard);
+                        let succ = c.next.load(guard);
                         if pred.is_null() {
                             bucket.head.store(succ);
                         } else {
@@ -293,7 +292,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
 
         // Locking mode: serialize the bucket; no restarts possible.
         let g = lock_guard(&bucket.lock);
-        let (pred, curr) = Self::scan(bucket, key, &guard);
+        let (pred, curr) = Self::scan(bucket, key, guard);
         if curr.is_null() {
             drop(g);
             return None;
@@ -301,7 +300,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
         // SAFETY: pinned.
         let c = unsafe { curr.deref() };
         c.marked.store(1, Ordering::Release);
-        let succ = c.next.load(&guard);
+        let succ = c.next.load(guard);
         if pred.is_null() {
             bucket.head.store(succ);
         } else {
@@ -315,21 +314,39 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LazyHashTable<V> {
         out
     }
 
-    fn len(&self) -> usize {
-        let guard = pin();
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
         let mut n = 0;
         for b in &self.buckets {
-            let mut curr = b.head.load(&guard);
+            let mut curr = b.head.load(guard);
             while !curr.is_null() {
                 // SAFETY: pinned traversal.
                 let c = unsafe { curr.deref() };
                 if c.marked.load(Ordering::Acquire) == 0 {
                     n += 1;
                 }
-                curr = c.next.load(&guard);
+                curr = c.next.load(guard);
             }
         }
         n
+    }
+}
+
+impl<V: Clone + Send + Sync> GuardedMap<V> for LazyHashTable<V> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        LazyHashTable::get_in(self, key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        LazyHashTable::insert_in(self, key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        LazyHashTable::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        LazyHashTable::len_in(self, guard)
     }
 }
 
@@ -349,7 +366,7 @@ impl<V> Drop for LazyHashTable<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]

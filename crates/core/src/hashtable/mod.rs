@@ -7,10 +7,10 @@
 //!
 //! * [`LazyHashTable`] — the paper's blocking hash table: per-bucket lock +
 //!   synchronization-free reads (used in Figs. 3–9 and Tables 2–3).
-//! * [`CowHashTable`] — copy-on-write bucket arrays [52].
+//! * [`CowHashTable`] — copy-on-write bucket arrays \[52\].
 //! * [`Bucketed`] — generic "map per bucket" adapter, instantiated as:
-//!   [`CouplingHashTable`] (lock-coupling chain [30]),
-//!   [`LockFreeHashTable`] (Harris chain ≈ Michael's lock-free table [43]),
+//!   [`CouplingHashTable`] (lock-coupling chain \[30\]),
+//!   [`LockFreeHashTable`] (Harris chain ≈ Michael's lock-free table \[43\]),
 //!   [`WaitFreeHashTable`] (wait-free chain; paper footnote 2).
 
 mod bucketed;

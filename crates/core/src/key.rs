@@ -14,6 +14,22 @@ pub const HEAD_IKEY: u64 = 0;
 /// Internal key of the tail sentinel.
 pub const TAIL_IKEY: u64 = u64::MAX;
 
+/// Reject reserved keys at the public API boundary (debug builds).
+///
+/// The documented user key range is `0 ..= u64::MAX - 2`; the top two keys
+/// are reserved for internal sentinels. Structures whose layout depends on
+/// the sentinel encoding (lists, skip lists) additionally enforce this with
+/// a hard assert in [`ikey`]; structures that merely reserve the keys for
+/// interface uniformity (hash tables, BST) call this check in their
+/// guard-scoped entry points.
+#[inline]
+pub fn check_user_key(user: u64) {
+    debug_assert!(
+        user <= MAX_USER_KEY,
+        "key {user} exceeds supported range (0..=u64::MAX-2; the top two keys are reserved)"
+    );
+}
+
 /// Map a user key into the internal key space.
 #[inline]
 pub fn ikey(user: u64) -> u64 {

@@ -25,6 +25,27 @@
 //! | hash table | [`hashtable::LazyHashTable`], [`hashtable::CouplingHashTable`], [`hashtable::CowHashTable`] | [`hashtable::LockFreeHashTable`] | [`hashtable::WaitFreeHashTable`] |
 //! | BST | [`bst::BstTk`] | — | — |
 //! | queue/stack (§7) | [`queuestack::TwoLockQueue`], [`queuestack::LockedStack`] | [`queuestack::MsQueue`], [`queuestack::TreiberStack`] | — |
+//!
+//! # Two ways to call an operation
+//!
+//! Every structure exposes its operations at two levels:
+//!
+//! * **Guard-scoped** ([`GuardedMap`] / [`GuardedPool`], and the inherent
+//!   `*_in` methods): the caller supplies an EBR [`Guard`]. Reads are
+//!   clone-free — `get_in` returns `Option<&'g V>` borrowed for the guard's
+//!   lifetime — and a guard can be reused across many operations. This is
+//!   the hot path; [`MapHandle`] / [`PoolHandle`] package it as a
+//!   per-thread session that re-validates the guard with the fence-free
+//!   [`Guard::repin`] between operations instead of a full pin/unpin cycle.
+//! * **Pin-per-op** ([`ConcurrentMap`] / [`ConcurrentPool`]): the classic
+//!   convenience traits, implemented once as blanket wrappers that pin,
+//!   delegate to the guard-scoped method, and clone values out of reads.
+//!   `Box<dyn ConcurrentMap<u64>>` stays object-safe for the harness.
+//!
+//! The *when to hold a guard* rule: hold **one** guard (one handle) per
+//! thread per batch of operations — never two at once, since `repin` is
+//! inert under nested guards — and let it drop when the thread goes idle;
+//! a pinned-but-idle thread stalls memory reclamation for everyone.
 
 pub mod bst;
 pub mod hashtable;
@@ -34,6 +55,10 @@ pub mod queuestack;
 pub mod skiplist;
 
 pub(crate) mod key;
+
+pub use key::MAX_USER_KEY;
+
+use csds_ebr::{pin, Guard};
 
 /// How a blocking structure synchronizes its write phases.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -50,11 +75,85 @@ pub enum SyncMode {
 /// model assumes five (§6.4).
 pub const ELISION_RETRIES: u32 = 5;
 
-/// The set/map abstraction of paper §2.2.
+/// Guard-scoped map operations: the primitive interface every structure
+/// implements.
+///
+/// All methods take an externally managed EBR [`Guard`]; none of them pins.
+/// `get_in` is **clone-free**: it returns a reference valid for the guard's
+/// lifetime `'g`, even if the entry is concurrently removed (epoch-based
+/// reclamation keeps the node alive while the guard is live).
+///
+/// Keys are 64-bit with the documented range `0 ..= u64::MAX - 2`
+/// ([`MAX_USER_KEY`]); the top two keys are reserved for internal sentinels
+/// and rejected at the API boundary (hard assert in the sentinel-encoded
+/// structures, `debug_assert!` elsewhere).
+///
+/// The trait is object-safe: the harness factory hands out
+/// `Box<dyn GuardedMap<u64>>` for its hot loops.
+pub trait GuardedMap<V>: Send + Sync {
+    /// `get(k)` under `guard`: a reference to the value associated with
+    /// `k`, if present, borrowed for the guard's lifetime.
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V>;
+
+    /// `put(k,v)` under `guard`: insert if absent. Returns `false` if `k`
+    /// was present (no overwrite), `true` if the pair was inserted.
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool;
+
+    /// `remove(k)` under `guard`: remove and return the value (cloned out
+    /// of the retired node), or `None` if absent.
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V>;
+
+    /// Number of elements under `guard` (O(n); quiescently consistent).
+    fn len_in(&self, guard: &Guard) -> usize;
+
+    /// Whether the structure is empty under `guard` (quiescently
+    /// consistent).
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        self.len_in(guard) == 0
+    }
+
+    /// Open a per-thread session over this map (pins once; reuses the
+    /// guard across operations). See [`MapHandle`].
+    fn handle(&self) -> MapHandle<'_, V, Self>
+    where
+        Self: Sized,
+    {
+        MapHandle::new(self)
+    }
+}
+
+/// Guard-scoped pool (queue/stack) operations; see [`GuardedMap`].
+pub trait GuardedPool<V>: Send + Sync {
+    /// Insert an element (enqueue / push) under `guard`.
+    fn push_in(&self, value: V, guard: &Guard);
+
+    /// Remove an element (dequeue / pop) under `guard`, or `None` if empty.
+    fn pop_in(&self, guard: &Guard) -> Option<V>;
+
+    /// Number of elements under `guard` (O(n); quiescently consistent).
+    fn len_in(&self, guard: &Guard) -> usize;
+
+    /// Whether the pool is empty under `guard` (quiescently consistent).
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        self.len_in(guard) == 0
+    }
+
+    /// Open a per-thread session over this pool. See [`PoolHandle`].
+    fn handle(&self) -> PoolHandle<'_, V, Self>
+    where
+        Self: Sized,
+    {
+        PoolHandle::new(self)
+    }
+}
+
+/// The set/map abstraction of paper §2.2 — the pin-per-op convenience path.
 ///
 /// Keys are 64-bit; values are arbitrary (cloned out on reads). The
 /// supported key range is `0 ..= u64::MAX - 2` (two values are reserved for
-/// internal sentinels).
+/// internal sentinels). Implemented once, for every [`GuardedMap`], by a
+/// blanket impl that pins around each call; hot loops should prefer a
+/// [`MapHandle`], which reuses one guard across operations.
 pub trait ConcurrentMap<V>: Send + Sync {
     /// `get(k)`: the value associated with `k`, if present.
     fn get(&self, key: u64) -> Option<V>;
@@ -71,12 +170,253 @@ pub trait ConcurrentMap<V>: Send + Sync {
     }
 }
 
-/// Queues, stacks and other single-hotspot pools (paper §7).
+impl<V: Clone, T: GuardedMap<V> + ?Sized> ConcurrentMap<V> for T {
+    fn get(&self, key: u64) -> Option<V> {
+        let guard = pin();
+        self.get_in(key, &guard).cloned()
+    }
+
+    fn insert(&self, key: u64, value: V) -> bool {
+        let guard = pin();
+        self.insert_in(key, value, &guard)
+    }
+
+    fn remove(&self, key: u64) -> Option<V> {
+        let guard = pin();
+        self.remove_in(key, &guard)
+    }
+
+    fn len(&self) -> usize {
+        let guard = pin();
+        self.len_in(&guard)
+    }
+}
+
+/// Queues, stacks and other single-hotspot pools (paper §7) — the
+/// pin-per-op convenience path, implemented by a blanket impl over
+/// [`GuardedPool`].
 pub trait ConcurrentPool<V>: Send + Sync {
     /// Insert an element (enqueue / push).
     fn push(&self, value: V);
     /// Remove an element (dequeue / pop), or `None` if empty.
     fn pop(&self) -> Option<V>;
+    /// Number of elements (O(n); quiescently consistent, like
+    /// [`ConcurrentMap::len`]).
+    fn len(&self) -> usize;
+    /// Whether the pool is empty (quiescently consistent).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V, T: GuardedPool<V> + ?Sized> ConcurrentPool<V> for T {
+    fn push(&self, value: V) {
+        let guard = pin();
+        self.push_in(value, &guard);
+    }
+
+    fn pop(&self) -> Option<V> {
+        let guard = pin();
+        self.pop_in(&guard)
+    }
+
+    fn len(&self) -> usize {
+        let guard = pin();
+        self.len_in(&guard)
+    }
+}
+
+/// A per-thread map session: one reusable EBR guard plus per-handle
+/// operation accounting.
+///
+/// A handle pins once at construction and calls the fence-free
+/// [`Guard::repin`] between operations instead of paying a full pin/unpin
+/// cycle per call, so the common-case read is dominated by the parse phase
+/// (paper §3.1) rather than by the reclamation substrate. Reads through a
+/// handle are clone-free: [`MapHandle::get`] returns `Option<&V>`.
+///
+/// Handles are `!Send` and `!Sync` (they own a [`Guard`]): create **one per
+/// worker thread**, next to that thread's metrics recorder — both stay
+/// thread-local for the session's lifetime, so nothing is re-resolved per
+/// operation. Drop the handle when the thread goes idle; an idle pinned
+/// thread stalls epoch reclamation for everyone.
+///
+/// **At most one long-lived handle per thread.** [`Guard::repin`] is a
+/// no-op while other guards are live on the same thread (their loaded
+/// pointers would be invalidated), so a thread holding two sessions at
+/// once — say a `MapHandle` and a [`PoolHandle`] — stays pinned at the
+/// epoch of the oldest session and blocks reclamation progress for the
+/// whole process until one of them drops. Everything remains *correct*;
+/// only epoch turnover stops. Interleave two structures from one thread by
+/// scoping the second session (or using the pin-per-op traits) rather than
+/// holding both handles open.
+///
+/// ```
+/// use csds_core::list::LazyList;
+/// use csds_core::{GuardedMap, MapHandle};
+///
+/// let map: LazyList<String> = LazyList::new();
+/// let mut h = MapHandle::new(&map); // or `map.handle()`
+/// assert!(h.insert(7, "seven".to_string()));
+/// assert_eq!(h.get(7).map(String::as_str), Some("seven")); // no clone
+/// assert_eq!(h.remove(7).as_deref(), Some("seven"));
+/// assert_eq!(h.ops(), 3);
+/// ```
+pub struct MapHandle<'m, V, M: GuardedMap<V> + ?Sized = dyn GuardedMap<V> + 'static> {
+    map: &'m M,
+    guard: Guard,
+    ops: u64,
+    _v: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<'m, V, M: GuardedMap<V> + ?Sized> MapHandle<'m, V, M> {
+    /// Open a session on `map` (pins the current thread).
+    pub fn new(map: &'m M) -> Self {
+        MapHandle {
+            map,
+            guard: pin(),
+            ops: 0,
+            _v: std::marker::PhantomData,
+        }
+    }
+
+    #[inline]
+    fn repin(&mut self) {
+        self.guard.repin();
+        self.ops += 1;
+    }
+
+    /// `get(k)`, clone-free: the reference borrows the handle, so it cannot
+    /// be held across the next operation (which may repin and invalidate
+    /// it) — the borrow checker enforces the epoch argument.
+    #[inline]
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.repin();
+        self.map.get_in(key, &self.guard)
+    }
+
+    /// `get(k)` with the value cloned out (the pin-per-op traits' shape).
+    #[inline]
+    pub fn get_cloned(&mut self, key: u64) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get(key).cloned()
+    }
+
+    /// `put(k,v)`: insert if absent; `false` if the key was present.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: V) -> bool {
+        self.repin();
+        self.map.insert_in(key, value, &self.guard)
+    }
+
+    /// `remove(k)`: remove and return the value, or `None` if absent.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        self.repin();
+        self.map.remove_in(key, &self.guard)
+    }
+
+    /// Number of elements (O(n); quiescently consistent).
+    #[allow(clippy::len_without_is_empty)] // is_empty exists, &mut self
+    #[inline]
+    pub fn len(&mut self) -> usize {
+        self.repin();
+        self.map.len_in(&self.guard)
+    }
+
+    /// Whether the map is empty (quiescently consistent).
+    #[inline]
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operations completed through this handle.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The session guard, e.g. for calling inherent `*_in` methods of the
+    /// underlying structure directly.
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
+
+    /// Re-validate the session guard against the current global epoch
+    /// without issuing an operation (long read-only phases can call this so
+    /// they do not hold old epochs back).
+    pub fn refresh(&mut self) {
+        self.guard.repin();
+    }
+}
+
+/// A per-thread pool (queue/stack) session; the [`MapHandle`] of
+/// [`GuardedPool`]. One reusable guard, repinned between operations.
+///
+/// The same session rules apply: at most one long-lived handle (of either
+/// kind) per thread — see the [`MapHandle`] docs.
+pub struct PoolHandle<'p, V, P: GuardedPool<V> + ?Sized = dyn GuardedPool<V> + 'static> {
+    pool: &'p P,
+    guard: Guard,
+    ops: u64,
+    _v: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<'p, V, P: GuardedPool<V> + ?Sized> PoolHandle<'p, V, P> {
+    /// Open a session on `pool` (pins the current thread).
+    pub fn new(pool: &'p P) -> Self {
+        PoolHandle {
+            pool,
+            guard: pin(),
+            ops: 0,
+            _v: std::marker::PhantomData,
+        }
+    }
+
+    #[inline]
+    fn repin(&mut self) {
+        self.guard.repin();
+        self.ops += 1;
+    }
+
+    /// Insert an element (enqueue / push).
+    #[inline]
+    pub fn push(&mut self, value: V) {
+        self.repin();
+        self.pool.push_in(value, &self.guard);
+    }
+
+    /// Remove an element (dequeue / pop), or `None` if empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<V> {
+        self.repin();
+        self.pool.pop_in(&self.guard)
+    }
+
+    /// Number of elements (O(n); quiescently consistent).
+    #[allow(clippy::len_without_is_empty)] // is_empty exists, &mut self
+    #[inline]
+    pub fn len(&mut self) -> usize {
+        self.repin();
+        self.pool.len_in(&self.guard)
+    }
+
+    /// Whether the pool is empty (quiescently consistent).
+    #[inline]
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operations completed through this handle.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The session guard.
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
 }
 
 #[cfg(test)]
@@ -85,7 +425,7 @@ pub(crate) mod testutil {
     //! sequential-model comparison and the same concurrent net-effect
     //! invariant check.
 
-    use super::ConcurrentMap;
+    use super::{ConcurrentMap, GuardedMap, MapHandle};
     use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
@@ -128,6 +468,44 @@ pub(crate) mod testutil {
         for (&k, &v) in &model {
             assert_eq!(map.get(k), Some(v), "final content disagreed at key {k}");
         }
+    }
+
+    /// The same model comparison driven through a [`MapHandle`] (repin
+    /// path), proving the handle and pin-per-op paths agree.
+    pub fn sequential_model_check_handle<M: GuardedMap<u64>>(map: M, ops: u64, key_range: u64) {
+        let mut h = MapHandle::new(&map);
+        let mut model = BTreeMap::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..ops {
+            let key = rng() % key_range;
+            match rng() % 3 {
+                0 => {
+                    let expected = !model.contains_key(&key);
+                    assert_eq!(h.insert(key, i), expected, "insert({key}) at op {i}");
+                    if expected {
+                        model.insert(key, i);
+                    }
+                }
+                1 => {
+                    assert_eq!(h.remove(key), model.remove(&key), "remove({key}) at {i}");
+                }
+                _ => {
+                    assert_eq!(
+                        h.get(key).copied(),
+                        model.get(&key).copied(),
+                        "get({key}) at op {i}"
+                    );
+                }
+            }
+        }
+        assert_eq!(h.len(), model.len(), "final length disagreed");
+        assert_eq!(h.ops(), ops + 1, "handle op accounting");
     }
 
     /// Concurrent net-effect invariant: after `threads` workers issue random
@@ -198,5 +576,48 @@ pub(crate) mod testutil {
             expected_len += net as usize;
         }
         assert_eq!(map.len(), expected_len);
+    }
+}
+
+#[cfg(test)]
+mod handle_tests {
+    use super::*;
+    use crate::list::HarrisList;
+
+    #[test]
+    fn handle_reads_are_clone_free_references() {
+        let map: HarrisList<Vec<u64>> = HarrisList::new();
+        let mut h = map.handle();
+        assert!(h.insert(1, vec![1, 2, 3]));
+        // The reference points into the live node; no clone happened.
+        let v: &Vec<u64> = h.get(1).unwrap();
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        assert_eq!(h.get_cloned(1), Some(vec![1, 2, 3]));
+        assert_eq!(h.remove(1), Some(vec![1, 2, 3]));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn handle_sequential_model() {
+        testutil::sequential_model_check_handle(HarrisList::new(), 2_000, 64);
+    }
+
+    #[test]
+    fn handle_survives_concurrent_removal_of_read_value() {
+        // A reference obtained through a handle stays valid even if another
+        // thread removes (and retires) the node: the session guard blocks
+        // reclamation.
+        use std::sync::Arc;
+        let map = Arc::new(HarrisList::new());
+        map.insert(9, 99u64);
+        let mut h = MapHandle::new(&*map);
+        let v = h.get(9).expect("present");
+        let remover = {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || map.remove(9))
+        };
+        assert_eq!(remover.join().unwrap(), Some(99));
+        // Still readable through our pinned reference.
+        assert_eq!(*v, 99);
     }
 }

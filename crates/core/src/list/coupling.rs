@@ -7,17 +7,20 @@
 //! ≈10 % of their time waiting for locks, "regardless of the structure
 //! size" (§5.1), so lock-coupling is *not* practically wait-free.
 //!
-//! Because every access path holds locks, no unlocked traversals exist:
-//! a node that has been unlinked under both locks can be freed directly,
-//! without epoch protection. (To wait on a node's lock a thread must hold
-//! the predecessor's lock, which the unlinking thread owns.)
+//! Because every access path holds locks, no unlocked traversals exist and
+//! the locking discipline alone keeps traversals safe. Unlinked nodes are
+//! nevertheless retired through EBR (rather than freed directly, as an
+//! earlier revision did): the guard-scoped read API hands out `&'g V`
+//! references that outlive the traversal locks, and the caller's pin is
+//! what keeps those referents alive.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use csds_ebr::{Guard, Shared};
 use csds_sync::{RawMutex, TicketLock};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
-use crate::ConcurrentMap;
+use crate::GuardedMap;
 
 struct Node<V> {
     key: u64,
@@ -83,16 +86,19 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
             (pred, curr)
         }
     }
-}
 
-impl<V: Clone + Send + Sync> ConcurrentMap<V> for CouplingList<V> {
-    fn get(&self, key: u64) -> Option<V> {
+    /// Guard-scoped `get`: the locks cover the traversal; the guard keeps
+    /// the returned reference alive after they are released (removers
+    /// retire nodes through EBR and never mutate published values).
+    pub fn get_in<'g>(&self, key: u64, _guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
         let (pred, curr) = self.locate(ikey);
-        // SAFETY: both nodes locked by us.
+        // SAFETY: both nodes locked by us; the value reference stays valid
+        // for 'g because unlinked nodes are retired, not freed, and the
+        // caller's pin predates any retirement that could follow.
         unsafe {
-            let out = if (*curr).key == ikey {
-                (*curr).value.clone()
+            let out: Option<&'g V> = if (*curr).key == ikey {
+                (*curr).value.as_ref().map(|v| &*(v as *const V))
             } else {
                 None
             };
@@ -102,7 +108,8 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for CouplingList<V> {
         }
     }
 
-    fn insert(&self, key: u64, value: V) -> bool {
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, key: u64, value: V, _guard: &Guard) -> bool {
         let ikey = key::ikey(key);
         let (pred, curr) = self.locate(ikey);
         // SAFETY: both nodes locked by us; the new node is private until
@@ -121,12 +128,13 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for CouplingList<V> {
         }
     }
 
-    fn remove(&self, key: u64) -> Option<V> {
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
         let ikey = key::ikey(key);
         let (pred, curr) = self.locate(ikey);
         // SAFETY: both nodes locked. After unlinking, `curr` is unreachable
-        // and no thread can be waiting on its lock (that would require
-        // holding `pred`'s lock, which we own), so direct free is sound.
+        // for new traversals; readers that already returned a reference
+        // into it hold a pin, so the node is retired through EBR.
         unsafe {
             if (*curr).key != ikey {
                 (*curr).lock.unlock();
@@ -136,15 +144,18 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for CouplingList<V> {
             (*pred)
                 .next
                 .store((*curr).next.load(Ordering::Relaxed), Ordering::Release);
+            let out = (*curr).value.clone();
             (*curr).lock.unlock();
             (*pred).lock.unlock();
-            let boxed = Box::from_raw(curr);
-            boxed.value
+            // SAFETY: unlinked under both locks; retired exactly once by
+            // this (winning) remover.
+            guard.defer_drop(Shared::<Node<V>>::from_raw(curr as usize));
+            out
         }
     }
 
-    fn len(&self) -> usize {
-        // Hand-over-hand count.
+    /// Guard-scoped element count (hand-over-hand; O(n)).
+    pub fn len_in(&self, _guard: &Guard) -> usize {
         let mut n = 0;
         // SAFETY: same locking discipline as `locate`.
         unsafe {
@@ -166,11 +177,30 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for CouplingList<V> {
     }
 }
 
+impl<V: Clone + Send + Sync> GuardedMap<V> for CouplingList<V> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        CouplingList::get_in(self, key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        CouplingList::insert_in(self, key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        CouplingList::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        CouplingList::len_in(self, guard)
+    }
+}
+
 impl<V> Drop for CouplingList<V> {
     fn drop(&mut self) {
         let mut p = self.head;
         while !p.is_null() {
-            // SAFETY: exclusive access via &mut self.
+            // SAFETY: exclusive access via &mut self; retired (unlinked)
+            // nodes are owned by EBR and not reachable here.
             let node = unsafe { Box::from_raw(p) };
             p = node.next.load(Ordering::Relaxed) as *mut Node<V>;
         }
@@ -180,7 +210,7 @@ impl<V> Drop for CouplingList<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]
@@ -199,6 +229,11 @@ mod tests {
     #[test]
     fn sequential_model() {
         testutil::sequential_model_check(CouplingList::new(), 3_000, 64);
+    }
+
+    #[test]
+    fn handle_sequential_model() {
+        testutil::sequential_model_check_handle(CouplingList::new(), 2_000, 64);
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! cleanup CAS restarts (counted as a restart, feeding Fig. 6's lock-free
 //! baseline comparisons).
 
-use csds_ebr::{pin, Atomic, Guard, Shared};
+use csds_ebr::{Atomic, Guard, Shared};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
-use crate::ConcurrentMap;
+use crate::GuardedMap;
 
 /// Tag bit marking a node as logically deleted (set on its `next` pointer).
 const MARK: usize = 1;
@@ -96,35 +96,35 @@ impl<V: Clone + Send + Sync> HarrisList<V> {
     }
 }
 
-impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
-    fn get(&self, key: u64) -> Option<V> {
+impl<V: Clone + Send + Sync> HarrisList<V> {
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
-        let guard = pin();
         // Pure wait-free traversal: no stores, no cleanup, no restarts.
         // SAFETY: head never retired; traversal pinned.
-        let mut curr = unsafe { self.head.load(&guard).deref() }.next.load(&guard);
+        let mut curr = unsafe { self.head.load(guard).deref() }.next.load(guard);
         loop {
             // SAFETY: pinned traversal.
             let c = unsafe { curr.with_tag(0).deref() };
             if c.key >= ikey {
-                let marked = c.next.load(&guard).tag() == MARK;
+                let marked = c.next.load(guard).tag() == MARK;
                 return if c.key == ikey && !marked {
-                    c.value.clone()
+                    c.value.as_ref()
                 } else {
                     None
                 };
             }
-            curr = c.next.load(&guard);
+            curr = c.next.load(guard);
         }
     }
 
-    fn insert(&self, key: u64, value: V) -> bool {
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
         let ikey = key::ikey(key);
-        let guard = pin();
         let mut new_node: Option<Shared<'_, Node<V>>> = None;
         let mut value = Some(value);
         loop {
-            let (pred, curr) = self.search(ikey, &guard);
+            let (pred, curr) = self.search(ikey, guard);
             // SAFETY: pinned.
             let c = unsafe { curr.deref() };
             if c.key == ikey {
@@ -145,7 +145,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
             unsafe { new_s.deref() }.next.store(curr);
             // SAFETY: pinned.
             let p = unsafe { pred.deref() };
-            match p.next.compare_exchange(curr, new_s, &guard) {
+            match p.next.compare_exchange(curr, new_s, guard) {
                 Ok(_) => return true,
                 Err(_) => {
                     csds_metrics::restart();
@@ -155,24 +155,24 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
         }
     }
 
-    fn remove(&self, key: u64) -> Option<V> {
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
         let ikey = key::ikey(key);
-        let guard = pin();
         loop {
-            let (pred, curr) = self.search(ikey, &guard);
+            let (pred, curr) = self.search(ikey, guard);
             // SAFETY: pinned.
             let c = unsafe { curr.deref() };
             if c.key != ikey {
                 return None;
             }
-            let next = c.next.load(&guard);
+            let next = c.next.load(guard);
             if next.tag() == MARK {
                 // Another remover won; the key is logically gone.
                 return None;
             }
             // Logical deletion: set the mark on curr.next.
             if c.next
-                .compare_exchange(next, next.with_tag(MARK), &guard)
+                .compare_exchange(next, next.with_tag(MARK), guard)
                 .is_err()
             {
                 // next changed (insert after curr, or competing remove).
@@ -185,7 +185,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
             // SAFETY: pinned.
             let p = unsafe { pred.deref() };
             if p.next
-                .compare_exchange(curr, next.with_tag(0), &guard)
+                .compare_exchange(curr, next.with_tag(0), guard)
                 .is_ok()
             {
                 // SAFETY: we unlinked it; retire exactly once. (Cleanup in
@@ -196,22 +196,40 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for HarrisList<V> {
         }
     }
 
-    fn len(&self) -> usize {
-        let guard = pin();
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
         let mut n = 0;
         // SAFETY: head never retired; traversal pinned.
-        let mut curr = unsafe { self.head.load(&guard).deref() }.next.load(&guard);
+        let mut curr = unsafe { self.head.load(guard).deref() }.next.load(guard);
         loop {
             // SAFETY: pinned traversal.
             let c = unsafe { curr.with_tag(0).deref() };
             if c.key == TAIL_IKEY {
                 return n;
             }
-            if c.next.load(&guard).tag() != MARK {
+            if c.next.load(guard).tag() != MARK {
                 n += 1;
             }
-            curr = c.next.load(&guard);
+            curr = c.next.load(guard);
         }
+    }
+}
+
+impl<V: Clone + Send + Sync> GuardedMap<V> for HarrisList<V> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        HarrisList::get_in(self, key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        HarrisList::insert_in(self, key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        HarrisList::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        HarrisList::len_in(self, guard)
     }
 }
 
@@ -230,7 +248,7 @@ impl<V> Drop for HarrisList<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]

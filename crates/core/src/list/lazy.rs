@@ -23,7 +23,7 @@ use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
 use csds_sync::{lock_guard, RawMutex, TasLock};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
-use crate::{ConcurrentMap, SyncMode, ELISION_RETRIES};
+use crate::{GuardedMap, SyncMode, ELISION_RETRIES};
 
 struct Node<V, L: RawMutex> {
     key: u64,
@@ -72,13 +72,13 @@ pub type LazyListTicket<V> = LazyList<V, csds_sync::TicketLock>;
 /// Lazy list with MCS node locks (ablation).
 pub type LazyListMcs<V> = LazyList<V, csds_sync::McsLock>;
 
-impl<V: Clone + Send + Sync, L: RawMutex> Default for LazyList<V, L> {
+impl<V: Clone + Send + Sync, L: RawMutex + 'static> Default for LazyList<V, L> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
+impl<V: Clone + Send + Sync, L: RawMutex + 'static> LazyList<V, L> {
     /// Empty list using per-node locks for write phases.
     pub fn new() -> Self {
         Self::with_mode(SyncMode::Locks)
@@ -115,14 +115,27 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
         }
     }
 
-    fn insert_impl(&self, key: u64, value: V) -> bool {
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
-        let guard = pin();
+        let (_, curr_s) = self.search(ikey, guard);
+        // SAFETY: pinned.
+        let curr = unsafe { curr_s.deref() };
+        if curr.key == ikey && !curr.is_marked() {
+            curr.value.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        let ikey = key::ikey(key);
         // The new node is allocated once and reused across restarts.
         let mut new_node: Option<Shared<'_, Node<V, L>>> = None;
         let mut value = Some(value);
         loop {
-            let (pred_s, curr_s) = self.search(ikey, &guard);
+            let (pred_s, curr_s) = self.search(ikey, guard);
             // SAFETY: pinned.
             let pred = unsafe { pred_s.deref() };
             let curr = unsafe { curr_s.deref() };
@@ -168,8 +181,7 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
                     }
                     Elided::FellBack => {
                         let g = lock_guard(&pred.lock);
-                        if pred.is_marked() || curr.is_marked() || pred.next.load(&guard) != curr_s
-                        {
+                        if pred.is_marked() || curr.is_marked() || pred.next.load(guard) != curr_s {
                             drop(g);
                             csds_metrics::restart();
                             continue;
@@ -185,7 +197,7 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
 
             // Write phase (locking mode): lock pred, validate, link.
             let g = lock_guard(&pred.lock);
-            if pred.is_marked() || curr.is_marked() || pred.next.load(&guard) != curr_s {
+            if pred.is_marked() || curr.is_marked() || pred.next.load(guard) != curr_s {
                 drop(g);
                 csds_metrics::restart();
                 continue;
@@ -196,11 +208,11 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
         }
     }
 
-    fn remove_impl(&self, key: u64) -> Option<V> {
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
         let ikey = key::ikey(key);
-        let guard = pin();
         loop {
-            let (pred_s, curr_s) = self.search(ikey, &guard);
+            let (pred_s, curr_s) = self.search(ikey, guard);
             // SAFETY: pinned.
             let pred = unsafe { pred_s.deref() };
             let curr = unsafe { curr_s.deref() };
@@ -239,8 +251,7 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
                     Elided::FellBack => {
                         let gp = lock_guard(&pred.lock);
                         let gc = lock_guard(&curr.lock);
-                        if pred.is_marked() || curr.is_marked() || pred.next.load(&guard) != curr_s
-                        {
+                        if pred.is_marked() || curr.is_marked() || pred.next.load(guard) != curr_s {
                             drop(gc);
                             drop(gp);
                             csds_metrics::restart();
@@ -248,7 +259,7 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
                         }
                         let fb = region.enter_fallback();
                         curr.marked.store(1, Ordering::Release);
-                        pred.next.store(curr.next.load(&guard));
+                        pred.next.store(curr.next.load(guard));
                         drop(fb);
                         drop(gc);
                         drop(gp);
@@ -263,14 +274,14 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
             // Write phase (locking mode): lock pred and curr in list order.
             let gp = lock_guard(&pred.lock);
             let gc = lock_guard(&curr.lock);
-            if pred.is_marked() || curr.is_marked() || pred.next.load(&guard) != curr_s {
+            if pred.is_marked() || curr.is_marked() || pred.next.load(guard) != curr_s {
                 drop(gc);
                 drop(gp);
                 csds_metrics::restart();
                 continue;
             }
             curr.marked.store(1, Ordering::Release); // logical delete
-            pred.next.store(curr.next.load(&guard)); // physical delete
+            pred.next.store(curr.next.load(guard)); // physical delete
             drop(gc);
             drop(gp);
             let v = curr.value.clone();
@@ -281,54 +292,11 @@ impl<V: Clone + Send + Sync, L: RawMutex> LazyList<V, L> {
         }
     }
 
-    /// Snapshot of the user keys currently present (racy but memory-safe;
-    /// intended for tests and diagnostics on quiescent structures).
-    pub fn keys(&self) -> Vec<u64> {
-        let guard = pin();
-        let mut out = Vec::new();
-        // SAFETY: head never retired; traversal is pinned.
-        let mut curr = unsafe { self.head.load(&guard).deref() }.next.load(&guard);
-        loop {
-            // SAFETY: pinned traversal.
-            let c = unsafe { curr.deref() };
-            if c.key == TAIL_IKEY {
-                return out;
-            }
-            if !c.is_marked() {
-                out.push(key::ukey(c.key));
-            }
-            curr = c.next.load(&guard);
-        }
-    }
-}
-
-impl<V: Clone + Send + Sync, L: RawMutex> ConcurrentMap<V> for LazyList<V, L> {
-    fn get(&self, key: u64) -> Option<V> {
-        let ikey = key::ikey(key);
-        let guard = pin();
-        let (_, curr_s) = self.search(ikey, &guard);
-        // SAFETY: pinned.
-        let curr = unsafe { curr_s.deref() };
-        if curr.key == ikey && !curr.is_marked() {
-            curr.value.clone()
-        } else {
-            None
-        }
-    }
-
-    fn insert(&self, key: u64, value: V) -> bool {
-        self.insert_impl(key, value)
-    }
-
-    fn remove(&self, key: u64) -> Option<V> {
-        self.remove_impl(key)
-    }
-
-    fn len(&self) -> usize {
-        let guard = pin();
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
         let mut n = 0;
         // SAFETY: head never retired; traversal is pinned.
-        let mut curr = unsafe { self.head.load(&guard).deref() }.next.load(&guard);
+        let mut curr = unsafe { self.head.load(guard).deref() }.next.load(guard);
         loop {
             // SAFETY: pinned traversal.
             let c = unsafe { curr.deref() };
@@ -338,8 +306,46 @@ impl<V: Clone + Send + Sync, L: RawMutex> ConcurrentMap<V> for LazyList<V, L> {
             if !c.is_marked() {
                 n += 1;
             }
-            curr = c.next.load(&guard);
+            curr = c.next.load(guard);
         }
+    }
+
+    /// Snapshot of the user keys currently present (racy but memory-safe;
+    /// intended for tests and diagnostics on quiescent structures).
+    pub fn keys(&self) -> Vec<u64> {
+        let g = pin();
+        let mut out = Vec::new();
+        // SAFETY: head never retired; traversal is pinned.
+        let mut curr = unsafe { self.head.load(&g).deref() }.next.load(&g);
+        loop {
+            // SAFETY: pinned traversal.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return out;
+            }
+            if !c.is_marked() {
+                out.push(key::ukey(c.key));
+            }
+            curr = c.next.load(&g);
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync, L: RawMutex + 'static> GuardedMap<V> for LazyList<V, L> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        LazyList::get_in(self, key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        LazyList::insert_in(self, key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        LazyList::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        LazyList::len_in(self, guard)
     }
 }
 
@@ -360,7 +366,7 @@ impl<V, L: RawMutex> Drop for LazyList<V, L> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]

@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use csds_ebr::{pin, Atomic, Guard, Shared};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
-use crate::ConcurrentMap;
+use crate::GuardedMap;
 
 /// Announce-array size. Threads map to slots by a global round-robin id;
 /// with more than `MAX_SLOTS` concurrent threads, slot collisions merely
@@ -596,15 +596,15 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
     }
 }
 
-impl<V: Clone + Send + Sync> ConcurrentMap<V> for WaitFreeList<V> {
-    fn get(&self, key: u64) -> Option<V> {
+impl<V: Clone + Send + Sync> WaitFreeList<V> {
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
-        let guard = pin();
         // Store-free traversal: node → link → node, skipping deleted nodes;
         // never helps, never restarts.
         // SAFETY: pinned read-only traversal.
         unsafe {
-            let mut link = self.head.load(&guard).deref().link.load(&guard);
+            let mut link = self.head.load(guard).deref().link.load(guard);
             loop {
                 let l = link.deref();
                 let node_s = Shared::<Node<V>>::from_raw(l.succ);
@@ -613,21 +613,21 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for WaitFreeList<V> {
                     if node.key != ikey {
                         return None;
                     }
-                    let nl = node.link.load(&guard);
+                    let nl = node.link.load(guard);
                     return if Self::link_says_deleted(node_s, nl.deref()) {
                         None
                     } else {
-                        node.value.clone()
+                        node.value.as_ref()
                     };
                 }
-                link = node.link.load(&guard);
+                link = node.link.load(guard);
             }
         }
     }
 
-    fn insert(&self, key: u64, value: V) -> bool {
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
         let ikey = key::ikey(key);
-        let guard = pin();
         let init_link = Shared::boxed(Link::<V>::plain(0, false));
         let node = Shared::boxed(Node {
             key: ikey,
@@ -645,7 +645,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for WaitFreeList<V> {
             state: AtomicUsize::new(PENDING),
             _pd: PhantomData,
         });
-        let state = self.run_op(desc, &guard);
+        let state = self.run_op(desc, guard);
         // SAFETY: the descriptor left the announce slot; helpers may still
         // hold pinned references — retire, don't free.
         unsafe { guard.defer_drop(desc) };
@@ -663,9 +663,9 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for WaitFreeList<V> {
         }
     }
 
-    fn remove(&self, key: u64) -> Option<V> {
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
         let ikey = key::ikey(key);
-        let guard = pin();
         let desc = Shared::boxed(OpDesc::<V> {
             phase: self.new_phase(),
             kind: OpKind::Remove,
@@ -675,7 +675,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for WaitFreeList<V> {
             state: AtomicUsize::new(PENDING),
             _pd: PhantomData,
         });
-        let state = self.run_op(desc, &guard);
+        let state = self.run_op(desc, guard);
         // SAFETY: see insert.
         unsafe { guard.defer_drop(desc) };
         if state >= PTR_STATES {
@@ -689,8 +689,44 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for WaitFreeList<V> {
         }
     }
 
-    fn len(&self) -> usize {
-        self.keys().len()
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
+        let mut n = 0;
+        // SAFETY: pinned read-only traversal (same shape as `keys`).
+        unsafe {
+            let mut link = self.head.load(guard).deref().link.load(guard);
+            loop {
+                let l = link.deref();
+                let node_s = Shared::<Node<V>>::from_raw(l.succ);
+                let node = node_s.deref();
+                if node.key == TAIL_IKEY {
+                    return n;
+                }
+                let nl_s = node.link.load(guard);
+                if !Self::link_says_deleted(node_s, nl_s.deref()) {
+                    n += 1;
+                }
+                link = nl_s;
+            }
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> GuardedMap<V> for WaitFreeList<V> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        WaitFreeList::get_in(self, key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        WaitFreeList::insert_in(self, key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        WaitFreeList::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        WaitFreeList::len_in(self, guard)
     }
 }
 
@@ -718,7 +754,7 @@ impl<V> Drop for WaitFreeList<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]

@@ -3,9 +3,10 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use csds_ebr::Guard;
 use csds_sync::{lock_guard, CachePadded, RawMutex, TicketLock};
 
-use crate::ConcurrentPool;
+use crate::GuardedPool;
 
 struct QNode<V> {
     /// Written once by the enqueuer before publication; taken by the
@@ -41,7 +42,7 @@ impl QueueEnd {
     }
 }
 
-/// Michael & Scott's two-lock queue [46]: enqueuers serialize on the tail
+/// Michael & Scott's two-lock queue \[46\]: enqueuers serialize on the tail
 /// lock, dequeuers on the head lock; a dummy node decouples the two ends.
 pub struct TwoLockQueue<V> {
     head: CachePadded<QueueEnd>,
@@ -72,8 +73,10 @@ impl<V: Send> TwoLockQueue<V> {
     }
 }
 
-impl<V: Send + Sync> ConcurrentPool<V> for TwoLockQueue<V> {
-    fn push(&self, value: V) {
+impl<V: Send + Sync> TwoLockQueue<V> {
+    /// Guard-scoped enqueue (the guard is unused: both ends are
+    /// lock-serialized and nodes are freed under the head lock).
+    pub fn push_in(&self, value: V, _guard: &Guard) {
         let node = QNode::alloc(Some(value)) as usize;
         let g = lock_guard(&self.tail.lock);
         let tail = self.tail.ptr.load(Ordering::Relaxed);
@@ -89,7 +92,8 @@ impl<V: Send + Sync> ConcurrentPool<V> for TwoLockQueue<V> {
         drop(g);
     }
 
-    fn pop(&self) -> Option<V> {
+    /// Guard-scoped dequeue.
+    pub fn pop_in(&self, _guard: &Guard) -> Option<V> {
         let g = lock_guard(&self.head.lock);
         let head = self.head.ptr.load(Ordering::Relaxed) as *mut QNode<V>;
         // SAFETY: the head dummy is owned by the head-lock holder.
@@ -108,6 +112,43 @@ impl<V: Send + Sync> ConcurrentPool<V> for TwoLockQueue<V> {
         // `next` before we observed it, so `tail` no longer equals `head`.
         unsafe { drop(Box::from_raw(head)) };
         value
+    }
+
+    /// Guard-scoped element count: nodes behind the dummy head, counted
+    /// under the head lock (dequeuers need it to free nodes, so the chain
+    /// cannot change under us except for enqueues at the tail, which is the
+    /// usual quiescent-consistency caveat).
+    pub fn len_in(&self, _guard: &Guard) -> usize {
+        let g = lock_guard(&self.head.lock);
+        let mut n = 0;
+        // SAFETY: head-lock holder owns the dummy; successors are only
+        // freed by dequeuers, which we exclude.
+        let mut p = unsafe {
+            (*(self.head.ptr.load(Ordering::Relaxed) as *mut QNode<V>))
+                .next
+                .load(Ordering::Acquire)
+        } as *mut QNode<V>;
+        while !p.is_null() {
+            n += 1;
+            // SAFETY: as above.
+            p = unsafe { (*p).next.load(Ordering::Acquire) } as *mut QNode<V>;
+        }
+        drop(g);
+        n
+    }
+}
+
+impl<V: Send + Sync> GuardedPool<V> for TwoLockQueue<V> {
+    fn push_in(&self, value: V, guard: &Guard) {
+        TwoLockQueue::push_in(self, value, guard);
+    }
+
+    fn pop_in(&self, guard: &Guard) -> Option<V> {
+        TwoLockQueue::pop_in(self, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        TwoLockQueue::len_in(self, guard)
     }
 }
 
@@ -162,17 +203,18 @@ impl<V: Send> LockedStack<V> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-}
 
-impl<V: Send + Sync> ConcurrentPool<V> for LockedStack<V> {
-    fn push(&self, value: V) {
+    /// Guard-scoped push (the guard is unused: the stack is
+    /// lock-serialized).
+    pub fn push_in(&self, value: V, _guard: &Guard) {
         let g = lock_guard(&self.lock);
         // SAFETY: lock held.
         unsafe { &mut *self.items.get() }.push(value);
         drop(g);
     }
 
-    fn pop(&self) -> Option<V> {
+    /// Guard-scoped pop.
+    pub fn pop_in(&self, _guard: &Guard) -> Option<V> {
         let g = lock_guard(&self.lock);
         // SAFETY: lock held.
         let v = unsafe { &mut *self.items.get() }.pop();
@@ -181,9 +223,24 @@ impl<V: Send + Sync> ConcurrentPool<V> for LockedStack<V> {
     }
 }
 
+impl<V: Send + Sync> GuardedPool<V> for LockedStack<V> {
+    fn push_in(&self, value: V, guard: &Guard) {
+        LockedStack::push_in(self, value, guard);
+    }
+
+    fn pop_in(&self, guard: &Guard) -> Option<V> {
+        LockedStack::pop_in(self, guard)
+    }
+
+    fn len_in(&self, _guard: &Guard) -> usize {
+        self.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ConcurrentPool;
     use std::collections::HashSet;
     use std::sync::Arc;
 
@@ -242,6 +299,12 @@ mod tests {
                 total_popped += 1;
             }
         }
+        // The quiescent length must account for every push minus every pop.
+        assert_eq!(
+            pool.len() as u64,
+            THREADS * PER - total_popped,
+            "len() disagrees with push/pop accounting"
+        );
         // Drain the remainder.
         while let Some(v) = pool.pop() {
             assert!(seen.insert(v), "duplicate pop of {v}");
@@ -252,6 +315,7 @@ mod tests {
             THREADS * PER,
             "pushed items must all pop exactly once"
         );
+        assert!(pool.is_empty(), "pool must be empty after the drain");
     }
 
     #[test]

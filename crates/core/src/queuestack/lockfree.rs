@@ -2,16 +2,16 @@
 //! objects the paper recommends non-blocking designs, and these are the
 //! canonical ones.
 
-use csds_ebr::{pin, Atomic, Shared};
+use csds_ebr::{Atomic, Guard, Shared};
 
-use crate::ConcurrentPool;
+use crate::GuardedPool;
 
 struct Node<V> {
     value: Option<V>,
     next: Atomic<Node<V>>,
 }
 
-/// Michael & Scott's lock-free queue [46].
+/// Michael & Scott's lock-free queue \[46\].
 pub struct MsQueue<V> {
     head: Atomic<Node<V>>, // dummy
     tail: Atomic<Node<V>>,
@@ -40,60 +40,85 @@ impl<V: Clone + Send + Sync> MsQueue<V> {
     }
 }
 
-impl<V: Clone + Send + Sync> ConcurrentPool<V> for MsQueue<V> {
-    fn push(&self, value: V) {
-        let guard = pin();
+impl<V: Clone + Send + Sync> MsQueue<V> {
+    /// Guard-scoped enqueue.
+    pub fn push_in(&self, value: V, guard: &Guard) {
         let node = Shared::boxed(Node {
             value: Some(value),
             next: Atomic::null(),
         });
         loop {
-            let tail = self.tail.load(&guard);
+            let tail = self.tail.load(guard);
             // SAFETY: pinned; tail is never null.
             let t = unsafe { tail.deref() };
-            let next = t.next.load(&guard);
+            let next = t.next.load(guard);
             if !next.is_null() {
                 // Tail lags; help swing it.
-                let _ = self.tail.compare_exchange(tail, next, &guard);
+                let _ = self.tail.compare_exchange(tail, next, guard);
                 continue;
             }
-            if t.next
-                .compare_exchange(Shared::null(), node, &guard)
-                .is_ok()
-            {
-                let _ = self.tail.compare_exchange(tail, node, &guard);
+            if t.next.compare_exchange(Shared::null(), node, guard).is_ok() {
+                let _ = self.tail.compare_exchange(tail, node, guard);
                 return;
             }
             csds_metrics::restart();
         }
     }
 
-    fn pop(&self) -> Option<V> {
-        let guard = pin();
+    /// Guard-scoped dequeue.
+    pub fn pop_in(&self, guard: &Guard) -> Option<V> {
         loop {
-            let head = self.head.load(&guard);
-            let tail = self.tail.load(&guard);
+            let head = self.head.load(guard);
+            let tail = self.tail.load(guard);
             // SAFETY: pinned; head is never null.
             let h = unsafe { head.deref() };
-            let next = h.next.load(&guard);
+            let next = h.next.load(guard);
             if next.is_null() {
                 return None;
             }
             if head == tail {
                 // Tail lags behind a non-empty queue; help it.
-                let _ = self.tail.compare_exchange(tail, next, &guard);
+                let _ = self.tail.compare_exchange(tail, next, guard);
                 continue;
             }
             // Read the value *before* the CAS publishes the dummy role.
             // SAFETY: pinned.
             let value = unsafe { next.deref() }.value.clone();
-            if self.head.compare_exchange(head, next, &guard).is_ok() {
+            if self.head.compare_exchange(head, next, guard).is_ok() {
                 // SAFETY: the old dummy is unreachable; retired once.
                 unsafe { guard.defer_drop(head) };
                 return value;
             }
             csds_metrics::restart();
         }
+    }
+
+    /// Guard-scoped element count (O(n); quiescently consistent): the
+    /// number of nodes behind the dummy head.
+    pub fn len_in(&self, guard: &Guard) -> usize {
+        let mut n = 0;
+        // SAFETY: pinned traversal; head is never null.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next.load(guard);
+        while !curr.is_null() {
+            n += 1;
+            // SAFETY: pinned.
+            curr = unsafe { curr.deref() }.next.load(guard);
+        }
+        n
+    }
+}
+
+impl<V: Clone + Send + Sync> GuardedPool<V> for MsQueue<V> {
+    fn push_in(&self, value: V, guard: &Guard) {
+        MsQueue::push_in(self, value, guard);
+    }
+
+    fn pop_in(&self, guard: &Guard) -> Option<V> {
+        MsQueue::pop_in(self, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        MsQueue::len_in(self, guard)
     }
 }
 
@@ -128,35 +153,35 @@ impl<V: Clone + Send + Sync> TreiberStack<V> {
     }
 }
 
-impl<V: Clone + Send + Sync> ConcurrentPool<V> for TreiberStack<V> {
-    fn push(&self, value: V) {
-        let guard = pin();
+impl<V: Clone + Send + Sync> TreiberStack<V> {
+    /// Guard-scoped push.
+    pub fn push_in(&self, value: V, guard: &Guard) {
         let node = Shared::boxed(Node {
             value: Some(value),
             next: Atomic::null(),
         });
         loop {
-            let top = self.top.load(&guard);
+            let top = self.top.load(guard);
             // SAFETY: unpublished until the CAS.
             unsafe { node.deref() }.next.store(top);
-            if self.top.compare_exchange(top, node, &guard).is_ok() {
+            if self.top.compare_exchange(top, node, guard).is_ok() {
                 return;
             }
             csds_metrics::restart();
         }
     }
 
-    fn pop(&self) -> Option<V> {
-        let guard = pin();
+    /// Guard-scoped pop.
+    pub fn pop_in(&self, guard: &Guard) -> Option<V> {
         loop {
-            let top = self.top.load(&guard);
+            let top = self.top.load(guard);
             if top.is_null() {
                 return None;
             }
             // SAFETY: pinned.
             let t = unsafe { top.deref() };
-            let next = t.next.load(&guard);
-            if self.top.compare_exchange(top, next, &guard).is_ok() {
+            let next = t.next.load(guard);
+            if self.top.compare_exchange(top, next, guard).is_ok() {
                 let value = t.value.clone();
                 // SAFETY: unlinked by the winning CAS; retired once.
                 unsafe { guard.defer_drop(top) };
@@ -164,6 +189,32 @@ impl<V: Clone + Send + Sync> ConcurrentPool<V> for TreiberStack<V> {
             }
             csds_metrics::restart();
         }
+    }
+
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
+        let mut n = 0;
+        let mut curr = self.top.load(guard);
+        while !curr.is_null() {
+            n += 1;
+            // SAFETY: pinned traversal.
+            curr = unsafe { curr.deref() }.next.load(guard);
+        }
+        n
+    }
+}
+
+impl<V: Clone + Send + Sync> GuardedPool<V> for TreiberStack<V> {
+    fn push_in(&self, value: V, guard: &Guard) {
+        TreiberStack::push_in(self, value, guard);
+    }
+
+    fn pop_in(&self, guard: &Guard) -> Option<V> {
+        TreiberStack::pop_in(self, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        TreiberStack::len_in(self, guard)
     }
 }
 
@@ -181,6 +232,7 @@ impl<V> Drop for TreiberStack<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ConcurrentPool;
     use std::collections::HashSet;
     use std::sync::Arc;
 
@@ -193,6 +245,21 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pool_len_and_is_empty() {
+        let q = MsQueue::new();
+        assert!(ConcurrentPool::is_empty(&q));
+        q.push(1u64);
+        q.push(2);
+        assert_eq!(ConcurrentPool::len(&q), 2);
+        let _ = q.pop();
+        assert_eq!(ConcurrentPool::len(&q), 1);
+        let s = TreiberStack::new();
+        assert!(ConcurrentPool::is_empty(&s));
+        s.push(9u64);
+        assert_eq!(ConcurrentPool::len(&s), 1);
     }
 
     #[test]
@@ -232,11 +299,18 @@ mod tests {
                 total += 1;
             }
         }
+        // The quiescent length must account for every push minus every pop.
+        assert_eq!(
+            pool.len() as u64,
+            THREADS * PER - total,
+            "len() disagrees with push/pop accounting"
+        );
         while let Some(v) = pool.pop() {
             assert!(seen.insert(v), "duplicate pop of {v}");
             total += 1;
         }
         assert_eq!(total, THREADS * PER);
+        assert!(pool.is_empty(), "pool must be empty after the drain");
     }
 
     #[test]

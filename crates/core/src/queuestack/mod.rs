@@ -8,7 +8,7 @@
 //! because virtually all transactions conflict. These implementations exist
 //! to reproduce that negative result:
 //!
-//! * [`TwoLockQueue`] — Michael & Scott's two-lock blocking queue [46];
+//! * [`TwoLockQueue`] — Michael & Scott's two-lock blocking queue \[46\];
 //! * [`LockedStack`] — a single-lock stack;
 //! * [`MsQueue`] / [`TreiberStack`] — the lock-free counterparts, for the
 //!   comparison benches.

@@ -28,7 +28,7 @@ use csds_sync::{lock_guard, LockGuard, RawMutex, TasLock};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
 use crate::skiplist::{random_level, MAX_LEVEL};
-use crate::{ConcurrentMap, SyncMode, ELISION_RETRIES};
+use crate::{GuardedMap, SyncMode, ELISION_RETRIES};
 
 struct Node<V> {
     key: u64,
@@ -182,15 +182,15 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
         true
     }
 
-    fn insert_impl(&self, ukey: u64, value: V) -> bool {
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, ukey: u64, value: V, guard: &Guard) -> bool {
         let ikey = key::ikey(ukey);
-        let guard = pin();
         let height = random_level();
         let top = height - 1;
         let mut new_node: Option<Shared<'_, Node<V>>> = None;
         let mut value = Some(value);
         loop {
-            let ((preds, succs), found) = self.find(ikey, &guard);
+            let ((preds, succs), found) = self.find(ikey, guard);
             if let Some(lf) = found {
                 // SAFETY: pinned.
                 let node = unsafe { succs[lf].deref() };
@@ -247,7 +247,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
                     }
                     Elided::FellBack => {
                         let guards = Self::lock_preds(&preds, top);
-                        if !self.validate_windows(&preds, &succs, top, &guard) {
+                        if !self.validate_windows(&preds, &succs, top, guard) {
                             drop(guards);
                             csds_metrics::restart();
                             continue;
@@ -266,7 +266,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
 
             // Locking write phase.
             let guards = Self::lock_preds(&preds, top);
-            if !self.validate_windows(&preds, &succs, top, &guard) {
+            if !self.validate_windows(&preds, &succs, top, guard) {
                 drop(guards);
                 csds_metrics::restart();
                 continue;
@@ -281,15 +281,15 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
         }
     }
 
-    fn remove_impl(&self, ukey: u64) -> Option<V> {
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, ukey: u64, guard: &Guard) -> Option<V> {
         let ikey = key::ikey(ukey);
-        let guard = pin();
         // First iteration: identify and mark the victim (holding its lock
         // across retries, as in the published algorithm).
         let mut victim_s: Option<Shared<'_, Node<V>>> = None;
         let mut victim_guard: Option<LockGuard<'_, TasLock>> = None;
         loop {
-            let ((preds, succs), found) = self.find(ikey, &guard);
+            let ((preds, succs), found) = self.find(ikey, guard);
             if victim_s.is_none() {
                 let lf = found?;
                 // SAFETY: pinned.
@@ -374,7 +374,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
                         for l in 0..=top {
                             // SAFETY: pinned.
                             let p = unsafe { preds[l].deref() };
-                            if p.is_marked() || p.next[l].load(&guard) != victim {
+                            if p.is_marked() || p.next[l].load(guard) != victim {
                                 valid = false;
                                 break;
                             }
@@ -391,7 +391,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
                         for l in (0..=top).rev() {
                             // SAFETY: pinned.
                             let p = unsafe { preds[l].deref() };
-                            p.next[l].store(v.next[l].load(&guard));
+                            p.next[l].store(v.next[l].load(guard));
                         }
                         drop(fb);
                         drop(guards);
@@ -411,7 +411,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
             for l in 0..=top {
                 // SAFETY: pinned.
                 let p = unsafe { preds[l].deref() };
-                if p.is_marked() || p.next[l].load(&guard) != victim {
+                if p.is_marked() || p.next[l].load(guard) != victim {
                     valid = false;
                     break;
                 }
@@ -424,7 +424,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
             for l in (0..=top).rev() {
                 // SAFETY: pinned.
                 let p = unsafe { preds[l].deref() };
-                p.next[l].store(v.next[l].load(&guard));
+                p.next[l].store(v.next[l].load(guard));
             }
             drop(guards);
             drop(victim_guard.take());
@@ -438,10 +438,10 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
 
     /// Present user keys (racy but safe; tests/diagnostics).
     pub fn keys(&self) -> Vec<u64> {
-        let guard = pin();
+        let g = pin();
         let mut out = Vec::new();
         // SAFETY: pinned bottom-level traversal.
-        let mut curr = unsafe { self.head.load(&guard).deref() }.next[0].load(&guard);
+        let mut curr = unsafe { self.head.load(&g).deref() }.next[0].load(&g);
         loop {
             // SAFETY: pinned.
             let c = unsafe { curr.deref() };
@@ -451,36 +451,58 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
             if !c.is_marked() && c.is_fully_linked() {
                 out.push(key::ukey(c.key));
             }
-            curr = c.next[0].load(&guard);
+            curr = c.next[0].load(&g);
         }
     }
-}
 
-impl<V: Clone + Send + Sync> ConcurrentMap<V> for HerlihySkipList<V> {
-    fn get(&self, key: u64) -> Option<V> {
-        let ikey = key::ikey(key);
-        let guard = pin();
-        let ((_, succs), found) = self.find(ikey, &guard);
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    pub fn get_in<'g>(&self, ukey: u64, guard: &'g Guard) -> Option<&'g V> {
+        let ikey = key::ikey(ukey);
+        let ((_, succs), found) = self.find(ikey, guard);
         let lf = found?;
         // SAFETY: pinned.
         let node = unsafe { succs[lf].deref() };
         if node.is_fully_linked() && !node.is_marked() {
-            node.value.clone()
+            node.value.as_ref()
         } else {
             None
         }
     }
 
-    fn insert(&self, key: u64, value: V) -> bool {
-        self.insert_impl(key, value)
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
+        let mut n = 0;
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next[0].load(guard);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return n;
+            }
+            if !c.is_marked() && c.is_fully_linked() {
+                n += 1;
+            }
+            curr = c.next[0].load(guard);
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> GuardedMap<V> for HerlihySkipList<V> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        HerlihySkipList::get_in(self, key, guard)
     }
 
-    fn remove(&self, key: u64) -> Option<V> {
-        self.remove_impl(key)
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        HerlihySkipList::insert_in(self, key, value, guard)
     }
 
-    fn len(&self) -> usize {
-        self.keys().len()
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        HerlihySkipList::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        HerlihySkipList::len_in(self, guard)
     }
 }
 
@@ -499,7 +521,7 @@ impl<V> Drop for HerlihySkipList<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]

@@ -19,7 +19,7 @@ use csds_ebr::{pin, Atomic, Guard, Shared};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
 use crate::skiplist::{random_level, MAX_LEVEL};
-use crate::ConcurrentMap;
+use crate::GuardedMap;
 
 /// Tag bit: the node owning this `next` pointer is deleted at this level.
 const MARK: usize = 1;
@@ -127,11 +127,11 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
 
     /// Present user keys (racy but safe).
     pub fn keys(&self) -> Vec<u64> {
-        let guard = pin();
+        let g = pin();
         let mut out = Vec::new();
         // SAFETY: pinned bottom-level traversal.
-        let mut curr = unsafe { self.head.load(&guard).deref() }.next[0]
-            .load(&guard)
+        let mut curr = unsafe { self.head.load(&g).deref() }.next[0]
+            .load(&g)
             .with_tag(0);
         loop {
             // SAFETY: pinned.
@@ -139,31 +139,29 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
             if c.key == TAIL_IKEY {
                 return out;
             }
-            let next = c.next[0].load(&guard);
+            let next = c.next[0].load(&g);
             if next.tag() != MARK {
                 out.push(key::ukey(c.key));
             }
             curr = next.with_tag(0);
         }
     }
-}
 
-impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
-    fn get(&self, key: u64) -> Option<V> {
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
-        let guard = pin();
         // Wait-free traversal: descend without snipping (no stores).
-        let mut pred = self.head.load(&guard);
+        let mut pred = self.head.load(guard);
         let mut candidate = Shared::null();
         for level in (0..MAX_LEVEL).rev() {
             // SAFETY: pinned; head never retired.
-            let mut curr = unsafe { pred.deref() }.next[level].load(&guard).with_tag(0);
+            let mut curr = unsafe { pred.deref() }.next[level].load(guard).with_tag(0);
             loop {
                 // SAFETY: pinned.
                 let c = unsafe { curr.deref() };
                 if c.key < ikey {
                     pred = curr;
-                    curr = c.next[level].load(&guard).with_tag(0);
+                    curr = c.next[level].load(guard).with_tag(0);
                 } else {
                     if c.key == ikey && candidate.is_null() {
                         candidate = curr;
@@ -177,22 +175,43 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
         }
         // SAFETY: pinned.
         let c = unsafe { candidate.deref() };
-        if c.next[0].load(&guard).tag() == MARK {
+        if c.next[0].load(guard).tag() == MARK {
             None
         } else {
-            c.value.clone()
+            c.value.as_ref()
         }
     }
 
-    fn insert(&self, ukey: u64, value: V) -> bool {
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
+        let mut n = 0;
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next[0]
+            .load(guard)
+            .with_tag(0);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return n;
+            }
+            let next = c.next[0].load(guard);
+            if next.tag() != MARK {
+                n += 1;
+            }
+            curr = next.with_tag(0);
+        }
+    }
+
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, ukey: u64, value: V, guard: &Guard) -> bool {
         let ikey = key::ikey(ukey);
-        let guard = pin();
         let height = random_level();
         let top = height - 1;
         let mut new_node: Option<Shared<'_, Node<V>>> = None;
         let mut value = Some(value);
         loop {
-            let ((preds, succs), found) = self.find(ikey, &guard);
+            let ((preds, succs), found) = self.find(ikey, guard);
             if found {
                 if let Some(n) = new_node.take() {
                     // SAFETY: never published.
@@ -210,31 +229,28 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
             // Level-0 CAS is the linearization point.
             // SAFETY: pinned.
             let p0 = unsafe { preds[0].deref() };
-            if p0.next[0]
-                .compare_exchange(succs[0], new_s, &guard)
-                .is_err()
-            {
+            if p0.next[0].compare_exchange(succs[0], new_s, guard).is_err() {
                 csds_metrics::restart();
                 continue;
             }
             // Link upper levels (best effort; abandon if we get deleted).
             for l in 1..=top {
                 loop {
-                    let nl = new_ref.next[l].load(&guard);
+                    let nl = new_ref.next[l].load(guard);
                     if nl.tag() == MARK {
                         // Concurrently deleted: make sure whatever we linked
                         // is snipped before we unpin.
-                        let _ = self.find(ikey, &guard);
+                        let _ = self.find(ikey, guard);
                         return true;
                     }
-                    let ((preds2, succs2), _) = self.find(ikey, &guard);
+                    let ((preds2, succs2), _) = self.find(ikey, guard);
                     if succs2[0] != new_s {
                         // Our node is gone from level 0: deleted + snipped.
                         return true;
                     }
                     if nl.with_tag(0) != succs2[l]
                         && new_ref.next[l]
-                            .compare_exchange(nl, succs2[l], &guard)
+                            .compare_exchange(nl, succs2[l], guard)
                             .is_err()
                     {
                         // Marked underneath us; handled on next loop.
@@ -242,10 +258,10 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
                     }
                     // SAFETY: pinned.
                     let p = unsafe { preds2[l].deref() };
-                    if p.next[l].compare_exchange(succs2[l], new_s, &guard).is_ok() {
+                    if p.next[l].compare_exchange(succs2[l], new_s, guard).is_ok() {
                         // If a remover marked us while we linked, snip.
-                        if new_ref.next[0].load(&guard).tag() == MARK {
-                            let _ = self.find(ikey, &guard);
+                        if new_ref.next[0].load(guard).tag() == MARK {
+                            let _ = self.find(ikey, guard);
                             return true;
                         }
                         break;
@@ -257,10 +273,10 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
         }
     }
 
-    fn remove(&self, ukey: u64) -> Option<V> {
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, ukey: u64, guard: &Guard) -> Option<V> {
         let ikey = key::ikey(ukey);
-        let guard = pin();
-        let ((_, succs), found) = self.find(ikey, &guard);
+        let ((_, succs), found) = self.find(ikey, guard);
         if !found {
             return None;
         }
@@ -270,12 +286,12 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
         // Mark upper levels top-down (idempotent).
         for l in (1..=v.top_level).rev() {
             loop {
-                let nxt = v.next[l].load(&guard);
+                let nxt = v.next[l].load(guard);
                 if nxt.tag() == MARK {
                     break;
                 }
                 if v.next[l]
-                    .compare_exchange(nxt, nxt.with_tag(MARK), &guard)
+                    .compare_exchange(nxt, nxt.with_tag(MARK), guard)
                     .is_ok()
                 {
                     break;
@@ -284,26 +300,40 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for LockFreeSkipList<V> {
         }
         // Level-0 mark: linearization; only one remover can win it.
         loop {
-            let nxt = v.next[0].load(&guard);
+            let nxt = v.next[0].load(guard);
             if nxt.tag() == MARK {
                 return None; // another remover linearized first
             }
             if v.next[0]
-                .compare_exchange(nxt, nxt.with_tag(MARK), &guard)
+                .compare_exchange(nxt, nxt.with_tag(MARK), guard)
                 .is_ok()
             {
                 let out = v.value.clone();
                 // Snip it out of every level (the find that performs the
                 // level-0 snip retires the node).
-                let _ = self.find(ikey, &guard);
+                let _ = self.find(ikey, guard);
                 return out;
             }
             csds_metrics::restart();
         }
     }
+}
 
-    fn len(&self) -> usize {
-        self.keys().len()
+impl<V: Clone + Send + Sync> GuardedMap<V> for LockFreeSkipList<V> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        LockFreeSkipList::get_in(self, key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        LockFreeSkipList::insert_in(self, key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        LockFreeSkipList::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        LockFreeSkipList::len_in(self, guard)
     }
 }
 
@@ -321,7 +351,7 @@ impl<V> Drop for LockFreeSkipList<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]

@@ -1,9 +1,9 @@
 //! Skip-list implementations of the set/map abstraction.
 //!
 //! * [`HerlihySkipList`] — the optimistic lazy skiplist of Herlihy, Lev,
-//!   Luchangco and Shavit [28]: the best-performing blocking skiplist in the
+//!   Luchangco and Shavit \[28\]: the best-performing blocking skiplist in the
 //!   paper (used in Figs. 3–9 and Tables 2–3).
-//! * [`PughSkipList`] — Pugh's concurrent skiplist maintenance [53]:
+//! * [`PughSkipList`] — Pugh's concurrent skiplist maintenance \[53\]:
 //!   per-level locking, one level at a time.
 //! * [`LockFreeSkipList`] — Fraser/Herlihy-Shavit style lock-free skiplist
 //!   (baseline).

@@ -24,7 +24,7 @@ use csds_sync::{lock_guard, RawMutex, TasLock};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
 use crate::skiplist::{random_level, MAX_LEVEL};
-use crate::ConcurrentMap;
+use crate::GuardedMap;
 
 struct Node<V> {
     key: u64,
@@ -147,10 +147,10 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
 
     /// Present user keys (racy but safe).
     pub fn keys(&self) -> Vec<u64> {
-        let guard = pin();
+        let g = pin();
         let mut out = Vec::new();
         // SAFETY: pinned bottom-level traversal.
-        let mut curr = unsafe { self.head.load(&guard).deref() }.next[0].load(&guard);
+        let mut curr = unsafe { self.head.load(&g).deref() }.next[0].load(&g);
         loop {
             // SAFETY: pinned.
             let c = unsafe { curr.deref() };
@@ -160,34 +160,50 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
             if !c.is_deleted() {
                 out.push(key::ukey(c.key));
             }
-            curr = c.next[0].load(&guard);
+            curr = c.next[0].load(&g);
         }
     }
-}
 
-impl<V: Clone + Send + Sync> ConcurrentMap<V> for PughSkipList<V> {
-    fn get(&self, key: u64) -> Option<V> {
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
-        let guard = pin();
-        let (_, found) = self.find(ikey, &guard);
+        let (_, found) = self.find(ikey, guard);
         let node = found?;
         // SAFETY: pinned.
         let n = unsafe { node.deref() };
         if n.is_deleted() {
             None
         } else {
-            n.value.clone()
+            n.value.as_ref()
         }
     }
 
-    fn insert(&self, ukey: u64, value: V) -> bool {
+    /// Guard-scoped element count (O(n); quiescently consistent).
+    pub fn len_in(&self, guard: &Guard) -> usize {
+        let mut n = 0;
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next[0].load(guard);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return n;
+            }
+            if !c.is_deleted() {
+                n += 1;
+            }
+            curr = c.next[0].load(guard);
+        }
+    }
+
+    /// Guard-scoped `insert`.
+    pub fn insert_in(&self, ukey: u64, value: V, guard: &Guard) -> bool {
         let ikey = key::ikey(ukey);
-        let guard = pin();
         let height = random_level();
         let mut new_node: Option<Shared<'_, Node<V>>> = None;
         let mut value = Some(value);
         'op: loop {
-            let (mut preds, found) = self.find(ikey, &guard);
+            let (mut preds, found) = self.find(ikey, guard);
             if let Some(node) = found {
                 // SAFETY: pinned.
                 if !unsafe { node.deref() }.is_deleted() {
@@ -209,11 +225,11 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for PughSkipList<V> {
             let ng = lock_guard(&new_ref.lock);
             for level in 0..height {
                 loop {
-                    let Some(pred) = self.get_lock(preds[level], ikey, level, &guard) else {
+                    let Some(pred) = self.get_lock(preds[level], ikey, level, guard) else {
                         // Predecessor chain hit a deleted node; re-parse and
                         // retry this level (lower levels stay linked).
                         csds_metrics::restart();
-                        let (np, nf) = self.find(ikey, &guard);
+                        let (np, nf) = self.find(ikey, guard);
                         if let Some(f) = nf {
                             if f != new_s {
                                 // A competing insert won at level 0; nothing
@@ -237,7 +253,7 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for PughSkipList<V> {
                     };
                     // SAFETY: pinned; `pred` is locked and live.
                     let p = unsafe { pred.deref() };
-                    let succ = p.next[level].load(&guard);
+                    let succ = p.next[level].load(guard);
                     // SAFETY: pinned.
                     let s = unsafe { succ.deref() };
                     if level == 0 && s.key == ikey {
@@ -265,10 +281,10 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for PughSkipList<V> {
         }
     }
 
-    fn remove(&self, ukey: u64) -> Option<V> {
+    /// Guard-scoped `remove`.
+    pub fn remove_in(&self, ukey: u64, guard: &Guard) -> Option<V> {
         let ikey = key::ikey(ukey);
-        let guard = pin();
-        let (_, found) = self.find(ikey, &guard);
+        let (_, found) = self.find(ikey, guard);
         let victim = found?;
         // SAFETY: pinned.
         let v = unsafe { victim.deref() };
@@ -282,15 +298,15 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for PughSkipList<V> {
                                                // Unlink level by level, top-down, one predecessor lock at a time.
         for level in (0..=v.top_level).rev() {
             loop {
-                let (preds, _) = self.find(ikey, &guard);
-                let Some(pred) = self.get_lock(preds[level], ikey, level, &guard) else {
+                let (preds, _) = self.find(ikey, guard);
+                let Some(pred) = self.get_lock(preds[level], ikey, level, guard) else {
                     csds_metrics::restart();
                     continue;
                 };
                 // SAFETY: pinned; locked.
                 let p = unsafe { pred.deref() };
-                if p.next[level].load(&guard) == victim {
-                    p.next[level].store(v.next[level].load(&guard));
+                if p.next[level].load(guard) == victim {
+                    p.next[level].store(v.next[level].load(guard));
                     p.lock.unlock();
                     break;
                 }
@@ -307,9 +323,23 @@ impl<V: Clone + Send + Sync> ConcurrentMap<V> for PughSkipList<V> {
         unsafe { guard.defer_drop(victim) };
         out
     }
+}
 
-    fn len(&self) -> usize {
-        self.keys().len()
+impl<V: Clone + Send + Sync> GuardedMap<V> for PughSkipList<V> {
+    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+        PughSkipList::get_in(self, key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
+        PughSkipList::insert_in(self, key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<V> {
+        PughSkipList::remove_in(self, key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        PughSkipList::len_in(self, guard)
     }
 }
 
@@ -327,7 +357,7 @@ impl<V> Drop for PughSkipList<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use crate::{testutil, ConcurrentMap};
     use std::sync::Arc;
 
     #[test]

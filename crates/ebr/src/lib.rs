@@ -34,7 +34,7 @@
 //!   fence being skipped. So guards always unpin; the sound remnant of the
 //!   idea is [`Guard::repin`], which skips the fence while a guard is
 //!   *live*, where the slot really is continuously published.)
-//! * each participant [`Slot`] is padded to 128 bytes so pin publication
+//! * each participant `Slot` is padded to 128 bytes so pin publication
 //!   never false-shares with a neighbouring slot;
 //! * retired nodes go into a **fixed-capacity inline bag** (no allocation
 //!   per retirement, a single `RefCell` borrow, never nested); full bags
@@ -591,6 +591,12 @@ thread_local! {
 /// While any guard is live, every [`Shared`] loaded through it remains valid
 /// (not freed), even if concurrently unlinked and retired by other threads.
 /// Guards are not `Send`.
+///
+/// Guards are intended to be *held and reused*: a per-thread session (such
+/// as `csds_core`'s `MapHandle`) keeps one guard alive across many
+/// operations and calls [`Guard::repin`] between them, paying the pin
+/// store+fence only when the global epoch has actually moved.
+#[must_use = "dropping a Guard unpins the thread; loaded pointers become invalid"]
 pub struct Guard {
     pinned: bool,
     _not_send: std::marker::PhantomData<*mut ()>,

@@ -7,7 +7,7 @@ use csds_core::hashtable::{
 };
 use csds_core::list::{CouplingList, HarrisList, LazyList, WaitFreeList};
 use csds_core::skiplist::{HerlihySkipList, LockFreeSkipList, PughSkipList};
-use csds_core::{ConcurrentMap, SyncMode};
+use csds_core::{ConcurrentMap, GuardedMap, SyncMode};
 
 /// Data-structure family (the paper's four CSDS columns).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -179,6 +179,38 @@ impl AlgoKind {
             Self::BstTkElided => Box::new(BstTk::<u64>::with_mode(SyncMode::Elision)),
         }
     }
+
+    /// Instantiate behind the guard-scoped trait (for handle-based hot
+    /// loops); `capacity` sizes hash tables (load factor 1).
+    ///
+    /// A `dyn GuardedMap<u64>` also implements [`ConcurrentMap`] (blanket
+    /// pin-per-op wrapper), so one boxed structure serves both call paths.
+    pub fn make_guarded(&self, capacity: usize) -> Box<dyn GuardedMap<u64>> {
+        match self {
+            Self::LazyList => Box::new(LazyList::<u64>::new()),
+            Self::LazyListElided => Box::new(LazyList::<u64>::with_mode(SyncMode::Elision)),
+            Self::CouplingList => Box::new(CouplingList::<u64>::new()),
+            Self::HarrisList => Box::new(HarrisList::<u64>::new()),
+            Self::WaitFreeList => Box::new(WaitFreeList::<u64>::new()),
+            Self::HerlihySkipList => Box::new(HerlihySkipList::<u64>::new()),
+            Self::HerlihySkipListElided => {
+                Box::new(HerlihySkipList::<u64>::with_mode(SyncMode::Elision))
+            }
+            Self::PughSkipList => Box::new(PughSkipList::<u64>::new()),
+            Self::LockFreeSkipList => Box::new(LockFreeSkipList::<u64>::new()),
+            Self::LazyHashTable => Box::new(LazyHashTable::<u64>::with_capacity(capacity)),
+            Self::LazyHashTableElided => Box::new(LazyHashTable::<u64>::with_capacity_and_mode(
+                capacity,
+                SyncMode::Elision,
+            )),
+            Self::CouplingHashTable => Box::new(CouplingHashTable::<u64>::with_capacity(capacity)),
+            Self::CowHashTable => Box::new(CowHashTable::<u64>::with_capacity(capacity)),
+            Self::LockFreeHashTable => Box::new(LockFreeHashTable::<u64>::with_capacity(capacity)),
+            Self::WaitFreeHashTable => Box::new(WaitFreeHashTable::<u64>::with_capacity(capacity)),
+            Self::BstTk => Box::new(BstTk::<u64>::new()),
+            Self::BstTkElided => Box::new(BstTk::<u64>::with_mode(SyncMode::Elision)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +228,33 @@ mod tests {
             assert_eq!(m.remove(1), None, "{}", algo.name());
             assert!(m.is_empty(), "{}", algo.name());
         }
+    }
+
+    #[test]
+    fn every_algo_supports_the_handle_interface() {
+        use csds_core::MapHandle;
+        for algo in AlgoKind::all() {
+            let m = algo.make_guarded(64);
+            let mut h = MapHandle::new(m.as_ref());
+            assert!(h.insert(1, 10), "{}", algo.name());
+            assert!(!h.insert(1, 11), "{}", algo.name());
+            assert_eq!(h.get(1), Some(&10), "{}", algo.name());
+            assert_eq!(h.remove(1), Some(10), "{}", algo.name());
+            assert_eq!(h.remove(1), None, "{}", algo.name());
+            assert!(h.is_empty(), "{}", algo.name());
+            assert_eq!(h.ops(), 6, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn guarded_box_also_serves_the_pin_per_op_traits() {
+        // One boxed structure, both call paths: the harness factory's
+        // `Box<dyn GuardedMap<u64>>` still supports `ConcurrentMap` calls
+        // through the blanket wrapper.
+        let m = AlgoKind::LazyHashTable.make_guarded(64);
+        assert!(m.insert(3, 30));
+        assert_eq!(m.get(3), Some(30));
+        assert_eq!(m.remove(3), Some(30));
     }
 
     #[test]

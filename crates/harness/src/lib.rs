@@ -26,8 +26,8 @@ pub mod runner;
 
 pub use factory::{AlgoKind, Family};
 pub use runner::{
-    prefill, run_map, run_map_avg, run_pool, timed_ops, MapRunConfig, PoolKind, PoolRunConfig,
-    RunResult,
+    prefill, run_map, run_map_avg, run_pool, timed_ops, timed_ops_handle, MapRunConfig, PoolKind,
+    PoolRunConfig, RunResult,
 };
 
 use std::time::Duration;

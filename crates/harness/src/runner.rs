@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use csds_core::{ConcurrentMap, ConcurrentPool};
+use csds_core::{ConcurrentMap, ConcurrentPool, GuardedMap, GuardedPool, MapHandle, PoolHandle};
 use csds_metrics::{DelayPolicy, StatsSnapshot};
 use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix};
 
@@ -157,7 +157,7 @@ impl RunResult {
 }
 
 /// Prefill `map` to `size` distinct keys drawn uniformly from the range.
-pub fn prefill(map: &dyn ConcurrentMap<u64>, size: usize, key_range: u64, seed: u64) {
+pub fn prefill(map: &(impl ConcurrentMap<u64> + ?Sized), size: usize, key_range: u64, seed: u64) {
     assert!(
         size as u64 <= key_range,
         "cannot fit {size} elements in range {key_range}"
@@ -173,8 +173,13 @@ pub fn prefill(map: &dyn ConcurrentMap<u64>, size: usize, key_range: u64, seed: 
 }
 
 /// Execute one timed run of a map workload.
+///
+/// Each worker thread opens one [`MapHandle`] session over the shared
+/// structure: the hot loop runs on a reusable guard (fence-free
+/// `Guard::repin` between operations) instead of a pin/unpin per call.
 pub fn run_map(cfg: &MapRunConfig) -> RunResult {
-    let map: Arc<Box<dyn ConcurrentMap<u64>>> = Arc::new(cfg.algo.make(cfg.key_range as usize));
+    let map: Arc<Box<dyn GuardedMap<u64>>> =
+        Arc::new(cfg.algo.make_guarded(cfg.key_range as usize));
     prefill(map.as_ref().as_ref(), cfg.size, cfg.key_range, cfg.seed);
     let sampler = Arc::new(KeySampler::new(cfg.dist, cfg.key_range));
 
@@ -199,23 +204,24 @@ pub fn run_map(cfg: &MapRunConfig) -> RunResult {
                 d
             }));
             barrier.wait();
-            let mut ops = 0u64;
+            let mut handle = MapHandle::new(map.as_ref().as_ref());
             while !stop.load(Ordering::Relaxed) {
                 let key = sampler.sample(&mut rng);
                 match mix.sample(&mut rng) {
                     Op::Get => {
-                        let _ = map.get(key);
+                        let _ = handle.get(key);
                     }
                     Op::Insert => {
-                        let _ = map.insert(key, key);
+                        let _ = handle.insert(key, key);
                     }
                     Op::Remove => {
-                        let _ = map.remove(key);
+                        let _ = handle.remove(key);
                     }
                 }
                 csds_metrics::op_boundary();
-                ops += 1;
             }
+            let ops = handle.ops();
+            drop(handle); // unpin before the thread idles
             csds_metrics::set_delay_policy(None);
             (ops, csds_metrics::take_and_reset())
         }));
@@ -265,7 +271,18 @@ impl PoolKind {
         }
     }
 
-    fn make(&self) -> Box<dyn ConcurrentPool<u64>> {
+    /// Instantiate behind the pin-per-op pool trait.
+    pub fn make(&self) -> Box<dyn ConcurrentPool<u64>> {
+        match self {
+            PoolKind::TwoLockQueue => Box::new(csds_core::queuestack::TwoLockQueue::new()),
+            PoolKind::LockedStack => Box::new(csds_core::queuestack::LockedStack::new()),
+            PoolKind::MsQueue => Box::new(csds_core::queuestack::MsQueue::new()),
+            PoolKind::TreiberStack => Box::new(csds_core::queuestack::TreiberStack::new()),
+        }
+    }
+
+    /// Instantiate behind the guard-scoped pool trait (handle hot loops).
+    pub fn make_guarded(&self) -> Box<dyn GuardedPool<u64>> {
         match self {
             PoolKind::TwoLockQueue => Box::new(csds_core::queuestack::TwoLockQueue::new()),
             PoolKind::LockedStack => Box::new(csds_core::queuestack::LockedStack::new()),
@@ -291,9 +308,10 @@ pub struct PoolRunConfig {
     pub seed: u64,
 }
 
-/// Execute one timed run of a pool (queue/stack) workload.
+/// Execute one timed run of a pool (queue/stack) workload (one
+/// [`PoolHandle`] per worker thread).
 pub fn run_pool(cfg: &PoolRunConfig) -> RunResult {
-    let pool: Arc<Box<dyn ConcurrentPool<u64>>> = Arc::new(cfg.kind.make());
+    let pool: Arc<Box<dyn GuardedPool<u64>>> = Arc::new(cfg.kind.make_guarded());
     for i in 0..cfg.prefill {
         pool.push(i as u64);
     }
@@ -309,16 +327,18 @@ pub fn run_pool(cfg: &PoolRunConfig) -> RunResult {
             let mut rng = FastRng::new(seed);
             let _ = csds_metrics::take_and_reset();
             barrier.wait();
-            let mut ops = 0u64;
+            let mut handle = PoolHandle::new(pool.as_ref().as_ref());
             while !stop.load(Ordering::Relaxed) {
                 if rng.bounded(2) == 0 {
-                    pool.push(ops);
+                    let n = handle.ops();
+                    handle.push(n);
                 } else {
-                    let _ = pool.pop();
+                    let _ = handle.pop();
                 }
                 csds_metrics::op_boundary();
-                ops += 1;
             }
+            let ops = handle.ops();
+            drop(handle);
             (ops, csds_metrics::take_and_reset())
         }));
     }
@@ -349,8 +369,8 @@ pub fn run_pool(cfg: &PoolRunConfig) -> RunResult {
 ///
 /// Returns the wall-clock time from the start barrier to the last worker
 /// finishing. The map should be prefilled by the caller.
-pub fn timed_ops(
-    map: &Arc<Box<dyn ConcurrentMap<u64>>>,
+pub fn timed_ops<M: ConcurrentMap<u64> + ?Sized + 'static>(
+    map: &Arc<Box<M>>,
     dist: KeyDist,
     key_range: u64,
     update_pct: u32,
@@ -382,6 +402,55 @@ pub fn timed_ops(
                     }
                     Op::Remove => {
                         let _ = map.remove(key);
+                    }
+                }
+            }
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    start.elapsed()
+}
+
+/// [`timed_ops`], but through one [`MapHandle`] session per worker thread
+/// (the guard-scoped repin path; clone-free reads).
+pub fn timed_ops_handle<M: GuardedMap<u64> + ?Sized + 'static>(
+    map: &Arc<Box<M>>,
+    dist: KeyDist,
+    key_range: u64,
+    update_pct: u32,
+    threads: usize,
+    total_ops: u64,
+    seed: u64,
+) -> Duration {
+    let sampler = Arc::new(KeySampler::new(dist, key_range));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let per_thread = total_ops.div_ceil(threads as u64);
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let map = Arc::clone(map);
+        let sampler = Arc::clone(&sampler);
+        let barrier = Arc::clone(&barrier);
+        let mix = OpMix::updates(update_pct);
+        let seed = seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = FastRng::new(seed);
+            barrier.wait();
+            let mut handle = MapHandle::new(map.as_ref().as_ref());
+            for _ in 0..per_thread {
+                let key = sampler.sample(&mut rng);
+                match mix.sample(&mut rng) {
+                    Op::Get => {
+                        let _ = handle.get(key);
+                    }
+                    Op::Insert => {
+                        let _ = handle.insert(key, key);
+                    }
+                    Op::Remove => {
+                        let _ = handle.remove(key);
                     }
                 }
             }

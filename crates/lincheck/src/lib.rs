@@ -1,7 +1,7 @@
 //! Linearizability checking for concurrent set/map histories.
 //!
 //! A testing substrate: worker threads record timestamped invocations and
-//! responses ([`Event`]); [`check_linearizable`] then searches for a legal
+//! responses ([`Event`]); [`check_history`] then searches for a legal
 //! sequential witness (Wing & Gong-style DFS over the partial order, with
 //! memoization over `(linearized-set, state)` in the spirit of Lowe's
 //! optimization).

@@ -1,4 +1,4 @@
-//! OPTIK-style versioned lock (Guerraoui & Trigonakis, PPoPP'16 [22]).
+//! OPTIK-style versioned lock (Guerraoui & Trigonakis, PPoPP'16 \[22\]).
 //!
 //! The lock word is a version counter: even = free, odd = locked. The
 //! pattern that BST-TK builds on is *optimistic concurrency with version

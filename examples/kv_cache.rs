@@ -42,20 +42,24 @@ fn main() {
             let mut rng = FastRng::new(0xCAFE + t as u64);
             let _ = csds::metrics::take_and_reset();
             let (mut hits, mut misses, mut sets) = (0u64, 0u64, 0u64);
+            // One handle per front-end thread: GETs return references into
+            // the live table (clone-free) and the session guard is reused
+            // across requests.
+            let mut session = cache.handle();
             while !stop.load(Ordering::Relaxed) {
                 let key = sampler.sample(&mut rng);
                 if rng.bounded(100) < 95 {
-                    match cache.get(key) {
+                    match session.get(key) {
                         Some(_) => hits += 1,
                         None => {
                             // Cache miss: fetch from "backend" and fill.
                             misses += 1;
-                            cache.insert(key, key ^ 0xABCD);
+                            session.insert(key, key ^ 0xABCD);
                         }
                     }
                 } else {
-                    cache.remove(key);
-                    cache.insert(key, key ^ 0xABCD);
+                    session.remove(key);
+                    session.insert(key, key ^ 0xABCD);
                     sets += 1;
                 }
                 csds::metrics::op_boundary();

@@ -34,21 +34,26 @@ fn main() {
             let mix = OpMix::updates(10); // 10% updates, half insert/remove
             let mut rng = FastRng::new(t as u64 + 1);
             let _ = csds::metrics::take_and_reset();
+            // One MapHandle per worker: the session pins once and reuses
+            // its guard across all operations (fence-free repin), and
+            // reads return references instead of clones.
+            let mut session = map.handle();
             for _ in 0..OPS_PER_THREAD {
                 let key = sampler.sample(&mut rng);
                 match mix.sample(&mut rng) {
                     Op::Get => {
-                        map.get(key);
+                        session.get(key);
                     }
                     Op::Insert => {
-                        map.insert(key, key);
+                        session.insert(key, key);
                     }
                     Op::Remove => {
-                        map.remove(key);
+                        session.remove(key);
                     }
                 }
                 csds::metrics::op_boundary();
             }
+            drop(session); // unpin before the thread idles
             csds::metrics::take_and_reset()
         }));
     }

@@ -4,24 +4,28 @@
 //! Structures Can Be Blocking and Practically Wait-Free"* (David &
 //! Guerraoui, SPAA 2016). Re-exports every sub-crate:
 //!
-//! * [`core`](csds_core) — the data structures (blocking / lock-free /
+//! * [`core`] — the data structures (blocking / lock-free /
 //!   wait-free lists, skip lists, hash tables, BSTs, queues, stacks);
-//! * [`sync`](csds_sync) — spin locks (TAS, TTAS, ticket, MCS, OPTIK);
-//! * [`ebr`](csds_ebr) — epoch-based memory reclamation;
-//! * [`htm`](csds_htm) — emulated HTM lock elision (TSX substitute);
-//! * [`metrics`](csds_metrics) — fine-grained instrumentation;
-//! * [`workload`](csds_workload) — key distributions and operation mixes;
-//! * [`analysis`](csds_analysis) — the birthday-paradox conflict model;
-//! * [`harness`](csds_harness) — the experiment runner behind `repro`;
-//! * [`lincheck`](csds_lincheck) — linearizability checking for tests.
+//! * [`sync`] — spin locks (TAS, TTAS, ticket, MCS, OPTIK);
+//! * [`ebr`] — epoch-based memory reclamation;
+//! * [`htm`] — emulated HTM lock elision (TSX substitute);
+//! * [`metrics`] — fine-grained instrumentation;
+//! * [`workload`] — key distributions and operation mixes;
+//! * [`analysis`] — the birthday-paradox conflict model;
+//! * [`harness`] — the experiment runner behind `repro`;
+//! * [`lincheck`] — linearizability checking for tests.
 //!
 //! ```
 //! use csds::prelude::*;
 //!
 //! let map: LazyList<&str> = LazyList::new();
+//! // Pin-per-op trait path (convenient; clones values out of reads):
 //! assert!(map.insert(7, "seven"));
 //! assert_eq!(map.get(7), Some("seven"));
-//! assert_eq!(map.remove(7), Some("seven"));
+//! // Per-thread handle path (guard reuse + clone-free reads — hot loops):
+//! let mut h = map.handle();
+//! assert_eq!(h.get(7), Some(&"seven"));
+//! assert_eq!(h.remove(7), Some("seven"));
 //! ```
 
 pub use csds_analysis as analysis;
@@ -43,5 +47,8 @@ pub mod prelude {
     pub use csds_core::list::{CouplingList, HarrisList, LazyList, WaitFreeList};
     pub use csds_core::queuestack::{LockedStack, MsQueue, TreiberStack, TwoLockQueue};
     pub use csds_core::skiplist::{HerlihySkipList, LockFreeSkipList, PughSkipList};
-    pub use csds_core::{ConcurrentMap, ConcurrentPool, SyncMode};
+    pub use csds_core::{
+        ConcurrentMap, ConcurrentPool, GuardedMap, GuardedPool, MapHandle, PoolHandle, SyncMode,
+        MAX_USER_KEY,
+    };
 }

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use csds::core::ConcurrentMap;
+use csds::core::{ConcurrentMap, GuardedMap, MapHandle};
 
 /// Deterministic xorshift stream for test workloads.
 pub fn rng_stream(mut state: u64) -> impl FnMut() -> u64 {
@@ -46,6 +46,93 @@ pub fn model_check(map: &dyn ConcurrentMap<u64>, ops: u64, key_range: u64, seed:
         }
     }
     assert_eq!(map.len(), model.len());
+}
+
+/// Sequential comparison against `BTreeMap` through a [`MapHandle`]
+/// session (the guard-reuse / repin path), proving it agrees with the
+/// pin-per-op trait path exercised by [`model_check`].
+pub fn model_check_handle(map: &dyn GuardedMap<u64>, ops: u64, key_range: u64, seed: u64) {
+    let mut h = MapHandle::new(map);
+    let mut model = BTreeMap::new();
+    let mut rng = rng_stream(seed);
+    for i in 0..ops {
+        let key = rng() % key_range;
+        match rng() % 3 {
+            0 => {
+                let expected = !model.contains_key(&key);
+                assert_eq!(h.insert(key, i), expected, "insert({key}) at {i}");
+                if expected {
+                    model.insert(key, i);
+                }
+            }
+            1 => {
+                assert_eq!(h.remove(key), model.remove(&key), "remove({key}) at {i}");
+            }
+            _ => {
+                assert_eq!(
+                    h.get(key).copied(),
+                    model.get(&key).copied(),
+                    "get({key}) at {i}"
+                );
+            }
+        }
+    }
+    assert_eq!(h.len(), model.len());
+    assert_eq!(h.ops(), ops + 1, "handle op accounting");
+}
+
+/// Concurrent net-effect invariant through one [`MapHandle`] per worker
+/// thread (the harness's hot-loop configuration).
+pub fn net_effect_handle(
+    map: Arc<Box<dyn GuardedMap<u64>>>,
+    threads: usize,
+    ops_per_thread: u64,
+    key_range: u64,
+) {
+    let ins: Arc<Vec<AtomicU64>> = Arc::new((0..key_range).map(|_| AtomicU64::new(0)).collect());
+    let rem: Arc<Vec<AtomicU64>> = Arc::new((0..key_range).map(|_| AtomicU64::new(0)).collect());
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let map = Arc::clone(&map);
+        let ins = Arc::clone(&ins);
+        let rem = Arc::clone(&rem);
+        handles.push(std::thread::spawn(move || {
+            let mut h = MapHandle::new(map.as_ref().as_ref());
+            let mut rng = rng_stream(0xFACE ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            for _ in 0..ops_per_thread {
+                let key = rng() % key_range;
+                match rng() % 3 {
+                    0 => {
+                        if h.insert(key, key) {
+                            ins[key as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    1 => {
+                        if h.remove(key).is_some() {
+                            rem[key as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    _ => {
+                        if let Some(&v) = h.get(key) {
+                            assert_eq!(v, key, "value corruption at {key}");
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut verifier = MapHandle::new(map.as_ref().as_ref());
+    let mut expected = 0usize;
+    for k in 0..key_range as usize {
+        let net = ins[k].load(Ordering::Relaxed) as i64 - rem[k].load(Ordering::Relaxed) as i64;
+        assert!((0..=1).contains(&net), "key {k}: net {net}");
+        assert_eq!(verifier.get(k as u64).is_some(), net == 1, "key {k}");
+        expected += net as usize;
+    }
+    assert_eq!(verifier.len(), expected);
 }
 
 /// Concurrent net-effect invariant through trait objects.

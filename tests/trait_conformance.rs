@@ -1,8 +1,11 @@
 //! Every algorithm in the library, exercised through the harness's trait
-//! object against a sequential model.
+//! object against a sequential model — through both call paths: the
+//! pin-per-op `ConcurrentMap` traits and the guard-reuse `MapHandle`
+//! sessions.
 
 mod common;
 
+use csds::core::{ConcurrentMap, MAX_USER_KEY};
 use csds::harness::AlgoKind;
 
 #[test]
@@ -10,6 +13,25 @@ fn all_algorithms_match_btreemap_sequentially() {
     for algo in AlgoKind::all() {
         let map = algo.make(128);
         common::model_check(map.as_ref(), 2_500, 96, 0xA11C0DE);
+    }
+}
+
+#[test]
+fn all_algorithms_match_btreemap_through_handles() {
+    // The repin path must agree with the sequential model exactly like the
+    // pin-per-op path does.
+    for algo in AlgoKind::all() {
+        let map = algo.make_guarded(128);
+        common::model_check_handle(map.as_ref(), 2_500, 96, 0x5E55_10AA);
+    }
+}
+
+#[test]
+fn all_algorithms_concurrent_net_effect_through_handles() {
+    use std::sync::Arc;
+    for algo in AlgoKind::all() {
+        let map = Arc::new(algo.make_guarded(64));
+        common::net_effect_handle(map, 3, 1_500, 32);
     }
 }
 
@@ -38,6 +60,54 @@ fn all_algorithms_handle_empty_and_full_edges() {
             assert!(map.insert(k, k), "{name} reinsert {k}");
         }
         assert_eq!(map.len(), 32, "{name} after refill");
+    }
+}
+
+#[test]
+fn documented_key_range_round_trips_on_every_structure() {
+    // The documented user key range is 0 ..= u64::MAX - 2; its extremes
+    // must round-trip through every structure and both call paths.
+    let boundary = [0u64, 1, MAX_USER_KEY - 1, MAX_USER_KEY];
+    for algo in AlgoKind::all() {
+        let name = algo.name();
+        let map = algo.make_guarded(16);
+        for (i, &k) in boundary.iter().enumerate() {
+            assert!(map.insert(k, i as u64), "{name} insert {k}");
+        }
+        let mut h = csds::core::MapHandle::new(map.as_ref());
+        for (i, &k) in boundary.iter().enumerate() {
+            assert_eq!(h.get(k), Some(&(i as u64)), "{name} get {k}");
+        }
+        drop(h);
+        for (i, &k) in boundary.iter().enumerate() {
+            assert_eq!(map.remove(k), Some(i as u64), "{name} remove {k}");
+        }
+        assert!(map.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn reserved_keys_are_rejected_at_the_boundary() {
+    // u64::MAX and u64::MAX - 1 are internal sentinels. The list/skiplist
+    // key encoding rejects them unconditionally; the hash tables and BST
+    // reject them with a debug_assert!-backed check in the guard-scoped
+    // entry points — so the rejection is only observable in debug builds.
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    for algo in AlgoKind::all() {
+        for reserved in [u64::MAX, u64::MAX - 1] {
+            let map = algo.make(16);
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                map.insert(reserved, 1);
+            }))
+            .is_err();
+            assert!(
+                panicked,
+                "{}: reserved key {reserved:#x} must be rejected",
+                algo.name()
+            );
+        }
     }
 }
 
