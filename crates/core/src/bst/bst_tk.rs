@@ -449,7 +449,7 @@ impl<V: Clone + Send + Sync> BstTk<V> {
 
 impl<V: Clone + Send + Sync> BstTk<V> {
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&self, k: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, k: u64, guard: &'g Guard) -> Option<&'g V> {
         key::check_user_key(k);
         let mut curr = self.root.load(guard);
         loop {
@@ -487,7 +487,7 @@ impl<V: Clone + Send + Sync> BstTk<V> {
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for BstTk<V> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         BstTk::get_in(self, key, guard)
     }
 

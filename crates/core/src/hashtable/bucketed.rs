@@ -59,7 +59,7 @@ where
     }
 
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&self, k: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, k: u64, guard: &'g Guard) -> Option<&'g V> {
         key::check_user_key(k);
         self.bucket(k).get_in(k, guard)
     }
@@ -87,7 +87,7 @@ where
     M: GuardedMap<V>,
     V: Clone + Send + Sync,
 {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         Bucketed::get_in(self, key, guard)
     }
 

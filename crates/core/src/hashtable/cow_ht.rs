@@ -55,7 +55,7 @@ impl<V: Clone + Send + Sync> CowHashTable<V> {
 impl<V: Clone + Send + Sync> CowHashTable<V> {
     /// Guard-scoped `get`: clone-free reference into the bucket's current
     /// immutable snapshot, valid for `'g`.
-    pub fn get_in<'g>(&self, k: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, k: u64, guard: &'g Guard) -> Option<&'g V> {
         key::check_user_key(k);
         let snap = self.bucket(k).data.load(guard);
         // SAFETY: pinned; snapshots are retired through EBR.
@@ -136,7 +136,7 @@ impl<V: Clone + Send + Sync> CowHashTable<V> {
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for CowHashTable<V> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         CowHashTable::get_in(self, key, guard)
     }
 

@@ -100,7 +100,7 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
 
 impl<V: Clone + Send + Sync> LazyHashTable<V> {
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&self, k: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, k: u64, guard: &'g Guard) -> Option<&'g V> {
         key::check_user_key(k);
         let (_, curr) = Self::scan(self.bucket(k), k, guard);
         if curr.is_null() {
@@ -333,7 +333,7 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for LazyHashTable<V> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         LazyHashTable::get_in(self, key, guard)
     }
 

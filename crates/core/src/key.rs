@@ -14,17 +14,19 @@ pub const HEAD_IKEY: u64 = 0;
 /// Internal key of the tail sentinel.
 pub const TAIL_IKEY: u64 = u64::MAX;
 
-/// Reject reserved keys at the public API boundary (debug builds).
+/// Reject reserved keys at the public API boundary (all builds).
 ///
 /// The documented user key range is `0 ..= u64::MAX - 2`; the top two keys
 /// are reserved for internal sentinels. Structures whose layout depends on
-/// the sentinel encoding (lists, skip lists) additionally enforce this with
-/// a hard assert in [`ikey`]; structures that merely reserve the keys for
+/// the sentinel encoding (lists, skip lists) enforce this with the hard
+/// assert in [`ikey`]; structures that merely reserve the keys for
 /// interface uniformity (hash tables, BST) call this check in their
-/// guard-scoped entry points.
+/// guard-scoped entry points. The check is unconditional so the contract
+/// is identical across structures and build profiles — one compare against
+/// a constant is negligible next to a map operation.
 #[inline]
 pub fn check_user_key(user: u64) {
-    debug_assert!(
+    assert!(
         user <= MAX_USER_KEY,
         "key {user} exceeds supported range (0..=u64::MAX-2; the top two keys are reserved)"
     );

@@ -75,25 +75,105 @@ pub enum SyncMode {
 /// model assumes five (§6.4).
 pub const ELISION_RETRIES: u32 = 5;
 
+/// After this many *consecutive* operations whose [`Guard::repin`] was
+/// inert (another guard live on the same thread), a handle concludes the
+/// thread is holding two long-lived sessions — which stalls epoch
+/// reclamation process-wide — and, in debug builds, prints a diagnostic to
+/// stderr (once per stall run: an effective repin resets the counter and a
+/// fresh stall warns again). [`MapHandle::stalled_ops`] exposes the
+/// counter in all builds.
+pub const REPIN_STALL_WARN_THRESHOLD: u64 = 1024;
+
+/// The state shared by [`MapHandle`] and [`PoolHandle`]: one reusable
+/// guard plus operation and stall accounting.
+struct Session {
+    guard: Guard,
+    ops: u64,
+    stalled: u64,
+    /// Only read by the debug-build stall diagnostic.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    kind: &'static str,
+}
+
+impl Session {
+    fn new(kind: &'static str) -> Self {
+        Session {
+            guard: pin(),
+            ops: 0,
+            stalled: 0,
+            kind,
+        }
+    }
+
+    /// Repin at the start of an operation (maintains the stall run and the
+    /// operation count).
+    #[inline]
+    fn repin(&mut self) {
+        self.refresh();
+        self.ops += 1;
+    }
+
+    /// Repin without counting an operation; returns whether the repin was
+    /// effective. An inert repin extends the stall run, an effective one
+    /// resets it; debug builds warn once when the run reaches
+    /// [`REPIN_STALL_WARN_THRESHOLD`].
+    #[inline]
+    fn refresh(&mut self) -> bool {
+        let effective = self.guard.repin();
+        if effective {
+            self.stalled = 0;
+        } else {
+            self.stalled += 1;
+            #[cfg(debug_assertions)]
+            if self.stalled == REPIN_STALL_WARN_THRESHOLD {
+                eprintln!(
+                    "csds_core: a {} has performed {REPIN_STALL_WARN_THRESHOLD} \
+                     consecutive repins without effect — another guard or handle is \
+                     live on this thread, so epoch reclamation is stalled \
+                     process-wide until one of them drops (hold at most one \
+                     long-lived handle per thread)",
+                    self.kind
+                );
+            }
+        }
+        effective
+    }
+}
+
 /// Guard-scoped map operations: the primitive interface every structure
 /// implements.
 ///
 /// All methods take an externally managed EBR [`Guard`]; none of them pins.
-/// `get_in` is **clone-free**: it returns a reference valid for the guard's
-/// lifetime `'g`, even if the entry is concurrently removed (epoch-based
-/// reclamation keeps the node alive while the guard is live).
+/// `get_in` is **clone-free**: it returns a reference borrowed from *both*
+/// the map and the guard, valid even if the entry is concurrently removed
+/// (epoch-based reclamation keeps the node alive while the guard is live).
+/// The double borrow is what makes the API sound: the guard protects
+/// against concurrent retirement, while the map borrow prevents the owner
+/// from dropping the structure — whose `Drop` frees every node immediately,
+/// bypassing EBR — out from under the reference:
+///
+/// ```compile_fail
+/// use csds_core::list::HarrisList;
+///
+/// let map: HarrisList<u64> = HarrisList::new();
+/// let guard = csds_ebr::pin();
+/// map.insert_in(1, 10, &guard);
+/// let r = map.get_in(1, &guard);
+/// drop(map); // ERROR: `map` is still borrowed by `r`
+/// assert_eq!(r, Some(&10));
+/// ```
 ///
 /// Keys are 64-bit with the documented range `0 ..= u64::MAX - 2`
 /// ([`MAX_USER_KEY`]); the top two keys are reserved for internal sentinels
-/// and rejected at the API boundary (hard assert in the sentinel-encoded
-/// structures, `debug_assert!` elsewhere).
+/// and rejected with a hard assert at every entry point.
 ///
 /// The trait is object-safe: the harness factory hands out
 /// `Box<dyn GuardedMap<u64>>` for its hot loops.
 pub trait GuardedMap<V>: Send + Sync {
     /// `get(k)` under `guard`: a reference to the value associated with
-    /// `k`, if present, borrowed for the guard's lifetime.
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V>;
+    /// `k`, if present, borrowed from the map and the guard (whichever
+    /// borrow ends first bounds the reference).
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V>;
 
     /// `put(k,v)` under `guard`: insert if absent. Returns `false` if `k`
     /// was present (no overwrite), `true` if the pair was inserted.
@@ -251,6 +331,13 @@ impl<V, T: GuardedPool<V> + ?Sized> ConcurrentPool<V> for T {
 /// scoping the second session (or using the pin-per-op traits) rather than
 /// holding both handles open.
 ///
+/// The rule is not merely documented: every operation records whether its
+/// repin was effective. [`MapHandle::stalled_ops`] reports the current run
+/// of inert repins, and in debug builds a handle prints a stderr
+/// diagnostic once per stall run when the run reaches
+/// [`REPIN_STALL_WARN_THRESHOLD`] operations — short scoped inner sessions
+/// stay below it, two genuinely long-lived handles do not.
+///
 /// ```
 /// use csds_core::list::LazyList;
 /// use csds_core::{GuardedMap, MapHandle};
@@ -264,8 +351,7 @@ impl<V, T: GuardedPool<V> + ?Sized> ConcurrentPool<V> for T {
 /// ```
 pub struct MapHandle<'m, V, M: GuardedMap<V> + ?Sized = dyn GuardedMap<V> + 'static> {
     map: &'m M,
-    guard: Guard,
-    ops: u64,
+    session: Session,
     _v: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -274,16 +360,9 @@ impl<'m, V, M: GuardedMap<V> + ?Sized> MapHandle<'m, V, M> {
     pub fn new(map: &'m M) -> Self {
         MapHandle {
             map,
-            guard: pin(),
-            ops: 0,
+            session: Session::new("MapHandle"),
             _v: std::marker::PhantomData,
         }
-    }
-
-    #[inline]
-    fn repin(&mut self) {
-        self.guard.repin();
-        self.ops += 1;
     }
 
     /// `get(k)`, clone-free: the reference borrows the handle, so it cannot
@@ -291,8 +370,8 @@ impl<'m, V, M: GuardedMap<V> + ?Sized> MapHandle<'m, V, M> {
     /// it) — the borrow checker enforces the epoch argument.
     #[inline]
     pub fn get(&mut self, key: u64) -> Option<&V> {
-        self.repin();
-        self.map.get_in(key, &self.guard)
+        self.session.repin();
+        self.map.get_in(key, &self.session.guard)
     }
 
     /// `get(k)` with the value cloned out (the pin-per-op traits' shape).
@@ -307,23 +386,23 @@ impl<'m, V, M: GuardedMap<V> + ?Sized> MapHandle<'m, V, M> {
     /// `put(k,v)`: insert if absent; `false` if the key was present.
     #[inline]
     pub fn insert(&mut self, key: u64, value: V) -> bool {
-        self.repin();
-        self.map.insert_in(key, value, &self.guard)
+        self.session.repin();
+        self.map.insert_in(key, value, &self.session.guard)
     }
 
     /// `remove(k)`: remove and return the value, or `None` if absent.
     #[inline]
     pub fn remove(&mut self, key: u64) -> Option<V> {
-        self.repin();
-        self.map.remove_in(key, &self.guard)
+        self.session.repin();
+        self.map.remove_in(key, &self.session.guard)
     }
 
     /// Number of elements (O(n); quiescently consistent).
     #[allow(clippy::len_without_is_empty)] // is_empty exists, &mut self
     #[inline]
     pub fn len(&mut self) -> usize {
-        self.repin();
-        self.map.len_in(&self.guard)
+        self.session.repin();
+        self.map.len_in(&self.session.guard)
     }
 
     /// Whether the map is empty (quiescently consistent).
@@ -334,20 +413,37 @@ impl<'m, V, M: GuardedMap<V> + ?Sized> MapHandle<'m, V, M> {
 
     /// Operations completed through this handle.
     pub fn ops(&self) -> u64 {
-        self.ops
+        self.session.ops
+    }
+
+    /// Current run of consecutive repins (operations or [`refresh`] calls)
+    /// that were inert because another guard (or handle) is live on this
+    /// thread.
+    ///
+    /// `0` in the healthy single-session configuration; a value that keeps
+    /// growing means this thread holds two long-lived sessions and epoch
+    /// reclamation is stalled process-wide until one of them drops. Resets
+    /// as soon as a repin is effective again. See
+    /// [`REPIN_STALL_WARN_THRESHOLD`] for the debug-build diagnostic.
+    ///
+    /// [`refresh`]: MapHandle::refresh
+    pub fn stalled_ops(&self) -> u64 {
+        self.session.stalled
     }
 
     /// The session guard, e.g. for calling inherent `*_in` methods of the
     /// underlying structure directly.
     pub fn guard(&self) -> &Guard {
-        &self.guard
+        &self.session.guard
     }
 
     /// Re-validate the session guard against the current global epoch
     /// without issuing an operation (long read-only phases can call this so
-    /// they do not hold old epochs back).
-    pub fn refresh(&mut self) {
-        self.guard.repin();
+    /// they do not hold old epochs back). Returns whether the repin was
+    /// effective (see [`Guard::repin`]); like the operations, it feeds the
+    /// [`stalled_ops`](MapHandle::stalled_ops) accounting.
+    pub fn refresh(&mut self) -> bool {
+        self.session.refresh()
     }
 }
 
@@ -358,8 +454,7 @@ impl<'m, V, M: GuardedMap<V> + ?Sized> MapHandle<'m, V, M> {
 /// kind) per thread — see the [`MapHandle`] docs.
 pub struct PoolHandle<'p, V, P: GuardedPool<V> + ?Sized = dyn GuardedPool<V> + 'static> {
     pool: &'p P,
-    guard: Guard,
-    ops: u64,
+    session: Session,
     _v: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -368,38 +463,31 @@ impl<'p, V, P: GuardedPool<V> + ?Sized> PoolHandle<'p, V, P> {
     pub fn new(pool: &'p P) -> Self {
         PoolHandle {
             pool,
-            guard: pin(),
-            ops: 0,
+            session: Session::new("PoolHandle"),
             _v: std::marker::PhantomData,
         }
-    }
-
-    #[inline]
-    fn repin(&mut self) {
-        self.guard.repin();
-        self.ops += 1;
     }
 
     /// Insert an element (enqueue / push).
     #[inline]
     pub fn push(&mut self, value: V) {
-        self.repin();
-        self.pool.push_in(value, &self.guard);
+        self.session.repin();
+        self.pool.push_in(value, &self.session.guard);
     }
 
     /// Remove an element (dequeue / pop), or `None` if empty.
     #[inline]
     pub fn pop(&mut self) -> Option<V> {
-        self.repin();
-        self.pool.pop_in(&self.guard)
+        self.session.repin();
+        self.pool.pop_in(&self.session.guard)
     }
 
     /// Number of elements (O(n); quiescently consistent).
     #[allow(clippy::len_without_is_empty)] // is_empty exists, &mut self
     #[inline]
     pub fn len(&mut self) -> usize {
-        self.repin();
-        self.pool.len_in(&self.guard)
+        self.session.repin();
+        self.pool.len_in(&self.session.guard)
     }
 
     /// Whether the pool is empty (quiescently consistent).
@@ -410,12 +498,18 @@ impl<'p, V, P: GuardedPool<V> + ?Sized> PoolHandle<'p, V, P> {
 
     /// Operations completed through this handle.
     pub fn ops(&self) -> u64 {
-        self.ops
+        self.session.ops
+    }
+
+    /// Current run of consecutive repins that were inert; see
+    /// [`MapHandle::stalled_ops`].
+    pub fn stalled_ops(&self) -> u64 {
+        self.session.stalled
     }
 
     /// The session guard.
     pub fn guard(&self) -> &Guard {
-        &self.guard
+        &self.session.guard
     }
 }
 
@@ -600,6 +694,29 @@ mod handle_tests {
     #[test]
     fn handle_sequential_model() {
         testutil::sequential_model_check_handle(HarrisList::new(), 2_000, 64);
+    }
+
+    #[test]
+    fn handle_detects_repin_stall_and_recovery() {
+        let a: HarrisList<u64> = HarrisList::new();
+        let b: HarrisList<u64> = HarrisList::new();
+        let first = a.handle();
+        let mut second = b.handle();
+        // Two live sessions on one thread: the second handle's repins are
+        // inert and the stall counter grows with every operation.
+        for i in 1..=5u64 {
+            second.insert(i, i);
+            assert_eq!(second.stalled_ops(), i);
+        }
+        // `refresh` feeds the same accounting as the operations.
+        assert!(!second.refresh());
+        assert_eq!(second.stalled_ops(), 6);
+        // Dropping the other session makes repin effective again; the very
+        // next operation resets the stall counter.
+        drop(first);
+        assert_eq!(second.get(1), Some(&1));
+        assert_eq!(second.stalled_ops(), 0);
+        assert!(second.refresh());
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
     /// Guard-scoped `get`: the locks cover the traversal; the guard keeps
     /// the returned reference alive after they are released (removers
     /// retire nodes through EBR and never mutate published values).
-    pub fn get_in<'g>(&self, key: u64, _guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, key: u64, _guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
         let (pred, curr) = self.locate(ikey);
         // SAFETY: both nodes locked by us; the value reference stays valid
@@ -178,7 +178,7 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for CouplingList<V> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         CouplingList::get_in(self, key, guard)
     }
 

@@ -98,7 +98,7 @@ impl<V: Clone + Send + Sync> HarrisList<V> {
 
 impl<V: Clone + Send + Sync> HarrisList<V> {
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
         // Pure wait-free traversal: no stores, no cleanup, no restarts.
         // SAFETY: head never retired; traversal pinned.
@@ -216,7 +216,7 @@ impl<V: Clone + Send + Sync> HarrisList<V> {
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for HarrisList<V> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         HarrisList::get_in(self, key, guard)
     }
 

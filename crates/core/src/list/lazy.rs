@@ -116,7 +116,7 @@ impl<V: Clone + Send + Sync, L: RawMutex + 'static> LazyList<V, L> {
     }
 
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
         let (_, curr_s) = self.search(ikey, guard);
         // SAFETY: pinned.
@@ -332,7 +332,7 @@ impl<V: Clone + Send + Sync, L: RawMutex + 'static> LazyList<V, L> {
 }
 
 impl<V: Clone + Send + Sync, L: RawMutex + 'static> GuardedMap<V> for LazyList<V, L> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         LazyList::get_in(self, key, guard)
     }
 

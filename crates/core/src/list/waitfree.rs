@@ -598,7 +598,7 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
 
 impl<V: Clone + Send + Sync> WaitFreeList<V> {
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
         // Store-free traversal: node → link → node, skipping deleted nodes;
         // never helps, never restarts.
@@ -713,7 +713,7 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for WaitFreeList<V> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         WaitFreeList::get_in(self, key, guard)
     }
 

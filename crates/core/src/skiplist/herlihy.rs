@@ -456,7 +456,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
     }
 
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&self, ukey: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, ukey: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(ukey);
         let ((_, succs), found) = self.find(ikey, guard);
         let lf = found?;
@@ -489,7 +489,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for HerlihySkipList<V> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         HerlihySkipList::get_in(self, key, guard)
     }
 

@@ -148,7 +148,7 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
     }
 
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
         // Wait-free traversal: descend without snipping (no stores).
         let mut pred = self.head.load(guard);
@@ -320,7 +320,7 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for LockFreeSkipList<V> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         LockFreeSkipList::get_in(self, key, guard)
     }
 

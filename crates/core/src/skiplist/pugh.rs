@@ -165,7 +165,7 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
     }
 
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
         let (_, found) = self.find(ikey, guard);
         let node = found?;
@@ -326,7 +326,7 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for PughSkipList<V> {
-    fn get_in<'g>(&self, key: u64, guard: &'g Guard) -> Option<&'g V> {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         PughSkipList::get_in(self, key, guard)
     }
 

@@ -676,21 +676,33 @@ impl Guard {
     /// borrows the guard, so the exclusive borrow makes holding one across
     /// `repin` a compile error. If other guards are live on this thread
     /// (nested pins), their loaded pointers would be invalidated too —
-    /// which the borrow checker cannot see — so `repin` is a no-op unless
+    /// which the borrow checker cannot see — so `repin` is inert unless
     /// this is the only live guard.
-    pub fn repin(&mut self) {
+    ///
+    /// Returns whether the repin was **effective**: `true` means this is
+    /// the thread's only live guard and its pin is now published at the
+    /// current global epoch (possibly having been there all along); `false`
+    /// means the call was inert — other guards are live on this thread (or
+    /// this guard is [`unprotected`]), so the thread stays pinned at the
+    /// epoch of the oldest live guard. A long run of `false` from a guard
+    /// that is repinned between operations is the signature of two
+    /// long-lived sessions on one thread, which stalls epoch reclamation
+    /// process-wide; callers holding a reusable guard should surface it
+    /// (see `csds_core::MapHandle::stalled_ops`).
+    pub fn repin(&mut self) -> bool {
         if !self.pinned {
-            return;
+            return false;
         }
         LOCAL.with(|l| {
             if l.guard_depth.get() != 1 {
-                return;
+                return false;
             }
             let global = collector().epoch.0.load(Ordering::Relaxed);
             if l.pin_epoch.get() != global {
                 l.publish(global);
             }
-        });
+            true
+        })
     }
 
     /// Force a maintenance round (epoch advance attempt + collection).
@@ -783,16 +795,17 @@ mod tests {
     fn repin_tracks_the_global_epoch() {
         let mut g = pin();
         // No-op repin: the epoch cannot move while only we are pinned and
-        // nothing advances it, so the published state must be unchanged.
+        // nothing advances it, so the published state must be unchanged —
+        // but the repin is still *effective* (sole guard, current epoch).
         let before = LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed));
-        g.repin();
+        assert!(g.repin());
         assert_eq!(LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed)), before);
         // Force the epoch forward (our own pin is at the current epoch, so
         // the advance is allowed), then repin must re-publish.
         let e0 = global_epoch();
         g.flush();
         if global_epoch() > e0 {
-            g.repin();
+            assert!(g.repin());
             let state = LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed));
             assert_eq!(state & 1, 1);
             assert_eq!(state >> 1, global_epoch());
@@ -802,14 +815,17 @@ mod tests {
 
     #[test]
     fn repin_is_inert_under_nested_guards() {
-        let outer = pin();
+        let mut outer = pin();
         let mut inner = pin();
         let before = LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed));
         // With the outer guard (and its loaded pointers) live, repin must
-        // not move the published epoch out from under it.
-        inner.repin();
+        // not move the published epoch out from under it — and must report
+        // that it was inert.
+        assert!(!inner.repin());
         assert_eq!(LOCAL.with(|l| l.slot.state.load(Ordering::Relaxed)), before);
         drop(inner);
+        // Back to a single live guard: repin is effective again.
+        assert!(outer.repin());
         drop(outer);
     }
 

@@ -88,13 +88,10 @@ fn documented_key_range_round_trips_on_every_structure() {
 
 #[test]
 fn reserved_keys_are_rejected_at_the_boundary() {
-    // u64::MAX and u64::MAX - 1 are internal sentinels. The list/skiplist
-    // key encoding rejects them unconditionally; the hash tables and BST
-    // reject them with a debug_assert!-backed check in the guard-scoped
-    // entry points — so the rejection is only observable in debug builds.
-    if !cfg!(debug_assertions) {
-        return;
-    }
+    // u64::MAX and u64::MAX - 1 are internal sentinels, rejected with a
+    // hard assert at every entry point in every build profile — the
+    // sentinel-encoded structures through the key encoding, the hash
+    // tables and BST through an explicit boundary check.
     for algo in AlgoKind::all() {
         for reserved in [u64::MAX, u64::MAX - 1] {
             let map = algo.make(16);
