@@ -19,11 +19,12 @@ pub const TAIL_IKEY: u64 = u64::MAX;
 /// The documented user key range is `0 ..= u64::MAX - 2`; the top two keys
 /// are reserved for internal sentinels. Structures whose layout depends on
 /// the sentinel encoding (lists, skip lists) enforce this with the hard
-/// assert in [`ikey`]; structures that merely reserve the keys for
-/// interface uniformity (hash tables, BST) call this check in their
-/// guard-scoped entry points. The check is unconditional so the contract
-/// is identical across structures and build profiles — one compare against
-/// a constant is negligible next to a map operation.
+/// assert in the internal `ikey` encoding; structures that merely reserve
+/// the keys for interface uniformity (hash tables, BST, the elastic table)
+/// call this check in their guard-scoped entry points. The check is
+/// unconditional so the contract is identical across structures and build
+/// profiles — one compare against a constant is negligible next to a map
+/// operation.
 #[inline]
 pub fn check_user_key(user: u64) {
     assert!(

@@ -56,7 +56,7 @@ pub mod skiplist;
 
 pub(crate) mod key;
 
-pub use key::MAX_USER_KEY;
+pub use key::{check_user_key, MAX_USER_KEY};
 
 use csds_ebr::{pin, Guard};
 

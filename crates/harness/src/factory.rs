@@ -8,6 +8,7 @@ use csds_core::hashtable::{
 use csds_core::list::{CouplingList, HarrisList, LazyList, WaitFreeList};
 use csds_core::skiplist::{HerlihySkipList, LockFreeSkipList, PughSkipList};
 use csds_core::{ConcurrentMap, GuardedMap, SyncMode};
+use csds_elastic::ElasticHashTable;
 
 /// Data-structure family (the paper's four CSDS columns).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +86,7 @@ pub enum AlgoKind {
     CowHashTable,
     LockFreeHashTable,
     WaitFreeHashTable,
+    ElasticHashTable,
     BstTk,
     BstTkElided,
 }
@@ -109,6 +111,7 @@ impl AlgoKind {
             CowHashTable,
             LockFreeHashTable,
             WaitFreeHashTable,
+            ElasticHashTable,
             BstTk,
             BstTkElided,
         ]
@@ -133,6 +136,7 @@ impl AlgoKind {
             CowHashTable => "cow-ht",
             LockFreeHashTable => "lockfree-ht",
             WaitFreeHashTable => "waitfree-ht",
+            ElasticHashTable => "elastic-ht",
             BstTk => "bst-tk",
             BstTkElided => "bst-tk+tsx",
         }
@@ -147,7 +151,7 @@ impl AlgoKind {
                 Family::SkipList
             }
             LazyHashTable | LazyHashTableElided | CouplingHashTable | CowHashTable
-            | LockFreeHashTable | WaitFreeHashTable => Family::HashTable,
+            | LockFreeHashTable | WaitFreeHashTable | ElasticHashTable => Family::HashTable,
             BstTk | BstTkElided => Family::Bst,
         }
     }
@@ -175,6 +179,7 @@ impl AlgoKind {
             Self::CowHashTable => Box::new(CowHashTable::<u64>::with_capacity(capacity)),
             Self::LockFreeHashTable => Box::new(LockFreeHashTable::<u64>::with_capacity(capacity)),
             Self::WaitFreeHashTable => Box::new(WaitFreeHashTable::<u64>::with_capacity(capacity)),
+            Self::ElasticHashTable => Box::new(ElasticHashTable::<u64>::with_capacity(capacity)),
             Self::BstTk => Box::new(BstTk::<u64>::new()),
             Self::BstTkElided => Box::new(BstTk::<u64>::with_mode(SyncMode::Elision)),
         }
@@ -207,6 +212,7 @@ impl AlgoKind {
             Self::CowHashTable => Box::new(CowHashTable::<u64>::with_capacity(capacity)),
             Self::LockFreeHashTable => Box::new(LockFreeHashTable::<u64>::with_capacity(capacity)),
             Self::WaitFreeHashTable => Box::new(WaitFreeHashTable::<u64>::with_capacity(capacity)),
+            Self::ElasticHashTable => Box::new(ElasticHashTable::<u64>::with_capacity(capacity)),
             Self::BstTk => Box::new(BstTk::<u64>::new()),
             Self::BstTkElided => Box::new(BstTk::<u64>::with_mode(SyncMode::Elision)),
         }

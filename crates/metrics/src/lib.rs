@@ -74,6 +74,14 @@ pub struct StatsSnapshot {
     pub injected_delays: u64,
     /// Total injected delay time in nanoseconds.
     pub injected_delay_ns: u64,
+    /// Table migrations (resizes) started by this thread.
+    pub resize_migrations_started: u64,
+    /// Table migrations whose final bucket this thread moved.
+    pub resize_migrations_completed: u64,
+    /// Buckets this thread migrated from an old table to a new one.
+    pub resize_buckets_moved: u64,
+    /// Fully drained old tables this thread retired through EBR.
+    pub resize_tables_retired: u64,
 }
 
 impl StatsSnapshot {
@@ -99,6 +107,10 @@ impl StatsSnapshot {
         self.elide_fallbacks += other.elide_fallbacks;
         self.injected_delays += other.injected_delays;
         self.injected_delay_ns += other.injected_delay_ns;
+        self.resize_migrations_started += other.resize_migrations_started;
+        self.resize_migrations_completed += other.resize_migrations_completed;
+        self.resize_buckets_moved += other.resize_buckets_moved;
+        self.resize_tables_retired += other.resize_tables_retired;
     }
 
     /// Fraction of wall-clock time spent waiting for locks, given the run's
@@ -201,6 +213,10 @@ struct Recorder {
     elide_fallbacks: Cell<u64>,
     injected_delays: Cell<u64>,
     injected_delay_ns: Cell<u64>,
+    resize_migrations_started: Cell<u64>,
+    resize_migrations_completed: Cell<u64>,
+    resize_buckets_moved: Cell<u64>,
+    resize_tables_retired: Cell<u64>,
     // Per-operation scratch state, folded in by `op_boundary`.
     cur_op_restarts: Cell<u32>,
     cur_op_waited: Cell<bool>,
@@ -228,6 +244,10 @@ impl Recorder {
             elide_fallbacks: Cell::new(0),
             injected_delays: Cell::new(0),
             injected_delay_ns: Cell::new(0),
+            resize_migrations_started: Cell::new(0),
+            resize_migrations_completed: Cell::new(0),
+            resize_buckets_moved: Cell::new(0),
+            resize_tables_retired: Cell::new(0),
             cur_op_restarts: Cell::new(0),
             cur_op_waited: Cell::new(false),
             delay: RefCell::new(None),
@@ -330,6 +350,41 @@ pub fn elide_fallback() {
     RECORDER.with(|r| r.elide_fallbacks.set(r.elide_fallbacks.get() + 1));
 }
 
+/// Record the start of a table migration (a resizing structure installed a
+/// new table and began draining the old one).
+#[inline]
+pub fn resize_migration_started() {
+    RECORDER.with(|r| {
+        r.resize_migrations_started
+            .set(r.resize_migrations_started.get() + 1)
+    });
+}
+
+/// Record the completion of a table migration (this thread moved the old
+/// table's final bucket).
+#[inline]
+pub fn resize_migration_completed() {
+    RECORDER.with(|r| {
+        r.resize_migrations_completed
+            .set(r.resize_migrations_completed.get() + 1)
+    });
+}
+
+/// Record `n` buckets migrated from an old table to its replacement.
+#[inline]
+pub fn resize_buckets_moved(n: u64) {
+    RECORDER.with(|r| r.resize_buckets_moved.set(r.resize_buckets_moved.get() + n));
+}
+
+/// Record an old table retired through EBR after its drain completed.
+#[inline]
+pub fn resize_table_retired() {
+    RECORDER.with(|r| {
+        r.resize_tables_retired
+            .set(r.resize_tables_retired.get() + 1)
+    });
+}
+
 /// Install (or clear) the delay-injection policy for the calling thread.
 pub fn set_delay_policy(policy: Option<DelayPolicy>) {
     RECORDER.with(|r| {
@@ -406,6 +461,10 @@ pub fn take_and_reset() -> StatsSnapshot {
         elide_fallbacks: r.elide_fallbacks.replace(0),
         injected_delays: r.injected_delays.replace(0),
         injected_delay_ns: r.injected_delay_ns.replace(0),
+        resize_migrations_started: r.resize_migrations_started.replace(0),
+        resize_migrations_completed: r.resize_migrations_completed.replace(0),
+        resize_buckets_moved: r.resize_buckets_moved.replace(0),
+        resize_tables_retired: r.resize_tables_retired.replace(0),
     })
 }
 
@@ -479,6 +538,27 @@ mod tests {
         assert_eq!(s.injected_delays, 3);
         assert!(s.injected_delay_ns >= 300);
         assert!(s.injected_delay_ns <= 600);
+    }
+
+    #[test]
+    fn resize_counters_roundtrip_and_merge() {
+        let _ = take_and_reset();
+        resize_migration_started();
+        resize_buckets_moved(16);
+        resize_buckets_moved(3);
+        resize_migration_completed();
+        resize_table_retired();
+        let s = take_and_reset();
+        assert_eq!(s.resize_migrations_started, 1);
+        assert_eq!(s.resize_migrations_completed, 1);
+        assert_eq!(s.resize_buckets_moved, 19);
+        assert_eq!(s.resize_tables_retired, 1);
+        let mut a = s.clone();
+        a.merge(&s);
+        assert_eq!(a.resize_buckets_moved, 38);
+        assert_eq!(a.resize_tables_retired, 2);
+        // The snapshot cleared the thread-local state.
+        assert_eq!(take_and_reset().resize_migrations_started, 0);
     }
 
     #[test]

@@ -167,17 +167,31 @@ impl<V> Strategy for BoxedStrategy<V> {
     }
 }
 
-/// Uniform choice between strategies of a common value type
+/// Choice between strategies of a common value type, uniform or weighted
 /// (the engine behind [`prop_oneof!`]).
 pub struct Union<V> {
-    options: Vec<BoxedStrategy<V>>,
+    /// `(weight, strategy)`; uniform unions use weight 1 each.
+    options: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
 }
 
 impl<V> Union<V> {
-    /// A union over `options`; must be non-empty.
+    /// A uniform union over `options`; must be non-empty.
     pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// A union drawing each option with probability proportional to its
+    /// weight (real proptest's `N => strategy` arms); weights must not all
+    /// be zero.
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! needs at least one option");
-        Union { options }
+        let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Union {
+            options,
+            total_weight,
+        }
     }
 }
 
@@ -185,8 +199,14 @@ impl<V> Strategy for Union<V> {
     type Value = V;
 
     fn generate(&self, rng: &mut TestRng) -> V {
-        let i = rng.bounded(self.options.len() as u64) as usize;
-        self.options[i].generate(rng)
+        let mut draw = rng.bounded(self.total_weight);
+        for (w, s) in &self.options {
+            if draw < *w as u64 {
+                return s.generate(rng);
+            }
+            draw -= *w as u64;
+        }
+        unreachable!("draw below total weight always lands in an option")
     }
 }
 
@@ -302,6 +322,11 @@ pub mod collection {
 /// Uniform choice among strategies with a common value type.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(
+            vec![$(($weight as u32, $crate::Strategy::boxed($strategy))),+],
+        )
+    };
     ($($strategy:expr),+ $(,)?) => {
         $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
     };

@@ -21,6 +21,7 @@ pub mod backoff;
 pub mod mcs;
 pub mod optik;
 pub mod padded;
+pub mod sharded_counter;
 pub mod tas;
 pub mod ticket;
 
@@ -28,6 +29,7 @@ pub use backoff::Backoff;
 pub use mcs::McsLock;
 pub use optik::OptikLock;
 pub use padded::CachePadded;
+pub use sharded_counter::ShardedCounter;
 pub use tas::{TasLock, TtasLock};
 pub use ticket::TicketLock;
 

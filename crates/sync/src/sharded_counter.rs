@@ -1,0 +1,184 @@
+//! A striped (sharded) counter for write-hot, read-rare statistics.
+//!
+//! A single shared `AtomicU64` counter serializes every increment on one
+//! cache line — under the paper's workloads that line ping-pongs between
+//! every writing core and costs more than the operation being counted.
+//! [`ShardedCounter`] splits the count across a power-of-two array of
+//! [`CachePadded`] cells; each thread picks a home cell once (from a
+//! process-wide registration counter) and increments only that cell, so the
+//! common-case `add` is an uncontended `Relaxed` `fetch_add` on a line no
+//! other thread writes.
+//!
+//! The price is the read side: [`ShardedCounter::sum`] folds all cells with
+//! `Relaxed` loads and is only **approximately** current while writers are
+//! active (it never tears, but concurrent deltas may or may not be
+//! included). That is exactly the right trade for occupancy/threshold
+//! checks — e.g. the elastic hash table's grow/shrink trigger — where the
+//! consumer compares the sum against a threshold with generous hysteresis
+//! and a slightly stale value only shifts *when* a resize starts, never
+//! correctness.
+
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+use crate::CachePadded;
+
+/// Process-wide registration sequence; each thread's first `add` claims the
+/// next index and keeps it for life, so a thread always hits the same cell
+/// of every `ShardedCounter`.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A signed counter striped over cache-padded cells.
+///
+/// Writes are `Relaxed` increments of the calling thread's home cell;
+/// [`sum`](ShardedCounter::sum) is a relaxed fold over all cells (see the
+/// module docs for the staleness contract). Deltas may be negative; because
+/// a decrement can land in a different cell than the increment it undoes,
+/// individual cells — and transiently the sum — can go negative even when
+/// the logical count never does. Consumers tracking a non-negative quantity
+/// should clamp (`sum().max(0)`).
+pub struct ShardedCounter {
+    cells: Box<[CachePadded<AtomicI64>]>,
+    mask: usize,
+}
+
+impl ShardedCounter {
+    /// A counter striped over at least `cells` cells (rounded up to a power
+    /// of two, minimum 1).
+    pub fn new(cells: usize) -> Self {
+        let n = cells.max(1).next_power_of_two();
+        ShardedCounter {
+            cells: (0..n)
+                .map(|_| CachePadded::new(AtomicI64::new(0)))
+                .collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of cells (power of two).
+    pub fn cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Add `delta` (possibly negative) to the calling thread's home cell.
+    ///
+    /// Returns the home cell's updated value — a purely local hint (one
+    /// thread's share of the total, not the sum), useful for amortizing
+    /// expensive work behind a cheap local milestone (e.g. "re-check the
+    /// threshold only when my cell crosses a multiple of K") without
+    /// touching any other thread's cache line.
+    #[inline]
+    pub fn add(&self, delta: i64) -> i64 {
+        let slot = THREAD_SLOT.with(|s| *s);
+        self.cells[slot & self.mask].fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// `add(1)`.
+    #[inline]
+    pub fn incr(&self) -> i64 {
+        self.add(1)
+    }
+
+    /// `add(-1)`.
+    #[inline]
+    pub fn decr(&self) -> i64 {
+        self.add(-1)
+    }
+
+    /// Relaxed fold of all cells: exact once writers are quiescent,
+    /// approximate (never torn) while they are not.
+    pub fn sum(&self) -> i64 {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCounter")
+            .field("cells", &self.cells.len())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn cell_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedCounter::new(0).cells(), 1);
+        assert_eq!(ShardedCounter::new(1).cells(), 1);
+        assert_eq!(ShardedCounter::new(3).cells(), 4);
+        assert_eq!(ShardedCounter::new(8).cells(), 8);
+    }
+
+    #[test]
+    fn sequential_adds_sum_exactly() {
+        let c = ShardedCounter::new(4);
+        for i in 1..=100i64 {
+            c.add(i);
+        }
+        assert_eq!(c.sum(), 5050);
+        c.add(-5050);
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn add_returns_the_home_cell_value() {
+        // Single-threaded, so every delta lands in the same cell and the
+        // returned local value tracks the running total exactly.
+        let c = ShardedCounter::new(4);
+        assert_eq!(c.incr(), 1);
+        assert_eq!(c.add(9), 10);
+        assert_eq!(c.decr(), 9);
+        assert_eq!(c.add(-19), -10);
+    }
+
+    #[test]
+    fn negative_balances_cancel() {
+        let c = ShardedCounter::new(8);
+        for _ in 0..1000 {
+            c.incr();
+        }
+        for _ in 0..1000 {
+            c.decr();
+        }
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_not_lost() {
+        const THREADS: usize = 8;
+        const PER_THREAD: i64 = 50_000;
+        let c = Arc::new(ShardedCounter::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.incr();
+                }
+                for _ in 0..PER_THREAD / 2 {
+                    c.decr();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.sum(), THREADS as i64 * (PER_THREAD - PER_THREAD / 2));
+    }
+
+    #[test]
+    fn cells_are_cache_padded() {
+        let c = ShardedCounter::new(2);
+        let a = &*c.cells[0] as *const AtomicI64 as usize;
+        let b = &*c.cells[1] as *const AtomicI64 as usize;
+        assert!(b.abs_diff(a) >= 128, "cells share a cache line");
+    }
+}

@@ -11,7 +11,11 @@
 //!   allocation, seedable) for per-thread use inside measurement loops;
 //! * [`KeyDist`] / [`KeySampler`] — uniform and Zipfian key distributions
 //!   (the Zipf sampler uses a precomputed CDF and binary search);
-//! * [`OpMix`] / [`Op`] — the paper's operation mix.
+//! * [`OpMix`] / [`Op`] — the paper's operation mix;
+//! * [`ChurnSchedule`] / [`ChurnPhase`] — a phased mix that cycles the key
+//!   population through grow / steady / shrink phases, for exercising
+//!   dynamically-resizing structures (the elastic hash table's
+//!   migration machinery) rather than the paper's stationary sizes.
 
 /// xorshift64* PRNG: fast enough to disappear inside a measurement loop,
 /// deterministic from its seed.
@@ -192,6 +196,96 @@ impl OpMix {
     }
 }
 
+/// Phase of a resize-churn workload (see [`ChurnSchedule`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnPhase {
+    /// Population ramps up: updates are biased toward inserts.
+    Grow,
+    /// Stationary traffic: the configured steady [`OpMix`] applies.
+    Steady,
+    /// Population drains: updates are biased toward removes.
+    Shrink,
+}
+
+/// A deterministic phase schedule that forces a structure's population to
+/// grow, hold, and shrink, cycling — the workload shape that drives a
+/// resizable structure through repeated migrations in both directions.
+///
+/// The paper's methodology keeps structure sizes stationary (equal
+/// insert/remove rates over a fixed key space); a resize-churn run instead
+/// cycles `Grow → Steady → Shrink → Steady` by operation index, so any
+/// thread can derive the current phase from its own op counter with no
+/// cross-thread coordination. During `Grow`/`Shrink` phases a fraction
+/// [`CHURN_UPDATE_PCT`](ChurnSchedule::CHURN_UPDATE_PCT) of operations are
+/// the biased update (the rest are reads); `Steady` phases use the mix the
+/// caller supplies.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnSchedule {
+    /// Operations spent ramping the population up per cycle.
+    pub grow_ops: u64,
+    /// Operations of stationary traffic after each ramp (twice per cycle).
+    pub steady_ops: u64,
+    /// Operations spent draining the population per cycle.
+    pub shrink_ops: u64,
+}
+
+impl ChurnSchedule {
+    /// Update share of grow/shrink-phase operations, in percent. Biased
+    /// high so a phase actually moves the population instead of reading it.
+    pub const CHURN_UPDATE_PCT: u64 = 90;
+
+    /// A schedule with the given phase lengths (each ≥ 1 op).
+    pub fn new(grow_ops: u64, steady_ops: u64, shrink_ops: u64) -> Self {
+        ChurnSchedule {
+            grow_ops: grow_ops.max(1),
+            steady_ops: steady_ops.max(1),
+            shrink_ops: shrink_ops.max(1),
+        }
+    }
+
+    /// Length of one full `Grow → Steady → Shrink → Steady` cycle.
+    pub fn period(&self) -> u64 {
+        self.grow_ops + 2 * self.steady_ops + self.shrink_ops
+    }
+
+    /// Phase of the `op_index`-th operation (cyclic).
+    pub fn phase(&self, op_index: u64) -> ChurnPhase {
+        let i = op_index % self.period();
+        if i < self.grow_ops {
+            ChurnPhase::Grow
+        } else if i < self.grow_ops + self.steady_ops {
+            ChurnPhase::Steady
+        } else if i < self.grow_ops + self.steady_ops + self.shrink_ops {
+            ChurnPhase::Shrink
+        } else {
+            ChurnPhase::Steady
+        }
+    }
+
+    /// Draw the `op_index`-th operation: phase-biased updates during
+    /// `Grow`/`Shrink`, the caller's `steady_mix` otherwise.
+    #[inline]
+    pub fn sample(&self, op_index: u64, steady_mix: OpMix, rng: &mut FastRng) -> Op {
+        match self.phase(op_index) {
+            ChurnPhase::Grow => {
+                if rng.bounded(100) < Self::CHURN_UPDATE_PCT {
+                    Op::Insert
+                } else {
+                    Op::Get
+                }
+            }
+            ChurnPhase::Shrink => {
+                if rng.bounded(100) < Self::CHURN_UPDATE_PCT {
+                    Op::Remove
+                } else {
+                    Op::Get
+                }
+            }
+            ChurnPhase::Steady => steady_mix.sample(rng),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +381,60 @@ mod tests {
         assert!((insf - 0.05).abs() < 0.005, "inserts {insf}");
         assert!((remf - 0.05).abs() < 0.005, "removes {remf}");
         assert!((getf - 0.90).abs() < 0.01, "gets {getf}");
+    }
+
+    #[test]
+    fn churn_schedule_cycles_through_phases() {
+        let s = ChurnSchedule::new(100, 50, 80);
+        assert_eq!(s.period(), 280);
+        assert_eq!(s.phase(0), ChurnPhase::Grow);
+        assert_eq!(s.phase(99), ChurnPhase::Grow);
+        assert_eq!(s.phase(100), ChurnPhase::Steady);
+        assert_eq!(s.phase(149), ChurnPhase::Steady);
+        assert_eq!(s.phase(150), ChurnPhase::Shrink);
+        assert_eq!(s.phase(229), ChurnPhase::Shrink);
+        assert_eq!(s.phase(230), ChurnPhase::Steady);
+        assert_eq!(s.phase(279), ChurnPhase::Steady);
+        // Cyclic.
+        assert_eq!(s.phase(280), ChurnPhase::Grow);
+        assert_eq!(s.phase(280 * 7 + 150), ChurnPhase::Shrink);
+    }
+
+    #[test]
+    fn churn_phases_bias_the_op_mix() {
+        let s = ChurnSchedule::new(1000, 1000, 1000);
+        let steady = OpMix::updates(10);
+        let mut rng = FastRng::new(17);
+        let (mut grow_ins, mut grow_rem) = (0u64, 0u64);
+        for i in 0..1000 {
+            match s.sample(i, steady, &mut rng) {
+                Op::Insert => grow_ins += 1,
+                Op::Remove => grow_rem += 1,
+                Op::Get => {}
+            }
+        }
+        assert!(grow_ins > 800, "grow phase inserted only {grow_ins}/1000");
+        assert_eq!(grow_rem, 0, "grow phase must not remove");
+        let (mut shr_ins, mut shr_rem) = (0u64, 0u64);
+        for i in 2000..3000 {
+            match s.sample(i, steady, &mut rng) {
+                Op::Insert => shr_ins += 1,
+                Op::Remove => shr_rem += 1,
+                Op::Get => {}
+            }
+        }
+        assert!(shr_rem > 800, "shrink phase removed only {shr_rem}/1000");
+        assert_eq!(shr_ins, 0, "shrink phase must not insert");
+    }
+
+    #[test]
+    fn churn_schedule_degenerate_lengths_are_clamped() {
+        let s = ChurnSchedule::new(0, 0, 0);
+        assert_eq!(s.period(), 4);
+        assert_eq!(s.phase(0), ChurnPhase::Grow);
+        assert_eq!(s.phase(1), ChurnPhase::Steady);
+        assert_eq!(s.phase(2), ChurnPhase::Shrink);
+        assert_eq!(s.phase(3), ChurnPhase::Steady);
     }
 
     #[test]

@@ -1,63 +1,87 @@
 //! A memcached-style key-value cache front-end — the workload that
 //! motivates the paper's introduction (search structures inside Memcached,
-//! RocksDB, LevelDB, ...).
+//! RocksDB, LevelDB, ...), now on the **elastic** sharded hash table.
 //!
-//! A hash table holds the hot set; requests follow a Zipfian popularity
-//! distribution (as real caches do); a background "expiry" thread evicts
-//! random keys, and an SLA monitor reports whether any request class was
-//! delayed by concurrency — the practical-wait-freedom question asked the
-//! way an operator would ask it.
+//! The cache starts tiny and resizes itself under live traffic, in three
+//! phases:
+//!
+//! 1. **ramp** — a cold cache fills from its backend; the table grows
+//!    shard by shard while requests keep flowing;
+//! 2. **steady** — Zipfian traffic over the warm hot set;
+//! 3. **expiry storm** — the evictor drains most of the population and the
+//!    table shrinks back toward its floor.
+//!
+//! At exit the report includes the resize statistics: migrations, buckets
+//! and entries moved, and old tables retired through EBR — all while the
+//! SLA monitor checks whether any request class was delayed by
+//! concurrency (the practical-wait-freedom question asked the way an
+//! operator would ask it).
 //!
 //! ```text
 //! cargo run --release --example kv_cache
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use csds::prelude::*;
 use csds::workload::{FastRng, KeyDist, KeySampler};
 
-const CACHE_CAPACITY: usize = 4096;
+/// Hot-set size at steady state; the cache is *not* pre-sized for it.
+const HOT_SET: usize = 8192;
 const FRONTEND_THREADS: usize = 4;
-const RUN: Duration = Duration::from_millis(800);
+const PHASE: Duration = Duration::from_millis(400);
+
+/// Phase index shared between main and the workers (0 ramp, 1 steady,
+/// 2 expiry storm).
+type Phase = Arc<AtomicUsize>;
 
 fn main() {
-    // Per-bucket-lock hash table at load factor 1: the paper's blocking HT.
-    let cache: Arc<LazyHashTable<u64>> = Arc::new(LazyHashTable::with_capacity(CACHE_CAPACITY));
-    for k in 0..CACHE_CAPACITY as u64 / 2 {
-        cache.insert(k, k ^ 0xABCD);
-    }
+    // Start tiny: 64 buckets for what becomes a multi-thousand-entry hot
+    // set. Growth is the elastic table's job, not the capacity planner's.
+    let cache: Arc<ElasticHashTable<u64>> = Arc::new(ElasticHashTable::with_capacity(64));
+    println!(
+        "cold start: {} buckets across {} shards",
+        cache.buckets(),
+        cache.shards()
+    );
 
     let stop = Arc::new(AtomicBool::new(false));
+    let phase: Phase = Arc::new(AtomicUsize::new(0));
     let mut handles = Vec::new();
 
     // Front-end request threads: 95% GET / 5% SET on a Zipfian hot set.
     for t in 0..FRONTEND_THREADS {
         let cache = Arc::clone(&cache);
         let stop = Arc::clone(&stop);
+        let phase = Arc::clone(&phase);
         handles.push(std::thread::spawn(move || {
-            let sampler = KeySampler::new(KeyDist::Zipf { s: 0.8 }, CACHE_CAPACITY as u64);
+            let sampler = KeySampler::new(KeyDist::Zipf { s: 0.8 }, HOT_SET as u64);
             let mut rng = FastRng::new(0xCAFE + t as u64);
             let _ = csds::metrics::take_and_reset();
             let (mut hits, mut misses, mut sets) = (0u64, 0u64, 0u64);
             // One handle per front-end thread: GETs return references into
             // the live table (clone-free) and the session guard is reused
-            // across requests.
+            // across requests — even across migrations of the node.
             let mut session = cache.handle();
             while !stop.load(Ordering::Relaxed) {
                 let key = sampler.sample(&mut rng);
+                // During the expiry storm the front-end stops refilling
+                // misses, so eviction actually drains the population.
+                let refill = phase.load(Ordering::Relaxed) != 2;
                 if rng.bounded(100) < 95 {
                     match session.get(key) {
                         Some(_) => hits += 1,
                         None => {
-                            // Cache miss: fetch from "backend" and fill.
                             misses += 1;
-                            session.insert(key, key ^ 0xABCD);
+                            if refill {
+                                // Cache miss: fetch from "backend" and fill.
+                                session.insert(key, key ^ 0xABCD);
+                            }
                         }
                     }
-                } else {
+                } else if refill {
                     session.remove(key);
                     session.insert(key, key ^ 0xABCD);
                     sets += 1;
@@ -68,25 +92,44 @@ fn main() {
         }));
     }
 
-    // Background eviction thread (TTL expiry stand-in).
+    // Background eviction thread (TTL expiry stand-in). Gentle during ramp
+    // and steady phases; a storm during phase 2.
     let evictor = {
         let cache = Arc::clone(&cache);
         let stop = Arc::clone(&stop);
+        let phase = Arc::clone(&phase);
         std::thread::spawn(move || {
             let mut rng = FastRng::new(0xE71C);
             let mut evicted = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                if cache.remove(rng.bounded(CACHE_CAPACITY as u64)).is_some() {
-                    evicted += 1;
+                if phase.load(Ordering::Relaxed) == 2 {
+                    // Storm: hammer random keys with no pause.
+                    for _ in 0..64 {
+                        if cache.remove(rng.bounded(HOT_SET as u64)).is_some() {
+                            evicted += 1;
+                        }
+                    }
+                } else {
+                    if cache.remove(rng.bounded(HOT_SET as u64)).is_some() {
+                        evicted += 1;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
                 }
-                std::thread::sleep(Duration::from_micros(200));
             }
             evicted
         })
     };
 
     let start = Instant::now();
-    std::thread::sleep(RUN);
+    for (idx, name) in [(0, "ramp"), (1, "steady"), (2, "expiry storm")] {
+        phase.store(idx, Ordering::Relaxed);
+        std::thread::sleep(PHASE);
+        println!(
+            "after {name:>12}: {:>6} buckets, ~{:>5} entries",
+            cache.buckets(),
+            cache.occupancy()
+        );
+    }
     stop.store(true, Ordering::Relaxed);
     let elapsed = start.elapsed();
 
@@ -116,5 +159,20 @@ fn main() {
         merged.max_wait_ns,
         100.0 * merged.restart_fraction(),
     );
-    println!("cache size now: {}", cache.len());
+    let rs = cache.resize_stats();
+    println!(
+        "resize: {} migrations ({} grows, {} shrinks), {} completed, {} buckets / {} entries moved, {} tables EBR-retired",
+        rs.migrations_started,
+        rs.grows,
+        rs.shrinks,
+        rs.migrations_completed,
+        rs.buckets_moved,
+        rs.entries_moved,
+        rs.tables_retired,
+    );
+    println!(
+        "cache size now: {} entries in {} buckets",
+        cache.len(),
+        cache.buckets()
+    );
 }

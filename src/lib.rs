@@ -6,6 +6,8 @@
 //!
 //! * [`core`] — the data structures (blocking / lock-free /
 //!   wait-free lists, skip lists, hash tables, BSTs, queues, stacks);
+//! * [`elastic`] — the sharded, dynamically-resizing hash table
+//!   (incremental cooperative migration, EBR-retired tables);
 //! * [`sync`] — spin locks (TAS, TTAS, ticket, MCS, OPTIK);
 //! * [`ebr`] — epoch-based memory reclamation;
 //! * [`htm`] — emulated HTM lock elision (TSX substitute);
@@ -31,6 +33,7 @@
 pub use csds_analysis as analysis;
 pub use csds_core as core;
 pub use csds_ebr as ebr;
+pub use csds_elastic as elastic;
 pub use csds_harness as harness;
 pub use csds_htm as htm;
 pub use csds_lincheck as lincheck;
@@ -51,4 +54,5 @@ pub mod prelude {
         ConcurrentMap, ConcurrentPool, GuardedMap, GuardedPool, MapHandle, PoolHandle, SyncMode,
         MAX_USER_KEY,
     };
+    pub use csds_elastic::{ElasticConfig, ElasticHashTable};
 }

@@ -47,6 +47,83 @@ fn elision_variants_under_contention() {
 }
 
 #[test]
+fn elastic_net_effect_with_migration_forced_every_few_ops() {
+    // Tiny shards, a one-bucket floor and a one-bucket migration quantum:
+    // at this scale the grow/shrink thresholds trip every handful of
+    // updates, so most operations run with a migration in flight. The
+    // net-effect invariant must hold anyway, and the table must have
+    // actually resized in both directions.
+    use csds::core::{ConcurrentMap, MapHandle};
+    use csds::elastic::{ElasticConfig, ElasticHashTable};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const THREADS: usize = 4;
+    const OPS: u64 = 6_000;
+    const RANGE: u64 = 96;
+    let map = Arc::new(ElasticHashTable::<u64>::with_config(ElasticConfig {
+        shards: 2,
+        initial_buckets: 2,
+        min_buckets: 2,
+        migration_quantum: 1,
+        counter_cells: 2,
+    }));
+    let ins: Arc<Vec<AtomicU64>> = Arc::new((0..RANGE).map(|_| AtomicU64::new(0)).collect());
+    let rem: Arc<Vec<AtomicU64>> = Arc::new((0..RANGE).map(|_| AtomicU64::new(0)).collect());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let map = Arc::clone(&map);
+        let ins = Arc::clone(&ins);
+        let rem = Arc::clone(&rem);
+        handles.push(std::thread::spawn(move || {
+            // Handle path: one reusable guard per worker, repinned per op,
+            // exactly the harness's hot-loop configuration.
+            let mut h = MapHandle::new(&*map);
+            let mut rng =
+                common::rng_stream(0xE1A5 ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            for i in 0..OPS {
+                let key = rng() % RANGE;
+                // Alternate insert- and remove-heavy blocks so the
+                // population repeatedly crosses both thresholds.
+                let grow_block = (i / 250) % 2 == 0;
+                let roll = rng() % 10;
+                if if grow_block { roll < 6 } else { roll < 2 } {
+                    if h.insert(key, key) {
+                        ins[key as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                } else if roll < 8 {
+                    if h.remove(key).is_some() {
+                        rem[key as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                } else if let Some(&v) = h.get(key) {
+                    assert_eq!(v, key, "value corruption at {key}");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut expected = 0usize;
+    for k in 0..RANGE as usize {
+        let net = ins[k].load(Ordering::Relaxed) as i64 - rem[k].load(Ordering::Relaxed) as i64;
+        assert!((0..=1).contains(&net), "key {k}: net {net}");
+        assert_eq!(map.get(k as u64).is_some(), net == 1, "key {k}");
+        expected += net as usize;
+    }
+    assert_eq!(map.len(), expected);
+    let stats = map.resize_stats();
+    assert!(
+        stats.migrations_started >= 2,
+        "migration was supposed to be forced throughout: {stats:?}"
+    );
+    assert!(stats.buckets_moved > 0);
+    assert_eq!(
+        stats.migrations_completed, stats.tables_retired,
+        "every drained table must be retired exactly once"
+    );
+}
+
+#[test]
 fn mixed_readers_and_writers_see_no_torn_values() {
     // Writers flip keys between two exact values; readers must only ever
     // observe one of them.

@@ -86,8 +86,88 @@ model_prop!(pugh_skiplist_obeys_model, AlgoKind::PughSkipList);
 model_prop!(lockfree_skiplist_obeys_model, AlgoKind::LockFreeSkipList);
 model_prop!(lazy_hashtable_obeys_model, AlgoKind::LazyHashTable);
 model_prop!(cow_hashtable_obeys_model, AlgoKind::CowHashTable);
+model_prop!(elastic_hashtable_obeys_model, AlgoKind::ElasticHashTable);
 model_prop!(bst_tk_obeys_model, AlgoKind::BstTk);
 model_prop!(bst_tk_elided_obeys_model, AlgoKind::BstTkElided);
+
+/// The elastic table with deliberately tiny shards and a one-bucket
+/// migration quantum, driven through grow/shrink threshold crossings: the
+/// op sequence front-loads inserts over a wide key range (growth), then
+/// biases toward removes (shrink), with arbitrary operations mixed in, so
+/// most of the sequence runs with a migration in flight.
+fn run_elastic_churn_against_model(grow: &[MapOp], drain: &[MapOp]) {
+    use csds::elastic::{ElasticConfig, ElasticHashTable};
+    let map = ElasticHashTable::<u64>::with_config(ElasticConfig {
+        shards: 2,
+        initial_buckets: 2,
+        min_buckets: 2,
+        migration_quantum: 1,
+        counter_cells: 2,
+    });
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut check = |op: &MapOp, i: usize| match *op {
+        MapOp::Insert(k, v) => {
+            let expected = !model.contains_key(&k);
+            assert_eq!(
+                csds::core::ConcurrentMap::insert(&map, k, v),
+                expected,
+                "elastic churn: insert({k}) at {i}"
+            );
+            if expected {
+                model.insert(k, v);
+            }
+        }
+        MapOp::Remove(k) => {
+            assert_eq!(
+                csds::core::ConcurrentMap::remove(&map, k),
+                model.remove(&k),
+                "elastic churn: remove({k}) at {i}"
+            );
+        }
+        MapOp::Get(k) => {
+            assert_eq!(
+                csds::core::ConcurrentMap::get(&map, k),
+                model.get(&k).copied(),
+                "elastic churn: get({k}) at {i}"
+            );
+        }
+    };
+    for (i, op) in grow.iter().enumerate() {
+        check(op, i);
+    }
+    for (i, op) in drain.iter().enumerate() {
+        check(op, grow.len() + i);
+    }
+    assert_eq!(csds::core::ConcurrentMap::len(&map), model.len());
+    for (&k, &v) in &model {
+        assert_eq!(csds::core::ConcurrentMap::get(&map, k), Some(v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #[test]
+    fn elastic_crossing_grow_and_shrink_thresholds_obeys_model(
+        grow in proptest::collection::vec(
+            prop_oneof![
+                4 => (0..256u64, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+                1 => (0..256u64).prop_map(MapOp::Remove),
+                1 => (0..256u64).prop_map(MapOp::Get),
+            ],
+            100..400,
+        ),
+        drain in proptest::collection::vec(
+            prop_oneof![
+                1 => (0..256u64, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+                4 => (0..256u64).prop_map(MapOp::Remove),
+                1 => (0..256u64).prop_map(MapOp::Get),
+            ],
+            100..400,
+        ),
+    ) {
+        run_elastic_churn_against_model(&grow, &drain);
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]

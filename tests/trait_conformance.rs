@@ -109,6 +109,34 @@ fn reserved_keys_are_rejected_at_the_boundary() {
 }
 
 #[test]
+fn elastic_conformance_survives_growth_through_both_call_paths() {
+    // AlgoKind::all() already sweeps ElasticHashTable through every test in
+    // this file at a stationary size; this one drives both call paths
+    // across a 16× growth so the model comparison runs concurrently with
+    // migrations. make(16) starts the table at 16 buckets; 1 000 distinct
+    // keys force repeated doubling on every shard.
+    let map = AlgoKind::ElasticHashTable.make_guarded(16);
+    // Pin-per-op path while growing.
+    for k in 0..500u64 {
+        assert!(map.insert(k, k * 11), "insert {k}");
+    }
+    // Handle (repin) path while growing further.
+    let mut h = csds::core::MapHandle::new(map.as_ref());
+    for k in 500..1000u64 {
+        assert!(h.insert(k, k * 11), "handle insert {k}");
+    }
+    for k in 0..1000u64 {
+        assert_eq!(h.get(k), Some(&(k * 11)), "handle get {k} after growth");
+    }
+    drop(h);
+    for k in 0..1000u64 {
+        assert_eq!(map.get(k), Some(k * 11), "get {k} after growth");
+        assert_eq!(map.remove(k), Some(k * 11), "remove {k}");
+    }
+    assert!(map.is_empty());
+}
+
+#[test]
 fn values_are_independent_of_keys() {
     // Structures must not assume value == key (the harness does that, the
     // library must not).
