@@ -428,13 +428,21 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
         if self.migrate_bucket(tref, p, bucket_index(target_hash, p.mask), guard) {
             transitioned += 1;
         }
-        let start = tref
-            .cursor
-            .fetch_add(self.migration_quantum, Ordering::Relaxed);
-        let end = start.saturating_add(self.migration_quantum).min(total);
-        for idx in start..end {
-            if self.migrate_bucket(tref, p, idx, guard) {
-                transitioned += 1;
+        // Claim a quantum off the shared cursor — but only while the cursor
+        // can still name unclaimed buckets. During the drain tail (every
+        // bucket claimed, `prev` not yet detached) an unconditional RMW here
+        // would cost every update a contended fetch_add for nothing and let
+        // the cursor run away unbounded; the plain load keeps the tail
+        // read-only and caps the cursor at `total + quantum·claimants`.
+        if tref.cursor.load(Ordering::Relaxed) < total {
+            let start = tref
+                .cursor
+                .fetch_add(self.migration_quantum, Ordering::Relaxed);
+            let end = start.saturating_add(self.migration_quantum).min(total);
+            for idx in start..end {
+                if self.migrate_bucket(tref, p, idx, guard) {
+                    transitioned += 1;
+                }
             }
         }
         if transitioned > 0 {
@@ -644,6 +652,15 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
     }
 
     /// Guard-scoped element count (O(buckets + n); quiescently consistent).
+    ///
+    /// While a shard's migration is in flight, authority for each key lives
+    /// in exactly one table (see the module docs), and the count follows
+    /// authority: the old table contributes its un-`MOVED` buckets, and the
+    /// current table contributes only entries whose key's old bucket has
+    /// completed its `MOVED` transition. `migrate_bucket` publishes clones
+    /// into the current table *before* freezing the old bucket, so counting
+    /// every current-table entry unconditionally would observe a mid-move
+    /// key in both tables at once.
     pub fn len_in(&self, guard: &Guard) -> usize {
         let mut n = 0;
         for shard in self.shards.iter() {
@@ -651,18 +668,29 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
             // SAFETY: pinned.
             let tref = unsafe { t.deref() };
             let prev = tref.prev.load(guard);
-            if !prev.is_null() {
-                // SAFETY: pinned.
-                n += Self::count_table(unsafe { prev.deref() }, guard);
+            if prev.is_null() {
+                n += Self::count_table(tref, None, guard);
+            } else {
+                // SAFETY: pinned; prev is cleared before retirement.
+                let p = unsafe { prev.deref() };
+                // Old-then-new, the readers' direction: a bucket frozen
+                // between the two walks is skipped here (MOVED) and picked
+                // up through its clones below.
+                n += Self::count_table(p, None, guard);
+                n += Self::count_table(tref, Some(p), guard);
             }
-            n += Self::count_table(tref, guard);
         }
         n
     }
 
     /// Count live entries in un-`MOVED` buckets (a `MOVED` bucket's entries
-    /// are counted through their clones in the successor table).
-    fn count_table(t: &Table<V>, guard: &Guard) -> usize {
+    /// are counted through their clones in the successor table). With
+    /// `draining = Some(old)`, `t` is the migration target and an entry is
+    /// counted only once its key's old bucket is `MOVED` — before that the
+    /// entry is either a not-yet-authoritative clone of a key still counted
+    /// in `old`, or cannot exist (updates transfer their own bucket's
+    /// authority before writing to the new table).
+    fn count_table(t: &Table<V>, draining: Option<&Table<V>>, guard: &Guard) -> usize {
         let mut n = 0;
         for b in t.buckets.iter() {
             let head = b.head.load(guard);
@@ -674,7 +702,16 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
                 // SAFETY: pinned traversal.
                 let node = unsafe { cur.deref() };
                 if node.marked.load(Ordering::Acquire) == 0 {
-                    n += 1;
+                    let authoritative = match draining {
+                        None => true,
+                        Some(old) => {
+                            let ob = &old.buckets[bucket_index(hash(node.key), old.mask)];
+                            ob.head.load(guard).tag() == MOVED
+                        }
+                    };
+                    if authoritative {
+                        n += 1;
+                    }
                 }
                 cur = node.next.load(guard);
             }
@@ -687,21 +724,38 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
         self.shards.len()
     }
 
-    /// Total buckets across all shards' *current* tables (pins internally;
-    /// diagnostics).
-    pub fn buckets(&self) -> usize {
-        let guard = csds_ebr::pin();
+    /// Guard-scoped total of buckets across all shards' *current* tables.
+    /// Callers already holding a session guard (handles, service workers)
+    /// use this directly instead of paying [`buckets`](Self::buckets)'
+    /// internal pin.
+    pub fn buckets_in(&self, guard: &Guard) -> usize {
         self.shards
             .iter()
             .map(|s| {
                 // SAFETY: pinned; the current table is live.
-                unsafe { s.table.load(&guard).deref() }.buckets.len()
+                unsafe { s.table.load(guard).deref() }.buckets.len()
             })
             .sum()
     }
 
+    /// Total buckets across all shards' *current* tables (pins internally;
+    /// diagnostics). Guard-scoped callers should prefer
+    /// [`buckets_in`](Self::buckets_in).
+    pub fn buckets(&self) -> usize {
+        self.buckets_in(&csds_ebr::pin())
+    }
+
+    /// Guard-scoped [`occupancy`](Self::occupancy). The striped-counter fold
+    /// dereferences no epoch-protected memory, so the guard is unused; the
+    /// variant exists so guard-scoped call sites get the same uniform `*_in`
+    /// surface as every other read path.
+    pub fn occupancy_in(&self, _guard: &Guard) -> usize {
+        self.occupancy()
+    }
+
     /// Approximate live-entry count from the occupancy counters (O(shards ×
-    /// cells), no traversal — unlike `len`).
+    /// cells), no traversal — unlike `len`). Takes no locks and pins
+    /// nothing.
     pub fn occupancy(&self) -> usize {
         self.shards
             .iter()
@@ -988,6 +1042,165 @@ mod tests {
             assert!(h.insert(k, k));
         }
         assert_eq!(h.buckets(), 32, "grow must double, not quadruple");
+    }
+
+    /// Remote pause points for [`GateVal`]'s `Clone`: while `armed`, the
+    /// `pause_at`-th clone call raises `paused` and spins until `release`.
+    /// Values are only cloned inside `migrate_bucket` (and `remove_in`,
+    /// which the gated tests never call while armed), so this freezes a
+    /// migration at the exact point where some clones are already published
+    /// in the new table but the old bucket is not yet `MOVED`.
+    #[derive(Debug, Default)]
+    struct CloneGate {
+        armed: AtomicUsize,
+        clones: AtomicUsize,
+        pause_at: AtomicUsize,
+        paused: AtomicUsize,
+        release: AtomicUsize,
+    }
+
+    #[derive(Debug)]
+    struct GateVal(Arc<CloneGate>);
+
+    impl Clone for GateVal {
+        fn clone(&self) -> Self {
+            let g = &self.0;
+            if g.armed.load(Ordering::SeqCst) != 0 {
+                let n = g.clones.fetch_add(1, Ordering::SeqCst) + 1;
+                if n == g.pause_at.load(Ordering::SeqCst) {
+                    g.paused.store(1, Ordering::SeqCst);
+                    spin_until(|| g.release.load(Ordering::SeqCst) != 0, "gate release");
+                }
+            }
+            GateVal(Arc::clone(&self.0))
+        }
+    }
+
+    fn spin_until(cond: impl Fn() -> bool, what: &str) {
+        let start = std::time::Instant::now();
+        while !cond() {
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(30),
+                "timed out waiting for {what}"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    /// Regression (PR 4 headline): `len_in` must not observe a key in both
+    /// tables while `migrate_bucket` has published clones into the new
+    /// table but not yet frozen the old bucket with `MOVED`. The gate
+    /// pauses a migrating thread exactly inside that window, with one clone
+    /// already published, and the count must still be exact.
+    #[test]
+    fn len_is_exact_while_a_bucket_migration_is_mid_publish() {
+        let gate = Arc::new(CloneGate::default());
+        gate.pause_at.store(2, Ordering::SeqCst);
+        let h = Arc::new(ElasticHashTable::<GateVal>::with_config(ElasticConfig {
+            shards: 1,
+            initial_buckets: 2,
+            min_buckets: 2,
+            migration_quantum: 1,
+            counter_cells: 1,
+        }));
+        // Eight keys that all land in old bucket 0 (mask 1), so the
+        // migration's clone loop has several entries to publish before the
+        // freeze. The 8th insert's occupancy check (period 8) sees 8 > 2
+        // buckets and installs the grow migration; nothing migrates until
+        // the next update.
+        let keys: Vec<u64> = (0..)
+            .filter(|&k| bucket_index(hash(k), 1) == 0)
+            .take(8)
+            .collect();
+        for &k in &keys {
+            assert!(h.insert(k, GateVal(Arc::clone(&gate))));
+        }
+        assert_eq!(
+            h.resize_stats().migrations_started,
+            1,
+            "setup: exactly one migration must be in flight"
+        );
+        assert_eq!(h.len(), 8, "count before any bucket moves");
+
+        // An update on a bucket-0 key from another thread starts draining
+        // bucket 0 and pauses mid-publish (one clone in the new table, old
+        // bucket still authoritative).
+        gate.armed.store(1, Ordering::SeqCst);
+        let extra_key = (0..)
+            .filter(|&k| bucket_index(hash(k), 1) == 0)
+            .nth(8)
+            .unwrap();
+        let migrator = {
+            let h = Arc::clone(&h);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                assert!(h.insert(extra_key, GateVal(gate)));
+            })
+        };
+        spin_until(
+            || gate.paused.load(Ordering::SeqCst) != 0,
+            "mid-migration pause",
+        );
+
+        // The mid-migration window: 8 live originals in the old bucket, 1
+        // clone already published in the new table. Exactly 8 keys exist.
+        assert_eq!(
+            h.len(),
+            8,
+            "len double-counted a key mid-migration (old bucket un-MOVED, clone published)"
+        );
+
+        gate.release.store(1, Ordering::SeqCst);
+        gate.armed.store(0, Ordering::SeqCst);
+        migrator.join().unwrap();
+        assert_eq!(h.len(), 9, "count after the migrating insert lands");
+    }
+
+    /// Regression: once the migration cursor has run past the old table's
+    /// bucket count, further updates must not keep fetch_add-ing it (a
+    /// wasted contended RMW per op, and an unbounded cursor). The drain
+    /// tail is hand-wired: a fully `MOVED` old table behind a current table
+    /// whose cursor already passed the end.
+    #[test]
+    fn help_migration_skips_cursor_rmw_once_past_total() {
+        let h: ElasticHashTable<u64> = ElasticHashTable::with_config(churny());
+        let guard = csds_ebr::pin();
+        let p = Table::<u64>::new(2);
+        for b in p.buckets.iter() {
+            b.head.store(Shared::null().with_tag(MOVED));
+        }
+        let t = Table::<u64>::new(4);
+        t.prev.store(Shared::boxed(p));
+        t.cursor.store(7, Ordering::Relaxed);
+        // Drain-tail update: target bucket already MOVED, cursor past the
+        // end — the call must leave the cursor untouched.
+        h.help_migration(&t, hash(3), &guard);
+        assert_eq!(
+            t.cursor.load(Ordering::Relaxed),
+            7,
+            "cursor advanced past total during the drain tail"
+        );
+        // Below the end the cursor still claims quanta as before.
+        t.cursor.store(1, Ordering::Relaxed);
+        h.help_migration(&t, hash(3), &guard);
+        assert_eq!(
+            t.cursor.load(Ordering::Relaxed),
+            2,
+            "pre-total claims must continue"
+        );
+        // `t` owns `p` through `prev`; Table::drop frees both.
+    }
+
+    #[test]
+    fn buckets_and_occupancy_have_guard_scoped_variants() {
+        let h: ElasticHashTable<u64> = ElasticHashTable::with_capacity(32);
+        for k in 0..20 {
+            h.insert(k, k);
+        }
+        let guard = csds_ebr::pin();
+        assert_eq!(h.buckets_in(&guard), h.buckets());
+        assert_eq!(h.occupancy_in(&guard), 20);
+        assert_eq!(h.occupancy(), 20);
     }
 
     #[test]

@@ -9,6 +9,8 @@ use csds_core::list::{CouplingList, HarrisList, LazyList, WaitFreeList};
 use csds_core::skiplist::{HerlihySkipList, LockFreeSkipList, PughSkipList};
 use csds_core::{ConcurrentMap, GuardedMap, SyncMode};
 use csds_elastic::ElasticHashTable;
+use csds_service::{Service, ServiceConfig};
+use std::sync::Arc;
 
 /// Data-structure family (the paper's four CSDS columns).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -217,6 +219,17 @@ impl AlgoKind {
             Self::BstTkElided => Box::new(BstTk::<u64>::with_mode(SyncMode::Elision)),
         }
     }
+
+    /// Start a `csds_service` async front-end over a freshly built instance
+    /// of this algorithm (the ROADMAP's service scenario): `cfg.cores`
+    /// workers, each owning a `MapHandle` session and a bounded submission
+    /// ring. The returned [`Service`] owns the map; reach it through
+    /// [`Service::map`] for out-of-band checks, and shut it down to get the
+    /// per-core service statistics.
+    pub fn make_service(&self, capacity: usize, cfg: ServiceConfig) -> Service<u64> {
+        let map: Arc<dyn GuardedMap<u64>> = Arc::from(self.make_guarded(capacity));
+        Service::start(map, cfg)
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +274,40 @@ mod tests {
         assert!(m.insert(3, 30));
         assert_eq!(m.get(3), Some(30));
         assert_eq!(m.remove(3), Some(30));
+    }
+
+    #[test]
+    fn every_algo_supports_the_service_interface() {
+        use csds_service::block_on;
+        for algo in AlgoKind::all() {
+            let svc = algo.make_service(
+                64,
+                ServiceConfig {
+                    cores: 1,
+                    ..ServiceConfig::default()
+                },
+            );
+            let client = svc.client();
+            assert!(
+                block_on(client.insert(1, 10).unwrap()).unwrap().inserted(),
+                "{}",
+                algo.name()
+            );
+            assert_eq!(
+                block_on(client.get(1).unwrap()).unwrap().value(),
+                Some(10),
+                "{}",
+                algo.name()
+            );
+            assert_eq!(
+                block_on(client.remove(1).unwrap()).unwrap().value(),
+                Some(10),
+                "{}",
+                algo.name()
+            );
+            let stats = svc.shutdown();
+            assert_eq!(stats.aggregate().ops, 3, "{}", algo.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,781 @@
+//! `csds_service` — an asynchronous request front-end over any
+//! [`GuardedMap`]: the ROADMAP's "async front-end on top of
+//! `ConcurrentMap`", built for the paper's service scenario.
+//!
+//! The paper measures structures from a **closed loop**: every worker
+//! thread issues an operation, waits for it, issues the next. Real services
+//! are **open-loop**: requests arrive on sockets at their own rate and are
+//! executed by a small pool of cores, each running many requests per
+//! scheduling quantum. This crate provides that shape:
+//!
+//! ```text
+//!  clients (any thread)            core workers (fixed pool)
+//!  ───────────────────             ─────────────────────────
+//!  client.get(k) ──┐                ┌───────────────────────┐
+//!  client.insert ──┼─► MpscRing ──► │ worker 0: MapHandle   │──► map
+//!  submit_batch ───┘   (bounded,    │  repin once per batch │
+//!        │              per core)   │  drain ≤ max_batch    │
+//!        ▼                          └───────────────────────┘
+//!   Completion futures ◄── oneshot ──── reply per request
+//! ```
+//!
+//! * **Routing** — requests are routed to a core by key hash, so all
+//!   operations on one key execute on one worker in submission order
+//!   (per-client-per-key FIFO), and a hot core's cache holds its keys'
+//!   nodes.
+//! * **Batching** — each worker owns one [`MapHandle`] and re-validates its
+//!   guard **once per drained batch** rather than per operation, amortizing
+//!   `Guard::repin` the way PathCAS amortizes validation: the mid-ground
+//!   between pin-per-op and a never-refreshed (reclamation-stalling) pin.
+//!   Workers drop the handle before parking, so an idle core never holds
+//!   the epoch back — the library's own session discipline, applied.
+//! * **Backpressure** — submission rings are bounded
+//!   ([`csds_sync::MpscRing`]); a full ring hands the operation back
+//!   ([`ServiceError::Busy`] from [`ServiceClient::try_submit`]) or makes
+//!   the blocking [`ServiceClient::submit`] spin with [`Backoff`] until
+//!   space frees up.
+//! * **Graceful shutdown** — [`Service::shutdown`] stops intake
+//!   ([`ServiceError::ShuttingDown`]) and workers drain every already
+//!   accepted request before exiting, so accepted operations always
+//!   execute exactly once. If a request could somehow be dropped
+//!   unexecuted, its [`Completion`] resolves to
+//!   [`ServiceError::Disconnected`] rather than hanging.
+//! * **Observability** — per-core [`CoreStats`]: ops, batches, batch-size
+//!   and queue-depth maxima, and log₂ histograms
+//!   ([`csds_metrics::LogHistogram`]) of batch sizes and
+//!   submission-to-completion latency.
+//!
+//! There is no async runtime in this offline workspace, so the future
+//! machinery is hand-rolled in std: [`Completion`] is a
+//! plain [`std::future::Future`] and [`block_on`] is a thread-parking
+//! executor for examples, tests and closed-loop comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use csds_core::hashtable::LazyHashTable;
+//! use csds_core::GuardedMap;
+//! use csds_service::{block_on, OpKind, Service, ServiceConfig};
+//!
+//! let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(64));
+//! let service = Service::start(map, ServiceConfig { cores: 2, ..ServiceConfig::default() });
+//! let client = service.client();
+//!
+//! // Single ops: a Completion future per request.
+//! assert!(block_on(client.insert(7, 700).unwrap()).unwrap().inserted());
+//! assert_eq!(client.get(7).unwrap().wait().unwrap().value(), Some(700));
+//!
+//! // Pipelined burst: submit the whole batch, then await the replies.
+//! let batch = client
+//!     .submit_batch((100..116).map(|k| (k, OpKind::Insert(k * 10))))
+//!     .unwrap();
+//! for c in batch {
+//!     assert!(c.wait().unwrap().inserted());
+//! }
+//!
+//! let stats = service.shutdown();
+//! assert_eq!(stats.aggregate().ops, 18);
+//! ```
+
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use csds_core::{check_user_key, GuardedMap, MapHandle};
+use csds_metrics::LogHistogram;
+use csds_sync::{Backoff, CachePadded, MpscRing};
+
+mod oneshot;
+
+pub use oneshot::{block_on, Completion};
+
+/// Why a submission was rejected or a completion failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service is shutting (or shut) down; the operation was **not**
+    /// enqueued and will not execute.
+    ShuttingDown,
+    /// The target core's submission ring is full right now
+    /// ([`ServiceClient::try_submit`] only — the blocking paths spin
+    /// instead). The operation was not enqueued; it is handed back in
+    /// [`Rejected::op`].
+    Busy,
+    /// The request was accepted but the service was torn down before a
+    /// worker executed it (only possible through [`Service`]'s drop while
+    /// futures are still held). The operation did **not** execute.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Busy => write!(f, "submission ring full (backpressure)"),
+            ServiceError::Disconnected => write!(f, "request dropped before execution"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One map operation, as submitted to the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpKind<V> {
+    /// `get(k)` — replies [`Reply::Got`] with the value cloned out (the
+    /// reply crosses a thread boundary, so it cannot borrow the map).
+    Get,
+    /// `put(k, v)` — insert if absent; replies [`Reply::Inserted`].
+    Insert(V),
+    /// `remove(k)` — replies [`Reply::Removed`] with the removed value.
+    Remove,
+}
+
+/// A completed operation's result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply<V> {
+    /// Result of [`OpKind::Get`].
+    Got(Option<V>),
+    /// Result of [`OpKind::Insert`]: `true` iff the key was absent and the
+    /// pair was inserted.
+    Inserted(bool),
+    /// Result of [`OpKind::Remove`]: the removed value, if present.
+    Removed(Option<V>),
+}
+
+impl<V> Reply<V> {
+    /// The carried value for `Got`/`Removed` replies (`None` for
+    /// `Inserted`).
+    pub fn value(self) -> Option<V> {
+        match self {
+            Reply::Got(v) | Reply::Removed(v) => v,
+            Reply::Inserted(_) => None,
+        }
+    }
+
+    /// Whether this reply is `Inserted(true)`.
+    pub fn inserted(&self) -> bool {
+        matches!(self, Reply::Inserted(true))
+    }
+}
+
+/// A submission that was not accepted: the reason plus the operation handed
+/// back so the caller can retry, shed, or redirect it.
+#[derive(Debug)]
+pub struct Rejected<V> {
+    /// Why the submission was rejected.
+    pub reason: ServiceError,
+    /// The operation, returned to the caller un-executed.
+    pub op: OpKind<V>,
+}
+
+/// Construction-time tuning for [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Core worker threads (≥ 1). Each owns one submission ring and one
+    /// map session.
+    pub cores: usize,
+    /// Capacity of each core's submission ring (rounded up to a power of
+    /// two). A full ring is the backpressure signal.
+    pub ring_capacity: usize,
+    /// Most requests a worker executes per guard re-validation (one
+    /// `repin` per batch). Smaller values bound how stale a worker's epoch
+    /// can get under sustained load; larger values amortize harder.
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cores: 2,
+            ring_capacity: 1024,
+            max_batch: 64,
+        }
+    }
+}
+
+/// A queued request: the operation plus its completion and the submission
+/// timestamp (for the latency histogram).
+struct Request<V> {
+    key: u64,
+    op: OpKind<V>,
+    enqueued: Instant,
+    tx: oneshot::CompletionSender<Reply<V>>,
+}
+
+/// Per-core state shared between producers and the owning worker. Padded at
+/// the use site: one core's ring endpoints and sleep flag never share a
+/// line with a neighbour's.
+struct CoreState<V> {
+    ring: MpscRing<Request<V>>,
+    /// True while the worker is parked (or about to park); producers that
+    /// observe it swap it off and unpark the worker.
+    sleeping: AtomicBool,
+    /// The worker's thread handle, for unparking. Written once at startup.
+    thread: Mutex<Option<std::thread::Thread>>,
+}
+
+/// State shared by the service, its clients, and its workers.
+struct ServiceShared<V> {
+    cores: Box<[CachePadded<CoreState<V>>]>,
+    shutdown: AtomicBool,
+    /// Producers currently inside `try_submit`'s enqueue window. Workers
+    /// only exit once this is zero *and* their ring is empty, which closes
+    /// the race between a final enqueue and worker exit (see
+    /// `try_submit`).
+    submitting: AtomicUsize,
+}
+
+/// Monotonic per-core service statistics, collected thread-locally by each
+/// worker and returned by [`Service::shutdown`].
+#[derive(Clone, Debug, Default)]
+pub struct CoreStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Batches drained (≥ 1 op each).
+    pub batches: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+    /// Deepest submission-queue backlog observed at a batch start.
+    pub max_depth: u64,
+    /// Distribution of batch sizes (log₂ buckets).
+    pub batch_sizes: LogHistogram,
+    /// Distribution of submission-to-completion latency in nanoseconds
+    /// (log₂ buckets).
+    pub latency_ns: LogHistogram,
+}
+
+impl CoreStats {
+    /// Mean operations per drained batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.batches as f64
+        }
+    }
+
+    /// Merge another core's stats into this one.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.ops += other.ops;
+        self.batches += other.batches;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.batch_sizes.merge(&other.batch_sizes);
+        self.latency_ns.merge(&other.latency_ns);
+    }
+}
+
+/// Final statistics returned by [`Service::shutdown`].
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// One entry per core worker, in core order.
+    pub per_core: Vec<CoreStats>,
+}
+
+impl ServiceStats {
+    /// All cores merged into one [`CoreStats`].
+    pub fn aggregate(&self) -> CoreStats {
+        let mut total = CoreStats::default();
+        for c in &self.per_core {
+            total.merge(c);
+        }
+        total
+    }
+}
+
+/// The async front-end: a fixed pool of core workers serving one
+/// [`GuardedMap`]. See the [module docs](self).
+///
+/// Dropping a `Service` without calling [`shutdown`](Service::shutdown)
+/// still shuts down gracefully (drains accepted requests, joins workers) —
+/// the stats are simply discarded.
+pub struct Service<V, M: GuardedMap<V> + ?Sized + 'static = dyn GuardedMap<V>>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    map: Arc<M>,
+    shared: Arc<ServiceShared<V>>,
+    workers: Vec<std::thread::JoinHandle<CoreStats>>,
+}
+
+impl<V, M> Service<V, M>
+where
+    V: Clone + Send + Sync + 'static,
+    M: GuardedMap<V> + ?Sized + 'static,
+{
+    /// Start `cfg.cores` workers serving `map`. Workers are running (and
+    /// reachable from [`client`](Service::client) handles) when this
+    /// returns.
+    pub fn start(map: Arc<M>, cfg: ServiceConfig) -> Self {
+        let cores = cfg.cores.max(1);
+        let max_batch = cfg.max_batch.max(1);
+        let shared = Arc::new(ServiceShared {
+            cores: (0..cores)
+                .map(|_| {
+                    CachePadded::new(CoreState {
+                        ring: MpscRing::with_capacity(cfg.ring_capacity.max(2)),
+                        sleeping: AtomicBool::new(false),
+                        thread: Mutex::new(None),
+                    })
+                })
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            submitting: AtomicUsize::new(0),
+        });
+        // Workers wait on the gate until their thread handles are
+        // registered, so a producer can always unpark the worker it wakes.
+        let gate = Arc::new(Barrier::new(cores + 1));
+        let mut workers = Vec::with_capacity(cores);
+        for i in 0..cores {
+            let map = Arc::clone(&map);
+            let shared = Arc::clone(&shared);
+            let gate = Arc::clone(&gate);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("csds-service-{i}"))
+                    .spawn(move || worker_loop(i, map, shared, gate, max_batch))
+                    .expect("spawning a service core worker"),
+            );
+        }
+        for (i, w) in workers.iter().enumerate() {
+            *shared.cores[i].thread.lock().unwrap() = Some(w.thread().clone());
+        }
+        gate.wait();
+        Service {
+            map,
+            shared,
+            workers,
+        }
+    }
+
+    /// A cheap cloneable submission handle. Clients are `Send`; any thread
+    /// may submit.
+    pub fn client(&self) -> ServiceClient<V> {
+        ServiceClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The map being served (e.g. for out-of-band reads or len checks).
+    pub fn map(&self) -> &Arc<M> {
+        &self.map
+    }
+
+    /// Current backlog of each core's submission ring (racy; monitoring).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared.cores.iter().map(|c| c.ring.len()).collect()
+    }
+
+    /// Stop intake, drain every accepted request, join the workers, and
+    /// return their statistics. Submissions racing this call either enqueue
+    /// (and execute) or observe [`ServiceError::ShuttingDown`]; nothing is
+    /// accepted-then-dropped.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> ServiceStats {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for c in self.shared.cores.iter() {
+            if c.sleeping.swap(false, Ordering::SeqCst) {
+                if let Some(t) = c.thread.lock().unwrap().as_ref() {
+                    t.unpark();
+                }
+            }
+        }
+        let per_core = self
+            .workers
+            .drain(..)
+            .map(|w| w.join().expect("service core worker panicked"))
+            .collect();
+        ServiceStats { per_core }
+    }
+}
+
+impl<V, M> Drop for Service<V, M>
+where
+    V: Clone + Send + Sync + 'static,
+    M: GuardedMap<V> + ?Sized + 'static,
+{
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+/// A submission handle onto a [`Service`]. Cloneable and `Send`; does not
+/// keep the service's workers alive (they belong to the `Service`).
+pub struct ServiceClient<V> {
+    shared: Arc<ServiceShared<V>>,
+}
+
+impl<V> Clone for ServiceClient<V> {
+    fn clone(&self) -> Self {
+        ServiceClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> ServiceClient<V> {
+    /// The core a key routes to. One Fibonacci multiply, using a bit range
+    /// disjoint from the elastic table's shard (top byte) and bucket
+    /// (bit 32+) indices, so service routing does not correlate with
+    /// intra-map placement.
+    fn core_of(&self, key: u64) -> &CoreState<V> {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = ((h >> 40) as usize) % self.shared.cores.len();
+        &self.shared.cores[idx]
+    }
+
+    /// Enqueue one operation without waiting: `Ok` with the reply future,
+    /// or [`Rejected`] with the operation handed back when the ring is full
+    /// ([`ServiceError::Busy`]) or the service is stopping
+    /// ([`ServiceError::ShuttingDown`]).
+    pub fn try_submit(&self, key: u64, op: OpKind<V>) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        check_user_key(key);
+        let sh = &self.shared;
+        if sh.shutdown.load(Ordering::SeqCst) {
+            return Err(Rejected {
+                reason: ServiceError::ShuttingDown,
+                op,
+            });
+        }
+        // Enqueue window: workers exit only when `submitting == 0` and
+        // their ring is empty, and we re-check `shutdown` after raising the
+        // count — so either this submission aborts below, or the push is
+        // visible to a worker's exit check and gets drained.
+        sh.submitting.fetch_add(1, Ordering::SeqCst);
+        if sh.shutdown.load(Ordering::SeqCst) {
+            sh.submitting.fetch_sub(1, Ordering::SeqCst);
+            return Err(Rejected {
+                reason: ServiceError::ShuttingDown,
+                op,
+            });
+        }
+        let core = self.core_of(key);
+        let (tx, rx) = oneshot::completion();
+        let pushed = core.ring.try_push(Request {
+            key,
+            op,
+            enqueued: Instant::now(),
+            tx,
+        });
+        // Publish the push before reading the sleep flag (paired with the
+        // worker's fence between raising the flag and re-checking the
+        // ring): at least one side observes the other, so the wakeup
+        // cannot be lost.
+        fence(Ordering::SeqCst);
+        let res = match pushed {
+            Ok(()) => {
+                if core.sleeping.swap(false, Ordering::SeqCst) {
+                    if let Some(t) = core.thread.lock().unwrap().as_ref() {
+                        t.unpark();
+                    }
+                }
+                Ok(rx)
+            }
+            Err(back) => Err(Rejected {
+                reason: ServiceError::Busy,
+                op: back.op,
+            }),
+        };
+        sh.submitting.fetch_sub(1, Ordering::SeqCst);
+        res
+    }
+
+    /// Enqueue one operation, spinning (with [`Backoff`]) while the target
+    /// ring is full — backpressure as blocking. Fails only on shutdown.
+    pub fn submit(&self, key: u64, op: OpKind<V>) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        let mut op = op;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_submit(key, op) {
+                Ok(c) => return Ok(c),
+                Err(r) if r.reason == ServiceError::Busy => {
+                    op = r.op;
+                    backoff.snooze();
+                }
+                Err(r) => return Err(r),
+            }
+        }
+    }
+
+    /// `get(k)` through the service; resolves to [`Reply::Got`].
+    pub fn get(&self, key: u64) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::Get)
+    }
+
+    /// `put(k, v)` through the service; resolves to [`Reply::Inserted`].
+    pub fn insert(&self, key: u64, value: V) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::Insert(value))
+    }
+
+    /// `remove(k)` through the service; resolves to [`Reply::Removed`].
+    pub fn remove(&self, key: u64) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::Remove)
+    }
+
+    /// Submit a pipelined burst: every operation is enqueued (blocking on
+    /// backpressure) before any reply is awaited, so one client keeps
+    /// several core workers busy at once. Returns the completions in
+    /// submission order. On shutdown mid-batch the already-enqueued prefix
+    /// still executes; the rejected operation is handed back.
+    pub fn submit_batch(
+        &self,
+        ops: impl IntoIterator<Item = (u64, OpKind<V>)>,
+    ) -> Result<Vec<Completion<Reply<V>>>, Rejected<V>> {
+        let ops = ops.into_iter();
+        let mut out = Vec::with_capacity(ops.size_hint().0);
+        for (key, op) in ops {
+            out.push(self.submit(key, op)?);
+        }
+        Ok(out)
+    }
+
+    /// Whether the service has begun shutting down.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current backlog of each core's submission ring (racy; monitoring).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared.cores.iter().map(|c| c.ring.len()).collect()
+    }
+}
+
+/// The core worker: drain batches from the owned ring, execute them against
+/// the map through one reused session, sleep when idle, exit when the
+/// service shuts down *and* nothing more can arrive.
+fn worker_loop<V, M>(
+    core_idx: usize,
+    map: Arc<M>,
+    shared: Arc<ServiceShared<V>>,
+    gate: Arc<Barrier>,
+    max_batch: usize,
+) -> CoreStats
+where
+    V: Clone + Send + Sync + 'static,
+    M: GuardedMap<V> + ?Sized + 'static,
+{
+    gate.wait();
+    let core = &shared.cores[core_idx];
+    let mut stats = CoreStats::default();
+    // The worker's map session. Dropped (unpinning the thread) before every
+    // park and re-opened on wake: an idle core must never hold the global
+    // epoch back — the `MapHandle` discipline the library documents,
+    // applied to the pool.
+    let mut session: Option<MapHandle<'_, V, M>> = None;
+    let mut batch: Vec<Request<V>> = Vec::with_capacity(max_batch);
+    loop {
+        let depth = core.ring.len() as u64;
+        let processed = core.ring.pop_batch(&mut batch, max_batch) as u64;
+        if processed > 0 {
+            let h = session.get_or_insert_with(|| MapHandle::new(&*map));
+            // One guard re-validation per batch — the amortization this
+            // front-end exists to provide.
+            h.refresh();
+            let guard = h.guard();
+            for req in batch.drain(..) {
+                let reply = match req.op {
+                    OpKind::Get => Reply::Got(map.get_in(req.key, guard).cloned()),
+                    OpKind::Insert(v) => Reply::Inserted(map.insert_in(req.key, v, guard)),
+                    OpKind::Remove => Reply::Removed(map.remove_in(req.key, guard)),
+                };
+                stats
+                    .latency_ns
+                    .record(req.enqueued.elapsed().as_nanos() as u64);
+                req.tx.send(reply);
+            }
+            stats.ops += processed;
+            stats.batches += 1;
+            stats.max_batch = stats.max_batch.max(processed);
+            stats.max_depth = stats.max_depth.max(depth.max(processed));
+            stats.batch_sizes.record(processed);
+            continue;
+        }
+        // Idle. Exit only when intake is closed, no producer is inside the
+        // enqueue window, and the ring is drained — in that order, so a
+        // submission that passed its shutdown re-check is never stranded.
+        if shared.shutdown.load(Ordering::SeqCst)
+            && shared.submitting.load(Ordering::SeqCst) == 0
+            && core.ring.is_empty()
+        {
+            break;
+        }
+        session = None; // unpin before sleeping
+        core.sleeping.store(true, Ordering::SeqCst);
+        // Paired with the producer-side fence: re-check after raising the
+        // flag so a push racing the park is either seen here or sees the
+        // flag and unparks us. The park timeout is a belt-and-braces bound,
+        // not the wakeup mechanism.
+        fence(Ordering::SeqCst);
+        if !core.ring.is_empty() || shared.shutdown.load(Ordering::SeqCst) {
+            core.sleeping.store(false, Ordering::SeqCst);
+            continue;
+        }
+        std::thread::park_timeout(Duration::from_millis(1));
+        core.sleeping.store(false, Ordering::SeqCst);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csds_core::hashtable::LazyHashTable;
+    use csds_core::ConcurrentMap;
+
+    fn small() -> ServiceConfig {
+        ServiceConfig {
+            cores: 2,
+            ring_capacity: 8,
+            max_batch: 4,
+        }
+    }
+
+    #[test]
+    fn basic_ops_roundtrip() {
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(64));
+        let svc = Service::start(Arc::clone(&map), small());
+        let client = svc.client();
+        assert!(block_on(client.insert(1, 10).unwrap()).unwrap().inserted());
+        assert!(!block_on(client.insert(1, 11).unwrap()).unwrap().inserted());
+        assert_eq!(
+            block_on(client.get(1).unwrap()).unwrap(),
+            Reply::Got(Some(10))
+        );
+        assert_eq!(
+            block_on(client.remove(1).unwrap()).unwrap(),
+            Reply::Removed(Some(10))
+        );
+        assert_eq!(block_on(client.get(1).unwrap()).unwrap(), Reply::Got(None));
+        let stats = svc.shutdown();
+        assert_eq!(stats.aggregate().ops, 5);
+        assert!(stats.aggregate().batches >= 1);
+        assert_eq!(stats.aggregate().latency_ns.count(), 5);
+    }
+
+    #[test]
+    fn batch_pipelines_and_preserves_per_key_order() {
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(64));
+        let svc = Service::start(Arc::clone(&map), small());
+        let client = svc.client();
+        // Insert then remove then insert the same key in one burst: per-key
+        // routing guarantees they execute in submission order.
+        let batch = client
+            .submit_batch(vec![
+                (5, OpKind::Insert(50)),
+                (5, OpKind::Remove),
+                (5, OpKind::Insert(51)),
+            ])
+            .unwrap();
+        let replies: Vec<_> = batch.into_iter().map(|c| c.wait().unwrap()).collect();
+        assert_eq!(
+            replies,
+            vec![
+                Reply::Inserted(true),
+                Reply::Removed(Some(50)),
+                Reply::Inserted(true),
+            ]
+        );
+        assert_eq!(map.get(5), Some(51));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(64));
+        let svc = Service::start(map, small());
+        let client = svc.client();
+        assert!(block_on(client.insert(3, 30).unwrap()).unwrap().inserted());
+        svc.shutdown();
+        assert!(client.is_shutting_down());
+        let err = client.get(3).unwrap_err();
+        assert_eq!(err.reason, ServiceError::ShuttingDown);
+        assert!(matches!(err.op, OpKind::Get));
+    }
+
+    #[test]
+    fn many_clients_many_keys() {
+        const CLIENTS: usize = 4;
+        const PER_CLIENT: u64 = 2_000;
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(1024));
+        let svc = Service::start(Arc::clone(&map), ServiceConfig::default());
+        let mut threads = Vec::new();
+        for c in 0..CLIENTS as u64 {
+            let client = svc.client();
+            threads.push(std::thread::spawn(move || {
+                // Disjoint key ranges per client: every insert must succeed.
+                let base = c * PER_CLIENT;
+                let batch = client
+                    .submit_batch((0..PER_CLIENT).map(|i| (base + i, OpKind::Insert(base + i))))
+                    .unwrap();
+                for f in batch {
+                    assert!(f.wait().unwrap().inserted());
+                }
+                for i in 0..PER_CLIENT {
+                    let got = client.get(base + i).unwrap().wait().unwrap();
+                    assert_eq!(got, Reply::Got(Some(base + i)));
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(map.len(), (CLIENTS as u64 * PER_CLIENT) as usize);
+        let stats = svc.shutdown();
+        assert_eq!(
+            stats.aggregate().ops,
+            2 * CLIENTS as u64 * PER_CLIENT,
+            "every accepted op must execute exactly once"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        // Accepted-then-shutdown requests must still execute (workers drain
+        // their rings before exiting).
+        for _ in 0..20 {
+            let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(256));
+            let svc = Service::start(Arc::clone(&map), ServiceConfig::default());
+            let client = svc.client();
+            let pending = client
+                .submit_batch((0..128).map(|k| (k, OpKind::Insert(k))))
+                .unwrap();
+            let stats = svc.shutdown(); // races the workers' draining
+            for f in pending {
+                assert!(f.wait().unwrap().inserted(), "accepted op dropped");
+            }
+            assert_eq!(map.len(), 128);
+            assert_eq!(stats.aggregate().ops, 128);
+        }
+    }
+
+    #[test]
+    fn reply_helpers() {
+        assert_eq!(Reply::Got(Some(3)).value(), Some(3));
+        assert_eq!(Reply::<u64>::Got(None).value(), None);
+        assert_eq!(Reply::Removed(Some(4)).value(), Some(4));
+        assert_eq!(Reply::<u64>::Inserted(true).value(), None);
+        assert!(Reply::<u64>::Inserted(true).inserted());
+        assert!(!Reply::<u64>::Inserted(false).inserted());
+        assert!(!Reply::<u64>::Got(Some(1)).inserted());
+    }
+
+    #[test]
+    fn reserved_keys_are_rejected_at_submission() {
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(16));
+        let svc = Service::start(map, small());
+        let client = svc.client();
+        for reserved in [u64::MAX, u64::MAX - 1] {
+            assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = client.get(reserved);
+            }))
+            .is_err());
+        }
+        svc.shutdown();
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod backoff;
 pub mod mcs;
+pub mod mpsc_ring;
 pub mod optik;
 pub mod padded;
 pub mod sharded_counter;
@@ -27,6 +28,7 @@ pub mod ticket;
 
 pub use backoff::Backoff;
 pub use mcs::McsLock;
+pub use mpsc_ring::MpscRing;
 pub use optik::OptikLock;
 pub use padded::CachePadded;
 pub use sharded_counter::ShardedCounter;

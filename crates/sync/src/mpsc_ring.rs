@@ -1,0 +1,296 @@
+//! A bounded multi-producer ring buffer with cache-padded endpoints — the
+//! submission queue of the `csds_service` async front-end.
+//!
+//! The design is the classic sequence-stamped bounded queue (Vyukov): every
+//! slot carries a sequence number that encodes, relative to the endpoint
+//! counters, whether the slot is empty, full, or in transit. Producers claim
+//! slots with one CAS on the tail; the consumer releases them with plain
+//! loads and one CAS on the head. Capacity is fixed at construction, so a
+//! full ring is **backpressure**: [`MpscRing::try_push`] hands the value
+//! back instead of blocking or allocating.
+//!
+//! The two endpoint counters live on their own cache lines
+//! ([`CachePadded`]): producers hammer the tail, the consumer hammers the
+//! head, and neither invalidates the other's line except through the slots
+//! themselves.
+//!
+//! The implementation is safe for multiple consumers too (the head is
+//! CAS-claimed), but the intended shape — and the only one the service
+//! uses — is many producers, one draining core worker.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::CachePadded;
+
+/// One ring slot: `seq` encodes the slot's state relative to the endpoint
+/// counters (see [`MpscRing`]); `val` is live iff a producer has stamped the
+/// slot full and no consumer has released it yet.
+struct Slot<T> {
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded, lock-free, sequence-stamped MPSC ring. See the [module
+/// docs](self).
+pub struct MpscRing<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Next position producers will claim.
+    tail: CachePadded<AtomicUsize>,
+    /// Next position the consumer will release.
+    head: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: values move in from producer threads and out on the consumer
+// thread, so T must be Send; the ring itself synchronizes all slot access
+// through the seq stamps (Release publish / Acquire observe).
+unsafe impl<T: Send> Send for MpscRing<T> {}
+unsafe impl<T: Send> Sync for MpscRing<T> {}
+
+impl<T> MpscRing<T> {
+    /// A ring holding at most `capacity` elements (rounded up to a power of
+    /// two, minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let n = capacity.max(1).next_power_of_two();
+        MpscRing {
+            slots: (0..n)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    val: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            mask: n - 1,
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            head: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Maximum number of elements the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate occupancy (racy under concurrency; exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the ring is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempt to enqueue `value`. On a full ring the value is handed back
+    /// immediately — this is the service's backpressure signal, so the
+    /// caller decides whether to spin, shed, or report upstream.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                // Slot empty at our position: claim it.
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave this producer exclusive
+                        // ownership of the slot until the seq store below.
+                        unsafe { (*slot.val.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                // The slot still holds an element from one lap ago: full.
+                return Err(value);
+            } else {
+                // Another producer claimed this position; chase the tail.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue one element, or `None` if the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - (pos + 1) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the producer's Release store of `seq`
+                        // published the write; the CAS made us the unique
+                        // consumer of this slot for this lap.
+                        let value = unsafe { (*slot.val.get()).assume_init_read() };
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                // Slot not yet published at this lap: empty (or a producer
+                // is mid-publish; treating it as empty is the non-blocking
+                // choice).
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain up to `max` elements into `out`; returns how many were moved.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.pop() {
+                Some(v) => {
+                    out.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+}
+
+impl<T> Drop for MpscRing<T> {
+    fn drop(&mut self) {
+        // Exclusive access: pop out whatever is still queued so the
+        // elements' destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_one_producer() {
+        let r: MpscRing<u64> = MpscRing::with_capacity(8);
+        assert_eq!(r.capacity(), 8);
+        for i in 0..8 {
+            assert!(r.try_push(i).is_ok());
+        }
+        assert_eq!(r.len(), 8);
+        // Full ring hands the value back.
+        assert_eq!(r.try_push(99), Err(99));
+        for i in 0..8 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+        assert!(r.is_empty());
+        // Wrap around a few laps.
+        for lap in 0..5u64 {
+            for i in 0..8 {
+                assert!(r.try_push(lap * 100 + i).is_ok());
+            }
+            for i in 0..8 {
+                assert_eq!(r.pop(), Some(lap * 100 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(MpscRing::<u8>::with_capacity(0).capacity(), 1);
+        assert_eq!(MpscRing::<u8>::with_capacity(3).capacity(), 4);
+        assert_eq!(MpscRing::<u8>::with_capacity(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn batch_drain() {
+        let r: MpscRing<u64> = MpscRing::with_capacity(16);
+        for i in 0..10 {
+            r.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(r.pop_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(r.pop_batch(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+        assert_eq!(r.pop_batch(&mut out, 100), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_deliver_everything_exactly_once() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 20_000;
+        let r: Arc<MpscRing<u64>> = Arc::new(MpscRing::with_capacity(64));
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let r = Arc::clone(&r);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let mut v = p * PER_PRODUCER + i;
+                    loop {
+                        match r.try_push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        // Single consumer: collect everything, check the multiset and the
+        // per-producer FIFO order.
+        let mut seen = vec![false; (PRODUCERS * PER_PRODUCER) as usize];
+        let mut last: Vec<Option<u64>> = vec![None; PRODUCERS as usize];
+        let mut got = 0u64;
+        while got < PRODUCERS * PER_PRODUCER {
+            if let Some(v) = r.pop() {
+                assert!(!seen[v as usize], "duplicate delivery of {v}");
+                seen[v as usize] = true;
+                let p = (v / PER_PRODUCER) as usize;
+                assert!(
+                    last[p].map_or(true, |prev| prev < v),
+                    "producer {p} reordered"
+                );
+                last[p] = Some(v);
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for t in producers {
+            t.join().unwrap();
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn drop_runs_destructors_of_queued_elements() {
+        let payload = Arc::new(());
+        {
+            let r: MpscRing<Arc<()>> = MpscRing::with_capacity(8);
+            for _ in 0..5 {
+                r.try_push(Arc::clone(&payload)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&payload), 6);
+            drop(r);
+        }
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+}

@@ -15,7 +15,12 @@
 //! * [`ChurnSchedule`] / [`ChurnPhase`] — a phased mix that cycles the key
 //!   population through grow / steady / shrink phases, for exercising
 //!   dynamically-resizing structures (the elastic hash table's
-//!   migration machinery) rather than the paper's stationary sizes.
+//!   migration machinery) rather than the paper's stationary sizes;
+//! * [`OpenLoopSchedule`] — arrival-rate-driven request timing for the
+//!   service front-end. The paper's harness is **closed-loop** (each worker
+//!   issues, waits, issues again, so offered load adapts to service speed);
+//!   an open-loop generator issues at its own rate regardless, which is the
+//!   shape real front-ends see and the one where queueing delay shows up.
 
 /// xorshift64* PRNG: fast enough to disappear inside a measurement loop,
 /// deterministic from its seed.
@@ -286,6 +291,78 @@ impl ChurnSchedule {
     }
 }
 
+/// Arrival-time schedule for open-loop (arrival-rate-driven) load
+/// generation.
+///
+/// A closed-loop worker's next request waits for the previous reply; an
+/// open-loop generator fires requests on a clock, modelling independent
+/// clients. Two spacings are provided:
+///
+/// * **uniform** — arrival `i` at exactly `i / rate` (deterministic, the
+///   least bursty offered load at a given rate);
+/// * **Poisson** — exponential inter-arrival gaps with mean `1 / rate`
+///   (memoryless arrivals, the standard model for independent clients;
+///   bursts occur naturally).
+///
+/// Times are nanoseconds relative to the generator's own start. A driver
+/// loop typically looks like: compute the next arrival, sleep/spin until
+/// then, submit, repeat — and reports how far completions lag behind
+/// scheduled arrivals.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopSchedule {
+    /// Mean arrivals per second offered by this generator.
+    pub rate_per_sec: f64,
+    /// Exponential (Poisson process) inter-arrival gaps instead of uniform
+    /// spacing.
+    pub poisson: bool,
+}
+
+impl OpenLoopSchedule {
+    /// Uniformly spaced arrivals at `rate_per_sec` (> 0).
+    pub fn uniform(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+        OpenLoopSchedule {
+            rate_per_sec,
+            poisson: false,
+        }
+    }
+
+    /// Poisson arrivals at mean `rate_per_sec` (> 0).
+    pub fn poisson(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+        OpenLoopSchedule {
+            rate_per_sec,
+            poisson: true,
+        }
+    }
+
+    /// Mean gap between arrivals in nanoseconds.
+    pub fn mean_gap_ns(&self) -> f64 {
+        1e9 / self.rate_per_sec
+    }
+
+    /// Scheduled time of the `i`-th arrival in nanoseconds from start
+    /// (uniform spacing; for Poisson schedules this is the *mean* arrival
+    /// time, useful for lag accounting).
+    pub fn arrival_ns(&self, i: u64) -> u64 {
+        (i as f64 * self.mean_gap_ns()) as u64
+    }
+
+    /// Draw the gap to the next arrival in nanoseconds. Uniform schedules
+    /// ignore `rng`; Poisson schedules sample an exponential with mean
+    /// [`mean_gap_ns`](Self::mean_gap_ns).
+    #[inline]
+    pub fn next_gap_ns(&self, rng: &mut FastRng) -> u64 {
+        if self.poisson {
+            // Inverse-CDF sampling; 1 - u avoids ln(0).
+            let u = rng.unit_f64();
+            (-(1.0 - u).ln() * self.mean_gap_ns()) as u64
+        } else {
+            self.mean_gap_ns() as u64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +512,50 @@ mod tests {
         assert_eq!(s.phase(1), ChurnPhase::Steady);
         assert_eq!(s.phase(2), ChurnPhase::Shrink);
         assert_eq!(s.phase(3), ChurnPhase::Steady);
+    }
+
+    #[test]
+    fn open_loop_uniform_spacing_is_exact_and_monotone() {
+        let s = OpenLoopSchedule::uniform(1_000_000.0); // 1 op/µs
+        assert_eq!(s.mean_gap_ns(), 1_000.0);
+        assert_eq!(s.arrival_ns(0), 0);
+        assert_eq!(s.arrival_ns(7), 7_000);
+        let mut rng = FastRng::new(1);
+        assert_eq!(s.next_gap_ns(&mut rng), 1_000);
+        for i in 1..100 {
+            assert!(s.arrival_ns(i) > s.arrival_ns(i - 1));
+        }
+    }
+
+    #[test]
+    fn open_loop_poisson_gaps_have_the_right_mean() {
+        let s = OpenLoopSchedule::poisson(100_000.0); // mean gap 10 µs
+        let mut rng = FastRng::new(42);
+        const N: u64 = 50_000;
+        let mut sum = 0u64;
+        let mut over_mean = 0u64;
+        for _ in 0..N {
+            let g = s.next_gap_ns(&mut rng);
+            sum += g;
+            if g as f64 > s.mean_gap_ns() {
+                over_mean += 1;
+            }
+        }
+        let mean = sum as f64 / N as f64;
+        assert!(
+            (mean / s.mean_gap_ns() - 1.0).abs() < 0.05,
+            "mean gap {mean} vs expected {}",
+            s.mean_gap_ns()
+        );
+        // Exponential: P(X > mean) = 1/e ≈ 0.368.
+        let frac = over_mean as f64 / N as f64;
+        assert!((frac - 0.368).abs() < 0.02, "P(gap > mean) was {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn open_loop_rejects_nonpositive_rate() {
+        let _ = OpenLoopSchedule::uniform(0.0);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`sync`] — spin locks (TAS, TTAS, ticket, MCS, OPTIK);
 //! * [`ebr`] — epoch-based memory reclamation;
 //! * [`htm`] — emulated HTM lock elision (TSX substitute);
+//! * [`service`] — the async request front-end (core worker pool, bounded
+//!   submission rings, std-only futures) over any [`GuardedMap`](core::GuardedMap);
 //! * [`metrics`] — fine-grained instrumentation;
 //! * [`workload`] — key distributions and operation mixes;
 //! * [`analysis`] — the birthday-paradox conflict model;
@@ -38,6 +40,7 @@ pub use csds_harness as harness;
 pub use csds_htm as htm;
 pub use csds_lincheck as lincheck;
 pub use csds_metrics as metrics;
+pub use csds_service as service;
 pub use csds_sync as sync;
 pub use csds_workload as workload;
 
@@ -55,4 +58,7 @@ pub mod prelude {
         MAX_USER_KEY,
     };
     pub use csds_elastic::{ElasticConfig, ElasticHashTable};
+    pub use csds_service::{
+        block_on, OpKind, Reply, Service, ServiceClient, ServiceConfig, ServiceError,
+    };
 }

@@ -90,11 +90,19 @@ model_prop!(elastic_hashtable_obeys_model, AlgoKind::ElasticHashTable);
 model_prop!(bst_tk_obeys_model, AlgoKind::BstTk);
 model_prop!(bst_tk_elided_obeys_model, AlgoKind::BstTkElided);
 
+/// How often the elastic churn test interleaves a `len` assertion.
+const LEN_CHECK_PERIOD: usize = 32;
+
 /// The elastic table with deliberately tiny shards and a one-bucket
 /// migration quantum, driven through grow/shrink threshold crossings: the
 /// op sequence front-loads inserts over a wide key range (growth), then
 /// biases toward removes (shrink), with arbitrary operations mixed in, so
 /// most of the sequence runs with a migration in flight.
+///
+/// Every [`LEN_CHECK_PERIOD`] operations the test also asserts `len`
+/// (`len_in` under the blanket wrapper) against the model — with a
+/// one-bucket quantum most of those counts run mid-migration, locking in
+/// the PR 4 fix for the old-table/new-table double count property-style.
 fn run_elastic_churn_against_model(grow: &[MapOp], drain: &[MapOp]) {
     use csds::elastic::{ElasticConfig, ElasticHashTable};
     let map = ElasticHashTable::<u64>::with_config(ElasticConfig {
@@ -105,38 +113,59 @@ fn run_elastic_churn_against_model(grow: &[MapOp], drain: &[MapOp]) {
         counter_cells: 2,
     });
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut check = |op: &MapOp, i: usize| match *op {
-        MapOp::Insert(k, v) => {
-            let expected = !model.contains_key(&k);
-            assert_eq!(
-                csds::core::ConcurrentMap::insert(&map, k, v),
-                expected,
-                "elastic churn: insert({k}) at {i}"
-            );
-            if expected {
-                model.insert(k, v);
+    fn check(
+        map: &csds::elastic::ElasticHashTable<u64>,
+        model: &mut BTreeMap<u64, u64>,
+        op: &MapOp,
+        i: usize,
+    ) {
+        match *op {
+            MapOp::Insert(k, v) => {
+                let expected = !model.contains_key(&k);
+                assert_eq!(
+                    csds::core::ConcurrentMap::insert(map, k, v),
+                    expected,
+                    "elastic churn: insert({k}) at {i}"
+                );
+                if expected {
+                    model.insert(k, v);
+                }
+            }
+            MapOp::Remove(k) => {
+                assert_eq!(
+                    csds::core::ConcurrentMap::remove(map, k),
+                    model.remove(&k),
+                    "elastic churn: remove({k}) at {i}"
+                );
+            }
+            MapOp::Get(k) => {
+                assert_eq!(
+                    csds::core::ConcurrentMap::get(map, k),
+                    model.get(&k).copied(),
+                    "elastic churn: get({k}) at {i}"
+                );
             }
         }
-        MapOp::Remove(k) => {
-            assert_eq!(
-                csds::core::ConcurrentMap::remove(&map, k),
-                model.remove(&k),
-                "elastic churn: remove({k}) at {i}"
-            );
-        }
-        MapOp::Get(k) => {
-            assert_eq!(
-                csds::core::ConcurrentMap::get(&map, k),
-                model.get(&k).copied(),
-                "elastic churn: get({k}) at {i}"
-            );
-        }
-    };
+    }
     for (i, op) in grow.iter().enumerate() {
-        check(op, i);
+        check(&map, &mut model, op, i);
+        if i % LEN_CHECK_PERIOD == 0 {
+            assert_eq!(
+                csds::core::ConcurrentMap::len(&map),
+                model.len(),
+                "elastic churn: len at grow op {i} (migration likely in flight)"
+            );
+        }
     }
     for (i, op) in drain.iter().enumerate() {
-        check(op, grow.len() + i);
+        check(&map, &mut model, op, grow.len() + i);
+        if i % LEN_CHECK_PERIOD == 0 {
+            assert_eq!(
+                csds::core::ConcurrentMap::len(&map),
+                model.len(),
+                "elastic churn: len at drain op {i} (migration likely in flight)"
+            );
+        }
     }
     assert_eq!(csds::core::ConcurrentMap::len(&map), model.len());
     for (&k, &v) in &model {

@@ -1,0 +1,293 @@
+//! The async service front-end, exercised end to end: every algorithm
+//! behind the service matches the sequential model, concurrent clients
+//! preserve the net-effect invariant, backpressure surfaces when a ring
+//! fills, and shutdown drains accepted requests instead of dropping them.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use csds::core::{ConcurrentMap, GuardedMap};
+use csds::ebr::Guard;
+use csds::harness::AlgoKind;
+use csds::prelude::{block_on, OpKind, Reply, Service, ServiceConfig, ServiceError};
+
+fn service_cfg() -> ServiceConfig {
+    ServiceConfig {
+        cores: 2,
+        ring_capacity: 64,
+        max_batch: 16,
+    }
+}
+
+#[test]
+fn all_algorithms_match_btreemap_through_the_service() {
+    for algo in AlgoKind::all() {
+        let svc = algo.make_service(128, service_cfg());
+        let client = svc.client();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = common::rng_stream(0x5E51_C0DE);
+        for i in 0..600u64 {
+            let key = rng() % 96;
+            match rng() % 3 {
+                0 => {
+                    let expected = !model.contains_key(&key);
+                    let got = block_on(client.insert(key, i).unwrap()).unwrap();
+                    assert_eq!(
+                        got,
+                        Reply::Inserted(expected),
+                        "{}: insert({key}) at {i}",
+                        algo.name()
+                    );
+                    if expected {
+                        model.insert(key, i);
+                    }
+                }
+                1 => {
+                    let got = block_on(client.remove(key).unwrap()).unwrap();
+                    assert_eq!(
+                        got,
+                        Reply::Removed(model.remove(&key)),
+                        "{}: remove({key}) at {i}",
+                        algo.name()
+                    );
+                }
+                _ => {
+                    let got = block_on(client.get(key).unwrap()).unwrap();
+                    assert_eq!(
+                        got,
+                        Reply::Got(model.get(&key).copied()),
+                        "{}: get({key}) at {i}",
+                        algo.name()
+                    );
+                }
+            }
+        }
+        // Out-of-band check through the served map itself.
+        assert_eq!(svc.map().len(), model.len(), "{}", algo.name());
+        for (&k, &v) in &model {
+            let got = client.get(k).unwrap().wait().unwrap();
+            assert_eq!(got, Reply::Got(Some(v)), "{}: final get({k})", algo.name());
+        }
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn all_algorithms_concurrent_net_effect_through_the_service() {
+    const CLIENTS: usize = 2;
+    const OPS: u64 = 1_200;
+    const RANGE: u64 = 32;
+    const BATCH: usize = 24;
+    for algo in AlgoKind::all() {
+        let svc = algo.make_service(64, service_cfg());
+        let ins: Arc<Vec<std::sync::atomic::AtomicU64>> =
+            Arc::new((0..RANGE).map(|_| Default::default()).collect());
+        let rem: Arc<Vec<std::sync::atomic::AtomicU64>> =
+            Arc::new((0..RANGE).map(|_| Default::default()).collect());
+        let mut threads = Vec::new();
+        for c in 0..CLIENTS as u64 {
+            let client = svc.client();
+            let ins = Arc::clone(&ins);
+            let rem = Arc::clone(&rem);
+            threads.push(std::thread::spawn(move || {
+                let mut rng = common::rng_stream(0xBEEF ^ (c + 1).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut sent = 0u64;
+                while sent < OPS {
+                    let n = BATCH.min((OPS - sent) as usize);
+                    let mut keys = Vec::with_capacity(n);
+                    let batch: Vec<_> = (0..n)
+                        .map(|_| {
+                            let key = rng() % RANGE;
+                            keys.push(key);
+                            let op = match rng() % 3 {
+                                0 => OpKind::Insert(key),
+                                1 => OpKind::Remove,
+                                _ => OpKind::Get,
+                            };
+                            (key, op)
+                        })
+                        .collect();
+                    let pending = client.submit_batch(batch).unwrap();
+                    for (key, f) in keys.into_iter().zip(pending) {
+                        match f.wait().unwrap() {
+                            Reply::Inserted(true) => {
+                                ins[key as usize].fetch_add(1, Ordering::Relaxed);
+                            }
+                            Reply::Removed(Some(v)) => {
+                                assert_eq!(v, key, "value corruption at {key}");
+                                rem[key as usize].fetch_add(1, Ordering::Relaxed);
+                            }
+                            Reply::Got(Some(v)) => {
+                                assert_eq!(v, key, "value corruption at {key}");
+                            }
+                            _ => {}
+                        }
+                    }
+                    sent += n as u64;
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut expected_len = 0usize;
+        for k in 0..RANGE {
+            let net = ins[k as usize].load(Ordering::Relaxed) as i64
+                - rem[k as usize].load(Ordering::Relaxed) as i64;
+            assert!(net == 0 || net == 1, "{}: key {k} net {net}", algo.name());
+            assert_eq!(
+                svc.map().get(k).is_some(),
+                net == 1,
+                "{}: key {k} presence vs net {net}",
+                algo.name()
+            );
+            expected_len += net as usize;
+        }
+        assert_eq!(svc.map().len(), expected_len, "{}", algo.name());
+        let stats = svc.shutdown();
+        assert_eq!(
+            stats.aggregate().ops,
+            CLIENTS as u64 * OPS,
+            "{}: every accepted op executes exactly once",
+            algo.name()
+        );
+    }
+}
+
+/// A `GuardedMap` whose `get_in` on one sentinel key blocks until released:
+/// lets the tests park a core worker mid-operation deterministically, so
+/// ring backpressure and shutdown-with-pending-requests become observable
+/// states instead of races.
+struct GateMap {
+    inner: csds::core::hashtable::LazyHashTable<u64>,
+    blocked: AtomicBool,
+    release: AtomicBool,
+}
+
+const GATE_KEY: u64 = 999_999;
+
+impl GateMap {
+    fn new() -> Self {
+        GateMap {
+            inner: csds::core::hashtable::LazyHashTable::with_capacity(64),
+            blocked: AtomicBool::new(false),
+            release: AtomicBool::new(false),
+        }
+    }
+
+    fn wait_blocked(&self) {
+        let start = std::time::Instant::now();
+        while !self.blocked.load(Ordering::SeqCst) {
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(30),
+                "worker never reached the gate"
+            );
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl GuardedMap<u64> for GateMap {
+    fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g u64> {
+        if key == GATE_KEY {
+            self.blocked.store(true, Ordering::SeqCst);
+            while !self.release.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        }
+        self.inner.get_in(key, guard)
+    }
+
+    fn insert_in(&self, key: u64, value: u64, guard: &Guard) -> bool {
+        self.inner.insert_in(key, value, guard)
+    }
+
+    fn remove_in(&self, key: u64, guard: &Guard) -> Option<u64> {
+        self.inner.remove_in(key, guard)
+    }
+
+    fn len_in(&self, guard: &Guard) -> usize {
+        self.inner.len_in(guard)
+    }
+}
+
+#[test]
+fn full_ring_reports_backpressure_and_recovers() {
+    let map = Arc::new(GateMap::new());
+    let svc = Service::start(
+        Arc::clone(&map),
+        ServiceConfig {
+            cores: 1,
+            ring_capacity: 4,
+            max_batch: 4,
+        },
+    );
+    let client = svc.client();
+    // Park the single worker inside an operation.
+    let gate_pending = client.try_submit(GATE_KEY, OpKind::Get).unwrap();
+    map.wait_blocked();
+    // Fill the ring behind it...
+    let mut queued = Vec::new();
+    for k in 0..4 {
+        queued.push(client.try_submit(k, OpKind::Insert(k)).unwrap());
+    }
+    // ...and the next submission must bounce, handing the op back.
+    let rejected = client.try_submit(7, OpKind::Insert(77)).unwrap_err();
+    assert_eq!(rejected.reason, ServiceError::Busy);
+    assert_eq!(rejected.op, OpKind::Insert(77));
+    assert_eq!(svc.queue_depths(), vec![4]);
+    // Releasing the worker drains everything and intake recovers.
+    map.release.store(true, Ordering::SeqCst);
+    assert_eq!(gate_pending.wait().unwrap(), Reply::Got(None));
+    for (k, f) in queued.into_iter().enumerate() {
+        assert_eq!(f.wait().unwrap(), Reply::Inserted(true), "queued op {k}");
+    }
+    assert!(block_on(client.insert(7, 77).unwrap()).unwrap().inserted());
+    let stats = svc.shutdown();
+    assert_eq!(stats.aggregate().ops, 6);
+    assert!(stats.aggregate().max_depth >= 1);
+}
+
+#[test]
+fn shutdown_waits_for_pending_ops_and_rejects_new_ones() {
+    let map = Arc::new(GateMap::new());
+    let svc = Service::start(
+        Arc::clone(&map),
+        ServiceConfig {
+            cores: 1,
+            ring_capacity: 64,
+            max_batch: 8,
+        },
+    );
+    let client = svc.client();
+    // One op parked in the worker, ten more accepted behind it.
+    let gate_pending = client.try_submit(GATE_KEY, OpKind::Get).unwrap();
+    map.wait_blocked();
+    let queued = client
+        .submit_batch((0..10).map(|k| (k, OpKind::Insert(k))))
+        .unwrap();
+    // Shut down from another thread: it must block until the worker can
+    // drain, because every accepted op executes before the workers exit.
+    let shutter = std::thread::spawn(move || svc.shutdown());
+    let start = std::time::Instant::now();
+    while !client.is_shutting_down() {
+        assert!(start.elapsed() < std::time::Duration::from_secs(30));
+        std::thread::yield_now();
+    }
+    // Intake is closed while the backlog is still pending.
+    let err = client.insert(500, 1).unwrap_err();
+    assert_eq!(err.reason, ServiceError::ShuttingDown);
+    assert!(!shutter.is_finished(), "shutdown returned with ops pending");
+    // Release the gate: the backlog drains, then shutdown completes.
+    map.release.store(true, Ordering::SeqCst);
+    let stats = shutter.join().unwrap();
+    assert_eq!(gate_pending.wait().unwrap(), Reply::Got(None));
+    for f in queued {
+        assert!(f.wait().unwrap().inserted(), "accepted op was dropped");
+    }
+    assert_eq!(stats.aggregate().ops, 11);
+    assert_eq!(map.inner.len(), 10);
+}
