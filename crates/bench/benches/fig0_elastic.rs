@@ -185,6 +185,17 @@ fn churn_worker(
                 Op::Remove => {
                     black_box(h.remove(key));
                 }
+                Op::Upsert => {
+                    black_box(h.upsert(key, key));
+                }
+                Op::Cas => {
+                    black_box(h.compare_swap(key, &key, key));
+                }
+                Op::FetchAdd => {
+                    black_box(h.rmw(key, &mut |cur| {
+                        Some(cur.copied().unwrap_or(0).wrapping_add(1))
+                    }));
+                }
             }
         }
     }

@@ -1,0 +1,213 @@
+//! **fig0_rmw** — the compound-operation vocabulary, measured two ways:
+//!
+//! * **native** — the structures' own `upsert_in` / `compare_swap_in` /
+//!   `rmw_in` overrides (in-place under the bucket lock for the blocking
+//!   tables, value-pointer CAS in the lock-free structures);
+//! * **composed** — the same logical operation expressed as a retry loop
+//!   over the basic vocabulary (`get`/`insert`/`remove`), the only option
+//!   before this vocabulary existed. The composition is also *not* atomic
+//!   (a concurrent reader can catch the remove+insert window), so the
+//!   native column is both the faster and the only correct one — the
+//!   numbers quantify what the atomicity costs (or saves).
+//!
+//! Mixes: upsert-heavy (50 % upsert / 50 % get), CAS-heavy (40 % CAS /
+//! 10 % updates / 50 % get), and a pure fetch-add counter.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use csds_bench::tune;
+use csds_core::{GuardedMap, MapHandle};
+use csds_harness::{prefill, AlgoKind};
+use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix};
+
+const SIZE: usize = 1024;
+
+fn prefilled(algo: AlgoKind) -> Arc<Box<dyn GuardedMap<u64>>> {
+    let key_range = SIZE as u64 * 2;
+    let map: Arc<Box<dyn GuardedMap<u64>>> = Arc::new(algo.make_guarded(key_range as usize));
+    prefill(map.as_ref().as_ref(), SIZE, key_range, 0xB0B5EED);
+    map
+}
+
+/// Run `total_ops` of `mix` split across `threads`, one handle per worker;
+/// `native` selects the native compound calls, otherwise compositions over
+/// the basic vocabulary.
+fn run_mix(
+    map: &Arc<Box<dyn GuardedMap<u64>>>,
+    mix: OpMix,
+    native: bool,
+    threads: usize,
+    total_ops: u64,
+) -> Duration {
+    let sampler = Arc::new(KeySampler::new(KeyDist::Uniform, SIZE as u64 * 2));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let per_thread = total_ops.div_ceil(threads as u64);
+    let mut workers = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let map = Arc::clone(map);
+        let sampler = Arc::clone(&sampler);
+        let barrier = Arc::clone(&barrier);
+        let seed = 0x5EED ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        workers.push(std::thread::spawn(move || {
+            let mut rng = FastRng::new(seed);
+            barrier.wait();
+            let mut h = MapHandle::new(map.as_ref().as_ref());
+            for _ in 0..per_thread {
+                let key = sampler.sample(&mut rng);
+                match mix.sample(&mut rng) {
+                    Op::Get => {
+                        black_box(h.get(key));
+                    }
+                    Op::Insert => {
+                        black_box(h.insert(key, key));
+                    }
+                    Op::Remove => {
+                        black_box(h.remove(key));
+                    }
+                    Op::Upsert => {
+                        if native {
+                            black_box(h.upsert(key, key));
+                        } else {
+                            // insert-else-(remove; insert) — the pre-PR
+                            // emulation, with a visible absence window.
+                            loop {
+                                if h.insert(key, key) {
+                                    break;
+                                }
+                                let _ = h.remove(key);
+                            }
+                        }
+                    }
+                    Op::Cas => {
+                        if native {
+                            black_box(h.compare_swap(key, &key, key));
+                        } else {
+                            // get-compare-(remove; insert) emulation.
+                            if h.get(key).copied() == Some(key) && h.remove(key).is_some() {
+                                let _ = h.insert(key, key);
+                            }
+                        }
+                    }
+                    Op::FetchAdd => {
+                        if native {
+                            black_box(
+                                h.rmw(key, &mut |c| Some(c.copied().unwrap_or(0) + 1))
+                                    .applied,
+                            );
+                        } else {
+                            let cur = h.remove(key).unwrap_or(0);
+                            let _ = h.insert(key, cur + 1);
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for w in workers {
+        w.join().expect("bench worker panicked");
+    }
+    start.elapsed()
+}
+
+fn algos() -> [(&'static str, AlgoKind); 4] {
+    [
+        ("lazy_ht", AlgoKind::LazyHashTable),
+        ("elastic_ht", AlgoKind::ElasticHashTable),
+        ("lockfree_ht", AlgoKind::LockFreeHashTable),
+        ("herlihy_skiplist", AlgoKind::HerlihySkipList),
+    ]
+}
+
+fn upsert_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig0_rmw_upsert_heavy_1024");
+    tune(&mut g);
+    for (label, algo) in algos() {
+        let map = prefilled(algo);
+        for (path, native) in [("native", true), ("composed", false)] {
+            g.bench_function(format!("{label}/{path}/t1"), |b| {
+                b.iter_custom(|iters| {
+                    run_mix(&map, OpMix::mix_rmw_upsert_heavy(), native, 1, iters)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn cas_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig0_rmw_cas_heavy_1024");
+    tune(&mut g);
+    for (label, algo) in algos() {
+        let map = prefilled(algo);
+        for (path, native) in [("native", true), ("composed", false)] {
+            g.bench_function(format!("{label}/{path}/t1"), |b| {
+                b.iter_custom(|iters| run_mix(&map, OpMix::mix_rmw_cas_heavy(), native, 1, iters));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn counter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig0_rmw_counter_64keys");
+    tune(&mut g);
+    // A hot counter population: 64 keys, pure fetch-add.
+    for (label, algo) in [
+        ("lazy_ht", AlgoKind::LazyHashTable),
+        ("elastic_ht", AlgoKind::ElasticHashTable),
+    ] {
+        let key_range = 64u64;
+        let map: Arc<Box<dyn GuardedMap<u64>>> = Arc::new(algo.make_guarded(key_range as usize));
+        for (path, native) in [("native", true), ("composed", false)] {
+            for threads in [1usize, 4] {
+                let map = Arc::clone(&map);
+                g.bench_function(format!("{label}/{path}/t{threads}"), |b| {
+                    b.iter_custom(|iters| {
+                        // Narrow key range: resample inside the run via the
+                        // counter mix over the small space.
+                        let sampler = Arc::new(KeySampler::new(KeyDist::Uniform, key_range));
+                        let barrier = Arc::new(Barrier::new(threads + 1));
+                        let per_thread = iters.div_ceil(threads as u64);
+                        let mut workers = Vec::with_capacity(threads);
+                        for t in 0..threads {
+                            let map = Arc::clone(&map);
+                            let sampler = Arc::clone(&sampler);
+                            let barrier = Arc::clone(&barrier);
+                            workers.push(std::thread::spawn(move || {
+                                let mut rng = FastRng::new(0xADD ^ (t as u64 + 1));
+                                barrier.wait();
+                                let mut h = MapHandle::new(map.as_ref().as_ref());
+                                for _ in 0..per_thread {
+                                    let key = sampler.sample(&mut rng);
+                                    if native {
+                                        black_box(
+                                            h.rmw(key, &mut |c| Some(c.copied().unwrap_or(0) + 1))
+                                                .applied,
+                                        );
+                                    } else {
+                                        let cur = h.remove(key).unwrap_or(0);
+                                        let _ = h.insert(key, cur + 1);
+                                    }
+                                }
+                            }));
+                        }
+                        barrier.wait();
+                        let start = Instant::now();
+                        for w in workers {
+                            w.join().expect("bench worker panicked");
+                        }
+                        start.elapsed()
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, upsert_heavy, cas_heavy, counter);
+criterion_main!(benches);

@@ -48,6 +48,12 @@ fn run_service_client(client: &ServiceClient<u64>, total_ops: u64) -> Duration {
                 Op::Get => OpKind::Get,
                 Op::Insert => OpKind::Insert(key),
                 Op::Remove => OpKind::Remove,
+                Op::Upsert => OpKind::Upsert(key),
+                Op::Cas => OpKind::CompareSwap {
+                    expected: key,
+                    new: key,
+                },
+                Op::FetchAdd => OpKind::FetchAdd(1),
             };
             batch.push((key, op));
         }

@@ -23,7 +23,7 @@ use csds_ebr::{Atomic, Guard, Shared};
 use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
 use csds_sync::{OptikLock, RawMutex};
 
-use crate::{key, GuardedMap, SyncMode, ELISION_RETRIES};
+use crate::{key, GuardedMap, RmwFn, RmwOutcome, SyncMode, ELISION_RETRIES};
 
 struct Node<V> {
     key: u64,
@@ -448,6 +448,164 @@ impl<V: Clone + Send + Sync> BstTk<V> {
 }
 
 impl<V: Clone + Send + Sync> BstTk<V> {
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`].
+    ///
+    /// The external tree makes replacement structural and atomic: a present
+    /// key's leaf is swapped wholesale for a fresh leaf carrying the
+    /// closure's value, via one store into the parent slot under the
+    /// parent's versioned trylock (elision-mode trees take the real lock
+    /// plus the fallback sequence lock); an absent key reuses the insert
+    /// write phase (new leaf, or router + two leaves). **Linearization
+    /// point: the parent-slot store**; read-only decisions linearize at the
+    /// parse phase's leaf read. Version mismatches restart, as everywhere
+    /// in BST-TK.
+    pub fn rmw_in<'g>(&'g self, k: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        key::check_user_key(k);
+        loop {
+            let (_gp, p, leaf) = self.parse(k, guard);
+            let matched = leaf.and_then(|ls| {
+                // SAFETY: pinned.
+                let l = unsafe { ls.deref() };
+                (l.key == k).then_some((ls, l))
+            });
+            if let Some((leaf_s, l)) = matched {
+                let current = l.value.as_ref().expect("leaves hold values");
+                let Some(new_value) = f(Some(current)) else {
+                    return RmwOutcome {
+                        prev: Some(current.clone()),
+                        cur: Some(current),
+                        applied: false,
+                    };
+                };
+                let new_leaf = Shared::boxed(Node::leaf(k, new_value));
+                // Write phase: replace the leaf in its parent slot.
+                if let Some(region) = &self.region {
+                    // Elision-mode: real lock, then validate and store under
+                    // the fallback sequence lock (serializes with
+                    // speculative write phases, which read `p.slot` and the
+                    // removed flags).
+                    p.lock.lock();
+                    let fb = region.enter_fallback();
+                    let ok = p
+                        .owner_removed()
+                        .map_or(true, |r| r.load(Ordering::Acquire) == 0)
+                        && p.slot.load(guard) == leaf_s;
+                    if !ok {
+                        drop(fb);
+                        p.lock.unlock();
+                        // SAFETY: never published.
+                        unsafe { drop(new_leaf.into_box()) };
+                        csds_metrics::restart();
+                        continue;
+                    }
+                    p.slot.store(new_leaf); // linearization point
+                    l.removed.store(1, Ordering::Release);
+                    drop(fb);
+                    p.lock.unlock();
+                } else {
+                    if !p.lock.try_lock_version(p.ver) {
+                        // SAFETY: never published.
+                        unsafe { drop(new_leaf.into_box()) };
+                        csds_metrics::restart();
+                        continue;
+                    }
+                    // Version matched ⇒ the slot is unchanged since parse.
+                    debug_assert!(p.slot.load(guard) == leaf_s);
+                    p.slot.store(new_leaf); // linearization point
+                    l.removed.store(1, Ordering::Release);
+                    p.lock.unlock();
+                }
+                let prev = l.value.clone();
+                // SAFETY: unlinked by the winning slot store; retired once.
+                unsafe { guard.defer_drop(leaf_s) };
+                // SAFETY: published; pinned.
+                let cur = unsafe { new_leaf.deref() }.value.as_ref();
+                return RmwOutcome {
+                    prev,
+                    cur,
+                    applied: true,
+                };
+            }
+            // Absent: the closure may decline or insert.
+            let Some(new_value) = f(None) else {
+                return RmwOutcome {
+                    prev: None,
+                    cur: None,
+                    applied: false,
+                };
+            };
+            let new_leaf = Shared::boxed(Node::leaf(k, new_value));
+            let replacement = match leaf {
+                None => new_leaf,
+                Some(old_leaf) => {
+                    // SAFETY: pinned.
+                    let ol = unsafe { old_leaf.deref() };
+                    let internal = Shared::boxed(Node::internal(k.max(ol.key)));
+                    // SAFETY: unpublished.
+                    let i = unsafe { internal.deref() };
+                    if k < ol.key {
+                        i.left.store(new_leaf);
+                        i.right.store(old_leaf);
+                    } else {
+                        i.left.store(old_leaf);
+                        i.right.store(new_leaf);
+                    }
+                    internal
+                }
+            };
+            let expected = leaf.unwrap_or_else(Shared::null);
+            // Free an unpublished replacement (the old leaf, if any, stays
+            // in the tree and is not ours to free).
+            let reclaim = |repl: Shared<'_, Node<V>>| {
+                // SAFETY: never published; `new_leaf` is either `repl`
+                // itself or one of the router's children.
+                unsafe {
+                    if leaf.is_some() {
+                        drop(repl.into_box());
+                        drop(new_leaf.into_box());
+                    } else {
+                        drop(repl.into_box());
+                    }
+                }
+            };
+            if let Some(region) = &self.region {
+                p.lock.lock();
+                let fb = region.enter_fallback();
+                let ok = p
+                    .owner_removed()
+                    .map_or(true, |r| r.load(Ordering::Acquire) == 0)
+                    && p.slot.load(guard) == expected;
+                if !ok {
+                    drop(fb);
+                    p.lock.unlock();
+                    reclaim(replacement);
+                    csds_metrics::restart();
+                    continue;
+                }
+                p.slot.store(replacement); // linearization point
+                drop(fb);
+                p.lock.unlock();
+            } else {
+                if !p.lock.try_lock_version(p.ver) {
+                    reclaim(replacement);
+                    csds_metrics::restart();
+                    continue;
+                }
+                debug_assert!(p.slot.load(guard) == expected);
+                p.slot.store(replacement); // linearization point
+                p.lock.unlock();
+            }
+            // SAFETY: published; pinned.
+            let cur = unsafe { new_leaf.deref() }.value.as_ref();
+            return RmwOutcome {
+                prev: None,
+                cur,
+                applied: true,
+            };
+        }
+    }
+
     /// Guard-scoped `get`: clone-free reference valid for `'g`.
     pub fn get_in<'g>(&'g self, k: u64, guard: &'g Guard) -> Option<&'g V> {
         key::check_user_key(k);
@@ -501,6 +659,16 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for BstTk<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         BstTk::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        // O(1): leaves are the only value carriers and the root of an empty
+        // external tree is null.
+        self.root.load(guard).is_null()
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        BstTk::rmw_in(self, key, f, guard)
     }
 }
 

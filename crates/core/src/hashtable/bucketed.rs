@@ -17,7 +17,7 @@ use csds_ebr::Guard;
 
 use crate::hashtable::{bucket_count, bucket_of};
 use crate::list::{CouplingList, HarrisList, WaitFreeList};
-use crate::{key, GuardedMap};
+use crate::{key, GuardedMap, RmwFn, RmwOutcome};
 
 /// Hash table delegating each bucket to an inner [`GuardedMap`].
 ///
@@ -80,6 +80,21 @@ where
     pub fn len_in(&self, guard: &Guard) -> usize {
         self.buckets.iter().map(|b| b.len_in(guard)).sum()
     }
+
+    /// Guard-scoped emptiness: early-exits at the first non-empty bucket
+    /// (each inner list early-exits at its first live node) instead of the
+    /// default full count.
+    pub fn is_empty_in(&self, guard: &Guard) -> bool {
+        self.buckets.iter().all(|b| b.is_empty_in(guard))
+    }
+
+    /// Guard-scoped atomic closure RMW: delegates to the key's bucket,
+    /// which provides the native implementation (and its linearization
+    /// point).
+    pub fn rmw_in<'g>(&'g self, k: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        key::check_user_key(k);
+        self.bucket(k).rmw_in(k, f, guard)
+    }
 }
 
 impl<M, V> GuardedMap<V> for Bucketed<M, V>
@@ -101,6 +116,14 @@ where
 
     fn len_in(&self, guard: &Guard) -> usize {
         Bucketed::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        Bucketed::is_empty_in(self, guard)
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        Bucketed::rmw_in(self, key, f, guard)
     }
 }
 

@@ -13,7 +13,7 @@ use csds_ebr::{Atomic, Guard, Shared};
 use csds_sync::{lock_guard, RawMutex, TicketLock};
 
 use crate::hashtable::{bucket_count, bucket_of};
-use crate::{key, GuardedMap};
+use crate::{key, GuardedMap, RmwFn, RmwOutcome};
 
 struct Bucket<V> {
     lock: TicketLock,
@@ -133,6 +133,72 @@ impl<V: Clone + Send + Sync> CowHashTable<V> {
             })
             .sum()
     }
+
+    /// Guard-scoped emptiness: O(buckets) — snapshots know their length,
+    /// so this early-exits at the first non-empty bucket.
+    pub fn is_empty_in(&self, guard: &Guard) -> bool {
+        self.buckets.iter().all(|b| {
+            // SAFETY: pinned.
+            unsafe { b.data.load(guard).deref() }.is_empty()
+        })
+    }
+
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`] — a copy-on-write update under the bucket
+    /// lock, exactly like `insert`/`remove`: build a modified snapshot,
+    /// swap it in, retire the old one. **Linearization point: the snapshot
+    /// store** (the locked snapshot load for read-only decisions); the
+    /// closure runs exactly once.
+    pub fn rmw_in<'g>(&'g self, k: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        key::check_user_key(k);
+        let bucket = self.bucket(k);
+        let g = lock_guard(&bucket.lock);
+        let snap = bucket.data.load(guard);
+        // SAFETY: pinned; we hold the bucket lock, so this snapshot is the
+        // current one.
+        let arr = unsafe { snap.deref() };
+        let found = arr.binary_search_by_key(&k, |e| e.0);
+        let current = found.ok().map(|i| &arr[i].1);
+        match f(current) {
+            None => {
+                drop(g);
+                RmwOutcome {
+                    prev: current.cloned(),
+                    cur: current,
+                    applied: false,
+                }
+            }
+            Some(new_value) => {
+                let (next, pos) = match found {
+                    Ok(pos) => {
+                        let mut next = arr.clone();
+                        next[pos].1 = new_value;
+                        (next, pos)
+                    }
+                    Err(pos) => {
+                        let mut next = Vec::with_capacity(arr.len() + 1);
+                        next.extend_from_slice(&arr[..pos]);
+                        next.push((k, new_value));
+                        next.extend_from_slice(&arr[pos..]);
+                        (next, pos)
+                    }
+                };
+                let new_snap = Shared::boxed(next);
+                bucket.data.store(new_snap); // linearization point
+                drop(g);
+                // SAFETY: old snapshot unlinked under the lock; readers may
+                // still hold it — retire, don't free.
+                unsafe { guard.defer_drop(snap) };
+                // SAFETY: published; pinned.
+                let cur = Some(&unsafe { new_snap.deref() }[pos].1);
+                RmwOutcome {
+                    prev: current.cloned(),
+                    cur,
+                    applied: true,
+                }
+            }
+        }
+    }
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for CowHashTable<V> {
@@ -150,6 +216,14 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for CowHashTable<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         CowHashTable::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        CowHashTable::is_empty_in(self, guard)
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        CowHashTable::rmw_in(self, key, f, guard)
     }
 }
 

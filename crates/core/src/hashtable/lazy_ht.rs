@@ -20,7 +20,18 @@ use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
 use csds_sync::{lock_guard, RawMutex, TicketLock};
 
 use crate::hashtable::{bucket_count, bucket_of};
-use crate::{key, GuardedMap, SyncMode, ELISION_RETRIES};
+use crate::{key, GuardedMap, RmwFn, RmwOutcome, SyncMode, ELISION_RETRIES};
+
+/// `marked` state: node is live.
+const LIVE: usize = 0;
+/// `marked` state: node is logically deleted.
+const DELETED: usize = 1;
+/// `marked` state: node was atomically replaced in place by a same-key
+/// node with a new value ([`LazyHashTable::rmw_in`]); the key is still
+/// present, so readers that raced onto this node return its (stale) value
+/// and linearize before the replacement. Writer validation (`!= 0`)
+/// treats the node as gone.
+const SUPERSEDED: usize = 2;
 
 struct Node<V> {
     key: u64,
@@ -108,9 +119,11 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
         }
         // SAFETY: pinned.
         let c = unsafe { curr.deref() };
-        if c.marked.load(Ordering::Acquire) != 0 {
+        if c.marked.load(Ordering::Acquire) == DELETED {
             None
         } else {
+            // LIVE, or SUPERSEDED (replaced in place: the key is present;
+            // this stale read linearizes before the replacement).
             c.value.as_ref()
         }
     }
@@ -219,8 +232,15 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
                 }
                 // SAFETY: pinned.
                 let c = unsafe { curr.deref() };
-                if c.marked.load(Ordering::Acquire) != 0 {
-                    return None;
+                match c.marked.load(Ordering::Acquire) {
+                    DELETED => return None,
+                    SUPERSEDED => {
+                        // Replaced in place: the key lives on in its
+                        // replacement node; re-scan and remove that one.
+                        csds_metrics::restart();
+                        continue;
+                    }
+                    _ => {}
                 }
                 let link = if pred.is_null() {
                     bucket.head.as_raw_atomic()
@@ -322,13 +342,132 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
             while !curr.is_null() {
                 // SAFETY: pinned traversal.
                 let c = unsafe { curr.deref() };
-                if c.marked.load(Ordering::Acquire) == 0 {
+                if c.marked.load(Ordering::Acquire) != DELETED {
                     n += 1;
                 }
                 curr = c.next.load(guard);
             }
         }
         n
+    }
+
+    /// Guard-scoped emptiness: O(buckets) early-exit walk instead of the
+    /// default full O(n) count — returns at the first live node.
+    pub fn is_empty_in(&self, guard: &Guard) -> bool {
+        for b in &self.buckets {
+            let mut curr = b.head.load(guard);
+            while !curr.is_null() {
+                // SAFETY: pinned traversal.
+                let c = unsafe { curr.deref() };
+                if c.marked.load(Ordering::Acquire) != DELETED {
+                    return false;
+                }
+                curr = c.next.load(guard);
+            }
+        }
+        true
+    }
+
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`] — in-place mutation under the bucket lock,
+    /// the compound operation the paper's blocking designs get for free.
+    ///
+    /// The whole read-decide-apply runs in one bucket critical section
+    /// (in elision-mode tables the fallback sequence lock is additionally
+    /// held, so concurrent speculative write phases serialize against it).
+    /// A present key is replaced by swapping in a fresh same-key node at
+    /// the same chain position, marking the old node `SUPERSEDED`; an
+    /// absent key is pushed at the bucket head. **Linearization point: the
+    /// chain-link store** (`pred.next`/bucket-head), or the locked
+    /// observation for read-only decisions; the closure runs exactly once.
+    pub fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        crate::key::check_user_key(key);
+        let bucket = self.bucket(key);
+        let g = lock_guard(&bucket.lock);
+        // Elision mode: hold the region's sequence lock across validation
+        // and stores so concurrent speculation aborts or serializes.
+        let fb = self.region.as_ref().map(|r| r.enter_fallback());
+        let (pred, curr) = Self::scan(bucket, key, guard);
+        if !curr.is_null() {
+            // Under the bucket lock the chain holds no marked nodes (mark,
+            // unlink and replacement share this critical section).
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            debug_assert_eq!(c.marked.load(Ordering::Acquire), LIVE);
+            let current = c.value.as_ref().expect("live node holds a value");
+            match f(Some(current)) {
+                None => {
+                    drop(fb);
+                    drop(g);
+                    RmwOutcome {
+                        prev: Some(current.clone()),
+                        cur: Some(current),
+                        applied: false,
+                    }
+                }
+                Some(new_value) => {
+                    let new_s = Shared::boxed(Node {
+                        key,
+                        value: Some(new_value),
+                        marked: AtomicUsize::new(LIVE),
+                        next: Atomic::null(),
+                    });
+                    // SAFETY: unpublished; chain serialized by the lock.
+                    unsafe { new_s.deref() }.next.store(c.next.load(guard));
+                    c.marked.store(SUPERSEDED, Ordering::Release);
+                    if pred.is_null() {
+                        bucket.head.store(new_s); // linearization point
+                    } else {
+                        // SAFETY: pinned; serialized by the bucket lock.
+                        unsafe { pred.deref() }.next.store(new_s);
+                    }
+                    drop(fb);
+                    drop(g);
+                    let prev = c.value.clone();
+                    // SAFETY: unlinked under the bucket lock; retired once.
+                    unsafe { guard.defer_drop(curr) };
+                    // SAFETY: published; pinned.
+                    let cur = unsafe { new_s.deref() }.value.as_ref();
+                    RmwOutcome {
+                        prev,
+                        cur,
+                        applied: true,
+                    }
+                }
+            }
+        } else {
+            match f(None) {
+                None => {
+                    drop(fb);
+                    drop(g);
+                    RmwOutcome {
+                        prev: None,
+                        cur: None,
+                        applied: false,
+                    }
+                }
+                Some(new_value) => {
+                    let new_s = Shared::boxed(Node {
+                        key,
+                        value: Some(new_value),
+                        marked: AtomicUsize::new(LIVE),
+                        next: Atomic::null(),
+                    });
+                    // SAFETY: unpublished.
+                    unsafe { new_s.deref() }.next.store(bucket.head.load(guard));
+                    bucket.head.store(new_s); // linearization point
+                    drop(fb);
+                    drop(g);
+                    // SAFETY: published; pinned.
+                    let cur = unsafe { new_s.deref() }.value.as_ref();
+                    RmwOutcome {
+                        prev: None,
+                        cur,
+                        applied: true,
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -347,6 +486,14 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for LazyHashTable<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         LazyHashTable::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        LazyHashTable::is_empty_in(self, guard)
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        LazyHashTable::rmw_in(self, key, f, guard)
     }
 }
 

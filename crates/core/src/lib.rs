@@ -26,6 +26,20 @@
 //! | BST | [`bst::BstTk`] | — | — |
 //! | queue/stack (§7) | [`queuestack::TwoLockQueue`], [`queuestack::LockedStack`] | [`queuestack::MsQueue`], [`queuestack::TreiberStack`] | — |
 //!
+//! # The operation vocabulary
+//!
+//! Beyond the paper's `get` / `insert-if-absent` / `remove`, every map
+//! implements the **compound vocabulary** natively:
+//! [`GuardedMap::rmw_in`] (atomic closure read-modify-write, the root
+//! primitive every structure overrides with its own mechanism — in-place
+//! mutation under bucket/node locks in the blocking designs, value-pointer
+//! CAS in the lock-free ones) and the derived
+//! [`upsert_in`](GuardedMap::upsert_in) (insert-or-replace),
+//! [`compare_swap_in`](GuardedMap::compare_swap_in) (value CAS),
+//! [`update_in`](GuardedMap::update_in) (closure RMW of existing keys) and
+//! [`get_or_insert_with_in`](GuardedMap::get_or_insert_with_in). Each
+//! structure documents its linearization points on the inherent methods.
+//!
 //! # Two ways to call an operation
 //!
 //! Every structure exposes its operations at two levels:
@@ -140,6 +154,65 @@ impl Session {
     }
 }
 
+/// The decision closure of [`GuardedMap::rmw_in`], behind a `&mut dyn`
+/// reference so the method stays object-safe.
+///
+/// Called with the current value (`None` if the key is absent) and returns
+/// the new value to install (`Some(v)` inserts or replaces) or `None` to
+/// leave the map unchanged. Implementations may invoke the closure **more
+/// than once** (optimistic structures retry on contention); only the final
+/// invocation's decision takes effect, and values returned by abandoned
+/// invocations are dropped.
+pub type RmwFn<'f, V> = &'f mut dyn FnMut(Option<&V>) -> Option<V>;
+
+/// What a [`GuardedMap::rmw_in`] call did, observed atomically at its
+/// linearization point.
+#[derive(Debug)]
+pub struct RmwOutcome<'g, V> {
+    /// The value associated with the key immediately *before* the
+    /// operation (cloned out), or `None` if the key was absent.
+    pub prev: Option<V>,
+    /// The value associated with the key immediately *after* the operation
+    /// — the installed value if the closure returned `Some`, the untouched
+    /// existing value otherwise — borrowed from the map and the guard.
+    /// `None` only when the key was absent and the closure declined to
+    /// insert.
+    pub cur: Option<&'g V>,
+    /// Whether the closure's `Some(v)` decision was applied (an insert or a
+    /// replace happened).
+    pub applied: bool,
+}
+
+/// Result of a [`GuardedMap::compare_swap_in`] value-CAS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CasOutcome<V> {
+    /// The current value matched `expected` and was replaced; carries the
+    /// replaced value.
+    Swapped(V),
+    /// The key was present with a different value (carried here, cloned at
+    /// the linearization point); nothing was changed.
+    Mismatch(V),
+    /// The key was absent; nothing was changed.
+    Absent,
+}
+
+impl<V> CasOutcome<V> {
+    /// Whether the swap was applied.
+    pub fn swapped(&self) -> bool {
+        matches!(self, CasOutcome::Swapped(_))
+    }
+
+    /// The value observed at the linearization point (`None` if absent):
+    /// the replaced value for `Swapped`, the surviving value for
+    /// `Mismatch`.
+    pub fn observed(self) -> Option<V> {
+        match self {
+            CasOutcome::Swapped(v) | CasOutcome::Mismatch(v) => Some(v),
+            CasOutcome::Absent => None,
+        }
+    }
+}
+
 /// Guard-scoped map operations: the primitive interface every structure
 /// implements.
 ///
@@ -187,9 +260,115 @@ pub trait GuardedMap<V>: Send + Sync {
     fn len_in(&self, guard: &Guard) -> usize;
 
     /// Whether the structure is empty under `guard` (quiescently
-    /// consistent).
+    /// consistent). The default is O(n) via [`len_in`](Self::len_in);
+    /// array-indexed structures override it with an early-exit walk.
     fn is_empty_in(&self, guard: &Guard) -> bool {
         self.len_in(guard) == 0
+    }
+
+    /// Atomic closure read-modify-write under `guard`: the **native
+    /// compound primitive** every structure implements, and the root of the
+    /// whole compound vocabulary ([`upsert_in`](Self::upsert_in),
+    /// [`compare_swap_in`](Self::compare_swap_in),
+    /// [`update_in`](Self::update_in),
+    /// [`get_or_insert_with_in`](Self::get_or_insert_with_in)).
+    ///
+    /// `f` sees the current value (`None` if absent) and decides: `Some(v)`
+    /// inserts (when absent) or replaces (when present), `None` leaves the
+    /// map unchanged. The observation and the decision are **atomic**: no
+    /// other operation on the key intervenes between the value `f` saw and
+    /// the application of its decision. `f` may run multiple times under
+    /// contention (see [`RmwFn`]); only the last run's decision is applied.
+    ///
+    /// Linearization: each structure documents its point on the inherent
+    /// method. In every blocking structure the RMW linearizes inside the
+    /// same critical section its `insert`/`remove` use (bucket lock, node
+    /// locks, versioned trylock); in the lock-free structures an
+    /// existing-key replace linearizes at a CAS on the node's value
+    /// pointer, an insert at the structure's usual publish point.
+    ///
+    /// Object-safe (`&mut dyn FnMut`): the harness's and service's
+    /// `dyn GuardedMap<u64>` objects dispatch it directly.
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V>;
+
+    /// Insert-or-replace under `guard`: associates `value` with `key`
+    /// unconditionally and returns the previous value, `None` if the key
+    /// was absent. Atomic — unlike a `remove_in` + `insert_in` pair, no
+    /// concurrent reader can observe the key absent mid-replace.
+    ///
+    /// Default: one [`rmw_in`](Self::rmw_in) whose closure always installs
+    /// (cloning `value` in case the structure retries).
+    fn upsert_in(&self, key: u64, value: V, guard: &Guard) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.rmw_in(key, &mut |_| Some(value.clone()), guard).prev
+    }
+
+    /// Value compare-and-swap under `guard`: iff `key` is present and its
+    /// value equals `expected`, replace it with `new`. The comparison and
+    /// the replacement are atomic; see [`CasOutcome`] for the three
+    /// results.
+    ///
+    /// Default: one [`rmw_in`](Self::rmw_in) whose closure compares under
+    /// the structure's write-phase synchronization.
+    fn compare_swap_in(&self, key: u64, expected: &V, new: V, guard: &Guard) -> CasOutcome<V>
+    where
+        V: Clone + PartialEq,
+    {
+        let out = self.rmw_in(
+            key,
+            &mut |cur| match cur {
+                Some(c) if c == expected => Some(new.clone()),
+                _ => None,
+            },
+            guard,
+        );
+        match (out.applied, out.prev) {
+            (true, Some(prev)) => CasOutcome::Swapped(prev),
+            (false, Some(prev)) => CasOutcome::Mismatch(prev),
+            (_, None) => CasOutcome::Absent,
+        }
+    }
+
+    /// Closure read-modify-write of an **existing** key under `guard`:
+    /// atomically replaces the current value `v` with `f(&v)`, retrying on
+    /// contention, and returns the replaced value; `None` (and no call to
+    /// `f` is applied) if the key is absent.
+    ///
+    /// Generic over `f`, hence `Self: Sized`; trait objects use
+    /// [`rmw_in`](Self::rmw_in) directly.
+    fn update_in(&self, key: u64, mut f: impl FnMut(&V) -> V, guard: &Guard) -> Option<V>
+    where
+        V: Clone,
+        Self: Sized,
+    {
+        self.rmw_in(key, &mut |cur| cur.map(&mut f), guard).prev
+    }
+
+    /// `get(k)` that inserts `make()` first if the key is absent, under
+    /// `guard`: returns a clone-free reference to the value now associated
+    /// with `key` (the existing one, or the freshly inserted one). The
+    /// check-and-insert is atomic.
+    ///
+    /// Generic over `make`, hence `Self: Sized`; trait objects use
+    /// [`rmw_in`](Self::rmw_in) directly.
+    fn get_or_insert_with_in<'g>(
+        &'g self,
+        key: u64,
+        mut make: impl FnMut() -> V,
+        guard: &'g Guard,
+    ) -> &'g V
+    where
+        Self: Sized,
+    {
+        self.rmw_in(
+            key,
+            &mut |cur| if cur.is_none() { Some(make()) } else { None },
+            guard,
+        )
+        .cur
+        .expect("key present after get_or_insert_with_in")
     }
 
     /// Open a per-thread session over this map (pins once; reuses the
@@ -242,6 +421,15 @@ pub trait ConcurrentMap<V>: Send + Sync {
     fn insert(&self, key: u64, value: V) -> bool;
     /// `remove(k)`: remove and return the value, or `None` if absent.
     fn remove(&self, key: u64) -> Option<V>;
+    /// Insert-or-replace: returns the previous value ([`GuardedMap::upsert_in`]).
+    fn upsert(&self, key: u64, value: V) -> Option<V>;
+    /// Value compare-and-swap ([`GuardedMap::compare_swap_in`]).
+    fn compare_swap(&self, key: u64, expected: &V, new: V) -> CasOutcome<V>
+    where
+        V: PartialEq;
+    /// Atomic closure read-modify-write ([`GuardedMap::rmw_in`]); the reply
+    /// clones the post-operation value out instead of borrowing it.
+    fn rmw(&self, key: u64, f: RmwFn<'_, V>) -> (Option<V>, Option<V>, bool);
     /// Number of elements (O(n); quiescently consistent).
     fn len(&self) -> usize;
     /// Whether the structure is empty (quiescently consistent).
@@ -266,9 +454,35 @@ impl<V: Clone, T: GuardedMap<V> + ?Sized> ConcurrentMap<V> for T {
         self.remove_in(key, &guard)
     }
 
+    fn upsert(&self, key: u64, value: V) -> Option<V> {
+        let guard = pin();
+        self.upsert_in(key, value, &guard)
+    }
+
+    fn compare_swap(&self, key: u64, expected: &V, new: V) -> CasOutcome<V>
+    where
+        V: PartialEq,
+    {
+        let guard = pin();
+        self.compare_swap_in(key, expected, new, &guard)
+    }
+
+    fn rmw(&self, key: u64, f: RmwFn<'_, V>) -> (Option<V>, Option<V>, bool) {
+        let guard = pin();
+        let out = self.rmw_in(key, f, &guard);
+        (out.prev, out.cur.cloned(), out.applied)
+    }
+
     fn len(&self) -> usize {
         let guard = pin();
         self.len_in(&guard)
+    }
+
+    fn is_empty(&self) -> bool {
+        // Route through the guard-scoped override (early-exit walks in the
+        // hash tables, skiplists, elastic table) rather than a full count.
+        let guard = pin();
+        self.is_empty_in(&guard)
     }
 }
 
@@ -397,6 +611,61 @@ impl<'m, V, M: GuardedMap<V> + ?Sized> MapHandle<'m, V, M> {
         self.map.remove_in(key, &self.session.guard)
     }
 
+    /// Insert-or-replace; returns the previous value. See
+    /// [`GuardedMap::upsert_in`].
+    #[inline]
+    pub fn upsert(&mut self, key: u64, value: V) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.session.repin();
+        self.map.upsert_in(key, value, &self.session.guard)
+    }
+
+    /// Value compare-and-swap. See [`GuardedMap::compare_swap_in`].
+    #[inline]
+    pub fn compare_swap(&mut self, key: u64, expected: &V, new: V) -> CasOutcome<V>
+    where
+        V: Clone + PartialEq,
+    {
+        self.session.repin();
+        self.map
+            .compare_swap_in(key, expected, new, &self.session.guard)
+    }
+
+    /// Closure read-modify-write of an existing key; returns the replaced
+    /// value. See [`GuardedMap::update_in`].
+    #[inline]
+    pub fn update(&mut self, key: u64, f: impl FnMut(&V) -> V) -> Option<V>
+    where
+        V: Clone,
+        M: Sized,
+    {
+        self.session.repin();
+        self.map.update_in(key, f, &self.session.guard)
+    }
+
+    /// Atomic get-or-insert; the returned reference borrows the handle
+    /// (like [`get`](MapHandle::get)). See
+    /// [`GuardedMap::get_or_insert_with_in`].
+    #[inline]
+    pub fn get_or_insert_with(&mut self, key: u64, make: impl FnMut() -> V) -> &V
+    where
+        M: Sized,
+    {
+        self.session.repin();
+        self.map
+            .get_or_insert_with_in(key, make, &self.session.guard)
+    }
+
+    /// Atomic closure read-modify-write (the native compound primitive).
+    /// See [`GuardedMap::rmw_in`].
+    #[inline]
+    pub fn rmw(&mut self, key: u64, f: RmwFn<'_, V>) -> RmwOutcome<'_, V> {
+        self.session.repin();
+        self.map.rmw_in(key, f, &self.session.guard)
+    }
+
     /// Number of elements (O(n); quiescently consistent).
     #[allow(clippy::len_without_is_empty)] // is_empty exists, &mut self
     #[inline]
@@ -405,10 +674,12 @@ impl<'m, V, M: GuardedMap<V> + ?Sized> MapHandle<'m, V, M> {
         self.map.len_in(&self.session.guard)
     }
 
-    /// Whether the map is empty (quiescently consistent).
+    /// Whether the map is empty (quiescently consistent; early-exit
+    /// overrides apply — see [`GuardedMap::is_empty_in`]).
     #[inline]
     pub fn is_empty(&mut self) -> bool {
-        self.len() == 0
+        self.session.repin();
+        self.map.is_empty_in(&self.session.guard)
     }
 
     /// Operations completed through this handle.
@@ -677,6 +948,8 @@ pub(crate) mod testutil {
 mod handle_tests {
     use super::*;
     use crate::list::HarrisList;
+    #[allow(unused_imports)]
+    use crate::ConcurrentMap as _;
 
     #[test]
     fn handle_reads_are_clone_free_references() {
@@ -694,6 +967,54 @@ mod handle_tests {
     #[test]
     fn handle_sequential_model() {
         testutil::sequential_model_check_handle(HarrisList::new(), 2_000, 64);
+    }
+
+    #[test]
+    fn handle_compound_vocabulary_and_generic_wrappers() {
+        let map: HarrisList<u64> = HarrisList::new();
+        let mut h = map.handle();
+        // upsert: insert-or-replace, returning the previous value.
+        assert_eq!(h.upsert(1, 10), None);
+        assert_eq!(h.upsert(1, 11), Some(10));
+        // compare_swap: all three outcomes.
+        assert_eq!(h.compare_swap(1, &11, 12), CasOutcome::Swapped(11));
+        assert_eq!(h.compare_swap(1, &11, 13), CasOutcome::Mismatch(12));
+        assert_eq!(h.compare_swap(2, &0, 1), CasOutcome::Absent);
+        assert!(!CasOutcome::<u64>::Absent.swapped());
+        assert_eq!(CasOutcome::Swapped(4u64).observed(), Some(4));
+        // update: existing keys only.
+        assert_eq!(h.update(1, |v| v + 1), Some(12));
+        assert_eq!(h.get(1), Some(&13));
+        assert_eq!(h.update(5, |v| v + 1), None);
+        assert_eq!(h.get(5), None);
+        // get_or_insert_with: inserts once, then returns the existing value
+        // without invoking the closure.
+        assert_eq!(*h.get_or_insert_with(5, || 50), 50);
+        assert_eq!(*h.get_or_insert_with(5, || unreachable!("present")), 50);
+        // rmw read-only decision leaves the map untouched.
+        let out = h.rmw(5, &mut |cur| {
+            assert_eq!(cur, Some(&50));
+            None
+        });
+        assert_eq!(out.prev, Some(50));
+        assert!(!out.applied);
+        // rmw remove-the-decision: declining on an absent key inserts
+        // nothing.
+        let out = h.rmw(9, &mut |_| None);
+        assert_eq!((out.prev, out.applied), (None, false));
+        assert!(out.cur.is_none());
+    }
+
+    #[test]
+    fn concurrent_map_compound_blanket_path() {
+        // The pin-per-op blanket wrappers (Box<dyn ConcurrentMap> shape).
+        let map: HarrisList<u64> = HarrisList::new();
+        let m: &dyn ConcurrentMap<u64> = &map;
+        assert_eq!(m.upsert(3, 30), None);
+        assert_eq!(m.upsert(3, 31), Some(30));
+        assert_eq!(m.compare_swap(3, &31, 32), CasOutcome::Swapped(31));
+        let (prev, cur, applied) = m.rmw(3, &mut |c| Some(c.copied().unwrap_or(0) + 1));
+        assert_eq!((prev, cur, applied), (Some(32), Some(33), true));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use csds_ebr::{Guard, Shared};
 use csds_sync::{RawMutex, TicketLock};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
-use crate::GuardedMap;
+use crate::{GuardedMap, RmwFn, RmwOutcome};
 
 struct Node<V> {
     key: u64,
@@ -154,6 +154,86 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
         }
     }
 
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`].
+    ///
+    /// The hand-over-hand walk ends holding both `pred`'s and `curr`'s
+    /// locks, so the whole read-decide-apply sequence is one critical
+    /// section: a present key is replaced by swapping in a fresh same-key
+    /// node (readers racing past the old one return its value and linearize
+    /// before the swap), an absent key is inserted in place.
+    /// **Linearization point: the `pred.next` store** (or the parse itself
+    /// for read-only decisions); the closure runs exactly once.
+    pub fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        let ikey = key::ikey(key);
+        let (pred, curr) = self.locate(ikey);
+        // SAFETY: both nodes locked by us; value references handed out are
+        // kept alive for 'g by the caller's pin (unlinked nodes are retired,
+        // never freed in place, and values are never mutated).
+        unsafe {
+            if (*curr).key == ikey {
+                let current: &'g V = {
+                    let v = (*curr).value.as_ref().expect("live node holds a value");
+                    &*(v as *const V)
+                };
+                match f(Some(current)) {
+                    None => {
+                        (*curr).lock.unlock();
+                        (*pred).lock.unlock();
+                        RmwOutcome {
+                            prev: Some(current.clone()),
+                            cur: Some(current),
+                            applied: false,
+                        }
+                    }
+                    Some(new_value) => {
+                        let node = Node::alloc(
+                            ikey,
+                            Some(new_value),
+                            (*curr).next.load(Ordering::Relaxed),
+                        );
+                        (*pred).next.store(node as usize, Ordering::Release);
+                        let prev = (*curr).value.clone();
+                        let cur: Option<&'g V> = (*node).value.as_ref().map(|v| &*(v as *const V));
+                        (*curr).lock.unlock();
+                        (*pred).lock.unlock();
+                        // SAFETY: unlinked under both locks; retired once.
+                        guard.defer_drop(Shared::<Node<V>>::from_raw(curr as usize));
+                        RmwOutcome {
+                            prev,
+                            cur,
+                            applied: true,
+                        }
+                    }
+                }
+            } else {
+                match f(None) {
+                    None => {
+                        (*curr).lock.unlock();
+                        (*pred).lock.unlock();
+                        RmwOutcome {
+                            prev: None,
+                            cur: None,
+                            applied: false,
+                        }
+                    }
+                    Some(new_value) => {
+                        let node = Node::alloc(ikey, Some(new_value), curr as usize);
+                        (*pred).next.store(node as usize, Ordering::Release);
+                        let cur: Option<&'g V> = (*node).value.as_ref().map(|v| &*(v as *const V));
+                        (*curr).lock.unlock();
+                        (*pred).lock.unlock();
+                        RmwOutcome {
+                            prev: None,
+                            cur,
+                            applied: true,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Guard-scoped element count (hand-over-hand; O(n)).
     pub fn len_in(&self, _guard: &Guard) -> usize {
         let mut n = 0;
@@ -192,6 +272,23 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for CouplingList<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         CouplingList::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, _guard: &Guard) -> bool {
+        // O(1): no logical deletion exists, so emptiness is just "is the
+        // first node the tail sentinel" — observed under the head lock.
+        // SAFETY: same locking discipline as `locate`.
+        unsafe {
+            (*self.head).lock.lock();
+            let first = (*self.head).next.load(Ordering::Relaxed) as *mut Node<V>;
+            let empty = (*first).key == TAIL_IKEY;
+            (*self.head).lock.unlock();
+            empty
+        }
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        CouplingList::rmw_in(self, key, f, guard)
     }
 }
 

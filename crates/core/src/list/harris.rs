@@ -10,15 +10,41 @@
 use csds_ebr::{Atomic, Guard, Shared};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
-use crate::GuardedMap;
+use crate::{GuardedMap, RmwFn, RmwOutcome};
 
 /// Tag bit marking a node as logically deleted (set on its `next` pointer).
 const MARK: usize = 1;
 
+/// Values live behind an atomic pointer (null in sentinels), so a compound
+/// RMW can replace a live node's value with **one CAS on `value`** — the
+/// lock-free analogue of in-place mutation under a bucket lock. Protocol:
+///
+/// * presence is still the `next`-pointer mark (unchanged);
+/// * `remove` first wins the mark CAS (its linearization point, as before),
+///   then *claims* the value by swapping `value` to null — the claim is
+///   what serializes removal against concurrent value replacement;
+/// * a replace CASes `value` old → new on a node whose window was observed
+///   clean. If the node was marked between the observation and the CAS, the
+///   remover has not yet claimed (claims follow marks), so it will claim
+///   the *new* value: the replace linearizes immediately before the remove;
+/// * readers load `value` once — null means a racing remove already
+///   claimed, i.e. the key is absent.
 struct Node<V> {
     key: u64,
-    value: Option<V>,
+    value: Atomic<V>,
     next: Atomic<Node<V>>,
+}
+
+impl<V> Drop for Node<V> {
+    fn drop(&mut self) {
+        let p = self.value.load_raw();
+        if p != 0 {
+            // SAFETY: dropping a node (via EBR or the list's Drop) owns its
+            // current value box; claimed/replaced boxes were nulled or
+            // swapped out and retired separately.
+            unsafe { drop(Box::from_raw(p as *mut V)) };
+        }
+    }
 }
 
 /// Harris/Michael lock-free sorted list. See the module docs.
@@ -37,13 +63,13 @@ impl<V: Clone + Send + Sync> HarrisList<V> {
     pub fn new() -> Self {
         let tail = Atomic::new(Node {
             key: TAIL_IKEY,
-            value: None,
+            value: Atomic::null(),
             next: Atomic::null(),
         });
         HarrisList {
             head: Atomic::new(Node {
                 key: HEAD_IKEY,
-                value: None,
+                value: Atomic::null(),
                 next: tail,
             }),
         }
@@ -107,12 +133,13 @@ impl<V: Clone + Send + Sync> HarrisList<V> {
             // SAFETY: pinned traversal.
             let c = unsafe { curr.with_tag(0).deref() };
             if c.key >= ikey {
-                let marked = c.next.load(guard).tag() == MARK;
-                return if c.key == ikey && !marked {
-                    c.value.as_ref()
-                } else {
-                    None
-                };
+                if c.key != ikey || c.next.load(guard).tag() == MARK {
+                    return None;
+                }
+                // A null value pointer means a racing remove (marked after
+                // our tag check) already claimed the value: absent.
+                // SAFETY: the value box is retired through EBR; pinned.
+                return unsafe { c.value.load(guard).as_ref() };
             }
             curr = c.next.load(guard);
         }
@@ -129,7 +156,8 @@ impl<V: Clone + Send + Sync> HarrisList<V> {
             let c = unsafe { curr.deref() };
             if c.key == ikey {
                 if let Some(n) = new_node.take() {
-                    // SAFETY: never published.
+                    // SAFETY: never published; Node::drop frees the boxed
+                    // value.
                     unsafe { drop(n.into_box()) };
                 }
                 return false;
@@ -137,7 +165,7 @@ impl<V: Clone + Send + Sync> HarrisList<V> {
             let new_s = *new_node.get_or_insert_with(|| {
                 Shared::boxed(Node {
                     key: ikey,
-                    value: value.take(),
+                    value: Atomic::new(value.take().expect("retries keep the value boxed")),
                     next: Atomic::null(),
                 })
             });
@@ -179,7 +207,16 @@ impl<V: Clone + Send + Sync> HarrisList<V> {
                 csds_metrics::restart();
                 continue;
             }
-            let out = c.value.clone();
+            // Claim the value: the mark winner swaps the value pointer to
+            // null, serializing this removal against concurrent value
+            // replacement (a replace whose CAS landed before this claim
+            // linearized before us — we return the value it installed).
+            let vptr = c.value.swap(Shared::null(), guard);
+            debug_assert!(!vptr.is_null(), "mark winner claims exactly once");
+            // SAFETY: claimed under pin.
+            let out = Some(unsafe { vptr.deref() }.clone());
+            // SAFETY: unlinked from the node by the claim; retired once.
+            unsafe { guard.defer_drop(vptr) };
             // Physical deletion: best effort; on failure a later search
             // cleans up (and retires) the node.
             // SAFETY: pinned.
@@ -213,6 +250,121 @@ impl<V: Clone + Send + Sync> HarrisList<V> {
             curr = c.next.load(guard);
         }
     }
+
+    /// Guard-scoped emptiness: early-exits at the first unmarked node.
+    pub fn is_empty_in(&self, guard: &Guard) -> bool {
+        // SAFETY: head never retired; traversal pinned.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next.load(guard);
+        loop {
+            // SAFETY: pinned traversal.
+            let c = unsafe { curr.with_tag(0).deref() };
+            if c.key == TAIL_IKEY {
+                return true;
+            }
+            if c.next.load(guard).tag() != MARK {
+                return false;
+            }
+            curr = c.next.load(guard);
+        }
+    }
+
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`] — lock-free tagged-pointer value replacement
+    /// (see the `Node` protocol).
+    ///
+    /// Present key: **linearization point is the successful CAS on the
+    /// node's `value` pointer** (a replace that raced a remove's mark but
+    /// beat its claim linearizes immediately before the remove, which then
+    /// observes and returns the replaced-in value). Absent key: the
+    /// standard publish CAS on `pred.next`. Read-only decisions linearize
+    /// at the `value` load.
+    pub fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        let ikey = key::ikey(key);
+        loop {
+            let (pred, curr) = self.search(ikey, guard);
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == ikey {
+                let vptr = c.value.load(guard);
+                if vptr.is_null() {
+                    // Claimed by a remove that linearized already; the next
+                    // search unlinks the marked node.
+                    csds_metrics::restart();
+                    continue;
+                }
+                // SAFETY: value boxes are EBR-retired; pinned.
+                let current = unsafe { vptr.deref() };
+                let Some(new_value) = f(Some(current)) else {
+                    return RmwOutcome {
+                        prev: Some(current.clone()),
+                        cur: Some(current),
+                        applied: false,
+                    };
+                };
+                let new_b = Shared::boxed(new_value);
+                match c.value.compare_exchange(vptr, new_b, guard) {
+                    Ok(_) => {
+                        let prev = Some(current.clone());
+                        // SAFETY: swapped out by our CAS; retired once.
+                        unsafe { guard.defer_drop(vptr) };
+                        // SAFETY: published; pinned.
+                        let cur = Some(unsafe { new_b.deref() });
+                        return RmwOutcome {
+                            prev,
+                            cur,
+                            applied: true,
+                        };
+                    }
+                    Err(_) => {
+                        // A competing replace or a remove's claim won.
+                        // SAFETY: never published.
+                        unsafe { drop(new_b.into_box()) };
+                        csds_metrics::restart();
+                        continue;
+                    }
+                }
+            }
+            // Absent.
+            let Some(new_value) = f(None) else {
+                return RmwOutcome {
+                    prev: None,
+                    cur: None,
+                    applied: false,
+                };
+            };
+            let new_s = Shared::boxed(Node {
+                key: ikey,
+                value: Atomic::new(new_value),
+                next: Atomic::null(),
+            });
+            // SAFETY: unpublished, exclusive.
+            unsafe { new_s.deref() }.next.store(curr);
+            // Capture the value box *before* publishing: after the CAS a
+            // racing remove may claim (null) the node's value pointer, but
+            // our pin predates the publish, so the box itself stays alive
+            // and `cur` references exactly the value this op installed.
+            let vraw = unsafe { new_s.deref() }.value.load(guard);
+            // SAFETY: pinned.
+            let p = unsafe { pred.deref() };
+            match p.next.compare_exchange(curr, new_s, guard) {
+                Ok(_) => {
+                    // SAFETY: published under a pin taken before the CAS.
+                    let cur = Some(unsafe { vraw.deref() });
+                    return RmwOutcome {
+                        prev: None,
+                        cur,
+                        applied: true,
+                    };
+                }
+                Err(_) => {
+                    // SAFETY: never published; Node::drop frees the value.
+                    unsafe { drop(new_s.into_box()) };
+                    csds_metrics::restart();
+                    continue;
+                }
+            }
+        }
+    }
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for HarrisList<V> {
@@ -230,6 +382,14 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for HarrisList<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         HarrisList::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        HarrisList::is_empty_in(self, guard)
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        HarrisList::rmw_in(self, key, f, guard)
     }
 }
 

@@ -23,14 +23,26 @@ use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
 use csds_sync::{lock_guard, RawMutex, TasLock};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
-use crate::{GuardedMap, SyncMode, ELISION_RETRIES};
+use crate::{GuardedMap, RmwFn, RmwOutcome, SyncMode, ELISION_RETRIES};
+
+/// `marked` state: node is live.
+const LIVE: usize = 0;
+/// `marked` state: node is logically deleted (readers treat the key as
+/// absent).
+const DELETED: usize = 1;
+/// `marked` state: node was atomically replaced by a same-key node carrying
+/// a new value ([`LazyList::rmw_in`]). The key is still present; readers
+/// that raced onto this node return its (now stale) value and linearize
+/// before the replacement, while writer validation (`marked != 0`) treats
+/// the node as gone.
+const SUPERSEDED: usize = 2;
 
 struct Node<V, L: RawMutex> {
     key: u64,
     value: Option<V>,
     lock: L,
-    /// 0 = live, 1 = logically deleted. `usize` so the HTM emulation can
-    /// address it transactionally.
+    /// [`LIVE`], [`DELETED`] or `SUPERSEDED`. `usize` so the HTM
+    /// emulation can address it transactionally.
     marked: AtomicUsize,
     next: Atomic<Node<V, L>>,
 }
@@ -46,9 +58,19 @@ impl<V, L: RawMutex> Node<V, L> {
         }
     }
 
+    /// Writer validation: the node left the list (deleted *or* superseded);
+    /// any window involving it is stale.
     #[inline]
     fn is_marked(&self) -> bool {
-        self.marked.load(Ordering::Acquire) != 0
+        self.marked.load(Ordering::Acquire) != LIVE
+    }
+
+    /// Reader predicate: the key is absent through this node. A
+    /// `SUPERSEDED` node still represents its (continuously present) key,
+    /// so readers do not treat it as deleted.
+    #[inline]
+    fn is_deleted(&self) -> bool {
+        self.marked.load(Ordering::Acquire) == DELETED
     }
 }
 
@@ -121,7 +143,7 @@ impl<V: Clone + Send + Sync, L: RawMutex + 'static> LazyList<V, L> {
         let (_, curr_s) = self.search(ikey, guard);
         // SAFETY: pinned.
         let curr = unsafe { curr_s.deref() };
-        if curr.key == ikey && !curr.is_marked() {
+        if curr.key == ikey && !curr.is_deleted() {
             curr.value.as_ref()
         } else {
             None
@@ -219,9 +241,16 @@ impl<V: Clone + Send + Sync, L: RawMutex + 'static> LazyList<V, L> {
             if curr.key != ikey {
                 return None;
             }
-            if curr.is_marked() {
+            match curr.marked.load(Ordering::Acquire) {
                 // Already logically deleted by someone else.
-                return None;
+                DELETED => return None,
+                // Replaced by a same-key node: the key is still present in
+                // its new node; re-parse and remove that one.
+                SUPERSEDED => {
+                    csds_metrics::restart();
+                    continue;
+                }
+                _ => {}
             }
 
             if let Some(region) = &self.region {
@@ -303,8 +332,139 @@ impl<V: Clone + Send + Sync, L: RawMutex + 'static> LazyList<V, L> {
             if c.key == TAIL_IKEY {
                 return n;
             }
-            if !c.is_marked() {
+            if !c.is_deleted() {
                 n += 1;
+            }
+            curr = c.next.load(guard);
+        }
+    }
+
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`].
+    ///
+    /// Present key: the write phase locks `pred` and `curr` (the same
+    /// discipline as `remove_in`), re-validates the window, and atomically
+    /// replaces `curr` with a fresh same-key node carrying the closure's
+    /// value — the old node is marked `SUPERSEDED` and unlinked in the
+    /// same critical section, so no reader can observe the key absent.
+    /// **Linearization point: the `pred.next` store** (lock release order
+    /// for racing writers). Absent key: the insert linearizes at the
+    /// `pred.next` store of the standard insert write phase. Read-only
+    /// decisions linearize at the parse phase's observation of `curr`.
+    pub fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        let ikey = key::ikey(key);
+        loop {
+            let (pred_s, curr_s) = self.search(ikey, guard);
+            // SAFETY: pinned.
+            let pred = unsafe { pred_s.deref() };
+            let curr = unsafe { curr_s.deref() };
+            if curr.key == ikey {
+                if curr.is_marked() {
+                    // Deleted (await unlink) or superseded (stale window):
+                    // re-parse either way.
+                    csds_metrics::restart();
+                    continue;
+                }
+                let current = curr.value.as_ref().expect("live node holds a value");
+                let Some(new_value) = f(Some(current)) else {
+                    // Read-only decision: linearizes at the parse.
+                    return RmwOutcome {
+                        prev: Some(current.clone()),
+                        cur: Some(current),
+                        applied: false,
+                    };
+                };
+                // Write phase: both locks, fallback seq-lock (elision mode)
+                // held across validation *and* stores.
+                let gp = lock_guard(&pred.lock);
+                let gc = lock_guard(&curr.lock);
+                let fb = self.region.as_ref().map(|r| r.enter_fallback());
+                if pred.is_marked() || curr.is_marked() || pred.next.load(guard) != curr_s {
+                    drop(fb);
+                    drop(gc);
+                    drop(gp);
+                    csds_metrics::restart();
+                    continue;
+                }
+                let new_s = Shared::boxed(Node {
+                    key: ikey,
+                    value: Some(new_value),
+                    lock: L::new(),
+                    marked: AtomicUsize::new(LIVE),
+                    next: Atomic::null(),
+                });
+                // SAFETY: unpublished; `curr.next` is stable under `gc`
+                // (any writer of that edge locks `curr` first).
+                unsafe { new_s.deref() }.next.store(curr.next.load(guard));
+                curr.marked.store(SUPERSEDED, Ordering::Release);
+                pred.next.store(new_s); // linearization point
+                drop(fb);
+                drop(gc);
+                drop(gp);
+                let prev = curr.value.clone();
+                // SAFETY: unlinked under both locks; the SUPERSEDED
+                // transition makes this replacer the unique retirer.
+                unsafe { guard.defer_drop(curr_s) };
+                // SAFETY: published; pinned.
+                let cur = unsafe { new_s.deref() }.value.as_ref();
+                return RmwOutcome {
+                    prev,
+                    cur,
+                    applied: true,
+                };
+            }
+            // Absent.
+            let Some(new_value) = f(None) else {
+                return RmwOutcome {
+                    prev: None,
+                    cur: None,
+                    applied: false,
+                };
+            };
+            let new_s = Shared::boxed(Node {
+                key: ikey,
+                value: Some(new_value),
+                lock: L::new(),
+                marked: AtomicUsize::new(LIVE),
+                next: Atomic::null(),
+            });
+            // SAFETY: unpublished.
+            unsafe { new_s.deref() }.next.store(curr_s);
+            let gp = lock_guard(&pred.lock);
+            let fb = self.region.as_ref().map(|r| r.enter_fallback());
+            if pred.is_marked() || curr.is_marked() || pred.next.load(guard) != curr_s {
+                drop(fb);
+                drop(gp);
+                // SAFETY: never published.
+                unsafe { drop(new_s.into_box()) };
+                csds_metrics::restart();
+                continue;
+            }
+            pred.next.store(new_s); // linearization point
+            drop(fb);
+            drop(gp);
+            // SAFETY: published; pinned.
+            let cur = unsafe { new_s.deref() }.value.as_ref();
+            return RmwOutcome {
+                prev: None,
+                cur,
+                applied: true,
+            };
+        }
+    }
+
+    /// Guard-scoped emptiness: early-exits at the first live node.
+    pub fn is_empty_in(&self, guard: &Guard) -> bool {
+        // SAFETY: head never retired; traversal is pinned.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next.load(guard);
+        loop {
+            // SAFETY: pinned traversal.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return true;
+            }
+            if !c.is_deleted() {
+                return false;
             }
             curr = c.next.load(guard);
         }
@@ -323,7 +483,7 @@ impl<V: Clone + Send + Sync, L: RawMutex + 'static> LazyList<V, L> {
             if c.key == TAIL_IKEY {
                 return out;
             }
-            if !c.is_marked() {
+            if !c.is_deleted() {
                 out.push(key::ukey(c.key));
             }
             curr = c.next.load(&g);
@@ -346,6 +506,14 @@ impl<V: Clone + Send + Sync, L: RawMutex + 'static> GuardedMap<V> for LazyList<V
 
     fn len_in(&self, guard: &Guard) -> usize {
         LazyList::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        LazyList::is_empty_in(self, guard)
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        LazyList::rmw_in(self, key, f, guard)
     }
 }
 

@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use csds_ebr::{pin, Atomic, Guard, Shared};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
-use crate::GuardedMap;
+use crate::{GuardedMap, RmwFn, RmwOutcome};
 
 /// Announce-array size. Threads map to slots by a global round-robin id;
 /// with more than `MAX_SLOTS` concurrent threads, slot collisions merely
@@ -79,10 +79,31 @@ impl<V> Link<V> {
     }
 }
 
+/// The value lives behind an atomic pointer (null in sentinels). Presence
+/// stays the descriptor/link protocol (unchanged); the unique successful
+/// remover **claims** the box (swap to null) after its operation concluded,
+/// and a compound RMW replaces a clean node's value with one CAS on
+/// `value`, linearizing there — a replace that lands before the remover's
+/// claim linearizes immediately before the remove, which then returns the
+/// replaced-in value. Compound RMWs on this structure are therefore
+/// lock-free rather than wait-free (no helping for the value CAS); the
+/// basic vocabulary keeps its wait-free helping protocol.
 struct Node<V> {
     key: u64,
-    value: Option<V>,
+    value: Atomic<V>,
     link: Atomic<Link<V>>,
+}
+
+impl<V> Drop for Node<V> {
+    fn drop(&mut self) {
+        let raw = self.value.load_raw();
+        if raw != 0 {
+            // SAFETY: dropping a node owns its current value box; claimed
+            // or replaced boxes were nulled/swapped out and retired
+            // separately.
+            unsafe { drop(Box::from_raw(raw as *mut V)) };
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -139,12 +160,12 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
     pub fn new() -> Self {
         let tail = Shared::boxed(Node {
             key: TAIL_IKEY,
-            value: None,
+            value: Atomic::null(),
             link: Atomic::new(Link::<V>::plain(0, false)),
         });
         let head = Node {
             key: HEAD_IKEY,
-            value: None,
+            value: Atomic::null(),
             link: Atomic::new(Link::<V>::plain(tail.as_raw(), false)),
         };
         WaitFreeList {
@@ -617,7 +638,9 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
                     return if Self::link_says_deleted(node_s, nl.deref()) {
                         None
                     } else {
-                        node.value.as_ref()
+                        // Null: a racing remove (committed after our link
+                        // check) already claimed the value — absent.
+                        node.value.load(guard).as_ref()
                     };
                 }
                 link = node.link.load(guard);
@@ -627,13 +650,25 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
 
     /// Guard-scoped `insert`.
     pub fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {
-        let ikey = key::ikey(key);
+        self.insert_op(key::ikey(key), value, guard).is_some()
+    }
+
+    /// Insert machinery shared by [`insert_in`](Self::insert_in) and
+    /// [`rmw_in`](Self::rmw_in): announce, help, run. Returns a reference
+    /// to the published value box on success; `None` (value dropped) when
+    /// the key was present.
+    fn insert_op<'g>(&'g self, ikey: u64, value: V, guard: &'g Guard) -> Option<&'g V> {
         let init_link = Shared::boxed(Link::<V>::plain(0, false));
         let node = Shared::boxed(Node {
             key: ikey,
-            value: Some(value),
+            value: Atomic::new(value),
             link: Atomic::null(),
         });
+        // Capture the box before publication: after a successful insert a
+        // racing remove may claim (null) the pointer, but our pin predates
+        // the publish, so the box itself stays alive for 'g.
+        // SAFETY: unpublished, exclusive.
+        let vraw = unsafe { node.deref() }.value.load(guard);
         // SAFETY: unpublished.
         unsafe { node.deref() }.link.store(init_link);
         let desc = Shared::boxed(OpDesc::<V> {
@@ -650,16 +685,18 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
         // hold pinned references — retire, don't free.
         unsafe { guard.defer_drop(desc) };
         if state == SUCCESS {
-            true
+            // SAFETY: published under our pin (see `vraw` above).
+            Some(unsafe { vraw.deref() })
         } else {
             // Never linked (state PENDING ⇒ unlinked; FAILURE is only
             // reachable from PENDING): we own node + its init link.
-            // SAFETY: unreachable from the structure; retired once.
+            // SAFETY: unreachable from the structure; retired once
+            // (Node::drop frees the value box).
             unsafe {
                 guard.defer_drop(node);
                 guard.defer_drop(init_link);
             }
-            false
+            None
         }
     }
 
@@ -683,9 +720,97 @@ impl<V: Clone + Send + Sync> WaitFreeList<V> {
             // physically unlinks it, and we are pinned since before the
             // mark, so the reference is live.
             let node = unsafe { Shared::<Node<V>>::from_raw(state).deref() };
-            node.value.clone()
+            // Claim the value: exactly one remove descriptor can conclude
+            // successfully on a node, so this op is the unique claimer. A
+            // replace whose value CAS landed before this claim linearized
+            // immediately before us — we return the value it installed.
+            let vptr = node.value.swap(Shared::null(), guard);
+            debug_assert!(!vptr.is_null(), "unique successful remover claims once");
+            // SAFETY: claimed under pin.
+            let out = Some(unsafe { vptr.deref() }.clone());
+            // SAFETY: unlinked from the node by the claim; retired once.
+            unsafe { guard.defer_drop(vptr) };
+            out
         } else {
             None
+        }
+    }
+
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`] — value-pointer replacement (see `Node`).
+    /// **Linearization point: the successful CAS on the node's `value`
+    /// pointer** for a present key, the descriptor-state commit of the
+    /// underlying insert for an absent one, the `value` load for read-only
+    /// decisions. Lock-free (the value CAS is not helped); the basic
+    /// vocabulary retains its wait-free protocol.
+    pub fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        let ikey = key::ikey(key);
+        loop {
+            let w = self.search(ikey, guard);
+            // SAFETY: pinned.
+            let c = unsafe { w.curr.deref() };
+            if c.key == ikey {
+                let vptr = c.value.load(guard);
+                if vptr.is_null() {
+                    // A remove concluded and claimed between the window
+                    // observation and this load; re-parse (the search will
+                    // resolve and unlink the node).
+                    csds_metrics::restart();
+                    continue;
+                }
+                // SAFETY: value boxes are EBR-retired; pinned.
+                let current = unsafe { vptr.deref() };
+                let Some(new_value) = f(Some(current)) else {
+                    return RmwOutcome {
+                        prev: Some(current.clone()),
+                        cur: Some(current),
+                        applied: false,
+                    };
+                };
+                let new_b = Shared::boxed(new_value);
+                match c.value.compare_exchange(vptr, new_b, guard) {
+                    Ok(_) => {
+                        let prev = Some(current.clone());
+                        // SAFETY: swapped out by our CAS; retired once.
+                        unsafe { guard.defer_drop(vptr) };
+                        // SAFETY: published; pinned.
+                        let cur = Some(unsafe { new_b.deref() });
+                        return RmwOutcome {
+                            prev,
+                            cur,
+                            applied: true,
+                        };
+                    }
+                    Err(_) => {
+                        // SAFETY: never published.
+                        unsafe { drop(new_b.into_box()) };
+                        csds_metrics::restart();
+                        continue;
+                    }
+                }
+            }
+            // Absent.
+            let Some(new_value) = f(None) else {
+                return RmwOutcome {
+                    prev: None,
+                    cur: None,
+                    applied: false,
+                };
+            };
+            match self.insert_op(ikey, new_value, guard) {
+                Some(cur) => {
+                    return RmwOutcome {
+                        prev: None,
+                        cur: Some(cur),
+                        applied: true,
+                    };
+                }
+                None => {
+                    // The key appeared underneath us; re-run the closure.
+                    csds_metrics::restart();
+                    continue;
+                }
+            }
         }
     }
 
@@ -727,6 +852,31 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for WaitFreeList<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         WaitFreeList::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        // Early-exit walk: stops at the first live node.
+        // SAFETY: pinned read-only traversal (same shape as `len_in`).
+        unsafe {
+            let mut link = self.head.load(guard).deref().link.load(guard);
+            loop {
+                let l = link.deref();
+                let node_s = Shared::<Node<V>>::from_raw(l.succ);
+                let node = node_s.deref();
+                if node.key == TAIL_IKEY {
+                    return true;
+                }
+                let nl_s = node.link.load(guard);
+                if !Self::link_says_deleted(node_s, nl_s.deref()) {
+                    return false;
+                }
+                link = nl_s;
+            }
+        }
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        WaitFreeList::rmw_in(self, key, f, guard)
     }
 }
 

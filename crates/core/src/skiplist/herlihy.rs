@@ -28,13 +28,24 @@ use csds_sync::{lock_guard, LockGuard, RawMutex, TasLock};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
 use crate::skiplist::{random_level, MAX_LEVEL};
-use crate::{GuardedMap, SyncMode, ELISION_RETRIES};
+use crate::{GuardedMap, RmwFn, RmwOutcome, SyncMode, ELISION_RETRIES};
+
+/// `marked` state: node is live.
+const LIVE: usize = 0;
+/// `marked` state: node is logically deleted.
+const DELETED: usize = 1;
+/// `marked` state: the whole tower was atomically replaced by a same-key
+/// tower carrying a new value ([`HerlihySkipList::rmw_in`]). The key is
+/// still present; readers that raced onto this tower return its (stale)
+/// value and linearize before the replacement, while writer validation
+/// (`marked != 0`) treats it as gone.
+const SUPERSEDED: usize = 2;
 
 struct Node<V> {
     key: u64,
     value: Option<V>,
     lock: TasLock,
-    /// 0 = live, 1 = logically deleted.
+    /// [`LIVE`], [`DELETED`] or `SUPERSEDED`.
     marked: AtomicUsize,
     /// 0 until the full tower is linked; readers ignore half-built towers.
     fully_linked: AtomicUsize,
@@ -56,9 +67,17 @@ impl<V> Node<V> {
         }
     }
 
+    /// Writer validation: the node left the list (deleted or superseded).
     #[inline]
     fn is_marked(&self) -> bool {
-        self.marked.load(Ordering::Acquire) != 0
+        self.marked.load(Ordering::Acquire) != LIVE
+    }
+
+    /// Reader predicate: a `SUPERSEDED` tower still represents its
+    /// (continuously present) key, so readers only honor [`DELETED`].
+    #[inline]
+    fn is_deleted(&self) -> bool {
+        self.marked.load(Ordering::Acquire) == DELETED
     }
 
     #[inline]
@@ -296,8 +315,18 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
                 let v = unsafe { succs[lf].deref() };
                 // Only delete nodes that are fully linked at their full
                 // height and not already marked.
-                if !v.is_fully_linked() || v.top_level != lf || v.is_marked() {
+                if !v.is_fully_linked() || v.top_level != lf {
                     return None;
+                }
+                match v.marked.load(Ordering::Acquire) {
+                    DELETED => return None,
+                    SUPERSEDED => {
+                        // Replaced by a same-key tower: the key is still
+                        // present; re-parse and remove the replacement.
+                        csds_metrics::restart();
+                        continue;
+                    }
+                    _ => {}
                 }
 
                 if let Some(region) = &self.region {
@@ -308,10 +337,16 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
                     victim_s = Some(succs[lf]);
                 } else {
                     let g = lock_guard(&v.lock);
-                    if v.is_marked() {
-                        return None; // lost the race to another remover
+                    match v.marked.load(Ordering::Acquire) {
+                        DELETED => return None, // lost to another remover
+                        SUPERSEDED => {
+                            drop(g);
+                            csds_metrics::restart();
+                            continue;
+                        }
+                        _ => {}
                     }
-                    v.marked.store(1, Ordering::Release); // linearization
+                    v.marked.store(DELETED, Ordering::Release); // linearization
                     victim_s = Some(succs[lf]);
                     victim_guard = Some(g);
                 }
@@ -322,9 +357,15 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
             let top = v.top_level;
 
             if let Some(region) = &self.region {
-                if found.map(|lf| succs[lf]) != Some(victim) && v.is_marked() {
+                if found.map(|lf| succs[lf]) != Some(victim) && v.is_deleted() {
                     // Someone else's transaction marked it first.
                     return None;
+                }
+                if v.marked.load(Ordering::Acquire) == SUPERSEDED {
+                    // Replaced: the key lives on in the replacement tower.
+                    csds_metrics::restart();
+                    victim_s = None;
+                    continue;
                 }
                 match attempt_elision(region, ELISION_RETRIES, |tx| {
                     if tx.read(&v.marked) != 0 {
@@ -357,7 +398,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
                         return out;
                     }
                     Elided::Invalid => {
-                        if v.is_marked() {
+                        if v.is_deleted() {
                             return None; // lost to a concurrent remover
                         }
                         csds_metrics::restart();
@@ -366,8 +407,15 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
                     }
                     Elided::FellBack => {
                         let vg = lock_guard(&v.lock);
-                        if v.is_marked() {
-                            return None;
+                        match v.marked.load(Ordering::Acquire) {
+                            DELETED => return None,
+                            SUPERSEDED => {
+                                drop(vg);
+                                csds_metrics::restart();
+                                victim_s = None;
+                                continue;
+                            }
+                            _ => {}
                         }
                         let guards = Self::lock_preds(&preds, top);
                         let mut valid = true;
@@ -448,7 +496,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
             if c.key == TAIL_IKEY {
                 return out;
             }
-            if !c.is_marked() && c.is_fully_linked() {
+            if !c.is_deleted() && c.is_fully_linked() {
                 out.push(key::ukey(c.key));
             }
             curr = c.next[0].load(&g);
@@ -462,7 +510,7 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
         let lf = found?;
         // SAFETY: pinned.
         let node = unsafe { succs[lf].deref() };
-        if node.is_fully_linked() && !node.is_marked() {
+        if node.is_fully_linked() && !node.is_deleted() {
             node.value.as_ref()
         } else {
             None
@@ -480,10 +528,154 @@ impl<V: Clone + Send + Sync> HerlihySkipList<V> {
             if c.key == TAIL_IKEY {
                 return n;
             }
-            if !c.is_marked() && c.is_fully_linked() {
+            if !c.is_deleted() && c.is_fully_linked() {
                 n += 1;
             }
             curr = c.next[0].load(guard);
+        }
+    }
+
+    /// Guard-scoped emptiness: bottom-level walk that early-exits at the
+    /// first live node instead of the default full O(n) count.
+    pub fn is_empty_in(&self, guard: &Guard) -> bool {
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next[0].load(guard);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return true;
+            }
+            if !c.is_deleted() && c.is_fully_linked() {
+                return false;
+            }
+            curr = c.next[0].load(guard);
+        }
+    }
+
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`].
+    ///
+    /// Present key: the write phase locks the victim and its distinct
+    /// predecessors (the `remove` discipline), validates every level, then
+    /// swaps in a **fresh tower of the same height** — each level's
+    /// predecessor pointer is swung to the replacement while the old tower
+    /// is marked `SUPERSEDED`, all inside the critical section, so the
+    /// key is never observably absent. **Linearization point: the level-0
+    /// predecessor store.** Absent key: the standard insert write phase
+    /// (lock, validate, link bottom-up; linearizes at the level-0 link).
+    /// Read-only decisions linearize at the parse phase's tower read.
+    pub fn rmw_in<'g>(&'g self, ukey: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        let ikey = key::ikey(ukey);
+        loop {
+            let ((preds, succs), found) = self.find(ikey, guard);
+            if let Some(lf) = found {
+                let victim = succs[lf];
+                // SAFETY: pinned.
+                let v = unsafe { victim.deref() };
+                if !v.is_fully_linked() || v.top_level != lf || v.is_marked() {
+                    // Half-built, deleted, or superseded: in every case the
+                    // authoritative state is only a re-parse away.
+                    csds_metrics::restart();
+                    continue;
+                }
+                let current = v.value.as_ref().expect("live node holds a value");
+                let Some(new_value) = f(Some(current)) else {
+                    return RmwOutcome {
+                        prev: Some(current.clone()),
+                        cur: Some(current),
+                        applied: false,
+                    };
+                };
+                let top = v.top_level;
+                let vg = lock_guard(&v.lock);
+                let guards = Self::lock_preds(&preds, top);
+                let fb = self.region.as_ref().map(|r| r.enter_fallback());
+                let mut valid = !v.is_marked();
+                if valid {
+                    for l in 0..=top {
+                        // SAFETY: pinned.
+                        let p = unsafe { preds[l].deref() };
+                        if p.is_marked() || p.next[l].load(guard) != victim {
+                            valid = false;
+                            break;
+                        }
+                    }
+                }
+                if !valid {
+                    drop(fb);
+                    drop(guards);
+                    drop(vg);
+                    csds_metrics::restart();
+                    continue;
+                }
+                let new_s = Shared::boxed(Node::new(ikey, Some(new_value), top + 1));
+                // SAFETY: unpublished; the victim's next pointers are
+                // stable (writers of those edges lock the victim first).
+                let new_ref = unsafe { new_s.deref() };
+                for l in 0..=top {
+                    new_ref.next[l].store(v.next[l].load(guard));
+                }
+                new_ref.fully_linked.store(1, Ordering::Release);
+                v.marked.store(SUPERSEDED, Ordering::Release);
+                for l in (0..=top).rev() {
+                    // SAFETY: pinned; locked. Level 0 last: it is the level
+                    // readers and `find` treat as authoritative.
+                    unsafe { preds[l].deref() }.next[l].store(new_s);
+                }
+                drop(fb);
+                drop(guards);
+                drop(vg);
+                let prev = v.value.clone();
+                // SAFETY: unlinked at every level under the locks; the
+                // SUPERSEDED transition makes us the unique retirer.
+                unsafe { guard.defer_drop(victim) };
+                let cur = new_ref.value.as_ref();
+                return RmwOutcome {
+                    prev,
+                    cur,
+                    applied: true,
+                };
+            }
+            // Absent.
+            let Some(new_value) = f(None) else {
+                return RmwOutcome {
+                    prev: None,
+                    cur: None,
+                    applied: false,
+                };
+            };
+            let height = random_level();
+            let top = height - 1;
+            let new_s = Shared::boxed(Node::new(ikey, Some(new_value), height));
+            // SAFETY: unpublished.
+            let new_ref = unsafe { new_s.deref() };
+            for l in 0..=top {
+                new_ref.next[l].store(succs[l]);
+            }
+            let guards = Self::lock_preds(&preds, top);
+            let fb = self.region.as_ref().map(|r| r.enter_fallback());
+            if !self.validate_windows(&preds, &succs, top, guard) {
+                drop(fb);
+                drop(guards);
+                // SAFETY: never published.
+                unsafe { drop(new_s.into_box()) };
+                csds_metrics::restart();
+                continue;
+            }
+            new_ref.fully_linked.store(1, Ordering::Release);
+            for l in 0..=top {
+                // SAFETY: pinned; locked.
+                unsafe { preds[l].deref() }.next[l].store(new_s);
+            }
+            drop(fb);
+            drop(guards);
+            let cur = new_ref.value.as_ref();
+            return RmwOutcome {
+                prev: None,
+                cur,
+                applied: true,
+            };
         }
     }
 }
@@ -503,6 +695,14 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for HerlihySkipList<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         HerlihySkipList::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        HerlihySkipList::is_empty_in(self, guard)
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        HerlihySkipList::rmw_in(self, key, f, guard)
     }
 }
 

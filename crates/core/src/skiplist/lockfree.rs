@@ -19,14 +19,22 @@ use csds_ebr::{pin, Atomic, Guard, Shared};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
 use crate::skiplist::{random_level, MAX_LEVEL};
-use crate::GuardedMap;
+use crate::{GuardedMap, RmwFn, RmwOutcome};
 
 /// Tag bit: the node owning this `next` pointer is deleted at this level.
 const MARK: usize = 1;
 
+/// The value lives behind an atomic pointer (null in sentinels), exactly
+/// like [`HarrisList`](crate::list::HarrisList)'s protocol: presence stays
+/// the level-0 `next` mark; the winning remover **claims** the value (swap
+/// to null) right after its level-0 mark CAS; a compound RMW replaces a
+/// clean node's value with one CAS on `value` and linearizes there — a
+/// replace that lands between a remover's mark and its claim linearizes
+/// immediately before the remove, which then returns the replaced-in
+/// value.
 struct Node<V> {
     key: u64,
-    value: Option<V>,
+    value: Atomic<V>,
     top_level: usize,
     next: Box<[Atomic<Node<V>>]>,
 }
@@ -35,9 +43,21 @@ impl<V> Node<V> {
     fn new(ikey: u64, value: Option<V>, height: usize) -> Self {
         Node {
             key: ikey,
-            value,
+            value: value.map_or_else(Atomic::null, Atomic::new),
             top_level: height - 1,
             next: (0..height).map(|_| Atomic::null()).collect(),
+        }
+    }
+}
+
+impl<V> Drop for Node<V> {
+    fn drop(&mut self) {
+        let raw = self.value.load_raw();
+        if raw != 0 {
+            // SAFETY: dropping a node owns its current value box; claimed
+            // or replaced boxes were nulled/swapped out and retired
+            // separately.
+            unsafe { drop(Box::from_raw(raw as *mut V)) };
         }
     }
 }
@@ -178,7 +198,10 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
         if c.next[0].load(guard).tag() == MARK {
             None
         } else {
-            c.value.as_ref()
+            // Null means a racing remove (marked after our tag check)
+            // already claimed the value: absent.
+            // SAFETY: value boxes are EBR-retired; pinned.
+            unsafe { c.value.load(guard).as_ref() }
         }
     }
 
@@ -200,6 +223,171 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
                 n += 1;
             }
             curr = next.with_tag(0);
+        }
+    }
+
+    /// Guard-scoped emptiness: bottom-level walk that early-exits at the
+    /// first live node instead of the default full O(n) count.
+    pub fn is_empty_in(&self, guard: &Guard) -> bool {
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next[0]
+            .load(guard)
+            .with_tag(0);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return true;
+            }
+            let next = c.next[0].load(guard);
+            if next.tag() != MARK {
+                return false;
+            }
+            curr = next.with_tag(0);
+        }
+    }
+
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`] — lock-free value-pointer replacement (see
+    /// the `Node` protocol). **Linearization point: the successful CAS
+    /// on the node's `value` pointer** for a present key, the level-0
+    /// publish CAS for an absent one, the `value` load for read-only
+    /// decisions.
+    pub fn rmw_in<'g>(&'g self, ukey: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        let ikey = key::ikey(ukey);
+        loop {
+            let ((_, succs), found) = self.find(ikey, guard);
+            if found {
+                let node_s = succs[0];
+                // SAFETY: pinned.
+                let n = unsafe { node_s.deref() };
+                let vptr = n.value.load(guard);
+                if vptr.is_null() {
+                    // A remove linearized and claimed; `find` will snip it.
+                    csds_metrics::restart();
+                    continue;
+                }
+                // SAFETY: value boxes are EBR-retired; pinned.
+                let current = unsafe { vptr.deref() };
+                let Some(new_value) = f(Some(current)) else {
+                    return RmwOutcome {
+                        prev: Some(current.clone()),
+                        cur: Some(current),
+                        applied: false,
+                    };
+                };
+                let new_b = Shared::boxed(new_value);
+                match n.value.compare_exchange(vptr, new_b, guard) {
+                    Ok(_) => {
+                        let prev = Some(current.clone());
+                        // SAFETY: swapped out by our CAS; retired once.
+                        unsafe { guard.defer_drop(vptr) };
+                        // SAFETY: published; pinned.
+                        let cur = Some(unsafe { new_b.deref() });
+                        return RmwOutcome {
+                            prev,
+                            cur,
+                            applied: true,
+                        };
+                    }
+                    Err(_) => {
+                        // SAFETY: never published.
+                        unsafe { drop(new_b.into_box()) };
+                        csds_metrics::restart();
+                        continue;
+                    }
+                }
+            }
+            // Absent: publish a fresh node (the insert write phase), keeping
+            // hold of the value box so `cur` references exactly the value
+            // this operation installed.
+            let Some(new_value) = f(None) else {
+                return RmwOutcome {
+                    prev: None,
+                    cur: None,
+                    applied: false,
+                };
+            };
+            let (preds, succs) = {
+                let ((p, s), _) = self.find(ikey, guard);
+                (p, s)
+            };
+            // SAFETY: pinned.
+            if unsafe { succs[0].deref() }.key == ikey {
+                // Appeared since the decision; re-run the closure.
+                csds_metrics::restart();
+                continue;
+            }
+            let height = random_level();
+            let top = height - 1;
+            let new_s = Shared::boxed(Node::new(ikey, Some(new_value), height));
+            // SAFETY: unpublished (level 0 not linked yet).
+            let new_ref = unsafe { new_s.deref() };
+            for l in 0..=top {
+                new_ref.next[l].store(succs[l]);
+            }
+            let vraw = new_ref.value.load(guard);
+            // Level-0 CAS is the linearization point.
+            // SAFETY: pinned.
+            let p0 = unsafe { preds[0].deref() };
+            if p0.next[0].compare_exchange(succs[0], new_s, guard).is_err() {
+                // SAFETY: never published; Node::drop frees the value.
+                unsafe { drop(new_s.into_box()) };
+                csds_metrics::restart();
+                continue;
+            }
+            // SAFETY: published; even if a racing remove claims and retires
+            // the box, our pin (taken before the publish) keeps it alive.
+            let cur = Some(unsafe { vraw.deref() });
+            // Link upper levels (best effort; abandon if we get deleted) —
+            // the same protocol as `insert_in`.
+            for l in 1..=top {
+                loop {
+                    let nl = new_ref.next[l].load(guard);
+                    if nl.tag() == MARK {
+                        let _ = self.find(ikey, guard);
+                        return RmwOutcome {
+                            prev: None,
+                            cur,
+                            applied: true,
+                        };
+                    }
+                    let ((preds2, succs2), _) = self.find(ikey, guard);
+                    if succs2[0] != new_s {
+                        return RmwOutcome {
+                            prev: None,
+                            cur,
+                            applied: true,
+                        };
+                    }
+                    if nl.with_tag(0) != succs2[l]
+                        && new_ref.next[l]
+                            .compare_exchange(nl, succs2[l], guard)
+                            .is_err()
+                    {
+                        continue;
+                    }
+                    // SAFETY: pinned.
+                    let p = unsafe { preds2[l].deref() };
+                    if p.next[l].compare_exchange(succs2[l], new_s, guard).is_ok() {
+                        if new_ref.next[0].load(guard).tag() == MARK {
+                            let _ = self.find(ikey, guard);
+                            return RmwOutcome {
+                                prev: None,
+                                cur,
+                                applied: true,
+                            };
+                        }
+                        break;
+                    }
+                    csds_metrics::restart();
+                }
+            }
+            return RmwOutcome {
+                prev: None,
+                cur,
+                applied: true,
+            };
         }
     }
 
@@ -308,7 +496,15 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
                 .compare_exchange(nxt, nxt.with_tag(MARK), guard)
                 .is_ok()
             {
-                let out = v.value.clone();
+                // Claim the value: the level-0 mark winner swaps the value
+                // pointer to null, serializing this removal against
+                // concurrent value replacement.
+                let vptr = v.value.swap(Shared::null(), guard);
+                debug_assert!(!vptr.is_null(), "mark winner claims exactly once");
+                // SAFETY: claimed under pin.
+                let out = Some(unsafe { vptr.deref() }.clone());
+                // SAFETY: unlinked from the node by the claim; retired once.
+                unsafe { guard.defer_drop(vptr) };
                 // Snip it out of every level (the find that performs the
                 // level-0 snip retires the node).
                 let _ = self.find(ikey, guard);
@@ -334,6 +530,14 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for LockFreeSkipList<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         LockFreeSkipList::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        LockFreeSkipList::is_empty_in(self, guard)
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        LockFreeSkipList::rmw_in(self, key, f, guard)
     }
 }
 

@@ -24,11 +24,17 @@ use csds_sync::{lock_guard, RawMutex, TasLock};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
 use crate::skiplist::{random_level, MAX_LEVEL};
-use crate::GuardedMap;
+use crate::{GuardedMap, RmwFn, RmwOutcome};
 
+/// The value lives behind an atomic pointer (null in sentinels): Pugh's
+/// incremental level-by-level relinking rules out atomically swapping a
+/// whole tower, so a compound RMW instead **replaces the value box in
+/// place under the node's lock** — removers claim the box (swap to null)
+/// in the same lock, so replacement and removal serialize per node while
+/// readers stay lock-free (the box is EBR-retired).
 struct Node<V> {
     key: u64,
-    value: Option<V>,
+    value: Atomic<V>,
     lock: TasLock,
     /// 0 = live, 1 = deleted (set under the node's lock).
     deleted: AtomicUsize,
@@ -40,7 +46,7 @@ impl<V> Node<V> {
     fn new(ikey: u64, value: Option<V>, height: usize) -> Self {
         Node {
             key: ikey,
-            value,
+            value: value.map_or_else(Atomic::null, Atomic::new),
             lock: TasLock::new(),
             deleted: AtomicUsize::new(0),
             top_level: height - 1,
@@ -51,6 +57,31 @@ impl<V> Node<V> {
     #[inline]
     fn is_deleted(&self) -> bool {
         self.deleted.load(Ordering::Acquire) != 0
+    }
+
+    /// Take the value back out of an owned (never-published or
+    /// exclusively-owned) node.
+    fn take_value(&mut self) -> Option<V> {
+        let raw = self.value.load_raw();
+        self.value = Atomic::null();
+        if raw == 0 {
+            None
+        } else {
+            // SAFETY: exclusive ownership; pointer came from Atomic::new.
+            Some(*unsafe { Box::from_raw(raw as *mut V) })
+        }
+    }
+}
+
+impl<V> Drop for Node<V> {
+    fn drop(&mut self) {
+        let raw = self.value.load_raw();
+        if raw != 0 {
+            // SAFETY: dropping a node owns its current value box; claimed
+            // or replaced boxes were nulled/swapped out and retired
+            // separately.
+            unsafe { drop(Box::from_raw(raw as *mut V)) };
+        }
     }
 }
 
@@ -174,7 +205,10 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
         if n.is_deleted() {
             None
         } else {
-            n.value.as_ref()
+            // A null pointer means a racing remove claimed the value
+            // between our deleted check and this load: absent.
+            // SAFETY: value boxes are EBR-retired; pinned.
+            unsafe { n.value.load(guard).as_ref() }
         }
     }
 
@@ -199,19 +233,32 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
     /// Guard-scoped `insert`.
     pub fn insert_in(&self, ukey: u64, value: V, guard: &Guard) -> bool {
         let ikey = key::ikey(ukey);
+        self.insert_node(ikey, value, guard).is_ok()
+    }
+
+    /// Insert machinery shared by [`insert_in`](Self::insert_in) and
+    /// [`rmw_in`](Self::rmw_in): link a fresh node level by level. Returns
+    /// a reference to the published value box — captured *before*
+    /// publication, so it stays valid (under the caller's pin) even if a
+    /// racing remove claims the node immediately after the level-0 link —
+    /// or the value back when the key turned out to be present.
+    fn insert_node<'g>(&'g self, ikey: u64, value: V, guard: &'g Guard) -> Result<&'g V, V> {
         let height = random_level();
-        let mut new_node: Option<Shared<'_, Node<V>>> = None;
+        let mut new_node: Option<Shared<'g, Node<V>>> = None;
         let mut value = Some(value);
         'op: loop {
             let (mut preds, found) = self.find(ikey, guard);
             if let Some(node) = found {
                 // SAFETY: pinned.
                 if !unsafe { node.deref() }.is_deleted() {
-                    if let Some(n) = new_node.take() {
-                        // SAFETY: never published.
-                        unsafe { drop(n.into_box()) };
-                    }
-                    return false;
+                    let v = match new_node.take() {
+                        // SAFETY: never published; recover the value.
+                        Some(n) => unsafe { n.into_box() }
+                            .take_value()
+                            .expect("unpublished node holds the value"),
+                        None => value.take().expect("value not yet moved"),
+                    };
+                    return Err(v);
                 }
                 // A deleted node with our key is still being unlinked.
                 csds_metrics::restart();
@@ -222,6 +269,10 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
             // SAFETY: published below level by level; we hold its lock for
             // the whole linking phase, so removers wait for us.
             let new_ref = unsafe { new_s.deref() };
+            // Capture the value box before any level links: a remove racing
+            // the moment we release the node lock could claim (null) the
+            // pointer, but the box itself is protected by our pin.
+            let vraw = new_ref.value.load(guard);
             let ng = lock_guard(&new_ref.lock);
             for level in 0..height {
                 loop {
@@ -238,13 +289,13 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
                                 drop(ng);
                                 // SAFETY: nothing linked; we still own the
                                 // node — recover the value and retry/fail.
-                                let boxed = unsafe { new_s.into_box() };
-                                value = boxed.value;
+                                let val = unsafe { new_s.into_box() }.take_value();
                                 new_node = None;
                                 // SAFETY: pinned.
                                 if !unsafe { f.deref() }.is_deleted() {
-                                    return false;
+                                    return Err(val.expect("unpublished node holds the value"));
                                 }
+                                value = val;
                                 continue 'op;
                             }
                         }
@@ -266,9 +317,8 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
                             continue 'op;
                         }
                         // SAFETY: nothing linked yet; we still own the node.
-                        let boxed = unsafe { new_s.into_box() };
-                        drop(boxed);
-                        return false;
+                        let val = unsafe { new_s.into_box() }.take_value();
+                        return Err(val.expect("unpublished node holds the value"));
                     }
                     new_ref.next[level].store(succ);
                     p.next[level].store(new_s);
@@ -277,7 +327,91 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
                 }
             }
             drop(ng);
-            return true;
+            // SAFETY: the box was owned by the (then-unpublished) node and
+            // is kept alive by the caller's pin from before publication.
+            return Ok(unsafe { vraw.deref() });
+        }
+    }
+
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`].
+    ///
+    /// Present key: the closure runs and its value is installed **under
+    /// the node's lock** — the same lock removers hold to claim the value
+    /// — by swapping the node's value box; the old box is EBR-retired.
+    /// **Linearization point: the value-pointer store under the node
+    /// lock.** Absent key: Pugh's standard level-by-level insert
+    /// (linearizes at the level-0 link). Read-only decisions linearize at
+    /// the locked value read.
+    pub fn rmw_in<'g>(&'g self, ukey: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        let ikey = key::ikey(ukey);
+        loop {
+            let (_, found) = self.find(ikey, guard);
+            if let Some(node_s) = found {
+                // SAFETY: pinned.
+                let n = unsafe { node_s.deref() };
+                let g = lock_guard(&n.lock);
+                if n.is_deleted() {
+                    // Mid-removal: wait for the unlink via re-parse.
+                    drop(g);
+                    csds_metrics::restart();
+                    continue;
+                }
+                let vptr = n.value.load(guard);
+                // SAFETY: live node under its lock: the value is claimed
+                // only by a remover holding this lock, so it is non-null.
+                let current = unsafe { vptr.deref() };
+                match f(Some(current)) {
+                    None => {
+                        drop(g);
+                        return RmwOutcome {
+                            prev: Some(current.clone()),
+                            cur: Some(current),
+                            applied: false,
+                        };
+                    }
+                    Some(new_value) => {
+                        let new_b = Shared::boxed(new_value);
+                        n.value.store(new_b); // linearization point
+                        drop(g);
+                        // SAFETY: swapped out under the lock; retired once.
+                        unsafe { guard.defer_drop(vptr) };
+                        // SAFETY: published; pinned.
+                        let cur = Some(unsafe { new_b.deref() });
+                        return RmwOutcome {
+                            prev: Some(current.clone()),
+                            cur,
+                            applied: true,
+                        };
+                    }
+                }
+            }
+            // Absent.
+            let Some(new_value) = f(None) else {
+                return RmwOutcome {
+                    prev: None,
+                    cur: None,
+                    applied: false,
+                };
+            };
+            match self.insert_node(ikey, new_value, guard) {
+                Ok(cur) => {
+                    // `cur` was captured pre-publication, so it references
+                    // exactly the value this op installed even if a racing
+                    // remove already claimed the node.
+                    return RmwOutcome {
+                        prev: None,
+                        cur: Some(cur),
+                        applied: true,
+                    };
+                }
+                Err(_lost) => {
+                    // The key appeared underneath us; re-run the closure
+                    // against the value now present.
+                    csds_metrics::restart();
+                    continue;
+                }
+            }
         }
     }
 
@@ -295,7 +429,11 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
             return None;
         }
         v.deleted.store(1, Ordering::Release); // linearization point
-                                               // Unlink level by level, top-down, one predecessor lock at a time.
+                                               // Claim the value under the same lock (serializes with `rmw_in`
+                                               // replacements, which also hold the node lock).
+        let vptr = v.value.swap(Shared::null(), guard);
+        debug_assert!(!vptr.is_null(), "the winning remover claims once");
+        // Unlink level by level, top-down, one predecessor lock at a time.
         for level in (0..=v.top_level).rev() {
             loop {
                 let (preds, _) = self.find(ikey, guard);
@@ -317,10 +455,14 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
             }
         }
         drop(vg);
-        let out = v.value.clone();
-        // SAFETY: unlinked at every level; the deleted flag (set under the
-        // node lock) makes us the unique remover; retired exactly once.
-        unsafe { guard.defer_drop(victim) };
+        // SAFETY: claimed under the node lock; pinned.
+        let out = Some(unsafe { vptr.deref() }.clone());
+        // SAFETY: the claim made us the unique owner of the box, and the
+        // deleted flag the unique retirer of the node; each retired once.
+        unsafe {
+            guard.defer_drop(vptr);
+            guard.defer_drop(victim);
+        }
         out
     }
 }
@@ -340,6 +482,27 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for PughSkipList<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         PughSkipList::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        // Early-exit bottom-level walk (stops at the first live node).
+        // SAFETY: pinned traversal.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next[0].load(guard);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return true;
+            }
+            if !c.is_deleted() {
+                return false;
+            }
+            curr = c.next[0].load(guard);
+        }
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        PughSkipList::rmw_in(self, key, f, guard)
     }
 }
 

@@ -52,7 +52,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use csds_core::{check_user_key, GuardedMap};
+use csds_core::{check_user_key, GuardedMap, RmwFn, RmwOutcome};
 use csds_ebr::{Atomic, Guard, Shared};
 use csds_sync::{lock_guard, RawMutex, ShardedCounter, TicketLock};
 
@@ -651,6 +651,181 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
         }
     }
 
+    /// Guard-scoped atomic closure RMW; the native override behind
+    /// [`GuardedMap::rmw_in`] — in-place mutation under the bucket lock,
+    /// **following `MOVED` authority exactly like every other update**:
+    /// the operation first helps the in-flight migration drain its key's
+    /// old bucket (so authority has transferred to the current table), then
+    /// locks the current bucket and re-checks the `MOVED` tag after
+    /// acquisition, restarting if an entire resize completed underneath it.
+    ///
+    /// A present key is replaced by swapping in a fresh same-key node at
+    /// the same chain position (the old node is unlinked in the same
+    /// critical section, so no reader and no migration scan can observe the
+    /// key absent or doubled); an absent key is pushed at the bucket head
+    /// and feeds the occupancy counter / resize thresholds like
+    /// `insert_in`. **Linearization point: the chain-link store** (the
+    /// locked observation for read-only decisions).
+    pub fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        check_user_key(key);
+        let h = hash(key);
+        let shard = self.shard(h);
+        loop {
+            let t = shard.table.load(guard);
+            // SAFETY: pinned.
+            let tref = unsafe { t.deref() };
+            self.help_migration(tref, h, guard);
+            let b = &tref.buckets[bucket_index(h, tref.mask)];
+            let bg = lock_guard(&b.lock);
+            let head = b.head.load(guard);
+            if head.tag() == MOVED {
+                // Frozen underneath us: a whole resize of this shard
+                // completed between the table load and the lock.
+                drop(bg);
+                csds_metrics::restart();
+                continue;
+            }
+            // Find (pred, curr) under the lock; marked nodes cannot be in
+            // the chain here (mark and unlink share the removal section).
+            let mut pred: Shared<'_, Node<V>> = Shared::null();
+            let mut curr = head;
+            while !curr.is_null() {
+                // SAFETY: pinned.
+                let n = unsafe { curr.deref() };
+                if n.key == key {
+                    break;
+                }
+                pred = curr;
+                curr = n.next.load(guard);
+            }
+            if !curr.is_null() {
+                // SAFETY: pinned.
+                let c = unsafe { curr.deref() };
+                let Some(new_value) = f(Some(&c.value)) else {
+                    drop(bg);
+                    return RmwOutcome {
+                        prev: Some(c.value.clone()),
+                        cur: Some(&c.value),
+                        applied: false,
+                    };
+                };
+                let new_s = Shared::boxed(Node {
+                    key,
+                    value: new_value,
+                    marked: AtomicUsize::new(0),
+                    next: Atomic::null(),
+                });
+                // SAFETY: unpublished; chain serialized by the bucket lock.
+                unsafe { new_s.deref() }.next.store(c.next.load(guard));
+                if pred.is_null() {
+                    b.head.store(new_s); // linearization point
+                } else {
+                    // SAFETY: pinned; serialized by the bucket lock.
+                    unsafe { pred.deref() }.next.store(new_s);
+                }
+                drop(bg);
+                let prev = Some(c.value.clone());
+                // SAFETY: unlinked under the bucket lock (unreachable for
+                // new readers and for migration scans); retired once. The
+                // node stays unmarked: readers that already reached it
+                // return its stale value and linearize before the swap.
+                unsafe { guard.defer_drop(curr) };
+                // SAFETY: published; pinned.
+                let cur = Some(&unsafe { new_s.deref() }.value);
+                return RmwOutcome {
+                    prev,
+                    cur,
+                    applied: true,
+                };
+            }
+            // Absent.
+            let Some(new_value) = f(None) else {
+                drop(bg);
+                return RmwOutcome {
+                    prev: None,
+                    cur: None,
+                    applied: false,
+                };
+            };
+            let new_s = Shared::boxed(Node {
+                key,
+                value: new_value,
+                marked: AtomicUsize::new(0),
+                next: Atomic::null(),
+            });
+            // SAFETY: unpublished.
+            unsafe { new_s.deref() }.next.store(head);
+            b.head.store(new_s); // linearization point
+            drop(bg);
+            if shard.occupancy.incr() & (RESIZE_CHECK_PERIOD - 1) == 0 {
+                self.maybe_resize(shard, guard);
+            }
+            // SAFETY: published; pinned.
+            let cur = Some(&unsafe { new_s.deref() }.value);
+            return RmwOutcome {
+                prev: None,
+                cur,
+                applied: true,
+            };
+        }
+    }
+
+    /// Guard-scoped emptiness: early-exits at the first authoritative live
+    /// entry instead of the default full O(buckets + n) count, following
+    /// the same per-bucket `MOVED` authority as [`len_in`](Self::len_in).
+    pub fn is_empty_in(&self, guard: &Guard) -> bool {
+        for shard in self.shards.iter() {
+            let t = shard.table.load(guard);
+            // SAFETY: pinned.
+            let tref = unsafe { t.deref() };
+            let prev = tref.prev.load(guard);
+            if prev.is_null() {
+                if !Self::table_is_empty(tref, None, guard) {
+                    return false;
+                }
+            } else {
+                // SAFETY: pinned; prev is cleared before retirement.
+                let p = unsafe { prev.deref() };
+                if !Self::table_is_empty(p, None, guard)
+                    || !Self::table_is_empty(tref, Some(p), guard)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Early-exit companion of [`count_table`](Self::count_table): whether
+    /// `t` holds no authoritative live entry.
+    fn table_is_empty(t: &Table<V>, draining: Option<&Table<V>>, guard: &Guard) -> bool {
+        for b in t.buckets.iter() {
+            let head = b.head.load(guard);
+            if head.tag() == MOVED {
+                continue;
+            }
+            let mut cur = head;
+            while !cur.is_null() {
+                // SAFETY: pinned traversal.
+                let node = unsafe { cur.deref() };
+                if node.marked.load(Ordering::Acquire) == 0 {
+                    let authoritative = match draining {
+                        None => true,
+                        Some(old) => {
+                            let ob = &old.buckets[bucket_index(hash(node.key), old.mask)];
+                            ob.head.load(guard).tag() == MOVED
+                        }
+                    };
+                    if authoritative {
+                        return false;
+                    }
+                }
+                cur = node.next.load(guard);
+            }
+        }
+        true
+    }
+
     /// Guard-scoped element count (O(buckets + n); quiescently consistent).
     ///
     /// While a shard's migration is in flight, authority for each key lives
@@ -793,6 +968,14 @@ impl<V: Clone + Send + Sync> GuardedMap<V> for ElasticHashTable<V> {
 
     fn len_in(&self, guard: &Guard) -> usize {
         ElasticHashTable::len_in(self, guard)
+    }
+
+    fn is_empty_in(&self, guard: &Guard) -> bool {
+        ElasticHashTable::is_empty_in(self, guard)
+    }
+
+    fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
+        ElasticHashTable::rmw_in(self, key, f, guard)
     }
 }
 
@@ -1060,7 +1243,7 @@ mod tests {
     }
 
     #[derive(Debug)]
-    struct GateVal(Arc<CloneGate>);
+    struct GateVal(Arc<CloneGate>, u64);
 
     impl Clone for GateVal {
         fn clone(&self) -> Self {
@@ -1072,7 +1255,7 @@ mod tests {
                     spin_until(|| g.release.load(Ordering::SeqCst) != 0, "gate release");
                 }
             }
-            GateVal(Arc::clone(&self.0))
+            GateVal(Arc::clone(&self.0), self.1)
         }
     }
 
@@ -1113,7 +1296,7 @@ mod tests {
             .take(8)
             .collect();
         for &k in &keys {
-            assert!(h.insert(k, GateVal(Arc::clone(&gate))));
+            assert!(h.insert(k, GateVal(Arc::clone(&gate), 0)));
         }
         assert_eq!(
             h.resize_stats().migrations_started,
@@ -1134,7 +1317,7 @@ mod tests {
             let h = Arc::clone(&h);
             let gate = Arc::clone(&gate);
             std::thread::spawn(move || {
-                assert!(h.insert(extra_key, GateVal(gate)));
+                assert!(h.insert(extra_key, GateVal(gate, 0)));
             })
         };
         spin_until(
@@ -1189,6 +1372,148 @@ mod tests {
             "pre-total claims must continue"
         );
         // `t` owns `p` through `prev`; Table::drop frees both.
+    }
+
+    /// Native RMW with a migration installed but not yet drained: the
+    /// update itself must transfer its bucket's authority (freeze it
+    /// `MOVED`) before landing in the new table, exactly like
+    /// `insert_in`/`remove_in`.
+    #[test]
+    fn rmw_transfers_bucket_authority_before_landing() {
+        let h: ElasticHashTable<u64> = ElasticHashTable::with_config(ElasticConfig {
+            shards: 1,
+            initial_buckets: 2,
+            min_buckets: 2,
+            migration_quantum: 1,
+            counter_cells: 1,
+        });
+        // Nine keys hashing to old bucket 0 (mask 1); the 8th insert's
+        // occupancy check installs the grow migration, nothing drains yet.
+        let keys: Vec<u64> = (0..)
+            .filter(|&k| bucket_index(hash(k), 1) == 0)
+            .take(9)
+            .collect();
+        for &k in &keys[..8] {
+            assert!(h.insert(k, k));
+        }
+        assert_eq!(h.resize_stats().migrations_started, 1);
+        assert_eq!(h.resize_stats().buckets_moved, 0, "nothing drained yet");
+        // Upsert one of the bucket-0 keys: the RMW must drain bucket 0
+        // first (authority transfer), then replace in the new table.
+        assert_eq!(h.upsert(keys[2], 777), Some(keys[2]));
+        assert!(
+            h.resize_stats().buckets_moved >= 1,
+            "the RMW did not help the migration"
+        );
+        assert_eq!(h.get(keys[2]), Some(777));
+        assert_eq!(h.len(), 8, "replace must not change cardinality");
+        // A fetch-add that inserts a fresh key mid-migration lands exactly
+        // once and feeds the occupancy counter.
+        let (_, cur, applied) =
+            csds_core::ConcurrentMap::rmw(&h, keys[8], &mut |c| Some(c.copied().unwrap_or(0) + 5));
+        assert!(applied);
+        assert_eq!(cur, Some(5));
+        assert_eq!(h.len(), 9);
+        assert_eq!(h.occupancy(), 9);
+        // Every key survives the rest of the drain.
+        for &k in &keys[..8] {
+            let expect = if k == keys[2] { 777 } else { k };
+            assert_eq!(h.get(k), Some(expect), "key {k} after migration");
+        }
+    }
+
+    /// Regression for the mid-`MOVED` window: a migrator is frozen inside
+    /// `migrate_bucket` with clones already published but the old bucket
+    /// still authoritative, while another thread upserts a key of that very
+    /// bucket. The upsert must serialize behind the authority transfer and
+    /// land exactly once in the new table — neither lost (overwritten by
+    /// the migrating clone) nor doubled.
+    #[test]
+    fn rmw_lands_exactly_once_when_racing_a_mid_publish_migration() {
+        let gate = Arc::new(CloneGate::default());
+        gate.pause_at.store(2, Ordering::SeqCst);
+        let h = Arc::new(ElasticHashTable::<GateVal>::with_config(ElasticConfig {
+            shards: 1,
+            initial_buckets: 2,
+            min_buckets: 2,
+            migration_quantum: 1,
+            counter_cells: 1,
+        }));
+        let keys: Vec<u64> = (0..)
+            .filter(|&k| bucket_index(hash(k), 1) == 0)
+            .take(9)
+            .collect();
+        for &k in &keys[..8] {
+            assert!(h.insert(k, GateVal(Arc::clone(&gate), k)));
+        }
+        assert_eq!(h.resize_stats().migrations_started, 1);
+
+        // A bucket-0 insert from another thread starts draining bucket 0
+        // and pauses mid-publish (one clone in the new table, old bucket
+        // still authoritative and locked).
+        gate.armed.store(1, Ordering::SeqCst);
+        let extra_key = keys[8];
+        let migrator = {
+            let h = Arc::clone(&h);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                assert!(h.insert(extra_key, GateVal(gate, extra_key)));
+            })
+        };
+        spin_until(
+            || gate.paused.load(Ordering::SeqCst) != 0,
+            "mid-migration pause",
+        );
+
+        // Upsert a bucket-0 key while the migration is frozen mid-publish:
+        // the RMW's help_migration blocks on the old bucket's lock until
+        // authority transfers, then lands on the migrated clone.
+        let upserter = {
+            let h = Arc::clone(&h);
+            let gate = Arc::clone(&gate);
+            let key = keys[3];
+            std::thread::spawn(move || {
+                let prev = h.upsert(key, GateVal(gate, 999_999)).expect("key present");
+                assert_eq!(prev.1, key, "upsert must observe the pre-migration value");
+            })
+        };
+        // The frozen window still counts exactly 8 keys.
+        assert_eq!(h.len(), 8, "mid-publish window must stay exact");
+
+        gate.release.store(1, Ordering::SeqCst);
+        gate.armed.store(0, Ordering::SeqCst);
+        migrator.join().unwrap();
+        upserter.join().unwrap();
+
+        assert_eq!(h.len(), 9, "8 originals + the migrating insert");
+        let got = csds_core::ConcurrentMap::get(&*h, keys[3]).expect("upserted key present");
+        assert_eq!(got.1, 999_999, "the upsert's value must win");
+        // The update landed on the authoritative copy: a full drain later
+        // it is still the only copy.
+        for &k in &keys {
+            assert!(
+                csds_core::ConcurrentMap::get(&*h, k).is_some(),
+                "key {k} lost"
+            );
+        }
+    }
+
+    #[test]
+    fn is_empty_follows_authority_through_churn() {
+        let h: ElasticHashTable<u64> = ElasticHashTable::with_config(churny());
+        let guard = csds_ebr::pin();
+        assert!(h.is_empty_in(&guard));
+        for k in 0..400 {
+            h.insert(k, k);
+            assert!(!h.is_empty_in(&guard), "non-empty after insert {k}");
+        }
+        for k in 0..400 {
+            h.remove(k);
+        }
+        // Migrations may still be in flight (shrink direction); emptiness
+        // must follow per-bucket authority, not raw chain contents.
+        assert!(h.is_empty_in(&guard));
+        assert_eq!(h.len(), 0);
     }
 
     #[test]

@@ -8,12 +8,14 @@ mod coarse;
 mod elision;
 mod finegrained;
 mod model;
+mod service;
 
 pub use beyond::fig10;
 pub use coarse::{fig1, fig3, fig4};
 pub use elision::{table2, table3};
 pub use finegrained::{coupling, fig5, fig6, fig7, fig8, fig9, outliers};
 pub use model::model;
+pub use service::service;
 
 use crate::Scale;
 
@@ -100,6 +102,11 @@ pub fn registry() -> Vec<Experiment> {
             description: "Sec. 6: birthday-paradox model - paper's numeric examples and model-vs-measured",
             run: model,
         },
+        Experiment {
+            id: "service",
+            description: "Beyond the paper: service front-end throughput + p50/p99 latency (basic and compound mixes)",
+            run: service,
+        },
     ]
 }
 
@@ -120,7 +127,8 @@ mod tests {
             assert!(ids.insert(e.id), "duplicate experiment id {}", e.id);
         }
         assert!(find("fig3").is_some());
+        assert!(find("service").is_some());
         assert!(find("nope").is_none());
-        assert_eq!(reg.len(), 14);
+        assert_eq!(reg.len(), 15);
     }
 }

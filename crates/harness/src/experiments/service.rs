@@ -1,0 +1,125 @@
+//! Service-path experiment: end-to-end throughput **and latency** through
+//! the `csds_service` front-end, for the basic and compound vocabularies.
+//!
+//! This is the report-side wiring for the service's per-core
+//! [`csds_service::CoreStats`] histograms: alongside throughput it prints
+//! the p50/p99 submission-to-completion latency upper bounds (log₂-bucket
+//! quantiles from [`csds_metrics::LogHistogram`]), the mean drained batch,
+//! and the deepest adaptive drain target the workers reached.
+
+use std::sync::Arc;
+
+use csds_service::{OpKind, ServiceConfig};
+use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix};
+
+use crate::factory::AlgoKind;
+use crate::report::{mops, Table};
+use crate::Scale;
+
+/// Format a nanosecond upper bound compactly (`<2us`, `<512ns`, …).
+fn fmt_ns_bound(ns: Option<u64>) -> String {
+    match ns {
+        None => "-".to_string(),
+        Some(n) if n >= 1_000_000_000 => format!("<{}s", n / 1_000_000_000),
+        Some(n) if n >= 1_000_000 => format!("<{}ms", n / 1_000_000),
+        Some(n) if n >= 1_000 => format!("<{}us", n / 1_000),
+        Some(n) => format!("<{n}ns"),
+    }
+}
+
+/// Drive `total` operations of `mix` through a fresh service over `algo`
+/// and return `(elapsed_secs, aggregate stats)`.
+fn drive(algo: AlgoKind, mix: OpMix, cores: usize, total: u64) -> (f64, csds_service::CoreStats) {
+    const KEY_RANGE: u64 = 2048;
+    const BATCH: usize = 64;
+    let svc = algo.make_service(
+        KEY_RANGE as usize,
+        ServiceConfig {
+            cores,
+            ..ServiceConfig::default()
+        },
+    );
+    let client = svc.client();
+    let sampler = KeySampler::new(KeyDist::Uniform, KEY_RANGE);
+    let mut rng = FastRng::new(0x5E41_11CE);
+    // Prefill half the key range so reads and CASes hit.
+    let warm = Arc::clone(svc.map());
+    for k in 0..KEY_RANGE / 2 {
+        let _ = csds_core::ConcurrentMap::insert(warm.as_ref(), k, k);
+    }
+    let start = std::time::Instant::now();
+    let mut batch = Vec::with_capacity(BATCH);
+    let mut done = 0u64;
+    while done < total {
+        let n = BATCH.min((total - done) as usize);
+        for _ in 0..n {
+            let key = sampler.sample(&mut rng);
+            let op = match mix.sample(&mut rng) {
+                Op::Get => OpKind::Get,
+                Op::Insert => OpKind::Insert(key),
+                Op::Remove => OpKind::Remove,
+                Op::Upsert => OpKind::Upsert(key.wrapping_mul(3)),
+                Op::Cas => OpKind::CompareSwap {
+                    expected: key,
+                    new: key,
+                },
+                Op::FetchAdd => OpKind::FetchAdd(1),
+            };
+            batch.push((key, op));
+        }
+        let pending = client.submit_batch(batch.drain(..)).expect("running");
+        for f in pending {
+            let _ = f.wait().expect("accepted ops execute");
+        }
+        done += n as u64;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = svc.shutdown();
+    (elapsed, stats.aggregate())
+}
+
+/// The `service` experiment: see the module docs.
+pub fn service(scale: Scale) {
+    let total: u64 = if scale.quick { 30_000 } else { 400_000 };
+    let mut table = Table::new(
+        "Service front-end: throughput + latency (basic and compound mixes)",
+        &[
+            "structure",
+            "mix",
+            "cores",
+            "Mops/s",
+            "lat p50",
+            "lat p99",
+            "mean batch",
+            "max target",
+        ],
+    );
+    let mixes: [(&str, OpMix); 3] = [
+        ("10% updates", OpMix::updates(10)),
+        ("upsert-heavy", OpMix::mix_rmw_upsert_heavy()),
+        ("counter", OpMix::mix_rmw_counter()),
+    ];
+    for algo in [AlgoKind::LazyHashTable, AlgoKind::ElasticHashTable] {
+        for (mix_name, mix) in mixes.iter() {
+            for cores in [1usize, 2] {
+                let (elapsed, agg) = drive(algo, *mix, cores, total);
+                table.row(vec![
+                    algo.name().to_string(),
+                    mix_name.to_string(),
+                    cores.to_string(),
+                    mops(total as f64 / elapsed / 1e6),
+                    fmt_ns_bound(agg.latency_ns.quantile_upper_bound(0.5)),
+                    fmt_ns_bound(agg.latency_ns.quantile_upper_bound(0.99)),
+                    format!("{:.1}", agg.mean_batch()),
+                    agg.batch_target_max.to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!(
+        "# latency columns are log2-bucket upper bounds of the service's \
+         submission-to-completion histograms ({total} ops per row, closed \
+         loop, one client thread, batch 64)"
+    );
+}

@@ -217,6 +217,17 @@ pub fn run_map(cfg: &MapRunConfig) -> RunResult {
                     Op::Remove => {
                         let _ = handle.remove(key);
                     }
+                    Op::Upsert => {
+                        let _ = handle.upsert(key, key);
+                    }
+                    Op::Cas => {
+                        let _ = handle.compare_swap(key, &key, key);
+                    }
+                    Op::FetchAdd => {
+                        let _ = handle.rmw(key, &mut |cur| {
+                            Some(cur.copied().unwrap_or(0).wrapping_add(1))
+                        });
+                    }
                 }
                 csds_metrics::op_boundary();
             }
@@ -403,6 +414,17 @@ pub fn timed_ops<M: ConcurrentMap<u64> + ?Sized + 'static>(
                     Op::Remove => {
                         let _ = map.remove(key);
                     }
+                    Op::Upsert => {
+                        let _ = map.upsert(key, key);
+                    }
+                    Op::Cas => {
+                        let _ = map.compare_swap(key, &key, key);
+                    }
+                    Op::FetchAdd => {
+                        let _ = map.rmw(key, &mut |cur| {
+                            Some(cur.copied().unwrap_or(0).wrapping_add(1))
+                        });
+                    }
                 }
             }
         }));
@@ -451,6 +473,17 @@ pub fn timed_ops_handle<M: GuardedMap<u64> + ?Sized + 'static>(
                     }
                     Op::Remove => {
                         let _ = handle.remove(key);
+                    }
+                    Op::Upsert => {
+                        let _ = handle.upsert(key, key);
+                    }
+                    Op::Cas => {
+                        let _ = handle.compare_swap(key, &key, key);
+                    }
+                    Op::FetchAdd => {
+                        let _ = handle.rmw(key, &mut |cur| {
+                            Some(cur.copied().unwrap_or(0).wrapping_add(1))
+                        });
                     }
                 }
             }

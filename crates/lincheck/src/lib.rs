@@ -1,4 +1,4 @@
-//! Linearizability checking for concurrent set/map histories.
+//! Linearizability checking for concurrent map histories.
 //!
 //! A testing substrate: worker threads record timestamped invocations and
 //! responses ([`Event`]); [`check_history`] then searches for a legal
@@ -6,29 +6,65 @@
 //! memoization over `(linearized-set, state)` in the spirit of Lowe's
 //! optimization).
 //!
+//! The checker is **value-aware**: per-key state is `Option<u64>` (the
+//! value currently associated, `None` for absent), which is what lets it
+//! verify the compound vocabulary — upserts report the value they
+//! replaced, compare-and-swaps the value they observed, counter RMWs the
+//! reading they produced — rather than mere presence.
+//!
 //! The checker is exponential in the worst case — use it on small histories
 //! (a few threads × tens of operations), which is exactly how the
 //! integration tests use it.
 
 use std::collections::{BTreeMap, HashSet};
 
-/// Operation kinds in a set/map history.
+/// Operation kinds in a map history, each carrying the values it observed
+/// or produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OpKind {
-    /// `get(k)` observed `Some`/`None` (payload: found).
+    /// `get(k)` observed this value (`None` = absent).
     Get {
-        /// Whether the read found the key.
-        found: bool,
+        /// The value the read returned.
+        found: Option<u64>,
     },
-    /// `insert(k)` returned success/failure.
+    /// `insert(k, value)` returned success/failure.
     Insert {
-        /// Whether the insert took effect.
+        /// The value the insert offered.
+        value: u64,
+        /// Whether the insert took effect (key was absent).
         ok: bool,
     },
-    /// `remove(k)` returned success/failure.
+    /// `remove(k)` returned this value (`None` = key was absent).
     Remove {
-        /// Whether the remove took effect.
-        ok: bool,
+        /// The removed value.
+        removed: Option<u64>,
+    },
+    /// `upsert(k, value)` (insert-or-replace) returned the previous value.
+    Upsert {
+        /// The value installed.
+        value: u64,
+        /// The value replaced (`None` = the upsert inserted).
+        prev: Option<u64>,
+    },
+    /// `compare_swap(k, expected, new)` with its observation.
+    Cas {
+        /// The comparand.
+        expected: u64,
+        /// The replacement on a match.
+        new: u64,
+        /// The value observed at the linearization point (`None` = key
+        /// absent).
+        observed: Option<u64>,
+        /// Whether the swap applied (`observed == Some(expected)`).
+        swapped: bool,
+    },
+    /// `fetch_add(k, delta)` (absent counts as 0) returned the
+    /// post-increment reading.
+    FetchAdd {
+        /// The increment.
+        delta: u64,
+        /// The counter value after the bump.
+        new: u64,
     },
 }
 
@@ -74,13 +110,13 @@ impl CheckResult {
     }
 }
 
-/// Check a history of operations **on a single key** against set semantics,
-/// given whether the key was initially present.
+/// Check a history of operations **on a single key** against map
+/// semantics, given the key's initial value (`None` = initially absent).
 ///
-/// Histories on different keys of a set are independent (operations on
+/// Histories on different keys of a map are independent (operations on
 /// distinct keys commute), so a full-map history can be checked key by key
 /// — see [`check_history`].
-pub fn check_single_key(initially_present: bool, events: &[Event]) -> CheckResult {
+pub fn check_single_key(initial: Option<u64>, events: &[Event]) -> CheckResult {
     let n = events.len();
     if n > 24 {
         // The DFS is exponential; refuse rather than hang.
@@ -88,44 +124,66 @@ pub fn check_single_key(initially_present: bool, events: &[Event]) -> CheckResul
             "history too long for the checker ({n} > 24 events on one key)"
         ));
     }
-    // DFS over subsets: state = (mask of linearized ops, key present?).
-    let mut visited: HashSet<(u32, bool)> = HashSet::new();
-    if dfs(events, 0, initially_present, &mut visited) {
+    // DFS over subsets: state = (mask of linearized ops, current value).
+    let mut visited: HashSet<(u32, Option<u64>)> = HashSet::new();
+    if dfs(events, 0, initial, &mut visited) {
         CheckResult::Linearizable
     } else {
         CheckResult::NotLinearizable(format!(
-            "no legal linearization for {n} events (initially_present = {initially_present})"
+            "no legal linearization for {n} events (initial value = {initial:?})"
         ))
     }
 }
 
-fn applies(kind: OpKind, present: bool) -> Option<bool> {
-    // Returns the new `present` state if the response is legal.
+/// Returns the post-state if applying `kind` to a key holding `state` is
+/// consistent with what the operation reported.
+fn applies(kind: OpKind, state: Option<u64>) -> Option<Option<u64>> {
     match kind {
-        OpKind::Get { found } => (found == present).then_some(present),
-        OpKind::Insert { ok } => {
+        OpKind::Get { found } => (found == state).then_some(state),
+        OpKind::Insert { value, ok } => {
             if ok {
-                (!present).then_some(true)
+                state.is_none().then_some(Some(value))
             } else {
-                present.then_some(true)
+                state.is_some().then_some(state)
             }
         }
-        OpKind::Remove { ok } => {
-            if ok {
-                present.then_some(false)
-            } else {
-                (!present).then_some(false)
+        OpKind::Remove { removed } => match removed {
+            Some(v) => (state == Some(v)).then_some(None),
+            None => state.is_none().then_some(None),
+        },
+        OpKind::Upsert { value, prev } => (prev == state).then_some(Some(value)),
+        OpKind::Cas {
+            expected,
+            new,
+            observed,
+            swapped,
+        } => {
+            if observed != state {
+                return None;
             }
+            if swapped {
+                (state == Some(expected)).then_some(Some(new))
+            } else {
+                (state != Some(expected)).then_some(state)
+            }
+        }
+        OpKind::FetchAdd { delta, new } => {
+            (state.unwrap_or(0).wrapping_add(delta) == new).then_some(Some(new))
         }
     }
 }
 
-fn dfs(events: &[Event], done: u32, present: bool, visited: &mut HashSet<(u32, bool)>) -> bool {
+fn dfs(
+    events: &[Event],
+    done: u32,
+    state: Option<u64>,
+    visited: &mut HashSet<(u32, Option<u64>)>,
+) -> bool {
     let n = events.len();
     if done == (1u32 << n) - 1 {
         return true;
     }
-    if !visited.insert((done, present)) {
+    if !visited.insert((done, state)) {
         return false;
     }
     // An operation is a candidate next linearization point iff it is not
@@ -144,8 +202,8 @@ fn dfs(events: &[Event], done: u32, present: bool, visited: &mut HashSet<(u32, b
         if e.invoke > min_respond {
             continue; // some pending op finished before this one started
         }
-        if let Some(next_present) = applies(e.kind, present) {
-            if dfs(events, done | (1 << i), next_present, visited) {
+        if let Some(next_state) = applies(e.kind, state) {
+            if dfs(events, done | (1 << i), next_state, visited) {
                 return true;
             }
         }
@@ -153,16 +211,17 @@ fn dfs(events: &[Event], done: u32, present: bool, visited: &mut HashSet<(u32, b
     false
 }
 
-/// Check a multi-key history: partitions by key (set operations on distinct
-/// keys commute) and checks each partition independently.
-pub fn check_history(initial_keys: &[u64], events: &[Event]) -> CheckResult {
-    let initial: HashSet<u64> = initial_keys.iter().copied().collect();
+/// Check a multi-key history: partitions by key (map operations on
+/// distinct keys commute) and checks each partition independently.
+/// `initial` maps initially-present keys to their starting values.
+pub fn check_history(initial: &[(u64, u64)], events: &[Event]) -> CheckResult {
+    let initial: BTreeMap<u64, u64> = initial.iter().copied().collect();
     let mut by_key: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
     for e in events {
         by_key.entry(e.key).or_default().push(*e);
     }
     for (key, evs) in by_key {
-        match check_single_key(initial.contains(&key), &evs) {
+        match check_single_key(initial.get(&key).copied(), &evs) {
             CheckResult::Linearizable => {}
             CheckResult::NotLinearizable(why) => {
                 return CheckResult::NotLinearizable(format!("key {key}: {why}"));
@@ -183,94 +242,308 @@ mod tests {
     #[test]
     fn sequential_legal_history_passes() {
         let h = [
-            ev(1, OpKind::Insert { ok: true }, 0, 1),
-            ev(1, OpKind::Get { found: true }, 2, 3),
-            ev(1, OpKind::Remove { ok: true }, 4, 5),
-            ev(1, OpKind::Get { found: false }, 6, 7),
+            ev(
+                1,
+                OpKind::Insert {
+                    value: 10,
+                    ok: true,
+                },
+                0,
+                1,
+            ),
+            ev(1, OpKind::Get { found: Some(10) }, 2, 3),
+            ev(1, OpKind::Remove { removed: Some(10) }, 4, 5),
+            ev(1, OpKind::Get { found: None }, 6, 7),
         ];
-        assert!(check_single_key(false, &h).is_ok());
+        assert!(check_single_key(None, &h).is_ok());
     }
 
     #[test]
     fn sequential_illegal_history_fails() {
         // get(found) before any insert on an initially absent key.
         let h = [
-            ev(1, OpKind::Get { found: true }, 0, 1),
-            ev(1, OpKind::Insert { ok: true }, 2, 3),
+            ev(1, OpKind::Get { found: Some(9) }, 0, 1),
+            ev(1, OpKind::Insert { value: 9, ok: true }, 2, 3),
         ];
-        assert!(!check_single_key(false, &h).is_ok());
+        assert!(!check_single_key(None, &h).is_ok());
+    }
+
+    #[test]
+    fn value_mismatch_is_caught() {
+        // The read observes a value nobody ever wrote.
+        let h = [
+            ev(
+                1,
+                OpKind::Insert {
+                    value: 10,
+                    ok: true,
+                },
+                0,
+                1,
+            ),
+            ev(1, OpKind::Get { found: Some(11) }, 2, 3),
+        ];
+        assert!(!check_single_key(None, &h).is_ok());
+        // And a remove must return the value actually present.
+        let h2 = [
+            ev(
+                1,
+                OpKind::Insert {
+                    value: 10,
+                    ok: true,
+                },
+                0,
+                1,
+            ),
+            ev(1, OpKind::Remove { removed: Some(12) }, 2, 3),
+        ];
+        assert!(!check_single_key(None, &h2).is_ok());
     }
 
     #[test]
     fn overlapping_ops_can_reorder() {
-        // A get(found=false) overlapping an insert may linearize first.
+        // A get(absent) overlapping an insert may linearize first.
         let h = [
-            ev(1, OpKind::Insert { ok: true }, 0, 10),
-            ev(1, OpKind::Get { found: false }, 1, 2),
+            ev(1, OpKind::Insert { value: 5, ok: true }, 0, 10),
+            ev(1, OpKind::Get { found: None }, 1, 2),
         ];
-        assert!(check_single_key(false, &h).is_ok());
+        assert!(check_single_key(None, &h).is_ok());
         // But a get that *starts after* the insert responded must see it.
         let h2 = [
-            ev(1, OpKind::Insert { ok: true }, 0, 1),
-            ev(1, OpKind::Get { found: false }, 5, 6),
+            ev(1, OpKind::Insert { value: 5, ok: true }, 0, 1),
+            ev(1, OpKind::Get { found: None }, 5, 6),
         ];
-        assert!(!check_single_key(false, &h2).is_ok());
+        assert!(!check_single_key(None, &h2).is_ok());
     }
 
     #[test]
     fn double_successful_insert_without_remove_fails() {
         let h = [
-            ev(1, OpKind::Insert { ok: true }, 0, 1),
-            ev(1, OpKind::Insert { ok: true }, 2, 3),
+            ev(1, OpKind::Insert { value: 1, ok: true }, 0, 1),
+            ev(1, OpKind::Insert { value: 2, ok: true }, 2, 3),
         ];
-        assert!(!check_single_key(false, &h).is_ok());
+        assert!(!check_single_key(None, &h).is_ok());
     }
 
     #[test]
     fn failed_operations_constrain_state() {
         // insert fails ⇒ key present ⇒ initial must be present or a
         // concurrent insert precedes it.
-        let h = [ev(1, OpKind::Insert { ok: false }, 0, 1)];
-        assert!(!check_single_key(false, &h).is_ok());
-        assert!(check_single_key(true, &h).is_ok());
-        let h2 = [ev(1, OpKind::Remove { ok: false }, 0, 1)];
-        assert!(check_single_key(false, &h2).is_ok());
-        assert!(!check_single_key(true, &h2).is_ok());
+        let h = [ev(
+            1,
+            OpKind::Insert {
+                value: 7,
+                ok: false,
+            },
+            0,
+            1,
+        )];
+        assert!(!check_single_key(None, &h).is_ok());
+        assert!(check_single_key(Some(3), &h).is_ok());
+        let h2 = [ev(1, OpKind::Remove { removed: None }, 0, 1)];
+        assert!(check_single_key(None, &h2).is_ok());
+        assert!(!check_single_key(Some(3), &h2).is_ok());
+    }
+
+    #[test]
+    fn upsert_reports_the_replaced_value() {
+        let h = [
+            ev(
+                1,
+                OpKind::Upsert {
+                    value: 10,
+                    prev: None,
+                },
+                0,
+                1,
+            ),
+            ev(
+                1,
+                OpKind::Upsert {
+                    value: 20,
+                    prev: Some(10),
+                },
+                2,
+                3,
+            ),
+            ev(1, OpKind::Get { found: Some(20) }, 4, 5),
+        ];
+        assert!(check_single_key(None, &h).is_ok());
+        // An upsert claiming to have replaced a value that was never
+        // current is illegal.
+        let h2 = [
+            ev(
+                1,
+                OpKind::Upsert {
+                    value: 10,
+                    prev: None,
+                },
+                0,
+                1,
+            ),
+            ev(
+                1,
+                OpKind::Upsert {
+                    value: 20,
+                    prev: Some(11),
+                },
+                2,
+                3,
+            ),
+        ];
+        assert!(!check_single_key(None, &h2).is_ok());
+        // An upsert is never absent-visible: a remove+insert pair in its
+        // place would let a concurrent get see None — the atomic upsert
+        // must not.
+        let h3 = [
+            ev(
+                1,
+                OpKind::Upsert {
+                    value: 2,
+                    prev: Some(1),
+                },
+                0,
+                10,
+            ),
+            ev(1, OpKind::Get { found: None }, 4, 5),
+        ];
+        assert!(!check_single_key(Some(1), &h3).is_ok());
+    }
+
+    #[test]
+    fn cas_outcomes_constrain_state() {
+        // Swapped: observed must equal expected, state becomes new.
+        let h = [
+            ev(
+                1,
+                OpKind::Cas {
+                    expected: 5,
+                    new: 6,
+                    observed: Some(5),
+                    swapped: true,
+                },
+                0,
+                1,
+            ),
+            ev(1, OpKind::Get { found: Some(6) }, 2, 3),
+        ];
+        assert!(check_single_key(Some(5), &h).is_ok());
+        // Mismatch: the surviving value is what the CAS observed.
+        let h2 = [
+            ev(
+                1,
+                OpKind::Cas {
+                    expected: 5,
+                    new: 6,
+                    observed: Some(7),
+                    swapped: false,
+                },
+                0,
+                1,
+            ),
+            ev(1, OpKind::Get { found: Some(7) }, 2, 3),
+        ];
+        assert!(check_single_key(Some(7), &h2).is_ok());
+        // A "swapped" CAS whose observation differs from `expected` is
+        // self-contradictory.
+        let h3 = [ev(
+            1,
+            OpKind::Cas {
+                expected: 5,
+                new: 6,
+                observed: Some(7),
+                swapped: true,
+            },
+            0,
+            1,
+        )];
+        assert!(!check_single_key(Some(7), &h3).is_ok());
+        // Two overlapping CASes from the same expected value: only one can
+        // swap; both claiming success is illegal.
+        let h4 = [
+            ev(
+                1,
+                OpKind::Cas {
+                    expected: 5,
+                    new: 6,
+                    observed: Some(5),
+                    swapped: true,
+                },
+                0,
+                10,
+            ),
+            ev(
+                1,
+                OpKind::Cas {
+                    expected: 5,
+                    new: 7,
+                    observed: Some(5),
+                    swapped: true,
+                },
+                0,
+                10,
+            ),
+        ];
+        assert!(!check_single_key(Some(5), &h4).is_ok());
+    }
+
+    #[test]
+    fn fetch_add_readings_must_chain() {
+        // Two concurrent bumps: readings 1 and 2 in some order — legal.
+        let h = [
+            ev(1, OpKind::FetchAdd { delta: 1, new: 1 }, 0, 10),
+            ev(1, OpKind::FetchAdd { delta: 1, new: 2 }, 0, 10),
+        ];
+        assert!(check_single_key(None, &h).is_ok());
+        // Both observing the same reading would mean a lost update.
+        let h2 = [
+            ev(1, OpKind::FetchAdd { delta: 1, new: 1 }, 0, 10),
+            ev(1, OpKind::FetchAdd { delta: 1, new: 1 }, 0, 10),
+        ];
+        assert!(!check_single_key(None, &h2).is_ok());
     }
 
     #[test]
     fn multi_key_histories_partition() {
         let h = [
-            ev(1, OpKind::Insert { ok: true }, 0, 1),
-            ev(2, OpKind::Get { found: true }, 0, 1), // key 2 initially present
-            ev(1, OpKind::Remove { ok: true }, 2, 3),
-            ev(2, OpKind::Remove { ok: true }, 2, 3),
+            ev(1, OpKind::Insert { value: 1, ok: true }, 0, 1),
+            ev(2, OpKind::Get { found: Some(9) }, 0, 1), // key 2 initially 9
+            ev(1, OpKind::Remove { removed: Some(1) }, 2, 3),
+            ev(2, OpKind::Remove { removed: Some(9) }, 2, 3),
         ];
-        assert!(check_history(&[2], &h).is_ok());
+        assert!(check_history(&[(2, 9)], &h).is_ok());
         assert!(!check_history(&[], &h).is_ok());
     }
 
     #[test]
     fn refuses_oversized_single_key_histories() {
         let h: Vec<Event> = (0..30)
-            .map(|i| ev(1, OpKind::Get { found: false }, i * 2, i * 2 + 1))
+            .map(|i| ev(1, OpKind::Get { found: None }, i * 2, i * 2 + 1))
             .collect();
-        assert!(!check_single_key(false, &h).is_ok());
+        assert!(!check_single_key(None, &h).is_ok());
     }
 
     #[test]
     fn concurrent_insert_race_one_winner() {
         // Two overlapping inserts: exactly one succeeds — linearizable.
         let h = [
-            ev(1, OpKind::Insert { ok: true }, 0, 10),
-            ev(1, OpKind::Insert { ok: false }, 0, 10),
+            ev(1, OpKind::Insert { value: 3, ok: true }, 0, 10),
+            ev(
+                1,
+                OpKind::Insert {
+                    value: 4,
+                    ok: false,
+                },
+                0,
+                10,
+            ),
         ];
-        assert!(check_single_key(false, &h).is_ok());
+        assert!(check_single_key(None, &h).is_ok());
         // Both succeeding is not.
         let h2 = [
-            ev(1, OpKind::Insert { ok: true }, 0, 10),
-            ev(1, OpKind::Insert { ok: true }, 0, 10),
+            ev(1, OpKind::Insert { value: 3, ok: true }, 0, 10),
+            ev(1, OpKind::Insert { value: 4, ok: true }, 0, 10),
         ];
-        assert!(!check_single_key(false, &h2).is_ok());
+        assert!(!check_single_key(None, &h2).is_ok());
     }
 }

@@ -29,6 +29,18 @@
 //!   between pin-per-op and a never-refreshed (reclamation-stalling) pin.
 //!   Workers drop the handle before parking, so an idle core never holds
 //!   the epoch back — the library's own session discipline, applied.
+//! * **Adaptive batching** — the per-repin drain depth is dynamic: it
+//!   doubles (up to [`ServiceConfig::max_batch`]) while batches run full
+//!   with a backlog behind them, and decays back to a small floor when the
+//!   ring runs cold, so a hot core amortizes harder while a cold core
+//!   re-validates promptly and parks sooner (after one brief spin to catch
+//!   a refilling burst). The chosen depth is exported as
+//!   [`CoreStats::batch_target`] / [`CoreStats::batch_target_max`].
+//! * **Compound operations** — [`OpKind::Upsert`], [`OpKind::CompareSwap`]
+//!   and [`OpKind::FetchAdd`] ride the same rings and execute through the
+//!   map's native `upsert_in` / `compare_swap_in` / `rmw_in`, so a counter
+//!   bump or a conditional write is one round trip with the same
+//!   exactly-once drain guarantees as the basic vocabulary.
 //! * **Backpressure** — submission rings are bounded
 //!   ([`csds_sync::MpscRing`]); a full ring hands the operation back
 //!   ([`ServiceError::Busy`] from [`ServiceClient::try_submit`]) or makes
@@ -82,13 +94,46 @@ use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
-use csds_core::{check_user_key, GuardedMap, MapHandle};
+use csds_core::{check_user_key, CasOutcome, GuardedMap, MapHandle};
 use csds_metrics::LogHistogram;
 use csds_sync::{Backoff, CachePadded, MpscRing};
 
 mod oneshot;
 
 pub use oneshot::{block_on, Completion};
+
+/// Value types the service can serve [`OpKind::FetchAdd`] against: a
+/// round-trip to and from `u64` so a worker can execute the counter RMW
+/// generically (`new = from_u64(to_u64(cur) + delta)`, with an absent key
+/// treated as 0).
+///
+/// Workers execute every [`OpKind`] variant generically, so `Service<V>`
+/// requires `V: PartialEq + FetchAddValue` even for clients that never
+/// submit a `CompareSwap` or `FetchAdd` — a deliberate trade against
+/// per-op boxing or a second worker code path. Non-numeric value types
+/// implement this with whatever counter reading makes sense for them (or
+/// `0` if `FetchAdd` is never routed their way).
+pub trait FetchAddValue {
+    /// Build a value from a counter reading.
+    fn from_u64(x: u64) -> Self;
+    /// Read the value as a counter.
+    fn to_u64(&self) -> u64;
+}
+
+macro_rules! impl_fetch_add_value {
+    ($($t:ty),*) => {$(
+        impl FetchAddValue for $t {
+            fn from_u64(x: u64) -> Self {
+                x as $t
+            }
+            fn to_u64(&self) -> u64 {
+                *self as u64
+            }
+        }
+    )*};
+}
+
+impl_fetch_add_value!(u64, u32, u16, u8, usize, i64, i32);
 
 /// Why a submission was rejected or a completion failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +174,21 @@ pub enum OpKind<V> {
     Insert(V),
     /// `remove(k)` — replies [`Reply::Removed`] with the removed value.
     Remove,
+    /// Insert-or-replace — executed through the map's native
+    /// `upsert_in`; replies [`Reply::Upserted`] with the previous value.
+    Upsert(V),
+    /// Value compare-and-swap — executed through the map's native
+    /// `compare_swap_in`; replies [`Reply::Cas`].
+    CompareSwap {
+        /// The value the key must currently hold for the swap to apply.
+        expected: V,
+        /// The replacement installed on a match.
+        new: V,
+    },
+    /// Atomic counter bump (absent keys count from 0) — executed as one
+    /// closure RMW through the map's native `rmw_in`; replies
+    /// [`Reply::Added`] with the post-increment reading.
+    FetchAdd(u64),
 }
 
 /// A completed operation's result.
@@ -141,21 +201,36 @@ pub enum Reply<V> {
     Inserted(bool),
     /// Result of [`OpKind::Remove`]: the removed value, if present.
     Removed(Option<V>),
+    /// Result of [`OpKind::Upsert`]: the value replaced, if any.
+    Upserted(Option<V>),
+    /// Result of [`OpKind::CompareSwap`].
+    Cas(CasOutcome<V>),
+    /// Result of [`OpKind::FetchAdd`]: the counter value after the bump.
+    Added(u64),
 }
 
 impl<V> Reply<V> {
-    /// The carried value for `Got`/`Removed` replies (`None` for
-    /// `Inserted`).
+    /// The carried value for `Got`/`Removed`/`Upserted`/`Cas` replies
+    /// (`None` for `Inserted` and `Added`).
     pub fn value(self) -> Option<V> {
         match self {
-            Reply::Got(v) | Reply::Removed(v) => v,
-            Reply::Inserted(_) => None,
+            Reply::Got(v) | Reply::Removed(v) | Reply::Upserted(v) => v,
+            Reply::Cas(out) => out.observed(),
+            Reply::Inserted(_) | Reply::Added(_) => None,
         }
     }
 
     /// Whether this reply is `Inserted(true)`.
     pub fn inserted(&self) -> bool {
         matches!(self, Reply::Inserted(true))
+    }
+
+    /// The counter reading of an [`Reply::Added`] reply.
+    pub fn added(&self) -> Option<u64> {
+        match self {
+            Reply::Added(n) => Some(*n),
+            _ => None,
+        }
     }
 }
 
@@ -238,6 +313,12 @@ pub struct CoreStats {
     pub max_batch: u64,
     /// Deepest submission-queue backlog observed at a batch start.
     pub max_depth: u64,
+    /// Adaptive drain depth chosen after the last batch (the per-repin
+    /// budget the worker is currently willing to execute; see the module
+    /// docs on adaptive batching).
+    pub batch_target: u64,
+    /// Deepest adaptive drain depth the worker reached.
+    pub batch_target_max: u64,
     /// Distribution of batch sizes (log₂ buckets).
     pub batch_sizes: LogHistogram,
     /// Distribution of submission-to-completion latency in nanoseconds
@@ -261,6 +342,8 @@ impl CoreStats {
         self.batches += other.batches;
         self.max_batch = self.max_batch.max(other.max_batch);
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.batch_target = self.batch_target.max(other.batch_target);
+        self.batch_target_max = self.batch_target_max.max(other.batch_target_max);
         self.batch_sizes.merge(&other.batch_sizes);
         self.latency_ns.merge(&other.latency_ns);
     }
@@ -292,7 +375,7 @@ impl ServiceStats {
 /// the stats are simply discarded.
 pub struct Service<V, M: GuardedMap<V> + ?Sized + 'static = dyn GuardedMap<V>>
 where
-    V: Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static,
 {
     map: Arc<M>,
     shared: Arc<ServiceShared<V>>,
@@ -301,7 +384,7 @@ where
 
 impl<V, M> Service<V, M>
 where
-    V: Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static,
     M: GuardedMap<V> + ?Sized + 'static,
 {
     /// Start `cfg.cores` workers serving `map`. Workers are running (and
@@ -395,7 +478,7 @@ where
 
 impl<V, M> Drop for Service<V, M>
 where
-    V: Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static,
     M: GuardedMap<V> + ?Sized + 'static,
 {
     fn drop(&mut self) {
@@ -419,7 +502,7 @@ impl<V> Clone for ServiceClient<V> {
     }
 }
 
-impl<V: Clone + Send + Sync + 'static> ServiceClient<V> {
+impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> ServiceClient<V> {
     /// The core a key routes to. One Fibonacci multiply, using a bit range
     /// disjoint from the elastic table's shard (top byte) and bucket
     /// (bit 32+) indices, so service routing does not correlate with
@@ -518,6 +601,29 @@ impl<V: Clone + Send + Sync + 'static> ServiceClient<V> {
         self.submit(key, OpKind::Remove)
     }
 
+    /// Insert-or-replace through the service; resolves to
+    /// [`Reply::Upserted`] with the previous value.
+    pub fn upsert(&self, key: u64, value: V) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::Upsert(value))
+    }
+
+    /// Value compare-and-swap through the service; resolves to
+    /// [`Reply::Cas`].
+    pub fn compare_swap(
+        &self,
+        key: u64,
+        expected: V,
+        new: V,
+    ) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::CompareSwap { expected, new })
+    }
+
+    /// Atomic counter bump through the service (absent keys count from 0);
+    /// resolves to [`Reply::Added`] with the post-increment reading.
+    pub fn fetch_add(&self, key: u64, delta: u64) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::FetchAdd(delta))
+    }
+
     /// Submit a pipelined burst: every operation is enqueued (blocking on
     /// backpressure) before any reply is awaited, so one client keeps
     /// several core workers busy at once. Returns the completions in
@@ -557,7 +663,7 @@ fn worker_loop<V, M>(
     max_batch: usize,
 ) -> CoreStats
 where
-    V: Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static,
     M: GuardedMap<V> + ?Sized + 'static,
 {
     gate.wait();
@@ -569,9 +675,15 @@ where
     // applied to the pool.
     let mut session: Option<MapHandle<'_, V, M>> = None;
     let mut batch: Vec<Request<V>> = Vec::with_capacity(max_batch);
+    // Adaptive drain depth: start shallow, double (up to `max_batch`) while
+    // the ring stays hot — a full drain that leaves a backlog — and decay
+    // back to the floor when it runs cold, so a bursty core amortizes its
+    // repin harder while a trickling core re-validates (and parks) sooner.
+    let floor = max_batch.clamp(1, 8);
+    let mut target = floor;
     loop {
         let depth = core.ring.len() as u64;
-        let processed = core.ring.pop_batch(&mut batch, max_batch) as u64;
+        let processed = core.ring.pop_batch(&mut batch, target) as u64;
         if processed > 0 {
             let h = session.get_or_insert_with(|| MapHandle::new(&*map));
             // One guard re-validation per batch — the amortization this
@@ -583,6 +695,20 @@ where
                     OpKind::Get => Reply::Got(map.get_in(req.key, guard).cloned()),
                     OpKind::Insert(v) => Reply::Inserted(map.insert_in(req.key, v, guard)),
                     OpKind::Remove => Reply::Removed(map.remove_in(req.key, guard)),
+                    OpKind::Upsert(v) => Reply::Upserted(map.upsert_in(req.key, v, guard)),
+                    OpKind::CompareSwap { expected, new } => {
+                        Reply::Cas(map.compare_swap_in(req.key, &expected, new, guard))
+                    }
+                    OpKind::FetchAdd(delta) => {
+                        let out = map.rmw_in(
+                            req.key,
+                            &mut |cur| {
+                                Some(V::from_u64(cur.map_or(0, V::to_u64).wrapping_add(delta)))
+                            },
+                            guard,
+                        );
+                        Reply::Added(out.cur.map_or(0, V::to_u64))
+                    }
                 };
                 stats
                     .latency_ns
@@ -594,9 +720,35 @@ where
             stats.max_batch = stats.max_batch.max(processed);
             stats.max_depth = stats.max_depth.max(depth.max(processed));
             stats.batch_sizes.record(processed);
+            // Adapt the drain depth to the observed backlog.
+            if processed == target as u64 && !core.ring.is_empty() {
+                target = (target * 2).min(max_batch);
+            } else if core.ring.is_empty() && target > floor {
+                target = floor.max(target / 2);
+            }
+            stats.batch_target = target as u64;
+            stats.batch_target_max = stats.batch_target_max.max(target as u64);
             continue;
         }
-        // Idle. Exit only when intake is closed, no producer is inside the
+        // Idle. A hot stream that just dried up often refills within a few
+        // cache misses: spin briefly before paying the park/unpark cycle.
+        // A cold core (target at the floor) parks immediately instead.
+        if target > floor {
+            target = floor.max(target / 2);
+            stats.batch_target = target as u64;
+            let mut refilled = false;
+            for _ in 0..64 {
+                if !core.ring.is_empty() {
+                    refilled = true;
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            if refilled {
+                continue;
+            }
+        }
+        // Exit only when intake is closed, no producer is inside the
         // enqueue window, and the ring is drained — in that order, so a
         // submission that passed its shutdown re-check is never stranded.
         if shared.shutdown.load(Ordering::SeqCst)

@@ -161,43 +161,103 @@ impl KeySampler {
     }
 }
 
-/// One operation of the set interface (paper §2.2).
+/// One operation of the map interface: the paper's basic vocabulary
+/// (§2.2) plus the compound vocabulary (upsert / CAS / counter RMW).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Op {
     /// `get(k)`
     Get,
-    /// `put(k, v)`
+    /// `put(k, v)` — insert if absent
     Insert,
     /// `remove(k)`
     Remove,
+    /// `upsert(k, v)` — insert-or-replace
+    Upsert,
+    /// `compare_swap(k, expected, new)` — value CAS
+    Cas,
+    /// `fetch_add(k, δ)` — atomic counter RMW
+    FetchAdd,
 }
 
-/// Operation mix: `update_pct` percent updates, half inserts half removes
-/// (paper §3.3).
+/// Operation mix: `update_pct` percent basic updates (half inserts, half
+/// removes — paper §3.3), plus optional compound shares (`upsert_pct`,
+/// `cas_pct`, `fetch_add_pct`); the remainder is reads.
 #[derive(Clone, Copy, Debug)]
 pub struct OpMix {
-    /// Percentage of operations that are updates (0–100).
+    /// Percentage of operations that are basic updates (0–100), split half
+    /// inserts, half removes.
     pub update_pct: u32,
+    /// Percentage of operations that are upserts.
+    pub upsert_pct: u32,
+    /// Percentage of operations that are value compare-and-swaps.
+    pub cas_pct: u32,
+    /// Percentage of operations that are counter RMWs.
+    pub fetch_add_pct: u32,
 }
 
 impl OpMix {
-    /// A mix with the given update percentage.
+    /// The paper's mix: `update_pct` percent basic updates, the rest reads.
     pub fn updates(update_pct: u32) -> Self {
-        assert!(update_pct <= 100);
-        OpMix { update_pct }
+        Self::rmw(update_pct, 0, 0, 0)
+    }
+
+    /// A mix with explicit basic-update and compound shares (the remainder
+    /// is reads); shares must sum to ≤ 100.
+    pub fn rmw(update_pct: u32, upsert_pct: u32, cas_pct: u32, fetch_add_pct: u32) -> Self {
+        assert!(
+            update_pct + upsert_pct + cas_pct + fetch_add_pct <= 100,
+            "op-mix shares must sum to at most 100%"
+        );
+        OpMix {
+            update_pct,
+            upsert_pct,
+            cas_pct,
+            fetch_add_pct,
+        }
+    }
+
+    /// Preset: upsert-heavy traffic (50% upserts, 50% reads) — a cache
+    /// being refreshed.
+    pub fn mix_rmw_upsert_heavy() -> Self {
+        Self::rmw(0, 50, 0, 0)
+    }
+
+    /// Preset: CAS-heavy traffic (10% basic updates, 40% CAS, 50% reads) —
+    /// optimistic conditional writes over a live population.
+    pub fn mix_rmw_cas_heavy() -> Self {
+        Self::rmw(10, 0, 40, 0)
+    }
+
+    /// Preset: counter service (100% `fetch_add`).
+    pub fn mix_rmw_counter() -> Self {
+        Self::rmw(0, 0, 0, 100)
     }
 
     /// Draw the next operation.
     #[inline]
     pub fn sample(&self, rng: &mut FastRng) -> Op {
         let r = rng.bounded(200) as u32; // halves of a percent
-        if r < self.update_pct {
-            Op::Insert
-        } else if r < 2 * self.update_pct {
-            Op::Remove
-        } else {
-            Op::Get
+        let mut edge = self.update_pct;
+        if r < edge {
+            return Op::Insert;
         }
+        edge += self.update_pct;
+        if r < edge {
+            return Op::Remove;
+        }
+        edge += 2 * self.upsert_pct;
+        if r < edge {
+            return Op::Upsert;
+        }
+        edge += 2 * self.cas_pct;
+        if r < edge {
+            return Op::Cas;
+        }
+        edge += 2 * self.fetch_add_pct;
+        if r < edge {
+            return Op::FetchAdd;
+        }
+        Op::Get
     }
 }
 
@@ -450,6 +510,7 @@ mod tests {
                 Op::Insert => ins += 1,
                 Op::Remove => rem += 1,
                 Op::Get => get += 1,
+                other => panic!("basic mix drew {other:?}"),
             }
         }
         let insf = ins as f64 / N as f64;
@@ -488,6 +549,7 @@ mod tests {
                 Op::Insert => grow_ins += 1,
                 Op::Remove => grow_rem += 1,
                 Op::Get => {}
+                other => panic!("churn phase drew {other:?}"),
             }
         }
         assert!(grow_ins > 800, "grow phase inserted only {grow_ins}/1000");
@@ -498,6 +560,7 @@ mod tests {
                 Op::Insert => shr_ins += 1,
                 Op::Remove => shr_rem += 1,
                 Op::Get => {}
+                other => panic!("churn phase drew {other:?}"),
             }
         }
         assert!(shr_rem > 800, "shrink phase removed only {shr_rem}/1000");

@@ -50,6 +50,17 @@ fn main() {
                     Op::Remove => {
                         session.remove(key);
                     }
+                    Op::Upsert => {
+                        session.upsert(key, key);
+                    }
+                    Op::Cas => {
+                        session.compare_swap(key, &key, key);
+                    }
+                    Op::FetchAdd => {
+                        session.rmw(key, &mut |cur| {
+                            Some(cur.copied().unwrap_or(0).wrapping_add(1))
+                        });
+                    }
                 }
                 csds::metrics::op_boundary();
             }

@@ -175,6 +175,12 @@ fn run_client(
                 Op::Get => OpKind::Get,
                 Op::Insert => OpKind::Insert(key ^ 0xABCD),
                 Op::Remove => OpKind::Remove,
+                Op::Upsert => OpKind::Upsert(key ^ 0xABCD),
+                Op::Cas => OpKind::CompareSwap {
+                    expected: key ^ 0xABCD,
+                    new: key ^ 0xABCD,
+                },
+                Op::FetchAdd => OpKind::FetchAdd(1),
             };
             batch.push((key, op));
             sched_ns += pace.next_gap_ns(&mut rng);

@@ -54,11 +54,11 @@ pub mod prelude {
     pub use csds_core::queuestack::{LockedStack, MsQueue, TreiberStack, TwoLockQueue};
     pub use csds_core::skiplist::{HerlihySkipList, LockFreeSkipList, PughSkipList};
     pub use csds_core::{
-        ConcurrentMap, ConcurrentPool, GuardedMap, GuardedPool, MapHandle, PoolHandle, SyncMode,
-        MAX_USER_KEY,
+        CasOutcome, ConcurrentMap, ConcurrentPool, GuardedMap, GuardedPool, MapHandle, PoolHandle,
+        RmwFn, RmwOutcome, SyncMode, MAX_USER_KEY,
     };
     pub use csds_elastic::{ElasticConfig, ElasticHashTable};
     pub use csds_service::{
-        block_on, OpKind, Reply, Service, ServiceClient, ServiceConfig, ServiceError,
+        block_on, FetchAddValue, OpKind, Reply, Service, ServiceClient, ServiceConfig, ServiceError,
     };
 }

@@ -1,5 +1,7 @@
 //! Linearizability spot-checks: record real concurrent histories on small
-//! structures and feed them to the `csds-lincheck` checker.
+//! structures and feed them to the value-aware `csds-lincheck` checker —
+//! the basic vocabulary and the compound vocabulary (upsert / CAS /
+//! fetch-add) alike, for every algorithm in the library.
 
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
@@ -7,12 +9,17 @@ use std::time::Instant;
 use csds::harness::AlgoKind;
 use csds::lincheck::{check_history, Event, OpKind};
 
+/// Small value space so compare-and-swaps actually match sometimes.
+const VALUES: u64 = 4;
+
 /// Record a short concurrent history on `algo` over a handful of keys.
+/// `compound` adds upsert/CAS/fetch-add arms to the recorded mix.
 fn record_history(
     algo: AlgoKind,
     threads: usize,
     ops_per_thread: usize,
     keys: u64,
+    compound: bool,
     seed: u64,
 ) -> Vec<Event> {
     let map = Arc::new(algo.make(16));
@@ -36,17 +43,44 @@ fn record_history(
             barrier.wait();
             for _ in 0..ops_per_thread {
                 let key = rng() % keys;
+                let arms = if compound { 6 } else { 3 };
+                let arm = rng() % arms;
+                let v = rng() % VALUES;
                 let invoke = origin.elapsed().as_nanos() as u64;
-                let kind = match rng() % 3 {
+                let kind = match arm {
                     0 => OpKind::Insert {
-                        ok: map.insert(key, key),
+                        value: v,
+                        ok: map.insert(key, v),
                     },
                     1 => OpKind::Remove {
-                        ok: map.remove(key).is_some(),
+                        removed: map.remove(key),
                     },
-                    _ => OpKind::Get {
-                        found: map.get(key).is_some(),
+                    2 => OpKind::Get {
+                        found: map.get(key),
                     },
+                    3 => OpKind::Upsert {
+                        value: v,
+                        prev: map.upsert(key, v),
+                    },
+                    4 => {
+                        let expected = rng() % VALUES;
+                        let out = map.compare_swap(key, &expected, v);
+                        let swapped = out.swapped();
+                        OpKind::Cas {
+                            expected,
+                            new: v,
+                            observed: out.observed(),
+                            swapped,
+                        }
+                    }
+                    _ => {
+                        let (_, cur, _) =
+                            map.rmw(key, &mut |c| Some(c.copied().unwrap_or(0).wrapping_add(1)));
+                        OpKind::FetchAdd {
+                            delta: 1,
+                            new: cur.expect("fetch_add leaves the key present"),
+                        }
+                    }
                 };
                 let respond = origin.elapsed().as_nanos() as u64;
                 local.push(Event::new(key, kind, invoke, respond.max(invoke)));
@@ -60,65 +94,76 @@ fn record_history(
     Arc::try_unwrap(events).unwrap().into_inner().unwrap()
 }
 
-fn check_algo(algo: AlgoKind) {
+fn check_algo(algo: AlgoKind, compound: bool, rounds: u64) {
     // Several small rounds rather than one big history: the checker is
     // exponential per key, and short rounds catch races just as well.
-    for round in 0..8u64 {
+    for round in 0..rounds {
         // 3 threads x 6 ops over 4 keys ⇒ ≤ 18 events, ≤ ~10 per key.
-        let history = record_history(algo, 3, 6, 4, 0xC0DE + round);
+        let history = record_history(algo, 3, 6, 4, compound, 0xC0DE + round);
         let result = check_history(&[], &history);
         assert!(
             result.is_ok(),
-            "{}: round {round} not linearizable: {result:?}\nhistory: {history:#?}",
+            "{}: round {round} not linearizable (compound={compound}): {result:?}\nhistory: {history:#?}",
             algo.name()
         );
     }
 }
 
 #[test]
-fn lazy_list_is_linearizable() {
-    check_algo(AlgoKind::LazyList);
+fn every_algorithm_is_linearizable_on_the_basic_vocabulary() {
+    for &algo in AlgoKind::all() {
+        check_algo(algo, false, 4);
+    }
 }
 
 #[test]
-fn harris_list_is_linearizable() {
-    check_algo(AlgoKind::HarrisList);
+fn every_algorithm_is_linearizable_on_the_compound_vocabulary() {
+    for &algo in AlgoKind::all() {
+        check_algo(algo, true, 6);
+    }
 }
 
 #[test]
-fn waitfree_list_is_linearizable() {
-    check_algo(AlgoKind::WaitFreeList);
-}
-
-#[test]
-fn herlihy_skiplist_is_linearizable() {
-    check_algo(AlgoKind::HerlihySkipList);
-}
-
-#[test]
-fn lazy_hashtable_is_linearizable() {
-    check_algo(AlgoKind::LazyHashTable);
-}
-
-#[test]
-fn bst_tk_is_linearizable() {
-    check_algo(AlgoKind::BstTk);
-}
-
-#[test]
-fn elided_lazy_list_is_linearizable() {
-    check_algo(AlgoKind::LazyListElided);
+fn figure_structures_get_extra_rounds() {
+    // The four best-blocking structures the paper's figures feature, plus
+    // the lock-free list: deeper sampling on the designs users reach for.
+    for algo in [
+        AlgoKind::LazyList,
+        AlgoKind::LazyListElided,
+        AlgoKind::HarrisList,
+        AlgoKind::HerlihySkipList,
+        AlgoKind::LazyHashTable,
+        AlgoKind::ElasticHashTable,
+        AlgoKind::BstTk,
+    ] {
+        check_algo(algo, true, 8);
+    }
 }
 
 #[test]
 fn checker_rejects_a_corrupted_history() {
-    // Sanity: take a real history and corrupt one response; the checker
-    // must notice. (Flipping a successful insert to failed on a key that
-    // was previously absent breaks the witness.)
+    // Sanity: take a legal history and corrupt one response; the checker
+    // must notice. (A remove reporting absence right after a successful
+    // insert breaks the witness.)
     let history = vec![
-        Event::new(1, OpKind::Insert { ok: true }, 0, 1),
-        Event::new(1, OpKind::Get { found: true }, 2, 3),
-        Event::new(1, OpKind::Remove { ok: false }, 4, 5), // corrupted
+        Event::new(1, OpKind::Insert { value: 5, ok: true }, 0, 1),
+        Event::new(1, OpKind::Get { found: Some(5) }, 2, 3),
+        Event::new(1, OpKind::Remove { removed: None }, 4, 5), // corrupted
+    ];
+    assert!(!check_history(&[], &history).is_ok());
+    // And a value corruption specifically: an upsert replacing a value
+    // nobody wrote.
+    let history = vec![
+        Event::new(1, OpKind::Insert { value: 5, ok: true }, 0, 1),
+        Event::new(
+            1,
+            OpKind::Upsert {
+                value: 6,
+                prev: Some(9),
+            },
+            2,
+            3,
+        ),
     ];
     assert!(!check_history(&[], &history).is_ok());
 }

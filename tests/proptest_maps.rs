@@ -13,13 +13,32 @@ enum MapOp {
     Insert(u64, u64),
     Remove(u64),
     Get(u64),
+    /// Insert-or-replace.
+    Upsert(u64, u64),
+    /// Value CAS; the comparand is drawn from the same small space as the
+    /// inserted values so matches actually occur.
+    Cas(u64, u64, u64),
+    /// Closure RMW on existing keys (multiply by an odd constant).
+    Update(u64),
+    /// Atomic get-or-insert.
+    GetOrInsert(u64, u64),
+}
+
+/// Values are drawn from a small space so CAS comparands collide with live
+/// values often enough to exercise the `Swapped` arm.
+fn small_value() -> impl Strategy<Value = u64> {
+    0u64..8
 }
 
 fn op_strategy(key_range: u64) -> impl Strategy<Value = MapOp> {
     prop_oneof![
-        (0..key_range, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (0..key_range, small_value()).prop_map(|(k, v)| MapOp::Insert(k, v)),
         (0..key_range).prop_map(MapOp::Remove),
         (0..key_range).prop_map(MapOp::Get),
+        (0..key_range, small_value()).prop_map(|(k, v)| MapOp::Upsert(k, v)),
+        (0..key_range, small_value(), small_value()).prop_map(|(k, e, v)| MapOp::Cas(k, e, v)),
+        (0..key_range).prop_map(MapOp::Update),
+        (0..key_range, small_value()).prop_map(|(k, v)| MapOp::GetOrInsert(k, v)),
     ]
 }
 
@@ -53,6 +72,57 @@ fn run_against_model(algo: AlgoKind, ops: &[MapOp]) {
                     map.get(k),
                     model.get(&k).copied(),
                     "{}: get({k}) at {i}",
+                    algo.name()
+                );
+            }
+            MapOp::Upsert(k, v) => {
+                assert_eq!(
+                    map.upsert(k, v),
+                    model.insert(k, v),
+                    "{}: upsert({k}) at {i}",
+                    algo.name()
+                );
+            }
+            MapOp::Cas(k, expected, v) => {
+                use csds::core::CasOutcome;
+                let got = map.compare_swap(k, &expected, v);
+                let want = match model.get(&k) {
+                    Some(&cur) if cur == expected => {
+                        model.insert(k, v);
+                        CasOutcome::Swapped(cur)
+                    }
+                    Some(&cur) => CasOutcome::Mismatch(cur),
+                    None => CasOutcome::Absent,
+                };
+                assert_eq!(got, want, "{}: compare_swap({k}) at {i}", algo.name());
+            }
+            MapOp::Update(k) => {
+                let (prev, cur, applied) = map.rmw(k, &mut |c| c.map(|v| v.wrapping_mul(3)));
+                let want = model.get(&k).copied();
+                if let Some(w) = want {
+                    model.insert(k, w.wrapping_mul(3));
+                }
+                assert_eq!(prev, want, "{}: update({k}) at {i}", algo.name());
+                assert_eq!(
+                    cur,
+                    model.get(&k).copied(),
+                    "{}: update cur({k}) at {i}",
+                    algo.name()
+                );
+                assert_eq!(
+                    applied,
+                    want.is_some(),
+                    "{}: update applied({k})",
+                    algo.name()
+                );
+            }
+            MapOp::GetOrInsert(k, v) => {
+                let (_, cur, _) = map.rmw(k, &mut |c| if c.is_none() { Some(v) } else { None });
+                let want = *model.entry(k).or_insert(v);
+                assert_eq!(
+                    cur,
+                    Some(want),
+                    "{}: get_or_insert({k}) at {i}",
                     algo.name()
                 );
             }
@@ -145,6 +215,46 @@ fn run_elastic_churn_against_model(grow: &[MapOp], drain: &[MapOp]) {
                     "elastic churn: get({k}) at {i}"
                 );
             }
+            MapOp::Upsert(k, v) => {
+                assert_eq!(
+                    csds::core::ConcurrentMap::upsert(map, k, v),
+                    model.insert(k, v),
+                    "elastic churn: upsert({k}) at {i}"
+                );
+            }
+            MapOp::Cas(k, expected, v) => {
+                use csds::core::CasOutcome;
+                let got = csds::core::ConcurrentMap::compare_swap(map, k, &expected, v);
+                let want = match model.get(&k) {
+                    Some(&cur) if cur == expected => {
+                        model.insert(k, v);
+                        CasOutcome::Swapped(cur)
+                    }
+                    Some(&cur) => CasOutcome::Mismatch(cur),
+                    None => CasOutcome::Absent,
+                };
+                assert_eq!(got, want, "elastic churn: compare_swap({k}) at {i}");
+            }
+            MapOp::Update(k) => {
+                let (prev, _, _) =
+                    csds::core::ConcurrentMap::rmw(map, k, &mut |c| c.map(|v| v.wrapping_mul(3)));
+                let want = model.get(&k).copied();
+                if let Some(w) = want {
+                    model.insert(k, w.wrapping_mul(3));
+                }
+                assert_eq!(prev, want, "elastic churn: update({k}) at {i}");
+            }
+            MapOp::GetOrInsert(k, v) => {
+                let (_, cur, _) = csds::core::ConcurrentMap::rmw(map, k, &mut |c| {
+                    if c.is_none() {
+                        Some(v)
+                    } else {
+                        None
+                    }
+                });
+                let want = *model.entry(k).or_insert(v);
+                assert_eq!(cur, Some(want), "elastic churn: get_or_insert({k}) at {i}");
+            }
         }
     }
     for (i, op) in grow.iter().enumerate() {
@@ -179,7 +289,11 @@ proptest! {
     fn elastic_crossing_grow_and_shrink_thresholds_obeys_model(
         grow in proptest::collection::vec(
             prop_oneof![
-                4 => (0..256u64, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+                3 => (0..256u64, small_value()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+                2 => (0..256u64, small_value()).prop_map(|(k, v)| MapOp::Upsert(k, v)),
+                1 => (0..256u64, small_value(), small_value())
+                    .prop_map(|(k, e, v)| MapOp::Cas(k, e, v)),
+                1 => (0..256u64).prop_map(MapOp::Update),
                 1 => (0..256u64).prop_map(MapOp::Remove),
                 1 => (0..256u64).prop_map(MapOp::Get),
             ],
@@ -187,8 +301,11 @@ proptest! {
         ),
         drain in proptest::collection::vec(
             prop_oneof![
-                1 => (0..256u64, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+                1 => (0..256u64, small_value()).prop_map(|(k, v)| MapOp::Insert(k, v)),
                 4 => (0..256u64).prop_map(MapOp::Remove),
+                1 => (0..256u64).prop_map(MapOp::Update),
+                1 => (0..256u64, small_value(), small_value())
+                    .prop_map(|(k, e, v)| MapOp::Cas(k, e, v)),
                 1 => (0..256u64).prop_map(MapOp::Get),
             ],
             100..400,

@@ -157,6 +157,112 @@ fn all_algorithms_concurrent_net_effect_through_the_service() {
     }
 }
 
+#[test]
+fn all_algorithms_compound_vocabulary_through_the_service() {
+    use csds::core::CasOutcome;
+    for algo in AlgoKind::all() {
+        let svc = algo.make_service(128, service_cfg());
+        let client = svc.client();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = common::rng_stream(0xCAFE_F00D);
+        for i in 0..400u64 {
+            let key = rng() % 48;
+            let v = rng() % 8;
+            match rng() % 4 {
+                0 => {
+                    let got = block_on(client.upsert(key, v).unwrap()).unwrap();
+                    assert_eq!(
+                        got,
+                        Reply::Upserted(model.insert(key, v)),
+                        "{}: upsert({key}) at {i}",
+                        algo.name()
+                    );
+                }
+                1 => {
+                    let expected = rng() % 8;
+                    let got = block_on(client.compare_swap(key, expected, v).unwrap()).unwrap();
+                    let want = match model.get(&key) {
+                        Some(&cur) if cur == expected => {
+                            model.insert(key, v);
+                            CasOutcome::Swapped(cur)
+                        }
+                        Some(&cur) => CasOutcome::Mismatch(cur),
+                        None => CasOutcome::Absent,
+                    };
+                    assert_eq!(
+                        got,
+                        Reply::Cas(want),
+                        "{}: compare_swap({key}) at {i}",
+                        algo.name()
+                    );
+                }
+                2 => {
+                    let got = block_on(client.fetch_add(key, 3).unwrap()).unwrap();
+                    let new = model.get(&key).copied().unwrap_or(0).wrapping_add(3);
+                    model.insert(key, new);
+                    assert_eq!(
+                        got,
+                        Reply::Added(new),
+                        "{}: fetch_add({key}) at {i}",
+                        algo.name()
+                    );
+                }
+                _ => {
+                    let got = block_on(client.get(key).unwrap()).unwrap();
+                    assert_eq!(
+                        got,
+                        Reply::Got(model.get(&key).copied()),
+                        "{}: get({key}) at {i}",
+                        algo.name()
+                    );
+                }
+            }
+        }
+        assert_eq!(svc.map().len(), model.len(), "{}", algo.name());
+        let stats = svc.shutdown();
+        assert_eq!(stats.aggregate().ops, 400, "{}", algo.name());
+    }
+}
+
+#[test]
+fn service_fetch_add_is_exactly_once_under_concurrent_clients() {
+    // Counters served over the elastic table: every accepted FetchAdd must
+    // land exactly once, across rings, batches, and live migrations.
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: u64 = 1_500;
+    const KEYS: u64 = 16;
+    let svc = AlgoKind::ElasticHashTable.make_service(16, service_cfg());
+    let mut threads = Vec::new();
+    for c in 0..CLIENTS as u64 {
+        let client = svc.client();
+        threads.push(std::thread::spawn(move || {
+            let mut rng = common::rng_stream(0xADD ^ (c + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut pending = Vec::new();
+            for _ in 0..PER_CLIENT {
+                pending.push(client.fetch_add(rng() % KEYS, 1).unwrap());
+            }
+            for f in pending {
+                assert!(f.wait().unwrap().added().is_some());
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let total: u64 = (0..KEYS).map(|k| svc.map().get(k).unwrap_or(0)).sum();
+    assert_eq!(
+        total,
+        CLIENTS as u64 * PER_CLIENT,
+        "lost or doubled fetch_add through the service"
+    );
+    let stats = svc.shutdown();
+    assert_eq!(stats.aggregate().ops, CLIENTS as u64 * PER_CLIENT);
+    assert!(
+        stats.aggregate().batch_target_max >= 1,
+        "adaptive target must be recorded"
+    );
+}
+
 /// A `GuardedMap` whose `get_in` on one sentinel key blocks until released:
 /// lets the tests park a core worker mid-operation deterministically, so
 /// ring backpressure and shutdown-with-pending-requests become observable
@@ -211,6 +317,15 @@ impl GuardedMap<u64> for GateMap {
 
     fn len_in(&self, guard: &Guard) -> usize {
         self.inner.len_in(guard)
+    }
+
+    fn rmw_in<'g>(
+        &'g self,
+        key: u64,
+        f: csds::core::RmwFn<'_, u64>,
+        guard: &'g Guard,
+    ) -> csds::core::RmwOutcome<'g, u64> {
+        self.inner.rmw_in(key, f, guard)
     }
 }
 

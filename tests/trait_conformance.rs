@@ -36,6 +36,73 @@ fn all_algorithms_concurrent_net_effect_through_handles() {
 }
 
 #[test]
+fn all_algorithms_match_btreemap_on_the_compound_vocabulary() {
+    // upsert / CAS / closure RMW through the pin-per-op trait object.
+    for algo in AlgoKind::all() {
+        let map = algo.make(128);
+        common::compound_model_check(map.as_ref(), 2_500, 96, 0xC0_FF_EE);
+    }
+}
+
+#[test]
+fn all_algorithms_match_btreemap_on_the_compound_vocabulary_through_handles() {
+    // The same vocabulary through a MapHandle session, plus the generic
+    // `update` / `get_or_insert_with` wrappers.
+    for algo in AlgoKind::all() {
+        let map = algo.make_guarded(128);
+        common::compound_model_check_handle(map.as_ref(), 2_500, 96, 0xBEE5);
+    }
+}
+
+#[test]
+fn all_algorithms_closure_rmw_is_atomic_under_contention() {
+    // A counter served by fetch-add RMWs: any lost update (a non-atomic
+    // read-modify-write window) makes the final sum come up short.
+    use std::sync::Arc;
+    for algo in AlgoKind::all() {
+        let map = Arc::new(algo.make_guarded(16));
+        common::concurrent_counter_sum(map, 4, 2_000, 8);
+    }
+}
+
+#[test]
+fn all_algorithms_cas_loops_converge_under_contention() {
+    // Optimistic CAS increment loops: every one of N*M increments must
+    // land exactly once even when every retry races every other thread.
+    use std::sync::Arc;
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 500;
+    for algo in AlgoKind::all() {
+        let map = Arc::new(algo.make_guarded(16));
+        assert!(map.insert(7, 0), "{}", algo.name());
+        let mut workers = Vec::new();
+        for _ in 0..THREADS {
+            let map = Arc::clone(&map);
+            workers.push(std::thread::spawn(move || {
+                let mut h = csds::core::MapHandle::new(map.as_ref().as_ref());
+                for _ in 0..PER_THREAD {
+                    loop {
+                        let cur = *h.get(7).expect("counter stays present");
+                        if h.compare_swap(7, &cur, cur + 1).swapped() {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(
+            map.get(7),
+            Some(THREADS as u64 * PER_THREAD),
+            "{}: CAS increments lost",
+            algo.name()
+        );
+    }
+}
+
+#[test]
 fn all_algorithms_handle_empty_and_full_edges() {
     for algo in AlgoKind::all() {
         let map = algo.make(16);
@@ -60,6 +127,48 @@ fn all_algorithms_handle_empty_and_full_edges() {
             assert!(map.insert(k, k), "{name} reinsert {k}");
         }
         assert_eq!(map.len(), 32, "{name} after refill");
+    }
+}
+
+#[test]
+fn is_empty_overrides_agree_with_len_through_churn() {
+    // Regression for the O(n) `is_empty_in` default: the early-exit
+    // overrides (hash tables, elastic table, skiplists, lists, BST) must
+    // agree with `len_in == 0` at every point of an insert/remove/upsert
+    // churn, through both the guard-scoped and the pin-per-op paths.
+    for algo in AlgoKind::all() {
+        let map = algo.make_guarded(32);
+        let name = algo.name();
+        let mut rng = common::rng_stream(0xE4417 ^ 0xB00);
+        let guard = csds::ebr::pin();
+        assert!(map.is_empty_in(&guard), "{name}: fresh map");
+        for i in 0..600u64 {
+            let key = rng() % 24;
+            match rng() % 4 {
+                0 => {
+                    map.insert_in(key, key, &guard);
+                }
+                1 => {
+                    map.remove_in(key, &guard);
+                }
+                2 => {
+                    map.upsert_in(key, key + 1, &guard);
+                }
+                _ => {
+                    map.remove_in(rng() % 24, &guard);
+                }
+            }
+            assert_eq!(
+                map.is_empty_in(&guard),
+                map.len_in(&guard) == 0,
+                "{name}: is_empty_in vs len_in at op {i}"
+            );
+        }
+        for k in 0..24 {
+            map.remove_in(k, &guard);
+        }
+        assert!(map.is_empty_in(&guard), "{name}: after full drain");
+        assert!(map.is_empty(), "{name}: pin-per-op path after drain");
     }
 }
 
