@@ -64,6 +64,13 @@ where
         self.bucket(k).get_in(k, guard)
     }
 
+    /// Guard-scoped membership test: delegates to the key's bucket so the
+    /// inner map's native (possibly optimistic) `contains_in` is reached.
+    pub fn contains_in(&self, k: u64, guard: &Guard) -> bool {
+        key::check_user_key(k);
+        self.bucket(k).contains_in(k, guard)
+    }
+
     /// Guard-scoped `insert`.
     pub fn insert_in(&self, k: u64, value: V, guard: &Guard) -> bool {
         key::check_user_key(k);
@@ -104,6 +111,10 @@ where
 {
     fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         Bucketed::get_in(self, key, guard)
+    }
+
+    fn contains_in(&self, key: u64, guard: &Guard) -> bool {
+        Bucketed::contains_in(self, key, guard)
     }
 
     fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {

@@ -12,12 +12,21 @@
 //! `marked` flag is set (a node is marked, then unlinked, both under the
 //! bucket lock — or both inside one speculative transaction in
 //! [`SyncMode::Elision`]).
+//!
+//! The bucket lock is an [`OptikLock`], so its version word doubles as a
+//! per-bucket seqlock: in [`SyncMode::Locks`] every chain mutation runs
+//! inside a bucket critical section, which lets reads validate a version
+//! instead of locking and lets `rmw_in` parse + run the user closure
+//! unsynchronized and then acquire with [`OptikLock::try_lock_version`] —
+//! taking the lock's cache-line bounce only when the bucket actually
+//! changed underneath (paper §5.1's validate-instead-of-wait idiom,
+//! extended from BST-TK to the hash table).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use csds_ebr::{Atomic, Guard, Shared};
 use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
-use csds_sync::{lock_guard, RawMutex, TicketLock};
+use csds_sync::{lock_guard, OptikLock, RawMutex, OPTIMISTIC_RMW_RETRIES};
 
 use crate::hashtable::{bucket_count, bucket_of};
 use crate::{key, GuardedMap, RmwFn, RmwOutcome, SyncMode, ELISION_RETRIES};
@@ -41,7 +50,7 @@ struct Node<V> {
 }
 
 struct Bucket<V> {
-    lock: TicketLock,
+    lock: OptikLock,
     head: Atomic<Node<V>>,
 }
 
@@ -70,7 +79,7 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
         LazyHashTable {
             buckets: (0..n)
                 .map(|_| Bucket {
-                    lock: TicketLock::new(),
+                    lock: OptikLock::new(),
                     head: Atomic::null(),
                 })
                 .collect(),
@@ -110,10 +119,11 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
 }
 
 impl<V: Clone + Send + Sync> LazyHashTable<V> {
-    /// Guard-scoped `get`: clone-free reference valid for `'g`.
-    pub fn get_in<'g>(&'g self, k: u64, guard: &'g Guard) -> Option<&'g V> {
-        key::check_user_key(k);
-        let (_, curr) = Self::scan(self.bucket(k), k, guard);
+    /// One unsynchronized chain read: the node's value if the key is
+    /// present and not deleted. Safe on a torn chain (EBR keeps every
+    /// reachable node alive), correct on a quiescent one.
+    fn read_chain<'g>(bucket: &'g Bucket<V>, k: u64, guard: &'g Guard) -> Option<&'g V> {
+        let (_, curr) = Self::scan(bucket, k, guard);
         if curr.is_null() {
             return None;
         }
@@ -126,6 +136,48 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
             // this stale read linearizes before the replacement).
             c.value.as_ref()
         }
+    }
+
+    /// Guard-scoped `get`: clone-free reference valid for `'g`.
+    ///
+    /// In [`SyncMode::Locks`] the read first runs as a seqlock snapshot
+    /// against the bucket version ([`OptikLock::optimistic_read`]): an
+    /// unchanged even version proves no writer critical section overlapped
+    /// the walk, so the result is a consistent snapshot linearizing at the
+    /// version load. Torn attempts retry (bounded) and then fall back to
+    /// the plain unvalidated walk — still correct (marked-node skipping
+    /// handles racing writers), just without the snapshot guarantee.
+    pub fn get_in<'g>(&'g self, k: u64, guard: &'g Guard) -> Option<&'g V> {
+        key::check_user_key(k);
+        let bucket = self.bucket(k);
+        if self.region.is_none() && csds_sync::optimistic_fast_paths() {
+            if let Some(out) = bucket
+                .lock
+                .optimistic_read(|| Self::read_chain(bucket, k, guard))
+            {
+                return out;
+            }
+            csds_metrics::optimistic_fallback();
+        }
+        Self::read_chain(bucket, k, guard)
+    }
+
+    /// Guard-scoped membership test: the same validated fast path as
+    /// [`get_in`](LazyHashTable::get_in) without materializing the value
+    /// reference.
+    pub fn contains_in(&self, k: u64, guard: &Guard) -> bool {
+        key::check_user_key(k);
+        let bucket = self.bucket(k);
+        if self.region.is_none() && csds_sync::optimistic_fast_paths() {
+            if let Some(found) = bucket
+                .lock
+                .optimistic_read(|| Self::read_chain(bucket, k, guard).is_some())
+            {
+                return found;
+            }
+            csds_metrics::optimistic_fallback();
+        }
+        Self::read_chain(bucket, k, guard).is_some()
     }
 
     /// Guard-scoped `insert`.
@@ -378,11 +430,28 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
     /// A present key is replaced by swapping in a fresh same-key node at
     /// the same chain position, marking the old node `SUPERSEDED`; an
     /// absent key is pushed at the bucket head. **Linearization point: the
-    /// chain-link store** (`pred.next`/bucket-head), or the locked
-    /// observation for read-only decisions; the closure runs exactly once.
+    /// chain-link store** (`pred.next`/bucket-head), or the locked (or
+    /// version-validated) observation for read-only decisions.
+    ///
+    /// In [`SyncMode::Locks`] the operation first runs **validate-then-
+    /// lock**: snapshot the bucket version, parse and run the closure
+    /// unsynchronized, then either [`OptikLock::read_validate`] (read-only
+    /// decision — no lock at all) or [`OptikLock::try_lock_version`]
+    /// (write decision — the lock is taken only if the bucket is
+    /// unchanged, so the uncontended case pays one CAS on an
+    /// already-owned line instead of a full lock handoff). A failed
+    /// validation restarts (bounded by [`OPTIMISTIC_RMW_RETRIES`]) and
+    /// then falls back to the pessimistic locked path — which is why the
+    /// closure is documented as "may run more than once".
     pub fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
         crate::key::check_user_key(key);
         let bucket = self.bucket(key);
+        if self.region.is_none() && csds_sync::optimistic_fast_paths() {
+            match Self::rmw_optimistic(bucket, key, &mut *f, guard) {
+                Ok(out) => return out,
+                Err(()) => csds_metrics::optimistic_fallback(),
+            }
+        }
         let g = lock_guard(&bucket.lock);
         // Elision mode: hold the region's sequence lock across validation
         // and stores so concurrent speculation aborts or serializes.
@@ -469,11 +538,143 @@ impl<V: Clone + Send + Sync> LazyHashTable<V> {
             }
         }
     }
+
+    /// The validate-then-lock RMW attempt loop (Locks mode only): up to
+    /// [`OPTIMISTIC_RMW_RETRIES`] rounds of snapshot → unsynchronized
+    /// parse → closure → validate/lock. `Err(())` means every round was
+    /// torn by a concurrent writer; the caller takes the pessimistic path.
+    fn rmw_optimistic<'g>(
+        bucket: &'g Bucket<V>,
+        key: u64,
+        f: RmwFn<'_, V>,
+        guard: &'g Guard,
+    ) -> Result<RmwOutcome<'g, V>, ()> {
+        for _ in 0..OPTIMISTIC_RMW_RETRIES {
+            csds_metrics::optimistic_attempt();
+            let Some(seen) = bucket.lock.read_begin() else {
+                // A writer is inside the bucket right now.
+                csds_metrics::optimistic_failure();
+                csds_metrics::restart();
+                continue;
+            };
+            let (pred, curr) = Self::scan(bucket, key, guard);
+            if !curr.is_null() {
+                // SAFETY: pinned.
+                let c = unsafe { curr.deref() };
+                if c.marked.load(Ordering::Acquire) != LIVE {
+                    // From a quiescent snapshot no marked node is reachable
+                    // (mark and unlink share one critical section), so this
+                    // chain is torn; validation would fail.
+                    csds_metrics::optimistic_failure();
+                    csds_metrics::restart();
+                    continue;
+                }
+                let current = c.value.as_ref().expect("live node holds a value");
+                match f(Some(current)) {
+                    None => {
+                        // Read-only decision: no lock at all — validate the
+                        // version like a seqlock read and linearize at the
+                        // snapshot.
+                        if bucket.lock.read_validate(seen) {
+                            return Ok(RmwOutcome {
+                                prev: Some(current.clone()),
+                                cur: Some(current),
+                                applied: false,
+                            });
+                        }
+                    }
+                    Some(new_value) => {
+                        let new_s = Shared::boxed(Node {
+                            key,
+                            value: Some(new_value),
+                            marked: AtomicUsize::new(LIVE),
+                            next: Atomic::null(),
+                        });
+                        // Acquire only if the bucket is unchanged since the
+                        // snapshot; success proves pred/curr are still the
+                        // chain's current nodes.
+                        if bucket.lock.try_lock_version(seen) {
+                            csds_metrics::maybe_delay_in_cs();
+                            // SAFETY: unpublished; chain now serialized.
+                            unsafe { new_s.deref() }.next.store(c.next.load(guard));
+                            c.marked.store(SUPERSEDED, Ordering::Release);
+                            if pred.is_null() {
+                                bucket.head.store(new_s); // linearization point
+                            } else {
+                                // SAFETY: pinned; serialized by the lock.
+                                unsafe { pred.deref() }.next.store(new_s);
+                            }
+                            bucket.lock.unlock();
+                            let prev = c.value.clone();
+                            // SAFETY: unlinked under the lock; retired once.
+                            unsafe { guard.defer_drop(curr) };
+                            // SAFETY: published; pinned.
+                            let cur = unsafe { new_s.deref() }.value.as_ref();
+                            return Ok(RmwOutcome {
+                                prev,
+                                cur,
+                                applied: true,
+                            });
+                        }
+                        // SAFETY: never published.
+                        unsafe { drop(new_s.into_box()) };
+                    }
+                }
+            } else {
+                match f(None) {
+                    None => {
+                        if bucket.lock.read_validate(seen) {
+                            return Ok(RmwOutcome {
+                                prev: None,
+                                cur: None,
+                                applied: false,
+                            });
+                        }
+                    }
+                    Some(new_value) => {
+                        let new_s = Shared::boxed(Node {
+                            key,
+                            value: Some(new_value),
+                            marked: AtomicUsize::new(LIVE),
+                            next: Atomic::null(),
+                        });
+                        if bucket.lock.try_lock_version(seen) {
+                            csds_metrics::maybe_delay_in_cs();
+                            // SAFETY: unpublished. Head cannot have moved
+                            // since the snapshot (version unchanged), but
+                            // reload under the lock anyway — it is one L1
+                            // hit and keeps this store independent of the
+                            // validation argument.
+                            unsafe { new_s.deref() }.next.store(bucket.head.load(guard));
+                            bucket.head.store(new_s); // linearization point
+                            bucket.lock.unlock();
+                            // SAFETY: published; pinned.
+                            let cur = unsafe { new_s.deref() }.value.as_ref();
+                            return Ok(RmwOutcome {
+                                prev: None,
+                                cur,
+                                applied: true,
+                            });
+                        }
+                        // SAFETY: never published.
+                        unsafe { drop(new_s.into_box()) };
+                    }
+                }
+            }
+            csds_metrics::optimistic_failure();
+            csds_metrics::restart();
+        }
+        Err(())
+    }
 }
 
 impl<V: Clone + Send + Sync> GuardedMap<V> for LazyHashTable<V> {
     fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         LazyHashTable::get_in(self, key, guard)
+    }
+
+    fn contains_in(&self, key: u64, guard: &Guard) -> bool {
+        LazyHashTable::contains_in(self, key, guard)
     }
 
     fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool {

@@ -248,6 +248,14 @@ pub trait GuardedMap<V>: Send + Sync {
     /// borrow ends first bounds the reference).
     fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V>;
 
+    /// Membership test under `guard`. The default delegates to
+    /// [`get_in`](Self::get_in); structures with a cheaper presence check
+    /// (e.g. a version-validated walk that skips materializing the value
+    /// reference) override it.
+    fn contains_in(&self, key: u64, guard: &Guard) -> bool {
+        self.get_in(key, guard).is_some()
+    }
+
     /// `put(k,v)` under `guard`: insert if absent. Returns `false` if `k`
     /// was present (no overwrite), `true` if the pair was inserted.
     fn insert_in(&self, key: u64, value: V, guard: &Guard) -> bool;
@@ -416,6 +424,8 @@ pub trait GuardedPool<V>: Send + Sync {
 pub trait ConcurrentMap<V>: Send + Sync {
     /// `get(k)`: the value associated with `k`, if present.
     fn get(&self, key: u64) -> Option<V>;
+    /// Membership test ([`GuardedMap::contains_in`]) — no value clone.
+    fn contains(&self, key: u64) -> bool;
     /// `put(k,v)`: insert if absent. Returns `false` if `k` was present
     /// (no overwrite), `true` if the pair was inserted.
     fn insert(&self, key: u64, value: V) -> bool;
@@ -442,6 +452,11 @@ impl<V: Clone, T: GuardedMap<V> + ?Sized> ConcurrentMap<V> for T {
     fn get(&self, key: u64) -> Option<V> {
         let guard = pin();
         self.get_in(key, &guard).cloned()
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        let guard = pin();
+        self.contains_in(key, &guard)
     }
 
     fn insert(&self, key: u64, value: V) -> bool {
@@ -595,6 +610,14 @@ impl<'m, V, M: GuardedMap<V> + ?Sized> MapHandle<'m, V, M> {
         V: Clone,
     {
         self.get(key).cloned()
+    }
+
+    /// Membership test — no value reference, no clone. See
+    /// [`GuardedMap::contains_in`].
+    #[inline]
+    pub fn contains(&mut self, key: u64) -> bool {
+        self.session.repin();
+        self.map.contains_in(key, &self.session.guard)
     }
 
     /// `put(k,v)`: insert if absent; `false` if the key was present.

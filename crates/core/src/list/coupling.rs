@@ -13,11 +13,25 @@
 //! earlier revision did): the guard-scoped read API hands out `&'g V`
 //! references that outlive the traversal locks, and the caller's pin is
 //! what keeps those referents alive.
+//!
+//! One amendment to the classic algorithm: the list carries a single
+//! [`OptikLock`] version word that every writer bumps around its publish
+//! store, which lets `get_in` (and read-only `rmw_in` decisions) first
+//! attempt a **seqlock read** — a fully lockless walk validated against
+//! the version — and take the hand-over-hand locked walk only as
+//! fallback. Inside a [`Bucketed`]
+//! table this is exactly the "snapshot bucket version → lockless chain
+//! walk → validate" protocol (the chains are short, so the one-word writer
+//! serialization is held for two stores). The paper's §5.1 indictment of
+//! lock-coupling still stands for the *fallback* path; the fast path shows
+//! how little it takes to fix the read side.
+//!
+//! [`Bucketed`]: crate::hashtable::Bucketed
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use csds_ebr::{Guard, Shared};
-use csds_sync::{RawMutex, TicketLock};
+use csds_sync::{OptikLock, RawMutex, TicketLock, OPTIMISTIC_RMW_RETRIES};
 
 use crate::key::{self, HEAD_IKEY, TAIL_IKEY};
 use crate::{GuardedMap, RmwFn, RmwOutcome};
@@ -46,6 +60,9 @@ impl<V> Node<V> {
 /// Lock-coupling sorted list. See the module docs.
 pub struct CouplingList<V> {
     head: *mut Node<V>,
+    /// List-level seqlock: writers hold it across their publish store so
+    /// optimistic readers can validate a lockless walk against it.
+    version: OptikLock,
 }
 
 // SAFETY: all node access is serialized per node by the per-node locks;
@@ -64,7 +81,31 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
     pub fn new() -> Self {
         let tail = Node::<V>::alloc(TAIL_IKEY, None, 0);
         let head = Node::alloc(HEAD_IKEY, None, tail as usize);
-        CouplingList { head }
+        CouplingList {
+            head,
+            version: OptikLock::new(),
+        }
+    }
+
+    /// Lockless walk for the optimistic read path. Safe on a torn list:
+    /// every node reachable during the caller's pin is alive (unlinked
+    /// nodes are EBR-retired, `next` always points at a node no closer to
+    /// the head, and the tail sentinel's key exceeds every user ikey, so
+    /// the walk terminates). The result is only *trusted* after
+    /// [`OptikLock::read_validate`] proves no writer overlapped.
+    fn walk_lockless<'g>(&'g self, ikey: u64, _guard: &'g Guard) -> Option<&'g V> {
+        // SAFETY: see above — pinned traversal over EBR-retired nodes.
+        unsafe {
+            let mut curr = (*self.head).next.load(Ordering::Acquire) as *const Node<V>;
+            while (*curr).key < ikey {
+                curr = (*curr).next.load(Ordering::Acquire) as *const Node<V>;
+            }
+            if (*curr).key == ikey {
+                (*curr).value.as_ref().map(|v| &*(v as *const V))
+            } else {
+                None
+            }
+        }
     }
 
     /// Hand-over-hand traversal. Returns `(pred, curr)`, **both locked**,
@@ -87,11 +128,26 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
         }
     }
 
-    /// Guard-scoped `get`: the locks cover the traversal; the guard keeps
-    /// the returned reference alive after they are released (removers
-    /// retire nodes through EBR and never mutate published values).
-    pub fn get_in<'g>(&'g self, key: u64, _guard: &'g Guard) -> Option<&'g V> {
+    /// Guard-scoped `get`.
+    ///
+    /// Fast path: a seqlock read — lockless walk validated against the
+    /// list version ([`OptikLock::optimistic_read`], bounded retries).
+    /// Fallback (torn by concurrent writers, or fast paths disabled): the
+    /// classic hand-over-hand locked walk — the locks cover the traversal;
+    /// the guard keeps the returned reference alive after they are
+    /// released (removers retire nodes through EBR and never mutate
+    /// published values).
+    pub fn get_in<'g>(&'g self, key: u64, guard: &'g Guard) -> Option<&'g V> {
         let ikey = key::ikey(key);
+        if csds_sync::optimistic_fast_paths() {
+            if let Some(out) = self
+                .version
+                .optimistic_read(|| self.walk_lockless(ikey, guard))
+            {
+                return out;
+            }
+            csds_metrics::optimistic_fallback();
+        }
         let (pred, curr) = self.locate(ikey);
         // SAFETY: both nodes locked by us; the value reference stays valid
         // for 'g because unlinked nodes are retired, not freed, and the
@@ -121,7 +177,12 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
                 return false;
             }
             let node = Node::alloc(ikey, Some(value), curr as usize);
+            // Writer window for optimistic readers: node locks serialize
+            // writers positionally; the version word serializes them
+            // against lockless validated reads.
+            self.version.lock();
             (*pred).next.store(node as usize, Ordering::Release);
+            self.version.unlock();
             (*curr).lock.unlock();
             (*pred).lock.unlock();
             true
@@ -141,9 +202,11 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
                 (*pred).lock.unlock();
                 return None;
             }
+            self.version.lock();
             (*pred)
                 .next
                 .store((*curr).next.load(Ordering::Relaxed), Ordering::Release);
+            self.version.unlock();
             let out = (*curr).value.clone();
             (*curr).lock.unlock();
             (*pred).lock.unlock();
@@ -154,18 +217,74 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
         }
     }
 
+    /// Decision-only optimistic RMW arm: lockless walk, run the closure,
+    /// and if it *declines* (returns `None`), certify the whole parse with
+    /// a seqlock validation — no lock touched at all. Returns `None` when
+    /// the closure wants to write or every round was torn, sending the
+    /// caller to the hand-over-hand path.
+    ///
+    /// A version-certified *write* would be unsound here, unlike in the
+    /// bucket tables: positional writers take their node locks during the
+    /// parse and only bump the list version around the final publish store,
+    /// so a writer between `locate` and `version.lock()` is invisible to
+    /// `read_begin`/`try_lock_version` — the list version word carries read
+    /// authority, not write authority.
+    fn rmw_decision_optimistic<'g>(
+        &'g self,
+        ikey: u64,
+        f: &mut (dyn FnMut(Option<&V>) -> Option<V> + '_),
+        guard: &'g Guard,
+    ) -> Option<RmwOutcome<'g, V>> {
+        for _ in 0..OPTIMISTIC_RMW_RETRIES {
+            csds_metrics::optimistic_attempt();
+            let Some(seen) = self.version.read_begin() else {
+                csds_metrics::optimistic_failure();
+                csds_metrics::restart();
+                continue;
+            };
+            let found = self.walk_lockless(ikey, guard);
+            if f(found).is_some() {
+                // The closure wants to write; retrying cannot help. This is
+                // the designed handoff, not a torn parse, so it does not
+                // count as an optimistic failure.
+                return None;
+            }
+            if self.version.read_validate(seen) {
+                return Some(RmwOutcome {
+                    prev: found.cloned(),
+                    cur: found,
+                    applied: false,
+                });
+            }
+            csds_metrics::optimistic_failure();
+            csds_metrics::restart();
+        }
+        csds_metrics::optimistic_fallback();
+        None
+    }
+
     /// Guard-scoped atomic closure RMW; the native override behind
     /// [`GuardedMap::rmw_in`].
     ///
-    /// The hand-over-hand walk ends holding both `pred`'s and `curr`'s
-    /// locks, so the whole read-decide-apply sequence is one critical
-    /// section: a present key is replaced by swapping in a fresh same-key
-    /// node (readers racing past the old one return its value and linearize
-    /// before the swap), an absent key is inserted in place.
-    /// **Linearization point: the `pred.next` store** (or the parse itself
-    /// for read-only decisions); the closure runs exactly once.
+    /// Fast path (fast paths enabled): a **decision-only** optimistic arm —
+    /// lockless walk, closure, seqlock validation — that answers read-only
+    /// decisions with no lock at all (`rmw_decision_optimistic`; the
+    /// closure may run again on the fallback).
+    ///
+    /// Fallback / write path: the hand-over-hand walk ends holding both
+    /// `pred`'s and `curr`'s locks, so the whole read-decide-apply sequence
+    /// is one critical section: a present key is replaced by swapping in a
+    /// fresh same-key node (readers racing past the old one return its
+    /// value and linearize before the swap), an absent key is inserted in
+    /// place. **Linearization point: the `pred.next` store** (or the parse
+    /// itself for read-only decisions).
     pub fn rmw_in<'g>(&'g self, key: u64, f: RmwFn<'_, V>, guard: &'g Guard) -> RmwOutcome<'g, V> {
         let ikey = key::ikey(key);
+        if csds_sync::optimistic_fast_paths() {
+            if let Some(out) = self.rmw_decision_optimistic(ikey, f, guard) {
+                return out;
+            }
+        }
         let (pred, curr) = self.locate(ikey);
         // SAFETY: both nodes locked by us; value references handed out are
         // kept alive for 'g by the caller's pin (unlinked nodes are retired,
@@ -192,7 +311,9 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
                             Some(new_value),
                             (*curr).next.load(Ordering::Relaxed),
                         );
+                        self.version.lock();
                         (*pred).next.store(node as usize, Ordering::Release);
+                        self.version.unlock();
                         let prev = (*curr).value.clone();
                         let cur: Option<&'g V> = (*node).value.as_ref().map(|v| &*(v as *const V));
                         (*curr).lock.unlock();
@@ -219,7 +340,9 @@ impl<V: Clone + Send + Sync> CouplingList<V> {
                     }
                     Some(new_value) => {
                         let node = Node::alloc(ikey, Some(new_value), curr as usize);
+                        self.version.lock();
                         (*pred).next.store(node as usize, Ordering::Release);
+                        self.version.unlock();
                         let cur: Option<&'g V> = (*node).value.as_ref().map(|v| &*(v as *const V));
                         (*curr).lock.unlock();
                         (*pred).lock.unlock();
@@ -341,13 +464,36 @@ mod tests {
     #[test]
     fn reads_do_wait_for_locks() {
         // Unlike the lazy list, coupling reads acquire locks — the very
-        // reason the paper rejects it as practically wait-free.
-        let _ = csds_metrics::take_and_reset();
-        let l = CouplingList::new();
-        l.insert(1, 1);
-        let _ = csds_metrics::take_and_reset();
-        let _ = l.get(1);
-        let snap = csds_metrics::take_and_reset();
-        assert!(snap.lock_acquires > 0);
+        // reason the paper rejects it as practically wait-free. With the
+        // optimistic fast path disabled, the hand-over-hand behaviour is
+        // still observable.
+        csds_sync::with_optimistic_fast_paths(false, || {
+            let _ = csds_metrics::take_and_reset();
+            let l = CouplingList::new();
+            l.insert(1, 1);
+            let _ = csds_metrics::take_and_reset();
+            let _ = l.get(1);
+            let snap = csds_metrics::take_and_reset();
+            assert!(snap.lock_acquires > 0);
+        });
+    }
+
+    #[test]
+    fn optimistic_reads_skip_locks() {
+        // With the fast path on (the default), an uncontended get validates
+        // against the list version word instead of coupling locks.
+        csds_sync::with_optimistic_fast_paths(true, || {
+            let _ = csds_metrics::take_and_reset();
+            let l = CouplingList::new();
+            l.insert(1, 1);
+            let _ = csds_metrics::take_and_reset();
+            assert_eq!(l.get(1), Some(1));
+            assert_eq!(l.get(2), None);
+            let snap = csds_metrics::take_and_reset();
+            assert_eq!(snap.lock_acquires, 0, "optimistic read took a lock");
+            assert!(snap.optimistic_attempts >= 2);
+            assert_eq!(snap.optimistic_failures, 0);
+            assert_eq!(snap.optimistic_fallbacks, 0);
+        });
     }
 }

@@ -701,6 +701,20 @@ impl Guard {
             if l.pin_epoch.get() != global {
                 l.publish(global);
             }
+            // Repins share the pin path's amortized maintenance counter. A
+            // long-lived session retires through this guard for its whole
+            // lifetime; without this, nothing on the repin path ever
+            // advances the epoch or collects, and a handle-driven update
+            // loop accumulates garbage unboundedly until the handle drops
+            // (measured: ~130 MB and a 10× op-cost degradation per 2M
+            // uncontended RMWs). Each round advances the epoch at most one
+            // step past this thread's pin, so the next repin re-publishes
+            // and the backlog drains within a few periods.
+            let n = l.pin_count.get() + 1;
+            l.pin_count.set(n);
+            if n % MAINTENANCE_PERIOD == 0 {
+                l.maintenance(false);
+            }
             true
         })
     }

@@ -14,7 +14,7 @@
 //! An [`ElasticHashTable`] is `S` cache-padded **shards**. Each shard owns
 //!
 //! * an atomic pointer to its current bucket-array **table** (per-bucket
-//!   [`TicketLock`] + lock-free chain, exactly the `LazyHashTable` recipe),
+//!   versioned [`OptikLock`] + lock-free chain, the `LazyHashTable` recipe),
 //! * a striped [`ShardedCounter`] tracking occupancy approximately.
 //!
 //! # Resize protocol
@@ -45,6 +45,19 @@
 //! the paper's sense: waiting is possible, rare, and bounded by resize
 //! frequency rather than by peer scheduling.
 //!
+//! # Optimistic RMW
+//!
+//! While a shard has no migration in flight, `rmw_in` runs a
+//! validate-then-lock fast path: it snapshots the bucket's version word
+//! ([`OptikLock::read_begin`]), parses the chain with no synchronization,
+//! runs the closure, and then either revalidates (read-only decision — the
+//! version, the shard's table pointer *and* the `MOVED` tag must all be
+//! unchanged) or acquires via `try_lock_version`, whose success certifies
+//! the whole parse because **every** bucket mutation — including the
+//! `MOVED` freeze — happens under that bucket's lock. Torn parses retry a
+//! bounded number of times and then fall back to the pessimistic loop,
+//! which also helps any in-flight drain.
+//!
 //! Resize events are observable two ways: process-wide through the
 //! [`csds_metrics`] resize counters (`resize_migrations_started`, buckets
 //! moved, tables retired — aggregated per thread like every other metric)
@@ -54,7 +67,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use csds_core::{check_user_key, GuardedMap, RmwFn, RmwOutcome};
 use csds_ebr::{Atomic, Guard, Shared};
-use csds_sync::{lock_guard, RawMutex, ShardedCounter, TicketLock};
+use csds_sync::{lock_guard, OptikLock, RawMutex, ShardedCounter, OPTIMISTIC_RMW_RETRIES};
 
 /// Head-pointer tag marking an old bucket whose contents have moved to the
 /// shard's new table (terminal: set once, under the bucket lock).
@@ -144,7 +157,12 @@ struct Node<V> {
 }
 
 struct Bucket<V> {
-    lock: TicketLock,
+    /// Versioned lock: the even/odd version word doubles as the bucket's
+    /// seqlock for the optimistic RMW fast path. Every bucket mutation —
+    /// including the `MOVED` freeze — happens under this lock, so an
+    /// unchanged even version proves the chain *and* the authority tag were
+    /// quiescent across an unsynchronized parse.
+    lock: OptikLock,
     head: Atomic<Node<V>>,
 }
 
@@ -171,7 +189,7 @@ impl<V> Table<V> {
             mask: n - 1,
             buckets: (0..n)
                 .map(|_| Bucket {
-                    lock: TicketLock::new(),
+                    lock: OptikLock::new(),
                     head: Atomic::null(),
                 })
                 .collect(),
@@ -651,6 +669,185 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
         }
     }
 
+    /// Optimistic (validate-then-lock) RMW fast path; see
+    /// [`rmw_in`](Self::rmw_in). Engaged only while the shard has **no
+    /// migration in flight** (`prev` null): authority is then wholly with
+    /// the current table, so the bucket's version word is the single
+    /// validation point. The parse runs unsynchronized; a read-only
+    /// decision (closure returned `None`) is returned only after
+    /// [`OptikLock::read_validate`] **plus** a table-pointer and `MOVED`-tag
+    /// re-check prove the bucket stayed authoritative and quiescent, and a
+    /// write acquires via `try_lock_version(seen)` — success certifies the
+    /// parse wholesale (every bucket mutation, including the `MOVED`
+    /// freeze, bumps the version), so the write proceeds with no re-scan.
+    ///
+    /// `Err(())` after [`OPTIMISTIC_RMW_RETRIES`] torn parses (or on any
+    /// in-flight migration) sends the caller to the pessimistic loop, which
+    /// helps the drain.
+    fn rmw_fast<'g>(
+        &'g self,
+        shard: &'g Shard<V>,
+        key: u64,
+        h: u64,
+        f: RmwFn<'_, V>,
+        guard: &'g Guard,
+    ) -> Result<RmwOutcome<'g, V>, ()> {
+        for _ in 0..OPTIMISTIC_RMW_RETRIES {
+            csds_metrics::optimistic_attempt();
+            let t = shard.table.load(guard);
+            // SAFETY: pinned; the current table is live.
+            let tref = unsafe { t.deref() };
+            if !tref.prev.load(guard).is_null() {
+                // Migration in flight: authority may be mid-transfer, and
+                // the update owes the drain a quantum of work anyway.
+                return Err(());
+            }
+            let b = &tref.buckets[bucket_index(h, tref.mask)];
+            let Some(seen) = b.lock.read_begin() else {
+                csds_metrics::optimistic_failure();
+                csds_metrics::restart();
+                continue;
+            };
+            let head = b.head.load(guard);
+            if head.tag() == MOVED {
+                csds_metrics::optimistic_failure();
+                csds_metrics::restart();
+                continue;
+            }
+            // Unsynchronized parse. Mark and unlink share the removal
+            // critical section, so a marked node is unreachable from any
+            // quiescent snapshot — seeing one means the parse is torn.
+            let mut pred: Shared<'_, Node<V>> = Shared::null();
+            let mut curr = head;
+            let mut torn = false;
+            while !curr.is_null() {
+                // SAFETY: pinned traversal.
+                let n = unsafe { curr.deref() };
+                if n.marked.load(Ordering::Acquire) != 0 {
+                    torn = true;
+                    break;
+                }
+                if n.key == key {
+                    break;
+                }
+                pred = curr;
+                curr = n.next.load(guard);
+            }
+            if torn {
+                csds_metrics::optimistic_failure();
+                csds_metrics::restart();
+                continue;
+            }
+            if !curr.is_null() {
+                // SAFETY: pinned.
+                let c = unsafe { curr.deref() };
+                let Some(new_value) = f(Some(&c.value)) else {
+                    // Read-only decision: quiescent bucket + still the
+                    // current table + still un-MOVED ⇒ the observation was
+                    // authoritative for the whole window.
+                    if b.lock.read_validate(seen)
+                        && shard.table.load(guard) == t
+                        && b.head.load(guard).tag() != MOVED
+                    {
+                        return Ok(RmwOutcome {
+                            prev: Some(c.value.clone()),
+                            cur: Some(&c.value),
+                            applied: false,
+                        });
+                    }
+                    csds_metrics::optimistic_failure();
+                    csds_metrics::restart();
+                    continue;
+                };
+                let new_s = Shared::boxed(Node {
+                    key,
+                    value: new_value,
+                    marked: AtomicUsize::new(0),
+                    next: Atomic::null(),
+                });
+                if !b.lock.try_lock_version(seen) {
+                    // SAFETY: never published.
+                    unsafe { drop(new_s.into_box()) };
+                    csds_metrics::optimistic_failure();
+                    csds_metrics::restart();
+                    continue;
+                }
+                csds_metrics::maybe_delay_in_cs();
+                // Version unchanged ⇒ the chain and the tag are exactly as
+                // parsed; even if a newer table was installed meanwhile,
+                // this un-MOVED bucket is still its keys' authority and the
+                // drain will clone the update across under this same lock.
+                debug_assert!(b.head.load(guard).tag() != MOVED);
+                // SAFETY: unpublished; chain serialized by the bucket lock.
+                unsafe { new_s.deref() }.next.store(c.next.load(guard));
+                if pred.is_null() {
+                    b.head.store(new_s); // linearization point
+                } else {
+                    // SAFETY: pinned; serialized by the bucket lock.
+                    unsafe { pred.deref() }.next.store(new_s);
+                }
+                b.lock.unlock();
+                let prev = Some(c.value.clone());
+                // SAFETY: unlinked under the bucket lock; retired once.
+                unsafe { guard.defer_drop(curr) };
+                // SAFETY: published; pinned.
+                let cur = Some(&unsafe { new_s.deref() }.value);
+                return Ok(RmwOutcome {
+                    prev,
+                    cur,
+                    applied: true,
+                });
+            }
+            // Absent.
+            let Some(new_value) = f(None) else {
+                if b.lock.read_validate(seen)
+                    && shard.table.load(guard) == t
+                    && b.head.load(guard).tag() != MOVED
+                {
+                    return Ok(RmwOutcome {
+                        prev: None,
+                        cur: None,
+                        applied: false,
+                    });
+                }
+                csds_metrics::optimistic_failure();
+                csds_metrics::restart();
+                continue;
+            };
+            let new_s = Shared::boxed(Node {
+                key,
+                value: new_value,
+                marked: AtomicUsize::new(0),
+                next: Atomic::null(),
+            });
+            if !b.lock.try_lock_version(seen) {
+                // SAFETY: never published.
+                unsafe { drop(new_s.into_box()) };
+                csds_metrics::optimistic_failure();
+                csds_metrics::restart();
+                continue;
+            }
+            csds_metrics::maybe_delay_in_cs();
+            debug_assert!(b.head.load(guard).tag() != MOVED);
+            // Version unchanged ⇒ `head` is still the bucket head.
+            // SAFETY: unpublished.
+            unsafe { new_s.deref() }.next.store(head);
+            b.head.store(new_s); // linearization point
+            b.lock.unlock();
+            if shard.occupancy.incr() & (RESIZE_CHECK_PERIOD - 1) == 0 {
+                self.maybe_resize(shard, guard);
+            }
+            // SAFETY: published; pinned.
+            let cur = Some(&unsafe { new_s.deref() }.value);
+            return Ok(RmwOutcome {
+                prev: None,
+                cur,
+                applied: true,
+            });
+        }
+        Err(())
+    }
+
     /// Guard-scoped atomic closure RMW; the native override behind
     /// [`GuardedMap::rmw_in`] — in-place mutation under the bucket lock,
     /// **following `MOVED` authority exactly like every other update**:
@@ -670,6 +867,12 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
         check_user_key(key);
         let h = hash(key);
         let shard = self.shard(h);
+        if csds_sync::optimistic_fast_paths() {
+            match self.rmw_fast(shard, key, h, &mut *f, guard) {
+                Ok(out) => return out,
+                Err(()) => csds_metrics::optimistic_fallback(),
+            }
+        }
         loop {
             let t = shard.table.load(guard);
             // SAFETY: pinned.
@@ -1496,6 +1699,63 @@ mod tests {
                 "key {k} lost"
             );
         }
+    }
+
+    #[test]
+    fn quiescent_rmw_uses_the_optimistic_fast_path() {
+        csds_sync::with_optimistic_fast_paths(true, || {
+            let h: ElasticHashTable<u64> = ElasticHashTable::with_capacity(64);
+            for k in 0..10 {
+                assert!(h.insert(k, k));
+            }
+            assert!(h.resize_stats().migrations_started == 0, "setup: no resize");
+            let _ = csds_metrics::take_and_reset();
+            let (_, cur, applied) =
+                csds_core::ConcurrentMap::rmw(&h, 3, &mut |c| Some(c.copied().unwrap_or(0) + 1));
+            assert!(applied);
+            assert_eq!(cur, Some(4));
+            // Read-only decision on an absent key validates the same way.
+            let (_, _, applied) = csds_core::ConcurrentMap::rmw(&h, 999, &mut |_| None);
+            assert!(!applied);
+            let snap = csds_metrics::take_and_reset();
+            assert!(snap.optimistic_attempts >= 2);
+            assert_eq!(snap.optimistic_failures, 0);
+            assert_eq!(snap.optimistic_fallbacks, 0);
+            assert_eq!(snap.contended_acquires, 0);
+        });
+    }
+
+    #[test]
+    fn rmw_mid_migration_takes_the_pessimistic_path() {
+        csds_sync::with_optimistic_fast_paths(true, || {
+            let h: ElasticHashTable<u64> = ElasticHashTable::with_config(ElasticConfig {
+                shards: 1,
+                initial_buckets: 2,
+                min_buckets: 2,
+                migration_quantum: 1,
+                counter_cells: 1,
+            });
+            let keys: Vec<u64> = (0..)
+                .filter(|&k| bucket_index(hash(k), 1) == 0)
+                .take(8)
+                .collect();
+            for &k in &keys {
+                assert!(h.insert(k, k));
+            }
+            assert_eq!(h.resize_stats().migrations_started, 1);
+            let _ = csds_metrics::take_and_reset();
+            assert_eq!(h.upsert(keys[2], 777), Some(keys[2]));
+            let snap = csds_metrics::take_and_reset();
+            assert!(
+                snap.optimistic_fallbacks >= 1,
+                "an in-flight migration must force the locked path"
+            );
+            assert!(
+                h.resize_stats().buckets_moved >= 1,
+                "the fallback still helps the drain"
+            );
+            assert_eq!(h.get(keys[2]), Some(777));
+        });
     }
 
     #[test]

@@ -4,14 +4,18 @@
 //! repro list                 # show every experiment
 //! repro run <id> [--full]    # run one experiment (quick by default)
 //! repro all [--full]         # run everything, in paper order
+//! repro bench [--json] [--out FILE] [--full|--smoke]
+//!                            # the recorded bench trajectory (BENCH_<pr>.json)
 //! ```
 
 use csds_harness::experiments;
+use csds_harness::trajectory;
 use csds_harness::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  repro list\n  repro run <experiment> [--full]\n  repro all [--full]\n\
+        "usage:\n  repro list\n  repro run <experiment> [--full]\n  repro all [--full]\n  \
+         repro bench [--json] [--out FILE] [--full|--smoke]\n\
          \nexperiments:"
     );
     for e in experiments::registry() {
@@ -45,6 +49,37 @@ fn main() {
                 scale.reps()
             );
             (exp.run)(scale);
+        }
+        Some("bench") => {
+            let json = args.iter().any(|a| a == "--json");
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .filter(|p| !p.starts_with("--"))
+                .cloned();
+            // Smoke mode (CI): prove the whole matrix runs, in ~a second.
+            let (label, duration, reps) = if smoke {
+                ("smoke", std::time::Duration::from_millis(10), 1)
+            } else if scale.quick {
+                ("quick", scale.duration(), scale.reps())
+            } else {
+                ("full", scale.duration(), scale.reps())
+            };
+            let rows = trajectory::run_trajectory(duration, reps);
+            let text = if json {
+                trajectory::to_json(&rows, label)
+            } else {
+                trajectory::render_table(&rows)
+            };
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{text}"),
+            }
         }
         Some("all") => {
             for exp in experiments::registry() {

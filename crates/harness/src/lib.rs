@@ -12,17 +12,23 @@
 //!   lock-coupling comparison and the §6 model validation);
 //! * [`report`] — fixed-width table rendering shared by all experiments.
 //!
+//! * [`trajectory`] — the `repro bench [--json]` matrix: a fixed set of
+//!   runs re-recorded every PR (committed as `BENCH_<pr>.json`) so the
+//!   repo carries its own performance history.
+//!
 //! The `repro` binary exposes all of it:
 //! ```text
 //! repro list
 //! repro run fig3 [--full]
 //! repro all [--full]
+//! repro bench [--json] [--out FILE] [--full|--smoke]
 //! ```
 
 pub mod experiments;
 pub mod factory;
 pub mod report;
 pub mod runner;
+pub mod trajectory;
 
 pub use factory::{AlgoKind, Family};
 pub use runner::{

@@ -1,0 +1,196 @@
+//! The recorded bench trajectory (`repro bench [--json]`).
+//!
+//! A fixed, PR-over-PR comparable matrix of map runs: the four structures
+//! that carry the optimistic fast paths × {read-only, mixed-update}
+//! workloads × {1, 4} threads × {optimistic on, off}. Each cell reports
+//! per-thread ns/op, aggregate Mops/s and the optimistic counters, so a
+//! committed snapshot (`BENCH_<pr>.json`) records both the speed and *why*
+//! (validation-failure and fallback rates) for later sessions to diff
+//! against.
+//!
+//! The JSON is hand-rolled — the workspace deliberately has no serde — and
+//! kept to one object per line under `"results"` so snapshots diff cleanly.
+
+use std::time::Duration;
+
+use crate::factory::AlgoKind;
+use crate::runner::{run_map_avg, MapRunConfig};
+
+/// Stationary size of every structure in the trajectory (matches the
+/// `fig0_*` benches: 1024 elements, key range 2×).
+pub const BENCH_SIZE: usize = 1024;
+
+/// One cell of the trajectory matrix.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Algorithm short name ([`AlgoKind::name`]).
+    pub algo: &'static str,
+    /// Workload label (`read` = 0 % updates, `update` = 50 %).
+    pub workload: &'static str,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Whether the optimistic fast paths were enabled for the run.
+    pub optimistic: bool,
+    /// Completed operations across all threads.
+    pub total_ops: u64,
+    /// Per-thread nanoseconds per operation (`elapsed · threads / ops`).
+    pub ns_per_op: f64,
+    /// Aggregate throughput in Mops/s.
+    pub mops: f64,
+    /// Optimistic snapshot attempts across the run.
+    pub optimistic_attempts: u64,
+    /// Validation failures (torn snapshots) across the run.
+    pub optimistic_failures: u64,
+    /// Retry-budget exhaustions that fell back to the pessimistic path.
+    pub optimistic_fallbacks: u64,
+}
+
+/// The structures whose read/RMW paths carry the optimistic protocol.
+pub fn trajectory_algos() -> [AlgoKind; 4] {
+    [
+        AlgoKind::LazyHashTable,
+        AlgoKind::CouplingHashTable,
+        AlgoKind::ElasticHashTable,
+        AlgoKind::BstTk,
+    ]
+}
+
+/// Run the full matrix at the given per-cell duration and repetition count.
+pub fn run_trajectory(duration: Duration, reps: usize) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+    for algo in trajectory_algos() {
+        for (workload, update_pct) in [("read", 0u32), ("update", 50u32)] {
+            for threads in [1usize, 4] {
+                for optimistic in [true, false] {
+                    let cfg = MapRunConfig::paper_default(
+                        algo, BENCH_SIZE, update_pct, threads, duration,
+                    );
+                    let r = csds_sync::with_optimistic_fast_paths(optimistic, || {
+                        run_map_avg(&cfg, reps)
+                    });
+                    rows.push(BenchRow {
+                        algo: algo.name(),
+                        workload,
+                        threads,
+                        optimistic,
+                        total_ops: r.total_ops,
+                        ns_per_op: r.elapsed.as_nanos() as f64 * threads as f64
+                            / r.total_ops.max(1) as f64,
+                        mops: r.throughput_mops(),
+                        optimistic_attempts: r.stats.optimistic_attempts,
+                        optimistic_failures: r.stats.optimistic_failures,
+                        optimistic_fallbacks: r.stats.optimistic_fallbacks,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Render the matrix as the hand-rolled JSON snapshot format.
+pub fn to_json(rows: &[BenchRow], scale_label: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"csds-bench-trajectory-v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{scale_label}\",\n"));
+    s.push_str(&format!("  \"size\": {BENCH_SIZE},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \
+             \"optimistic\": {}, \"total_ops\": {}, \"ns_per_op\": {:.1}, \
+             \"mops\": {:.3}, \"optimistic_attempts\": {}, \
+             \"optimistic_failures\": {}, \"optimistic_fallbacks\": {}}}{}\n",
+            r.algo,
+            r.workload,
+            r.threads,
+            r.optimistic,
+            r.total_ops,
+            r.ns_per_op,
+            r.mops,
+            r.optimistic_attempts,
+            r.optimistic_failures,
+            r.optimistic_fallbacks,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Render the matrix as a fixed-width table for terminal consumption.
+pub fn render_table(rows: &[BenchRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<12} {:<7} {:>7} {:>10} {:>9} {:>8} {:>9} {:>8} {:>9}\n",
+        "algo", "mix", "threads", "optimistic", "ns/op", "Mops/s", "attempts", "torn", "fallbacks"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:<7} {:>7} {:>10} {:>9.1} {:>8.3} {:>9} {:>8} {:>9}\n",
+            r.algo,
+            r.workload,
+            r.threads,
+            if r.optimistic { "on" } else { "off" },
+            r.ns_per_op,
+            r.mops,
+            r.optimistic_attempts,
+            r.optimistic_failures,
+            r.optimistic_fallbacks,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_row() -> BenchRow {
+        BenchRow {
+            algo: "lazy-ht",
+            workload: "read",
+            threads: 1,
+            optimistic: true,
+            total_ops: 1_000,
+            ns_per_op: 23.25,
+            mops: 43.01,
+            optimistic_attempts: 1_000,
+            optimistic_failures: 2,
+            optimistic_fallbacks: 0,
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_balanced_and_carries_every_field() {
+        let rows = vec![fake_row(), fake_row()];
+        let j = to_json(&rows, "quick");
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in [
+            "\"schema\"",
+            "\"scale\": \"quick\"",
+            "\"algo\": \"lazy-ht\"",
+            "\"ns_per_op\": 23.2",
+            "\"optimistic\": true",
+            "\"optimistic_fallbacks\": 0",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+        // Exactly one separating comma between the two result objects.
+        assert_eq!(j.matches("}},\n").count() + j.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn table_renders_one_line_per_row_plus_header() {
+        let rows = vec![fake_row(), fake_row(), fake_row()];
+        let t = render_table(&rows);
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("lazy-ht"));
+    }
+}

@@ -82,6 +82,13 @@ pub struct StatsSnapshot {
     pub resize_buckets_moved: u64,
     /// Fully drained old tables this thread retired through EBR.
     pub resize_tables_retired: u64,
+    /// Optimistic (version-validated) read/RMW fast-path attempts.
+    pub optimistic_attempts: u64,
+    /// Optimistic attempts whose validation failed (torn by a writer).
+    pub optimistic_failures: u64,
+    /// Operations that exhausted their optimistic retries and fell back to
+    /// the pessimistic (locked) path.
+    pub optimistic_fallbacks: u64,
 }
 
 impl StatsSnapshot {
@@ -111,6 +118,18 @@ impl StatsSnapshot {
         self.resize_migrations_completed += other.resize_migrations_completed;
         self.resize_buckets_moved += other.resize_buckets_moved;
         self.resize_tables_retired += other.resize_tables_retired;
+        self.optimistic_attempts += other.optimistic_attempts;
+        self.optimistic_failures += other.optimistic_failures;
+        self.optimistic_fallbacks += other.optimistic_fallbacks;
+    }
+
+    /// Fraction of optimistic fast-path attempts whose validation failed.
+    pub fn optimistic_failure_fraction(&self) -> f64 {
+        if self.optimistic_attempts == 0 {
+            0.0
+        } else {
+            self.optimistic_failures as f64 / self.optimistic_attempts as f64
+        }
     }
 
     /// Fraction of wall-clock time spent waiting for locks, given the run's
@@ -217,6 +236,9 @@ struct Recorder {
     resize_migrations_completed: Cell<u64>,
     resize_buckets_moved: Cell<u64>,
     resize_tables_retired: Cell<u64>,
+    optimistic_attempts: Cell<u64>,
+    optimistic_failures: Cell<u64>,
+    optimistic_fallbacks: Cell<u64>,
     // Per-operation scratch state, folded in by `op_boundary`.
     cur_op_restarts: Cell<u32>,
     cur_op_waited: Cell<bool>,
@@ -248,6 +270,9 @@ impl Recorder {
             resize_migrations_completed: Cell::new(0),
             resize_buckets_moved: Cell::new(0),
             resize_tables_retired: Cell::new(0),
+            optimistic_attempts: Cell::new(0),
+            optimistic_failures: Cell::new(0),
+            optimistic_fallbacks: Cell::new(0),
             cur_op_restarts: Cell::new(0),
             cur_op_waited: Cell::new(false),
             delay: RefCell::new(None),
@@ -385,6 +410,26 @@ pub fn resize_table_retired() {
     });
 }
 
+/// Record one optimistic (version-validated) fast-path attempt.
+#[inline]
+pub fn optimistic_attempt() {
+    RECORDER.with(|r| r.optimistic_attempts.set(r.optimistic_attempts.get() + 1));
+}
+
+/// Record an optimistic attempt whose validation failed (a concurrent
+/// writer's critical section overlapped the unsynchronized read).
+#[inline]
+pub fn optimistic_failure() {
+    RECORDER.with(|r| r.optimistic_failures.set(r.optimistic_failures.get() + 1));
+}
+
+/// Record an operation that exhausted its optimistic retries and fell back
+/// to the pessimistic (locked) path.
+#[inline]
+pub fn optimistic_fallback() {
+    RECORDER.with(|r| r.optimistic_fallbacks.set(r.optimistic_fallbacks.get() + 1));
+}
+
 /// Install (or clear) the delay-injection policy for the calling thread.
 pub fn set_delay_policy(policy: Option<DelayPolicy>) {
     RECORDER.with(|r| {
@@ -465,6 +510,9 @@ pub fn take_and_reset() -> StatsSnapshot {
         resize_migrations_completed: r.resize_migrations_completed.replace(0),
         resize_buckets_moved: r.resize_buckets_moved.replace(0),
         resize_tables_retired: r.resize_tables_retired.replace(0),
+        optimistic_attempts: r.optimistic_attempts.replace(0),
+        optimistic_failures: r.optimistic_failures.replace(0),
+        optimistic_fallbacks: r.optimistic_fallbacks.replace(0),
     })
 }
 
@@ -559,6 +607,28 @@ mod tests {
         assert_eq!(a.resize_tables_retired, 2);
         // The snapshot cleared the thread-local state.
         assert_eq!(take_and_reset().resize_migrations_started, 0);
+    }
+
+    #[test]
+    fn optimistic_counters_roundtrip_and_merge() {
+        let _ = take_and_reset();
+        optimistic_attempt();
+        optimistic_attempt();
+        optimistic_attempt();
+        optimistic_failure();
+        optimistic_fallback();
+        let s = take_and_reset();
+        assert_eq!(s.optimistic_attempts, 3);
+        assert_eq!(s.optimistic_failures, 1);
+        assert_eq!(s.optimistic_fallbacks, 1);
+        assert!((s.optimistic_failure_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        let mut a = s.clone();
+        a.merge(&s);
+        assert_eq!(a.optimistic_attempts, 6);
+        assert_eq!(a.optimistic_failures, 2);
+        assert_eq!(a.optimistic_fallbacks, 2);
+        // The snapshot cleared the thread-local state.
+        assert_eq!(take_and_reset().optimistic_attempts, 0);
     }
 
     #[test]

@@ -29,11 +29,48 @@ pub mod ticket;
 pub use backoff::Backoff;
 pub use mcs::McsLock;
 pub use mpsc_ring::MpscRing;
-pub use optik::OptikLock;
+pub use optik::{OptikLock, OPTIMISTIC_READ_RETRIES, OPTIMISTIC_RMW_RETRIES};
 pub use padded::CachePadded;
 pub use sharded_counter::ShardedCounter;
 pub use tas::{TasLock, TtasLock};
 pub use ticket::TicketLock;
+
+/// Global switch for the optimistic (version-validated) fast paths in the
+/// blocking structures. On by default; benches and A/B tests flip it with
+/// [`set_optimistic_fast_paths`] to measure the locked baseline on the
+/// same binary. Read once per operation — mid-operation flips only affect
+/// subsequent operations.
+static OPTIMISTIC_FAST_PATHS: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(true);
+
+/// Enable or disable the optimistic read/RMW fast paths process-wide.
+pub fn set_optimistic_fast_paths(enabled: bool) {
+    OPTIMISTIC_FAST_PATHS.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether the optimistic read/RMW fast paths are enabled (default: yes).
+#[inline]
+pub fn optimistic_fast_paths() -> bool {
+    OPTIMISTIC_FAST_PATHS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Run `f` with the optimistic fast paths forced to `enabled`, restoring
+/// the previous setting afterwards (also on panic). Calls are serialized
+/// through a process-wide mutex, so concurrent tests/bench arms that pin
+/// the toggle in opposite directions cannot observe each other's window.
+pub fn with_optimistic_fast_paths<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_optimistic_fast_paths(self.0);
+        }
+    }
+    let _restore = Restore(optimistic_fast_paths());
+    set_optimistic_fast_paths(enabled);
+    f()
+}
 
 /// A raw mutual-exclusion primitive.
 ///

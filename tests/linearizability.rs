@@ -126,18 +126,40 @@ fn every_algorithm_is_linearizable_on_the_compound_vocabulary() {
 #[test]
 fn figure_structures_get_extra_rounds() {
     // The four best-blocking structures the paper's figures feature, plus
-    // the lock-free list: deeper sampling on the designs users reach for.
+    // the lock-free list and the structures carrying the optimistic
+    // version-validated fast paths: deeper sampling on the designs users
+    // reach for and on the paths whose parses run unsynchronized.
     for algo in [
         AlgoKind::LazyList,
         AlgoKind::LazyListElided,
         AlgoKind::HarrisList,
         AlgoKind::HerlihySkipList,
+        AlgoKind::CouplingList,
+        AlgoKind::CouplingHashTable,
         AlgoKind::LazyHashTable,
         AlgoKind::ElasticHashTable,
         AlgoKind::BstTk,
     ] {
         check_algo(algo, true, 8);
     }
+}
+
+#[test]
+fn optimistic_structures_stay_linearizable_with_fast_paths_off() {
+    // The pessimistic fallback paths are what every optimistic retry
+    // exhaustion lands on; they get their own recorded histories so a
+    // fallback never degrades below the pre-optimistic guarantees.
+    csds::sync::with_optimistic_fast_paths(false, || {
+        for algo in [
+            AlgoKind::CouplingList,
+            AlgoKind::CouplingHashTable,
+            AlgoKind::LazyHashTable,
+            AlgoKind::ElasticHashTable,
+            AlgoKind::BstTk,
+        ] {
+            check_algo(algo, true, 4);
+        }
+    });
 }
 
 #[test]

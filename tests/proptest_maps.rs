@@ -22,6 +22,12 @@ enum MapOp {
     Update(u64),
     /// Atomic get-or-insert.
     GetOrInsert(u64, u64),
+    /// Membership probe — the optimistic `contains_in` fast path.
+    Contains(u64),
+    /// Unconditional counter RMW — always applies, so it exercises the
+    /// insert-if-absent arm of the validate-then-lock protocol (the one
+    /// `Update`'s `c.map(..)` closure never reaches).
+    FetchAdd(u64),
 }
 
 /// Values are drawn from a small space so CAS comparands collide with live
@@ -39,6 +45,8 @@ fn op_strategy(key_range: u64) -> impl Strategy<Value = MapOp> {
         (0..key_range, small_value(), small_value()).prop_map(|(k, e, v)| MapOp::Cas(k, e, v)),
         (0..key_range).prop_map(MapOp::Update),
         (0..key_range, small_value()).prop_map(|(k, v)| MapOp::GetOrInsert(k, v)),
+        (0..key_range).prop_map(MapOp::Contains),
+        (0..key_range).prop_map(MapOp::FetchAdd),
     ]
 }
 
@@ -125,6 +133,29 @@ fn run_against_model(algo: AlgoKind, ops: &[MapOp]) {
                     "{}: get_or_insert({k}) at {i}",
                     algo.name()
                 );
+            }
+            MapOp::Contains(k) => {
+                assert_eq!(
+                    map.contains(k),
+                    model.contains_key(&k),
+                    "{}: contains({k}) at {i}",
+                    algo.name()
+                );
+            }
+            MapOp::FetchAdd(k) => {
+                let (prev, cur, applied) =
+                    map.rmw(k, &mut |c| Some(c.copied().unwrap_or(0).wrapping_add(1)));
+                let want_prev = model.get(&k).copied();
+                let new = want_prev.unwrap_or(0).wrapping_add(1);
+                model.insert(k, new);
+                assert_eq!(
+                    prev,
+                    want_prev,
+                    "{}: fetch_add prev({k}) at {i}",
+                    algo.name()
+                );
+                assert_eq!(cur, Some(new), "{}: fetch_add cur({k}) at {i}", algo.name());
+                assert!(applied, "{}: fetch_add applied({k}) at {i}", algo.name());
             }
         }
     }
@@ -255,6 +286,24 @@ fn run_elastic_churn_against_model(grow: &[MapOp], drain: &[MapOp]) {
                 let want = *model.entry(k).or_insert(v);
                 assert_eq!(cur, Some(want), "elastic churn: get_or_insert({k}) at {i}");
             }
+            MapOp::Contains(k) => {
+                assert_eq!(
+                    csds::core::ConcurrentMap::contains(map, k),
+                    model.contains_key(&k),
+                    "elastic churn: contains({k}) at {i}"
+                );
+            }
+            MapOp::FetchAdd(k) => {
+                let (prev, cur, applied) = csds::core::ConcurrentMap::rmw(map, k, &mut |c| {
+                    Some(c.copied().unwrap_or(0).wrapping_add(1))
+                });
+                let want_prev = model.get(&k).copied();
+                let new = want_prev.unwrap_or(0).wrapping_add(1);
+                model.insert(k, new);
+                assert_eq!(prev, want_prev, "elastic churn: fetch_add prev({k}) at {i}");
+                assert_eq!(cur, Some(new), "elastic churn: fetch_add cur({k}) at {i}");
+                assert!(applied, "elastic churn: fetch_add applied({k}) at {i}");
+            }
         }
     }
     for (i, op) in grow.iter().enumerate() {
@@ -283,35 +332,68 @@ fn run_elastic_churn_against_model(grow: &[MapOp], drain: &[MapOp]) {
     }
 }
 
+/// Growth-biased op mix over a wide key range, with the optimistic read
+/// (`Get`/`Contains`) and RMW (`Update`/`FetchAdd`) arms mixed in so the
+/// fast paths run while threshold crossings leave migrations in flight.
+fn grow_strategy() -> impl Strategy<Value = Vec<MapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0..256u64, small_value()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+            2 => (0..256u64, small_value()).prop_map(|(k, v)| MapOp::Upsert(k, v)),
+            1 => (0..256u64, small_value(), small_value())
+                .prop_map(|(k, e, v)| MapOp::Cas(k, e, v)),
+            1 => (0..256u64).prop_map(MapOp::Update),
+            1 => (0..256u64).prop_map(MapOp::FetchAdd),
+            1 => (0..256u64).prop_map(MapOp::Remove),
+            1 => (0..256u64).prop_map(MapOp::Get),
+            1 => (0..256u64).prop_map(MapOp::Contains),
+        ],
+        100..400,
+    )
+}
+
+/// Remove-biased counterpart crossing the shrink threshold.
+fn drain_strategy() -> impl Strategy<Value = Vec<MapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            1 => (0..256u64, small_value()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+            4 => (0..256u64).prop_map(MapOp::Remove),
+            1 => (0..256u64).prop_map(MapOp::Update),
+            1 => (0..256u64).prop_map(MapOp::FetchAdd),
+            1 => (0..256u64, small_value(), small_value())
+                .prop_map(|(k, e, v)| MapOp::Cas(k, e, v)),
+            1 => (0..256u64).prop_map(MapOp::Get),
+            1 => (0..256u64).prop_map(MapOp::Contains),
+        ],
+        100..400,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
     #[test]
     fn elastic_crossing_grow_and_shrink_thresholds_obeys_model(
-        grow in proptest::collection::vec(
-            prop_oneof![
-                3 => (0..256u64, small_value()).prop_map(|(k, v)| MapOp::Insert(k, v)),
-                2 => (0..256u64, small_value()).prop_map(|(k, v)| MapOp::Upsert(k, v)),
-                1 => (0..256u64, small_value(), small_value())
-                    .prop_map(|(k, e, v)| MapOp::Cas(k, e, v)),
-                1 => (0..256u64).prop_map(MapOp::Update),
-                1 => (0..256u64).prop_map(MapOp::Remove),
-                1 => (0..256u64).prop_map(MapOp::Get),
-            ],
-            100..400,
-        ),
-        drain in proptest::collection::vec(
-            prop_oneof![
-                1 => (0..256u64, small_value()).prop_map(|(k, v)| MapOp::Insert(k, v)),
-                4 => (0..256u64).prop_map(MapOp::Remove),
-                1 => (0..256u64).prop_map(MapOp::Update),
-                1 => (0..256u64, small_value(), small_value())
-                    .prop_map(|(k, e, v)| MapOp::Cas(k, e, v)),
-                1 => (0..256u64).prop_map(MapOp::Get),
-            ],
-            100..400,
-        ),
+        grow in grow_strategy(),
+        drain in drain_strategy(),
     ) {
         run_elastic_churn_against_model(&grow, &drain);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The same churn with the optimistic fast paths disabled: every
+    /// sequence that ran validated-unsynchronized above must produce the
+    /// same model agreement through the pessimistic fallback paths.
+    #[test]
+    fn elastic_churn_with_fast_paths_disabled_obeys_model(
+        grow in grow_strategy(),
+        drain in drain_strategy(),
+    ) {
+        csds::sync::with_optimistic_fast_paths(false, || {
+            run_elastic_churn_against_model(&grow, &drain);
+        });
     }
 }
 

@@ -102,6 +102,55 @@ fn all_algorithms_cas_loops_converge_under_contention() {
     }
 }
 
+/// The four structures that carry the optimistic version-validated fast
+/// paths (seqlock reads, validate-then-lock RMW).
+const OPTIMISTIC_ALGOS: [AlgoKind; 4] = [
+    AlgoKind::LazyHashTable,
+    AlgoKind::CouplingHashTable,
+    AlgoKind::ElasticHashTable,
+    AlgoKind::BstTk,
+];
+
+#[test]
+fn optimistic_structures_conform_with_fast_paths_on_and_off() {
+    // Same binary, toggled at run time: the optimistic paths (validated
+    // unsynchronized parses) and the pessimistic pre-PR paths must both
+    // match the sequential model, through both call paths and the full
+    // compound vocabulary.
+    for enabled in [true, false] {
+        csds::sync::with_optimistic_fast_paths(enabled, || {
+            for algo in OPTIMISTIC_ALGOS {
+                let map = algo.make(128);
+                common::model_check(map.as_ref(), 2_500, 96, 0x0B71 ^ enabled as u64);
+                let map = algo.make(128);
+                common::compound_model_check(map.as_ref(), 2_500, 96, 0xFA57 ^ enabled as u64);
+                let map = algo.make_guarded(128);
+                common::compound_model_check_handle(
+                    map.as_ref(),
+                    2_500,
+                    96,
+                    0x5EC ^ enabled as u64,
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn optimistic_rmw_stays_atomic_under_contention_in_both_toggle_states() {
+    // The validate-then-lock fetch-add must lose no updates whether the
+    // unsynchronized-parse fast path or the lock-first path serves it.
+    use std::sync::Arc;
+    for enabled in [true, false] {
+        csds::sync::with_optimistic_fast_paths(enabled, || {
+            for algo in OPTIMISTIC_ALGOS {
+                let map = Arc::new(algo.make_guarded(16));
+                common::concurrent_counter_sum(map, 4, 2_000, 8);
+            }
+        });
+    }
+}
+
 #[test]
 fn all_algorithms_handle_empty_and_full_edges() {
     for algo in AlgoKind::all() {
