@@ -9,7 +9,7 @@
 //!   announced-slot scans is implicit in its design; we measure updates vs
 //!   reads split to expose the helping cost on the update path.
 
-use std::sync::atomic::AtomicUsize;
+use csds_sync::atomic::AtomicUsize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -77,7 +77,7 @@ fn elision_retry_budget(c: &mut Criterion) {
                                         Elided::FellBack => {
                                             let _fb = region.enter_fallback();
                                             counter
-                                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                                .fetch_add(1, csds_sync::atomic::Ordering::Relaxed);
                                             break;
                                         }
                                     }

@@ -12,7 +12,7 @@
 //! * `churn`: a full [`ChurnSchedule`] cycle — grow, steady, shrink,
 //!   steady — with migration statistics printed at the end.
 
-use std::sync::atomic::Ordering;
+use csds_sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
@@ -59,7 +59,7 @@ fn reads_during_growth(c: &mut Criterion) {
                 ..ElasticConfig::default()
             }));
             assert!(table.buckets() >= 16);
-            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop = Arc::new(csds_sync::atomic::AtomicBool::new(false));
             let barrier = Arc::new(Barrier::new(2));
             // Writer: monotone inserts, the pure growth workload.
             let writer = {

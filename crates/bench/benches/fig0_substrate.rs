@@ -12,7 +12,7 @@
 //! * `lock_handoff`: two threads alternating on one lock (each acquisition
 //!   observes the line in the other core's cache — the handoff path).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use csds_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 

@@ -3,7 +3,7 @@
 //! the lock-free counterparts degrade more gracefully. The wait fractions
 //! are printed by `repro run fig10`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use csds_sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 

@@ -24,7 +24,7 @@
 //! consistent; the read-only decisions of `rmw_in` (closure returned `None`)
 //! validate the same way. Bounded retries, then the plain descent.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicUsize, Ordering};
 
 use csds_ebr::{Atomic, Guard, Shared};
 use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};
@@ -836,7 +836,8 @@ mod tests {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
                 let _ = csds_metrics::take_and_reset();
-                for i in 0..3_000u64 {
+                const ITERS: u64 = if cfg!(miri) { 100 } else { 3_000 };
+                for i in 0..ITERS {
                     let k = (i * 7 + id) % 32;
                     if i % 2 == 0 {
                         t.insert(k, k);

@@ -277,7 +277,7 @@ mod tests {
         let reader = {
             let h = Arc::clone(&h);
             std::thread::spawn(move || {
-                for _ in 0..2_000 {
+                for _ in 0..if cfg!(miri) { 100 } else { 2_000 } {
                     // Each get sees some consistent snapshot.
                     if let Some(v) = h.get(7) {
                         assert_eq!(v, 7);

@@ -22,7 +22,7 @@
 //! changed underneath (paper §5.1's validate-instead-of-wait idiom,
 //! extended from BST-TK to the hash table).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicUsize, Ordering};
 
 use csds_ebr::{Atomic, Guard, Shared};
 use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};

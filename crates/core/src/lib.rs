@@ -814,8 +814,8 @@ pub(crate) mod testutil {
     //! invariant check.
 
     use super::{ConcurrentMap, GuardedMap, MapHandle};
+    use csds_sync::atomic::{AtomicU64, Ordering};
     use std::collections::BTreeMap;
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     /// Compare against `BTreeMap` under a deterministic pseudo-random

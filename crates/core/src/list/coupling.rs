@@ -28,7 +28,7 @@
 //!
 //! [`Bucketed`]: crate::hashtable::Bucketed
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicUsize, Ordering};
 
 use csds_ebr::{Guard, Shared};
 use csds_sync::{OptikLock, RawMutex, TicketLock, OPTIMISTIC_RMW_RETRIES};

@@ -443,7 +443,8 @@ mod tests {
         for t in 0..4 {
             let l = Arc::clone(&l);
             handles.push(std::thread::spawn(move || {
-                for i in 0..3_000u64 {
+                const ITERS: u64 = if cfg!(miri) { 100 } else { 3_000 };
+                for i in 0..ITERS {
                     if (i + t) % 2 == 0 {
                         l.insert(7, i);
                     } else {

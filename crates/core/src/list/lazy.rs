@@ -16,7 +16,7 @@
 //! validation becomes the transaction's read set and the two stores its
 //! write set, with the per-node locks used only on the fallback path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicUsize, Ordering};
 
 use csds_ebr::{pin, Atomic, Guard, Shared};
 use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};

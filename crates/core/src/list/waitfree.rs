@@ -29,8 +29,8 @@
 //! reclamation (readers stay pinned for the duration of an operation) this
 //! rules out ABA on every CAS in the module.
 
+use csds_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use csds_ebr::{pin, Atomic, Guard, Shared};
 
@@ -939,7 +939,8 @@ mod tests {
         for t in 0..4u64 {
             let l = Arc::clone(&l);
             handles.push(std::thread::spawn(move || {
-                for i in 0..2_000u64 {
+                const ITERS: u64 = if cfg!(miri) { 100 } else { 2_000 };
+                for i in 0..ITERS {
                     if (i + t) % 2 == 0 {
                         l.insert(3, i);
                     } else {

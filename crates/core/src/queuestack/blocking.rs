@@ -1,7 +1,7 @@
 //! Blocking queue and stack (paper §7).
 
+use csds_sync::atomic::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use csds_ebr::Guard;
 use csds_sync::{lock_guard, CachePadded, RawMutex, TicketLock};

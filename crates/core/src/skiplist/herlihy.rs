@@ -20,7 +20,7 @@
 //! why the paper's Table 2 reports its highest fallback rate and Table 3 its
 //! largest elision speedup.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicUsize, Ordering};
 
 use csds_ebr::{pin, Atomic, Guard, Shared};
 use csds_htm::{attempt_elision, Elided, SpecStep, TxRegion};

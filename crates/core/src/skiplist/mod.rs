@@ -23,8 +23,8 @@ pub use pugh::PughSkipList;
 /// largest (8192 elements) with p = 1/2.
 pub const MAX_LEVEL: usize = 20;
 
+use csds_sync::atomic::{AtomicU64, Ordering};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 thread_local! {
     static LEVEL_RNG: Cell<u64> = {

@@ -17,7 +17,7 @@
 //! predecessor's), which yields a global acquisition order and rules out
 //! deadlock.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicUsize, Ordering};
 
 use csds_ebr::{pin, Atomic, Guard, Shared};
 use csds_sync::{lock_guard, RawMutex, TasLock};

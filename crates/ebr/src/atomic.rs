@@ -10,7 +10,8 @@
 //! other structures use tags for flags on links.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+use csds_sync::atomic::{AtomicUsize, Ordering};
 
 use crate::Guard;
 

@@ -62,8 +62,8 @@
 
 use std::cell::{Cell, RefCell};
 use std::ptr;
-use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
-use std::sync::OnceLock;
+
+use csds_sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, LazyStatic, Ordering};
 
 mod atomic;
 
@@ -324,15 +324,34 @@ impl Collector {
     }
 }
 
+/// The process-wide collector. Declared through the seam's [`LazyStatic`] so
+/// that under the model checker every explored execution starts from a fresh
+/// epoch/registry/orphan state (leaked registry slots from prior executions
+/// are abandoned, which is fine at model scale).
+static GLOBAL: LazyStatic<Collector> = LazyStatic::new(Collector::new);
+
 fn collector() -> &'static Collector {
-    static GLOBAL: OnceLock<Collector> = OnceLock::new();
-    GLOBAL.get_or_init(Collector::new)
+    GLOBAL.get()
 }
 
 /// Capacity of the inline open bag; sealing happens when it fills.
 const BAG_CAP: usize = 64;
 /// Run maintenance (advance + collect) every this many pin operations.
 const MAINTENANCE_PERIOD: u64 = 64;
+
+/// The effective maintenance period. In production this is the constant
+/// above; under the model checker a model can shrink it (usually to 1) via
+/// the `ebr.maintenance_period` config key, so that a handful of pins —
+/// all an exhaustive exploration can afford — still exercise the
+/// advance/collect path on every schedule.
+#[inline]
+fn maintenance_period() -> u64 {
+    #[cfg(feature = "modelcheck")]
+    if let Some(p) = csds_modelcheck::model_config_u64("ebr.maintenance_period") {
+        return p.max(1);
+    }
+    MAINTENANCE_PERIOD
+}
 
 /// Flat Vec-backed ring buffer of sealed bags (oldest-first FIFO).
 struct SealedRing {
@@ -498,7 +517,7 @@ impl Local {
         self.guard_depth.set(1);
         let n = self.pin_count.get() + 1;
         self.pin_count.set(n);
-        if n % MAINTENANCE_PERIOD == 0 {
+        if n % maintenance_period() == 0 {
             self.maintenance(false);
         }
     }
@@ -582,7 +601,7 @@ impl Drop for Local {
     }
 }
 
-thread_local! {
+csds_sync::atomic::seam_thread_local! {
     static LOCAL: Local = Local::new();
 }
 
@@ -710,9 +729,18 @@ impl Guard {
             // uncontended RMWs). Each round advances the epoch at most one
             // step past this thread's pin, so the next repin re-publishes
             // and the backlog drains within a few periods.
+            //
+            // The `ebr.omit_repin_maintenance` model knob deletes exactly
+            // this block, re-introducing the historical bug so the model
+            // checker's repin-reclamation regression can demonstrate that
+            // it catches it (see crates/modelcheck/tests/ebr_guard.rs).
+            #[cfg(feature = "modelcheck")]
+            if csds_modelcheck::model_config_u64("ebr.omit_repin_maintenance") == Some(1) {
+                return true;
+            }
             let n = l.pin_count.get() + 1;
             l.pin_count.set(n);
-            if n % MAINTENANCE_PERIOD == 0 {
+            if n % maintenance_period() == 0 {
                 l.maintenance(false);
             }
             true
@@ -769,7 +797,7 @@ pub fn registry_stats() -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use csds_sync::atomic::AtomicUsize;
 
     static DROPS: AtomicUsize = AtomicUsize::new(0);
 

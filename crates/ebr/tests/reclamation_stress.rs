@@ -8,7 +8,7 @@
 //!    is live (readers continuously validate a canary word, and a dedicated
 //!    blocked-reader test asserts a zero drop count while pinned).
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,7 +43,9 @@ fn every_retired_node_is_eventually_freed() {
     }
 
     const THREADS: usize = 4;
-    const PER_THREAD: usize = 2_000;
+    // Miri interprets every access; scale the churn down to stay inside the
+    // CI timebox while native runs keep full pressure.
+    const PER_THREAD: usize = if cfg!(miri) { 128 } else { 2_000 };
 
     // Each worker retires nodes under its own pins and then exits without
     // flushing, forcing the leftovers through the orphan-donation path.
@@ -99,7 +101,7 @@ fn a_long_lived_repinning_guard_reclaims_its_own_garbage() {
         }
     }
 
-    const OPS: usize = 50_000;
+    const OPS: usize = if cfg!(miri) { 512 } else { 50_000 };
     std::thread::spawn(|| {
         let mut g = pin();
         for _ in 0..OPS {
@@ -142,7 +144,7 @@ fn nothing_is_freed_while_a_guard_can_reach_it() {
     });
     ready_rx.recv().unwrap();
 
-    const RETIRED: usize = 500;
+    const RETIRED: usize = if cfg!(miri) { 64 } else { 500 };
     {
         let g = pin();
         for _ in 0..RETIRED {
@@ -182,7 +184,7 @@ fn nothing_is_freed_while_a_guard_can_reach_it() {
 fn canary_survives_concurrent_swap_and_retire() {
     const CANARY: u64 = 0xDEAD_BEEF_CAFE_F00D;
     const SLOTS: usize = 8;
-    const WRITER_OPS: usize = 4_000;
+    const WRITER_OPS: usize = if cfg!(miri) { 200 } else { 4_000 };
 
     struct Node {
         canary: u64,

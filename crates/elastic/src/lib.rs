@@ -63,7 +63,7 @@
 //! moved, tables retired — aggregated per thread like every other metric)
 //! and per table through [`ElasticHashTable::resize_stats`].
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use csds_core::{check_user_key, GuardedMap, RmwFn, RmwOutcome};
 use csds_ebr::{Atomic, Guard, Shared};
@@ -1199,7 +1199,7 @@ impl<V> Drop for ElasticHashTable<V> {
 mod tests {
     use super::*;
     use csds_core::ConcurrentMap;
-    use std::sync::atomic::AtomicU64;
+    use csds_sync::atomic::AtomicU64;
     use std::sync::Arc;
 
     /// Tiny shards, one-bucket floor, single-bucket quantum: keeps a

@@ -7,7 +7,7 @@
 //! cargo run --release -p csds-harness --example stress -- bst 30
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use csds_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use csds_harness::AlgoKind;

@@ -6,7 +6,7 @@
 //! operation mix; a run lasts a fixed duration; per-thread throughput and
 //! the fine-grained delay metrics are collected at the end.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use csds_sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 

@@ -34,7 +34,7 @@
 //! descheduled threads hold no locks, conflicts abort speculation, retries
 //! are bounded, and the fallback is pessimistic locking (Tables 2 and 3).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use csds_sync::Backoff;

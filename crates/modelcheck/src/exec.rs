@@ -1,0 +1,1003 @@
+//! Single-execution runtime: cooperative scheduling of real OS threads with
+//! exactly one runnable at a time, SC memory semantics, happens-before
+//! bookkeeping, and sleep-set / preemption-bound pruning hooks.
+//!
+//! The control protocol: a model thread about to perform a shimmed operation
+//! announces it ([`step`]) and parks until the scheduler selects it. Because
+//! only the selected thread runs, the window between "selected" and "next
+//! announcement" is exclusive — the thread performs the real operation and its
+//! bookkeeping without racing any other model thread.
+
+use crate::vc::VClock;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+pub(crate) type Tid = usize;
+
+/// Sentinel panic payload used to unwind a model thread out of an execution
+/// that has been poisoned (failure elsewhere, sleep-set prune, step budget).
+pub(crate) struct McAbort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    Load,
+    Store,
+    Rmw,
+    Fence,
+    Spawn,
+    Join,
+    ThreadStart,
+    ThreadExit,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OpDesc {
+    pub kind: OpKind,
+    /// Address of the atomic the op touches (0 for fences / thread events).
+    pub loc: usize,
+    pub site: &'static Location<'static>,
+}
+
+/// Commutativity check for the sleep-set reduction. Conservative: only
+/// data operations on distinct locations (or two loads of the same location)
+/// are independent; fences and thread events conflict with everything.
+pub(crate) fn independent(a: &OpDesc, b: &OpDesc) -> bool {
+    let mem = |k: OpKind| matches!(k, OpKind::Load | OpKind::Store | OpKind::Rmw);
+    if !mem(a.kind) || !mem(b.kind) {
+        return false;
+    }
+    a.loc != b.loc || (a.kind == OpKind::Load && b.kind == OpKind::Load)
+}
+
+/// One-shot token parker (flag + condvar, immune to spurious wakeups and to
+/// unpark-before-park races).
+pub(crate) struct Parker {
+    go: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    pub(crate) fn new() -> Self {
+        Parker {
+            go: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn park(&self) {
+        let mut go = self.go.lock().unwrap();
+        while !*go {
+            go = self.cv.wait(go).unwrap();
+        }
+        *go = false;
+    }
+
+    pub(crate) fn unpark(&self) {
+        *self.go.lock().unwrap() = true;
+        self.cv.notify_one();
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    /// Selected by the scheduler; executing between announcements.
+    Running,
+    /// Announced an operation and is waiting to be selected.
+    Ready,
+    /// Waiting for the given thread to finish (join).
+    Blocked(Tid),
+    Finished,
+}
+
+pub(crate) struct ThreadInfo {
+    pub status: Status,
+    pub pending: Option<OpDesc>,
+    pub vc: VClock,
+    /// Clock snapshot at the last Release(-or-stronger) fence, if any:
+    /// subsequent relaxed stores publish this clock (fence-based release).
+    pub rel_fence: Option<VClock>,
+    /// Accumulated message clocks of relaxed loads since the last acquire
+    /// fence; an Acquire/SeqCst fence folds this into `vc`.
+    pub pending_acq: VClock,
+    /// Indices into `ExecState::diags` of this thread's provisional
+    /// (relaxed-load) diagnostics, re-checked at acquire fences.
+    pub provisional: Vec<usize>,
+    pub final_vc: Option<VClock>,
+    pub parker: Arc<Parker>,
+}
+
+impl ThreadInfo {
+    fn new(vc: VClock, start_site: &'static Location<'static>) -> Self {
+        ThreadInfo {
+            status: Status::Ready,
+            pending: Some(OpDesc {
+                kind: OpKind::ThreadStart,
+                loc: 0,
+                site: start_site,
+            }),
+            vc,
+            rel_fence: None,
+            pending_acq: VClock::new(),
+            provisional: Vec::new(),
+            final_vc: None,
+            parker: Arc::new(Parker::new()),
+        }
+    }
+}
+
+/// The message a store leaves at its location, observed by later loads.
+pub(crate) struct StoreMsg {
+    pub tid: Tid,
+    /// Writer's own clock component at store time; a reader whose clock
+    /// covers `(tid, tick)` is entitled to see this store (or a later one).
+    pub tick: u64,
+    /// Clock released with the store (full clock for Release stores, the
+    /// fence snapshot for relaxed stores after a release fence, else empty).
+    pub vc: VClock,
+    /// Whether an acquire read of this message establishes happens-before
+    /// (the store had release semantics, directly or via a fence).
+    pub justifying: bool,
+    pub site: &'static Location<'static>,
+    pub ord: &'static str,
+}
+
+#[derive(Default)]
+pub(crate) struct LocState {
+    pub last: Option<StoreMsg>,
+}
+
+#[derive(Clone)]
+pub(crate) struct DiagRec {
+    pub load_site: &'static Location<'static>,
+    pub store_site: &'static Location<'static>,
+    pub load_ord: &'static str,
+    pub store_ord: &'static str,
+    pub msg_tid: Tid,
+    pub msg_tick: u64,
+    pub cancelled: bool,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct TraceEntry {
+    pub tid: Tid,
+    pub what: &'static str,
+    pub ord: &'static str,
+    pub loc: usize,
+    pub val: u64,
+    pub site: &'static Location<'static>,
+}
+
+/// A scheduling decision as recorded by the runtime (every scheduling point,
+/// including forced single-choice ones, so replay alignment is positional).
+#[derive(Clone)]
+pub(crate) struct DecisionRec {
+    pub enabled: Vec<Tid>,
+    pub chosen: Tid,
+}
+
+/// A planned scheduling point for replay: pick `chosen`, after moving
+/// `sleep_add` (already-explored siblings) into the sleep set.
+#[derive(Clone)]
+pub(crate) struct PlanNode {
+    pub chosen: Tid,
+    pub sleep_add: Vec<Tid>,
+}
+
+#[derive(Clone)]
+pub(crate) struct Failure {
+    pub message: String,
+    pub trace: String,
+    pub schedule: Vec<Tid>,
+}
+
+pub(crate) struct StaticEntry {
+    pub ptr: usize,
+    pub drop_fn: unsafe fn(usize),
+}
+
+pub(crate) struct ExecState {
+    pub threads: Vec<ThreadInfo>,
+    pub live: usize,
+    pub last_running: Tid,
+    pub steps: u64,
+    pub max_steps: u64,
+    pub preemption_bound: Option<u32>,
+    pub preemptions: u32,
+    pub reduction: bool,
+    pub plan: Vec<PlanNode>,
+    pub depth: usize,
+    pub decisions: Vec<DecisionRec>,
+    pub sleep: Vec<(Tid, OpDesc)>,
+    pub locs: HashMap<usize, LocState>,
+    pub statics: HashMap<usize, StaticEntry>,
+    pub sc_vc: VClock,
+    pub trace: Vec<TraceEntry>,
+    pub diags: Vec<DiagRec>,
+    pub config: Arc<HashMap<String, u64>>,
+    pub failure: Option<Failure>,
+    pub poisoned: bool,
+    pub truncated: bool,
+    pub pruned: bool,
+}
+
+pub(crate) struct ExecCtx {
+    pub state: Mutex<ExecState>,
+    pub done: Parker,
+    pub os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+struct Cur {
+    ctx: *const ExecCtx,
+    tid: Tid,
+}
+
+thread_local! {
+    static CUR: Cell<Option<Cur>> = const { Cell::new(None) };
+    /// Set while running a step-free region (McStatic init): any shimmed
+    /// operation in such a region is a model bug and panics loudly.
+    static NO_STEP: Cell<bool> = const { Cell::new(false) };
+    static LAST_PANIC_LOC: Cell<Option<String>> = const { Cell::new(None) };
+}
+
+// `Cur` holds a raw pointer; `Cell<Option<Cur>>` is TLS-only so this is fine.
+impl Cur {
+    fn get() -> Option<(usize, Tid)> {
+        CUR.with(|c| {
+            let cur = c.take();
+            let out = cur.as_ref().map(|k| (k.ctx as usize, k.tid));
+            c.set(cur);
+            out
+        })
+    }
+}
+
+/// Is the calling OS thread currently a scheduled model thread?
+pub(crate) fn in_model() -> bool {
+    Cur::get().is_some()
+}
+
+/// `(ctx_ptr, tid)` of the calling model thread, if any. The pointer is valid
+/// for the duration of the call: the orchestrator keeps the `ExecCtx` alive
+/// until every model thread has been joined.
+pub(crate) fn current() -> Option<(*const ExecCtx, Tid)> {
+    Cur::get().map(|(p, t)| (p as *const ExecCtx, t))
+}
+
+pub(crate) fn set_current(ctx: *const ExecCtx, tid: Tid) {
+    CUR.with(|c| c.set(Some(Cur { ctx, tid })));
+}
+
+pub(crate) fn clear_current() {
+    CUR.with(|c| c.set(None));
+}
+
+pub(crate) fn forbid_steps<R>(f: impl FnOnce() -> R) -> R {
+    NO_STEP.with(|c| c.set(true));
+    let r = f();
+    NO_STEP.with(|c| c.set(false));
+    r
+}
+
+pub(crate) fn assert_step_allowed() {
+    if NO_STEP.with(|c| c.get()) {
+        panic!(
+            "csds_modelcheck: shimmed atomic operation inside a LazyStatic/McStatic \
+             initializer — initializers must be step-free (construct values only)"
+        );
+    }
+}
+
+pub(crate) fn note_panic_location(loc: String) {
+    LAST_PANIC_LOC.with(|c| c.set(Some(loc)));
+}
+
+pub(crate) fn take_panic_location() -> Option<String> {
+    LAST_PANIC_LOC.with(|c| c.take())
+}
+
+fn abort_thread() -> ! {
+    std::panic::panic_any(McAbort)
+}
+
+pub(crate) fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+pub(crate) fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+pub(crate) fn ord_name(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+impl ExecCtx {
+    pub(crate) fn new(
+        max_steps: u64,
+        preemption_bound: Option<u32>,
+        reduction: bool,
+        plan: Vec<PlanNode>,
+        config: Arc<HashMap<String, u64>>,
+    ) -> Self {
+        ExecCtx {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                live: 0,
+                last_running: 0,
+                steps: 0,
+                max_steps,
+                preemption_bound,
+                preemptions: 0,
+                reduction,
+                plan,
+                depth: 0,
+                decisions: Vec::new(),
+                sleep: Vec::new(),
+                locs: HashMap::new(),
+                statics: HashMap::new(),
+                sc_vc: VClock::new(),
+                trace: Vec::new(),
+                diags: Vec::new(),
+                config,
+                failure: None,
+                poisoned: false,
+                truncated: false,
+                pruned: false,
+            }),
+            done: Parker::new(),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        // Model threads never panic while holding this lock except through
+        // `fail`/poison paths which leave consistent state, so a poisoned
+        // mutex still carries usable state.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Register a new model thread (caller then spawns its OS thread).
+    pub(crate) fn register_thread(
+        &self,
+        vc: VClock,
+        site: &'static Location<'static>,
+    ) -> (Tid, Arc<Parker>) {
+        let mut s = self.lock();
+        let tid = s.threads.len();
+        let info = ThreadInfo::new(vc, site);
+        let parker = info.parker.clone();
+        s.threads.push(info);
+        s.live += 1;
+        (tid, parker)
+    }
+}
+
+/// Wake slept threads whose pending op is dependent with the op just
+/// performed (the sleep-set invalidation rule).
+pub(crate) fn wake_sleepers(s: &mut ExecState, op: &OpDesc) {
+    s.sleep.retain(|(_, sop)| independent(sop, op));
+}
+
+/// Record a failure (first one wins) and poison the execution so every other
+/// model thread unwinds at its next scheduling point.
+pub(crate) fn fail(s: &mut ExecState, message: String) {
+    if s.failure.is_none() {
+        let schedule = s.decisions.iter().map(|d| d.chosen).collect();
+        let trace = format_trace(&s.trace);
+        s.failure = Some(Failure {
+            message,
+            trace,
+            schedule,
+        });
+    }
+    poison(s);
+}
+
+pub(crate) fn poison(s: &mut ExecState) {
+    s.poisoned = true;
+    for t in &s.threads {
+        if t.status != Status::Finished {
+            t.parker.unpark();
+        }
+    }
+}
+
+pub(crate) fn format_trace(trace: &[TraceEntry]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for e in trace {
+        let _ = writeln!(
+            out,
+            "  T{} {}({}) = {:#x} @ {:#x}  [{}:{}]",
+            e.tid,
+            e.what,
+            e.ord,
+            e.val,
+            e.loc,
+            e.site.file(),
+            e.site.line()
+        );
+    }
+    out
+}
+
+fn push_trace(s: &mut ExecState, e: TraceEntry) {
+    // Bounded by max_steps anyway; keep everything for failure reports.
+    s.trace.push(e);
+}
+
+/// The scheduler: pick the next thread among Ready candidates, honouring the
+/// replay plan, sleep sets, and the preemption bound. Returns the selected
+/// thread (unparked unless it is `caller`), or None when the execution ended
+/// (completion, deadlock failure, or sleep-set prune).
+pub(crate) fn schedule(s: &mut ExecState, ctx: &ExecCtx, caller: Option<Tid>) -> Option<Tid> {
+    let cands: Vec<Tid> = s
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Ready)
+        .map(|(i, _)| i)
+        .collect();
+    if cands.is_empty() {
+        if s.live == 0 {
+            ctx.done.unpark();
+        } else {
+            let blocked: Vec<String> = s
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.status, Status::Blocked(_)))
+                .map(|(i, t)| match t.pending {
+                    Some(op) => format!("T{i} at {}:{}", op.site.file(), op.site.line()),
+                    None => format!("T{i}"),
+                })
+                .collect();
+            fail(
+                s,
+                format!(
+                    "deadlock: all live model threads are blocked on join ({})",
+                    blocked.join(", ")
+                ),
+            );
+        }
+        return None;
+    }
+
+    // Replay: move already-explored siblings of this node into the sleep set
+    // before computing enabled, exactly as the explorer's DFS requires.
+    if s.depth < s.plan.len() {
+        let adds = s.plan[s.depth].sleep_add.clone();
+        for t in adds {
+            if s.threads[t].status == Status::Ready && !s.sleep.iter().any(|(st, _)| *st == t) {
+                if let Some(op) = s.threads[t].pending {
+                    s.sleep.push((t, op));
+                }
+            }
+        }
+    }
+
+    let mut enabled: Vec<Tid> = if s.reduction {
+        cands
+            .iter()
+            .copied()
+            .filter(|t| !s.sleep.iter().any(|(st, _)| st == t))
+            .collect()
+    } else {
+        cands.clone()
+    };
+    if enabled.is_empty() {
+        // Every candidate is asleep: this execution is a redundant
+        // interleaving of one already explored. Abandon it.
+        s.pruned = true;
+        poison(s);
+        return None;
+    }
+
+    if let Some(bound) = s.preemption_bound {
+        if s.preemptions >= bound && enabled.contains(&s.last_running) {
+            enabled = vec![s.last_running];
+        }
+    }
+
+    let chosen = if s.depth < s.plan.len() {
+        let c = s.plan[s.depth].chosen;
+        if !enabled.contains(&c) {
+            fail(
+                s,
+                format!(
+                    "internal: replay divergence at decision {} (planned T{}, enabled {:?}) — \
+                     the model body is nondeterministic beyond its shimmed operations",
+                    s.depth, c, enabled
+                ),
+            );
+            return None;
+        }
+        c
+    } else {
+        enabled[0]
+    };
+
+    if chosen != s.last_running && s.threads[s.last_running].status == Status::Ready {
+        s.preemptions += 1;
+    }
+    s.last_running = chosen;
+    s.decisions.push(DecisionRec { enabled, chosen });
+    s.depth += 1;
+
+    s.threads[chosen].status = Status::Running;
+    s.threads[chosen].pending = None;
+    if Some(chosen) != caller {
+        s.threads[chosen].parker.clone().unpark();
+    }
+    Some(chosen)
+}
+
+/// Announce operation `op` and wait until the scheduler selects this thread.
+/// On return the caller runs exclusively and may perform the operation.
+pub(crate) fn step(ctx: &ExecCtx, me: Tid, op: OpDesc) {
+    assert_step_allowed();
+    let mut s = ctx.lock();
+    if s.poisoned {
+        drop(s);
+        abort_thread();
+    }
+    s.steps += 1;
+    if s.steps > s.max_steps {
+        s.truncated = true;
+        poison(&mut s);
+        drop(s);
+        abort_thread();
+    }
+    s.threads[me].pending = Some(op);
+    s.threads[me].status = Status::Ready;
+    let chosen = schedule(&mut s, ctx, Some(me));
+    if chosen == Some(me) {
+        return;
+    }
+    let parker = s.threads[me].parker.clone();
+    drop(s);
+    parker.park();
+    let s = ctx.lock();
+    if s.poisoned {
+        drop(s);
+        abort_thread();
+    }
+    debug_assert_eq!(s.threads[me].status, Status::Running);
+}
+
+/// Join step: like [`step`] but blocks until `child` has finished.
+/// Returns after the join edge has been applied.
+pub(crate) fn join_step(ctx: &ExecCtx, me: Tid, child: Tid, site: &'static Location<'static>) {
+    assert_step_allowed();
+    let op = OpDesc {
+        kind: OpKind::Join,
+        loc: 0,
+        site,
+    };
+    let mut s = ctx.lock();
+    if s.poisoned {
+        drop(s);
+        abort_thread();
+    }
+    s.steps += 1;
+    if s.steps > s.max_steps {
+        s.truncated = true;
+        poison(&mut s);
+        drop(s);
+        abort_thread();
+    }
+    s.threads[me].pending = Some(op);
+    s.threads[me].status = if s.threads[child].status == Status::Finished {
+        Status::Ready
+    } else {
+        Status::Blocked(child)
+    };
+    let chosen = schedule(&mut s, ctx, Some(me));
+    if chosen != Some(me) {
+        let parker = s.threads[me].parker.clone();
+        drop(s);
+        parker.park();
+        s = ctx.lock();
+        if s.poisoned {
+            drop(s);
+            abort_thread();
+        }
+    }
+    // Selected: the child must have finished (Blocked threads are never
+    // selected; we were made Ready by the child's exit).
+    debug_assert_eq!(s.threads[child].status, Status::Finished);
+    wake_sleepers(&mut s, &op);
+    let fvc = s.threads[child]
+        .final_vc
+        .clone()
+        .expect("finished thread has a final clock");
+    s.threads[me].vc.join(&fvc);
+    s.threads[me].vc.tick(me);
+    push_trace(
+        &mut s,
+        TraceEntry {
+            tid: me,
+            what: "join",
+            ord: "-",
+            loc: child,
+            val: 0,
+            site,
+        },
+    );
+}
+
+/// First scheduled action of a freshly spawned thread (the `ThreadStart` op
+/// was announced at registration; this performs its bookkeeping).
+pub(crate) fn thread_start_perform(ctx: &ExecCtx, me: Tid, site: &'static Location<'static>) {
+    let mut s = ctx.lock();
+    let op = OpDesc {
+        kind: OpKind::ThreadStart,
+        loc: 0,
+        site,
+    };
+    wake_sleepers(&mut s, &op);
+    s.threads[me].vc.tick(me);
+    push_trace(
+        &mut s,
+        TraceEntry {
+            tid: me,
+            what: "start",
+            ord: "-",
+            loc: 0,
+            val: 0,
+            site,
+        },
+    );
+}
+
+/// Final step of a model thread: mark Finished, wake joiners, hand control
+/// onward. `panic_msg` carries a real (non-McAbort) body panic.
+pub(crate) fn exit_step(ctx: &ExecCtx, me: Tid, panic_msg: Option<String>) {
+    let mut s = ctx.lock();
+    if let Some(msg) = panic_msg {
+        if !s.poisoned {
+            fail(&mut s, msg);
+        }
+    }
+    let op = OpDesc {
+        kind: OpKind::ThreadExit,
+        loc: 0,
+        site: Location::caller(),
+    };
+    wake_sleepers(&mut s, &op);
+    s.threads[me].vc.tick(me);
+    s.threads[me].final_vc = Some(s.threads[me].vc.clone());
+    s.threads[me].status = Status::Finished;
+    s.live -= 1;
+    for t in 0..s.threads.len() {
+        if s.threads[t].status == Status::Blocked(me) {
+            s.threads[t].status = Status::Ready;
+        }
+    }
+    if s.poisoned {
+        if s.live == 0 {
+            ctx.done.unpark();
+        }
+    } else {
+        schedule(&mut s, ctx, None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory-model bookkeeping (called by the selected thread after performing
+// the real operation; exclusive by construction).
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_load(
+    ctx: &ExecCtx,
+    me: Tid,
+    loc: usize,
+    ord: Ordering,
+    val: u64,
+    site: &'static Location<'static>,
+    what: &'static str,
+) {
+    let mut s = ctx.lock();
+    let op = OpDesc {
+        kind: OpKind::Load,
+        loc,
+        site,
+    };
+    wake_sleepers(&mut s, &op);
+    s.threads[me].vc.tick(me);
+    if ord == Ordering::SeqCst {
+        let sc = s.sc_vc.clone();
+        s.threads[me].vc.join(&sc);
+    }
+    let msg_info = s
+        .locs
+        .get(&loc)
+        .and_then(|l| l.last.as_ref())
+        .map(|m| (m.tid, m.tick, m.vc.clone(), m.justifying, m.site, m.ord));
+    if let Some((mtid, mtick, mvc, justifying, msite, mord)) = msg_info {
+        // Justification must be judged *before* applying this read's join
+        // (the message clock contains the writer's tick, so joining first
+        // would make every read trivially justified).
+        let already = s.threads[me].vc.covers(mtid, mtick);
+        let justified = mtid == me || already || (is_acquire(ord) && justifying);
+        if is_acquire(ord) {
+            s.threads[me].vc.join(&mvc);
+        } else {
+            s.threads[me].pending_acq.join(&mvc);
+        }
+        if !justified {
+            let idx = s.diags.len();
+            s.diags.push(DiagRec {
+                load_site: site,
+                store_site: msite,
+                load_ord: ord_name(ord),
+                store_ord: mord,
+                msg_tid: mtid,
+                msg_tick: mtick,
+                cancelled: false,
+            });
+            if !is_acquire(ord) {
+                // A later acquire fence may still justify this read.
+                s.threads[me].provisional.push(idx);
+            }
+        }
+    }
+    push_trace(
+        &mut s,
+        TraceEntry {
+            tid: me,
+            what,
+            ord: ord_name(ord),
+            loc,
+            val,
+            site,
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_store(
+    ctx: &ExecCtx,
+    me: Tid,
+    loc: usize,
+    ord: Ordering,
+    val: u64,
+    site: &'static Location<'static>,
+    what: &'static str,
+) {
+    let mut s = ctx.lock();
+    let op = OpDesc {
+        kind: OpKind::Store,
+        loc,
+        site,
+    };
+    wake_sleepers(&mut s, &op);
+    s.threads[me].vc.tick(me);
+    store_msg(&mut s, me, loc, ord, site);
+    push_trace(
+        &mut s,
+        TraceEntry {
+            tid: me,
+            what,
+            ord: ord_name(ord),
+            loc,
+            val,
+            site,
+        },
+    );
+}
+
+/// Successful RMW: both an acquire-side read and a release-side write, with
+/// the op's ordering applying to each side as `std` defines it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_rmw(
+    ctx: &ExecCtx,
+    me: Tid,
+    loc: usize,
+    ord: Ordering,
+    old: u64,
+    site: &'static Location<'static>,
+    what: &'static str,
+) {
+    let mut s = ctx.lock();
+    let op = OpDesc {
+        kind: OpKind::Rmw,
+        loc,
+        site,
+    };
+    wake_sleepers(&mut s, &op);
+    s.threads[me].vc.tick(me);
+    if ord == Ordering::SeqCst {
+        let sc = s.sc_vc.clone();
+        s.threads[me].vc.join(&sc);
+    }
+    // Read side. An RMW always sees the latest store (SC execution); it also
+    // continues the location's release chain, so fold the previous message
+    // into the new one below.
+    let prev = s
+        .locs
+        .get(&loc)
+        .and_then(|l| l.last.as_ref())
+        .map(|m| (m.tid, m.tick, m.vc.clone(), m.justifying, m.site, m.ord));
+    if let Some((mtid, mtick, mvc, justifying, msite, mord)) = prev {
+        let already = s.threads[me].vc.covers(mtid, mtick);
+        let justified = mtid == me || already || (is_acquire(ord) && justifying);
+        if is_acquire(ord) {
+            s.threads[me].vc.join(&mvc);
+        } else {
+            s.threads[me].pending_acq.join(&mvc);
+        }
+        if !justified {
+            let idx = s.diags.len();
+            s.diags.push(DiagRec {
+                load_site: site,
+                store_site: msite,
+                load_ord: ord_name(ord),
+                store_ord: mord,
+                msg_tid: mtid,
+                msg_tick: mtick,
+                cancelled: false,
+            });
+            if !is_acquire(ord) {
+                s.threads[me].provisional.push(idx);
+            }
+        }
+        // Release-sequence continuation: the new message carries the old
+        // message's clock even if this RMW itself is relaxed.
+        let mut m = make_msg(&s, me, ord);
+        m.vc.join(&mvc);
+        m.justifying |= justifying;
+        m.site = site;
+        finish_store(&mut s, loc, m);
+    } else {
+        let mut m = make_msg(&s, me, ord);
+        m.site = site;
+        finish_store(&mut s, loc, m);
+    }
+    if ord == Ordering::SeqCst {
+        let vc = s.threads[me].vc.clone();
+        s.sc_vc.join(&vc);
+    }
+    push_trace(
+        &mut s,
+        TraceEntry {
+            tid: me,
+            what,
+            ord: ord_name(ord),
+            loc,
+            val: old,
+            site,
+        },
+    );
+}
+
+fn make_msg(s: &ExecState, me: Tid, ord: Ordering) -> StoreMsg {
+    let t = &s.threads[me];
+    let (vc, justifying) = if is_release(ord) {
+        (t.vc.clone(), true)
+    } else if let Some(f) = &t.rel_fence {
+        (f.clone(), true)
+    } else {
+        (VClock::new(), false)
+    };
+    StoreMsg {
+        tid: me,
+        tick: t.vc.get(me),
+        vc,
+        justifying,
+        site: Location::caller(),
+        ord: ord_name(ord),
+    }
+}
+
+fn store_msg(
+    s: &mut ExecState,
+    me: Tid,
+    loc: usize,
+    ord: Ordering,
+    site: &'static Location<'static>,
+) {
+    let mut m = make_msg(s, me, ord);
+    m.site = site;
+    finish_store(s, loc, m);
+    if ord == Ordering::SeqCst {
+        let vc = s.threads[me].vc.clone();
+        s.sc_vc.join(&vc);
+    }
+}
+
+fn finish_store(s: &mut ExecState, loc: usize, msg: StoreMsg) {
+    s.locs.entry(loc).or_default().last = Some(msg);
+}
+
+pub(crate) fn record_fence(
+    ctx: &ExecCtx,
+    me: Tid,
+    ord: Ordering,
+    site: &'static Location<'static>,
+) {
+    let mut s = ctx.lock();
+    let op = OpDesc {
+        kind: OpKind::Fence,
+        loc: 0,
+        site,
+    };
+    wake_sleepers(&mut s, &op);
+    s.threads[me].vc.tick(me);
+    if ord == Ordering::SeqCst {
+        let sc = s.sc_vc.clone();
+        s.threads[me].vc.join(&sc);
+    }
+    if is_acquire(ord) {
+        let pa = std::mem::take(&mut s.threads[me].pending_acq);
+        s.threads[me].vc.join(&pa);
+        // Re-check provisional (relaxed-load) diagnostics: the fence may
+        // have delivered the happens-before edge after the fact.
+        let prov = std::mem::take(&mut s.threads[me].provisional);
+        for idx in prov {
+            let (tid, tick) = (s.diags[idx].msg_tid, s.diags[idx].msg_tick);
+            if s.threads[me].vc.covers(tid, tick) {
+                s.diags[idx].cancelled = true;
+            } else {
+                s.threads[me].provisional.push(idx);
+            }
+        }
+    }
+    if is_release(ord) {
+        s.threads[me].rel_fence = Some(s.threads[me].vc.clone());
+    }
+    if ord == Ordering::SeqCst {
+        let vc = s.threads[me].vc.clone();
+        s.sc_vc.join(&vc);
+    }
+    push_trace(
+        &mut s,
+        TraceEntry {
+            tid: me,
+            what: "fence",
+            ord: ord_name(ord),
+            loc: 0,
+            val: 0,
+            site,
+        },
+    );
+}
+
+/// Spawn bookkeeping on the parent side: returns the child's starting clock.
+pub(crate) fn record_spawn(ctx: &ExecCtx, me: Tid, site: &'static Location<'static>) -> VClock {
+    let mut s = ctx.lock();
+    let op = OpDesc {
+        kind: OpKind::Spawn,
+        loc: 0,
+        site,
+    };
+    wake_sleepers(&mut s, &op);
+    s.threads[me].vc.tick(me);
+    let child_vc = s.threads[me].vc.clone();
+    push_trace(
+        &mut s,
+        TraceEntry {
+            tid: me,
+            what: "spawn",
+            ord: "-",
+            loc: 0,
+            val: 0,
+            site,
+        },
+    );
+    child_vc
+}

@@ -1,0 +1,215 @@
+//! The exhaustive explorer: depth-first search over scheduling decisions.
+//!
+//! Each iteration replays a prefix of decisions recorded from earlier runs
+//! and lets the runtime pick the first enabled thread beyond it. Backtracking
+//! walks to the deepest decision with an untried sibling; threads already
+//! tried at a node are placed in the sleep set for the sibling's subtree
+//! (sleep-set reduction — every sibling is still explored, so the search
+//! stays exhaustive; only provably-commuting reorderings are pruned).
+
+use crate::exec::{self, DecisionRec, ExecCtx, PlanNode, Tid};
+use crate::shim::thread::spawn_model_thread;
+use crate::vc::VClock;
+use crate::{Failure, Report, UnjustifiedRead};
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::Arc;
+
+pub(crate) struct ModelCfg {
+    pub max_executions: u64,
+    pub max_steps: u64,
+    pub preemption_bound: Option<u32>,
+    pub reduction: bool,
+    pub config: Arc<HashMap<String, u64>>,
+}
+
+struct Node {
+    enabled: Vec<Tid>,
+    /// Threads already explored at this node; the last one is the choice the
+    /// next replay takes, the rest become the subtree's sleep set.
+    explored: Vec<Tid>,
+}
+
+struct ExecOutcome {
+    decisions: Vec<DecisionRec>,
+    failure: Option<exec::Failure>,
+    truncated: bool,
+    pruned: bool,
+    steps: u64,
+    diags: Vec<exec::DiagRec>,
+}
+
+/// Install a process-wide panic hook (once) that silences expected model
+/// panics: assertion failures inside model bodies are captured and reported
+/// through [`Report::failure`], and scheduler-abort unwinds are internal.
+fn install_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if exec::in_model() {
+                if let Some(loc) = info.location() {
+                    exec::note_panic_location(format!("{}:{}", loc.file(), loc.line()));
+                }
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn run_one(cfg: &ModelCfg, body: &Arc<dyn Fn() + Send + Sync>, plan: Vec<PlanNode>) -> ExecOutcome {
+    let ctx = Arc::new(ExecCtx::new(
+        cfg.max_steps,
+        cfg.preemption_bound,
+        cfg.reduction,
+        plan,
+        Arc::clone(&cfg.config),
+    ));
+    let root_site = Location::caller();
+    let mut root_vc = VClock::new();
+    root_vc.tick(0);
+    let (tid, _) = ctx.register_thread(root_vc, root_site);
+    debug_assert_eq!(tid, 0);
+    let b = Arc::clone(body);
+    spawn_model_thread(&*ctx as *const ExecCtx as usize, 0, root_site, move || b());
+    {
+        let mut s = ctx.lock();
+        exec::schedule(&mut s, &ctx, None);
+    }
+    ctx.done.park();
+    let handles: Vec<_> = ctx
+        .os_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain(..)
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    // Tear down execution-scoped statics (outside the model: the orchestrator
+    // is not a model thread, so destructors take the raw-atomic path).
+    let statics = {
+        let mut s = ctx.lock();
+        std::mem::take(&mut s.statics)
+    };
+    for (_, e) in statics {
+        unsafe { (e.drop_fn)(e.ptr) };
+    }
+    let mut s = ctx.lock();
+    ExecOutcome {
+        decisions: std::mem::take(&mut s.decisions),
+        failure: s.failure.take(),
+        truncated: s.truncated,
+        pruned: s.pruned,
+        steps: s.steps,
+        diags: std::mem::take(&mut s.diags),
+    }
+}
+
+pub(crate) fn explore(cfg: ModelCfg, body: Arc<dyn Fn() + Send + Sync>) -> Report {
+    install_panic_hook();
+    let mut path: Vec<Node> = Vec::new();
+    let mut executions = 0u64;
+    let mut truncated = 0u64;
+    let mut pruned = 0u64;
+    let mut max_steps_seen = 0u64;
+    let mut diag_agg: HashMap<(usize, usize), (exec::DiagRec, u64)> = HashMap::new();
+    let mut exhausted = false;
+    let mut failure: Option<Failure> = None;
+
+    loop {
+        let plan: Vec<PlanNode> = path
+            .iter()
+            .map(|n| PlanNode {
+                chosen: *n.explored.last().expect("node always has a choice"),
+                sleep_add: n.explored[..n.explored.len() - 1].to_vec(),
+            })
+            .collect();
+        let out = run_one(&cfg, &body, plan);
+        executions += 1;
+        max_steps_seen = max_steps_seen.max(out.steps);
+        if out.truncated {
+            truncated += 1;
+        }
+        if out.pruned {
+            pruned += 1;
+        }
+        for d in out.diags {
+            if d.cancelled {
+                continue;
+            }
+            let key = (
+                d.load_site as *const _ as usize,
+                d.store_site as *const _ as usize,
+            );
+            diag_agg.entry(key).or_insert((d, 0)).1 += 1;
+        }
+        if let Some(f) = out.failure {
+            failure = Some(Failure {
+                message: f.message,
+                trace: f.trace,
+                schedule: f.schedule,
+            });
+            break;
+        }
+        // Graft decisions beyond the replayed prefix into the path; an
+        // execution that ended early (prune/truncation) reached fewer
+        // decisions than planned, so backtrack from where it actually got.
+        if out.decisions.len() < path.len() {
+            path.truncate(out.decisions.len());
+        } else {
+            for d in &out.decisions[path.len()..] {
+                path.push(Node {
+                    enabled: d.enabled.clone(),
+                    explored: vec![d.chosen],
+                });
+            }
+        }
+        // Backtrack to the deepest node with an untried sibling.
+        loop {
+            match path.last_mut() {
+                None => {
+                    exhausted = true;
+                    break;
+                }
+                Some(n) => {
+                    if let Some(&next) = n.enabled.iter().find(|t| !n.explored.contains(t)) {
+                        n.explored.push(next);
+                        break;
+                    }
+                    path.pop();
+                }
+            }
+        }
+        if exhausted {
+            break;
+        }
+        if executions >= cfg.max_executions {
+            break;
+        }
+    }
+
+    let mut unjustified: Vec<UnjustifiedRead> = diag_agg
+        .into_values()
+        .map(|(d, count)| UnjustifiedRead {
+            load_site: format!("{}:{}", d.load_site.file(), d.load_site.line()),
+            store_site: format!("{}:{}", d.store_site.file(), d.store_site.line()),
+            load_ord: d.load_ord,
+            store_ord: d.store_ord,
+            count,
+        })
+        .collect();
+    unjustified.sort_by(|a, b| (&a.load_site, &a.store_site).cmp(&(&b.load_site, &b.store_site)));
+
+    Report {
+        executions,
+        complete: failure.is_none() && exhausted && truncated == 0,
+        truncated,
+        pruned,
+        max_steps_seen,
+        failure,
+        unjustified,
+    }
+}

@@ -1,0 +1,69 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Executions themselves are sequentially consistent (one thread runs at a
+//! time, every shimmed operation is performed `SeqCst` under the scheduler
+//! lock). The clocks exist for the *ordering diagnostic*: they track which
+//! stores a thread is entitled to observe through Acquire/Release (or fence)
+//! edges, so the checker can flag loads whose value the program only received
+//! because the model is SC, not because the orderings justify it.
+
+/// A grow-on-demand vector clock indexed by model-thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    fn ensure(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+    }
+
+    /// Advance this thread's own component by one step.
+    pub(crate) fn tick(&mut self, tid: usize) {
+        self.ensure(tid);
+        self.0[tid] += 1;
+    }
+
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum (the happens-before join).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Does this clock already cover `tick` of thread `tid`?
+    pub(crate) fn covers(&self, tid: usize, tick: u64) -> bool {
+        self.get(tid) >= tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_covers() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(3);
+        assert!(!a.covers(3, 1));
+        a.join(&b);
+        assert!(a.covers(3, 1));
+        assert!(a.covers(0, 2));
+        assert!(!a.covers(0, 3));
+        assert_eq!(a.get(2), 0);
+    }
+}

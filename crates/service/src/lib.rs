@@ -90,7 +90,7 @@
 //! assert_eq!(stats.aggregate().ops, 18);
 //! ```
 
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use csds_sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,81 @@
+//! The workspace's atomic seam.
+//!
+//! Every crate in the workspace imports its atomics from here instead of
+//! `std::sync::atomic` (a lint test under `tests/` enforces it). Normally
+//! this module is a zero-cost re-export of the `std` types. Built with the
+//! `modelcheck` feature, it re-exports the `csds_modelcheck` shims instead,
+//! so the *production* protocol code — OPTIK seqlocks, EBR pin/repin, the
+//! Vyukov ring, the elastic table's migration — runs unmodified under the
+//! exhaustive interleaving checker. Outside a model execution the shims pass
+//! straight through to the real atomics, which is what keeps workspace-wide
+//! test builds (where Cargo's feature unification turns `modelcheck` on for
+//! every dependent) behaviourally identical.
+//!
+//! Two seam-aware building blocks ride along for protocol state that is
+//! process-global in production but must be *execution-scoped* under the
+//! checker (so no state leaks between explored interleavings):
+//!
+//! * [`LazyStatic`] — a lazily-initialised global (`OnceLock` semantics);
+//!   under `modelcheck` each model execution gets a fresh instance. The
+//!   initialiser must only construct values, not perform atomic operations.
+//! * [`seam_thread_local!`] — a `thread_local!` stand-in whose per-model-
+//!   thread values are dropped *inside* the scheduled region, so `Drop`
+//!   impls that perform atomic operations (EBR's `Local`) are checked too.
+
+#[cfg(not(feature = "modelcheck"))]
+mod imp {
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize,
+    };
+
+    /// Lazily-initialised global; `get` initialises on first use.
+    /// (Execution-scoped under the `modelcheck` feature; see module docs.)
+    pub struct LazyStatic<T: 'static> {
+        init: fn() -> T,
+        cell: std::sync::OnceLock<T>,
+    }
+
+    impl<T> LazyStatic<T> {
+        pub const fn new(init: fn() -> T) -> Self {
+            LazyStatic {
+                init,
+                cell: std::sync::OnceLock::new(),
+            }
+        }
+
+        pub fn get(&'static self) -> &'static T {
+            self.cell.get_or_init(self.init)
+        }
+    }
+
+    /// `thread_local!` with a `.with(|v| ...)`-only interface (the subset
+    /// the seam supports in both builds).
+    #[macro_export]
+    macro_rules! seam_thread_local {
+        ($(#[$attr:meta])* $vis:vis static $N:ident: $T:ty = $init:expr $(;)?) => {
+            ::std::thread_local! {
+                $(#[$attr])* $vis static $N: $T = $init;
+            }
+        };
+    }
+}
+
+#[cfg(feature = "modelcheck")]
+mod imp {
+    pub use csds_modelcheck::{
+        fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize,
+        McStatic as LazyStatic,
+    };
+    // `csds_modelcheck::mc_thread_local!` is re-exported below as
+    // `seam_thread_local!`; its expansion resolves `$crate` to
+    // `csds_modelcheck`, which every dependant links via this crate.
+    pub use csds_modelcheck::mc_thread_local as seam_thread_local;
+}
+
+pub use imp::*;
+pub use std::sync::atomic::Ordering;
+
+// Make the macro addressable as `csds_sync::atomic::seam_thread_local!` in
+// both builds (the `#[macro_export]` above lands it at the crate root).
+#[cfg(not(feature = "modelcheck"))]
+pub use crate::seam_thread_local;

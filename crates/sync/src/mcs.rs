@@ -11,9 +11,9 @@
 //! pool of queue nodes and stashes the holder's node in the lock itself;
 //! only the holder touches that slot, so a relaxed store suffices.
 
+use crate::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::cell::RefCell;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::time::Instant;
 
 use crate::{Backoff, RawMutex};

@@ -18,9 +18,9 @@
 //! CAS-claimed), but the intended shape — and the only one the service
 //! uses — is many producers, one draining core worker.
 
+use crate::atomic::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::CachePadded;
 
@@ -51,9 +51,15 @@ unsafe impl<T: Send> Sync for MpscRing<T> {}
 
 impl<T> MpscRing<T> {
     /// A ring holding at most `capacity` elements (rounded up to a power of
-    /// two, minimum 1).
+    /// two, minimum 2).
+    ///
+    /// The minimum is 2, not 1: with a single slot the stamp for "free for
+    /// the producer's next lap" (`seq == pos`, at `pos = 1`) coincides with
+    /// "published, awaiting the consumer" (`seq == pos + 1`, at `pos = 0`),
+    /// so a second push would claim — and overwrite — a slot the consumer
+    /// has not drained. Found by the `csds_modelcheck` ring model.
     pub fn with_capacity(capacity: usize) -> Self {
-        let n = capacity.max(1).next_power_of_two();
+        let n = capacity.max(2).next_power_of_two();
         MpscRing {
             slots: (0..n)
                 .map(|i| Slot {
@@ -212,7 +218,10 @@ mod tests {
 
     #[test]
     fn capacity_rounds_up_to_power_of_two() {
-        assert_eq!(MpscRing::<u8>::with_capacity(0).capacity(), 1);
+        // Minimum 2: one slot cannot distinguish "free next lap" from
+        // "published, undrained" (see with_capacity).
+        assert_eq!(MpscRing::<u8>::with_capacity(0).capacity(), 2);
+        assert_eq!(MpscRing::<u8>::with_capacity(1).capacity(), 2);
         assert_eq!(MpscRing::<u8>::with_capacity(3).capacity(), 4);
         assert_eq!(MpscRing::<u8>::with_capacity(1000).capacity(), 1024);
     }
@@ -234,7 +243,7 @@ mod tests {
     #[test]
     fn concurrent_producers_deliver_everything_exactly_once() {
         const PRODUCERS: u64 = 4;
-        const PER_PRODUCER: u64 = 20_000;
+        const PER_PRODUCER: u64 = if cfg!(miri) { 200 } else { 20_000 };
         let r: Arc<MpscRing<u64>> = Arc::new(MpscRing::with_capacity(64));
         let mut producers = Vec::new();
         for p in 0..PRODUCERS {

@@ -43,7 +43,7 @@
 //! [`read_begin`]: OptikLock::read_begin
 //! [`read_validate`]: OptikLock::read_validate
 
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use crate::atomic::{fence, AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::{Backoff, RawMutex};
@@ -69,6 +69,7 @@ impl OptikLock {
     ///
     /// [`try_lock_version`]: OptikLock::try_lock_version
     #[inline]
+    #[must_use = "a version snapshot is only meaningful if later validated or CASed against"]
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
@@ -77,6 +78,7 @@ impl OptikLock {
     /// be even, i.e. observed free). Returns `false` — without waiting — if
     /// the version moved or the lock is held.
     #[inline]
+    #[must_use = "ignoring the result proceeds without the lock; branch on it"]
     pub fn try_lock_version(&self, seen: u64) -> bool {
         if seen & 1 == 1 {
             return false;
@@ -93,6 +95,7 @@ impl OptikLock {
 
     /// True if `v` denotes a locked state.
     #[inline]
+    #[must_use]
     pub fn version_is_locked(v: u64) -> bool {
         v & 1 == 1
     }
@@ -107,6 +110,7 @@ impl OptikLock {
     /// least as new as the snapshot, and none of those reads can hoist
     /// above it.
     #[inline]
+    #[must_use = "an unused snapshot certifies nothing — thread it into read_validate"]
     pub fn read_begin(&self) -> Option<u64> {
         let v = self.version.load(Ordering::Acquire);
         if v & 1 == 0 {
@@ -130,6 +134,7 @@ impl OptikLock {
     ///
     /// [`read_begin`]: OptikLock::read_begin
     #[inline]
+    #[must_use = "a dropped validation result silently un-certifies the read — branch on it"]
     pub fn read_validate(&self, seen: u64) -> bool {
         fence(Ordering::Acquire);
         seen & 1 == 0 && self.version.load(Ordering::Relaxed) == seen
@@ -151,6 +156,7 @@ impl OptikLock {
     /// [`csds_metrics::optimistic_attempt`] /
     /// [`csds_metrics::optimistic_failure`].
     #[inline]
+    #[must_use = "None means every validation failed — the caller must take its pessimistic path"]
     pub fn optimistic_read<T>(&self, mut f: impl FnMut() -> T) -> Option<T> {
         for _ in 0..OPTIMISTIC_READ_RETRIES {
             csds_metrics::optimistic_attempt();
@@ -210,6 +216,10 @@ impl RawMutex for OptikLock {
     fn unlock(&self) {
         // Holder-only: version is odd; +1 makes it even and distinct from
         // every previously observed version.
+        debug_assert!(
+            self.version.load(Ordering::Relaxed) & 1 == 1,
+            "OptikLock::unlock without holding the lock"
+        );
         self.version.fetch_add(1, Ordering::Release);
     }
 
@@ -364,7 +374,7 @@ mod tests {
     /// never validate a torn observation.
     #[test]
     fn read_validate_rejects_overlapping_writer_cross_thread() {
-        use std::sync::atomic::{AtomicBool, AtomicU64};
+        use crate::atomic::{AtomicBool, AtomicU64};
         use std::sync::Arc;
 
         let lock = Arc::new(OptikLock::new());

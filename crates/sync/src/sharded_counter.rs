@@ -18,17 +18,20 @@
 //! and a slightly stale value only shifts *when* a resize starts, never
 //! correctness.
 
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use crate::atomic::{AtomicI64, AtomicUsize, LazyStatic, Ordering};
 
 use crate::CachePadded;
 
 /// Process-wide registration sequence; each thread's first `add` claims the
 /// next index and keeps it for life, so a thread always hits the same cell
-/// of every `ShardedCounter`.
-static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+/// of every `ShardedCounter`. Seam-scoped ([`LazyStatic`] +
+/// [`seam_thread_local!`](crate::atomic::seam_thread_local)) so that under
+/// the model checker slot assignment restarts per execution — replays would
+/// otherwise diverge as OS threads accumulate slot numbers across runs.
+static NEXT_THREAD_SLOT: LazyStatic<AtomicUsize> = LazyStatic::new(|| AtomicUsize::new(0));
 
-thread_local! {
-    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+crate::atomic::seam_thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.get().fetch_add(1, Ordering::Relaxed);
 }
 
 /// A signed counter striped over cache-padded cells.

@@ -5,7 +5,7 @@
 //! slow path measures wait time from the first failed attempt until
 //! acquisition and reports it to `csds-metrics`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use crate::{Backoff, RawMutex};

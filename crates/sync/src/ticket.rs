@@ -5,7 +5,7 @@
 //! measure the time until this event occurs" (§5.1). The fast path (ticket ==
 //! now-serving) records no time at all.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
 
 use crate::{Backoff, RawMutex};

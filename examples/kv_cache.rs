@@ -21,7 +21,7 @@
 //! cargo run --release --example kv_cache
 //! ```
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use csds_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

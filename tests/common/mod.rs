@@ -3,8 +3,8 @@
 // Each test binary compiles this module separately and uses a subset of it.
 #![allow(dead_code)]
 
+use csds_sync::atomic::{AtomicU64, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use csds::core::{ConcurrentMap, GuardedMap, MapHandle};

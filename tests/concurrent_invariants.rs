@@ -55,7 +55,7 @@ fn elastic_net_effect_with_migration_forced_every_few_ops() {
     // actually resized in both directions.
     use csds::core::{ConcurrentMap, MapHandle};
     use csds::elastic::{ElasticConfig, ElasticHashTable};
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use csds_sync::atomic::{AtomicU64, Ordering};
 
     const THREADS: usize = 4;
     const OPS: u64 = 6_000;
@@ -131,14 +131,14 @@ fn mixed_readers_and_writers_see_no_torn_values() {
     for k in 0..32u64 {
         map.insert(k, k * 1000);
     }
-    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop = Arc::new(csds_sync::atomic::AtomicBool::new(false));
     let mut handles = Vec::new();
     for w in 0..2u64 {
         let map = Arc::clone(&map);
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
             let mut rng = common::rng_stream(w + 1);
-            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+            while !stop.load(csds_sync::atomic::Ordering::Relaxed) {
                 let k = rng() % 32;
                 map.remove(k);
                 map.insert(k, k * 1000);
@@ -156,7 +156,7 @@ fn mixed_readers_and_writers_see_no_torn_values() {
                     assert_eq!(v, k * 1000, "torn value at key {k}");
                 }
             }
-            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            stop.store(true, csds_sync::atomic::Ordering::Relaxed);
         }));
     }
     for h in handles {

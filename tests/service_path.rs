@@ -5,8 +5,8 @@
 
 mod common;
 
+use csds_sync::atomic::{AtomicBool, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use csds::core::{ConcurrentMap, GuardedMap};
@@ -83,9 +83,9 @@ fn all_algorithms_concurrent_net_effect_through_the_service() {
     const BATCH: usize = 24;
     for algo in AlgoKind::all() {
         let svc = algo.make_service(64, service_cfg());
-        let ins: Arc<Vec<std::sync::atomic::AtomicU64>> =
+        let ins: Arc<Vec<csds_sync::atomic::AtomicU64>> =
             Arc::new((0..RANGE).map(|_| Default::default()).collect());
-        let rem: Arc<Vec<std::sync::atomic::AtomicU64>> =
+        let rem: Arc<Vec<csds_sync::atomic::AtomicU64>> =
             Arc::new((0..RANGE).map(|_| Default::default()).collect());
         let mut threads = Vec::new();
         for c in 0..CLIENTS as u64 {
