@@ -92,10 +92,12 @@ pub const ELISION_RETRIES: u32 = 5;
 /// After this many *consecutive* operations whose [`Guard::repin`] was
 /// inert (another guard live on the same thread), a handle concludes the
 /// thread is holding two long-lived sessions — which stalls epoch
-/// reclamation process-wide — and, in debug builds, prints a diagnostic to
-/// stderr (once per stall run: an effective repin resets the counter and a
-/// fresh stall warns again). [`MapHandle::stalled_ops`] exposes the
-/// counter in all builds.
+/// reclamation process-wide. In **all** builds every threshold crossing
+/// records a `repin_stalls` metric tick and a `RepinStall` trace event
+/// (visible in `repro watch` / `repro trace`); debug builds additionally
+/// print a diagnostic to stderr (once per stall run: an effective repin
+/// resets the counter and a fresh stall warns again).
+/// [`MapHandle::stalled_ops`] exposes the counter in all builds.
 pub const REPIN_STALL_WARN_THRESHOLD: u64 = 1024;
 
 /// The state shared by [`MapHandle`] and [`PoolHandle`]: one reusable
@@ -138,6 +140,14 @@ impl Session {
             self.stalled = 0;
         } else {
             self.stalled += 1;
+            // Every threshold crossing is a first-class observability signal
+            // in all builds: a `repin_stalls` counter tick plus a `RepinStall`
+            // trace event carrying the run length. Fires at every multiple so
+            // a sustained stall keeps showing up in `repro watch` aggregates,
+            // not just once.
+            if self.stalled % REPIN_STALL_WARN_THRESHOLD == 0 {
+                csds_metrics::repin_stall(self.stalled);
+            }
             #[cfg(debug_assertions)]
             if self.stalled == REPIN_STALL_WARN_THRESHOLD {
                 eprintln!(

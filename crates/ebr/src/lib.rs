@@ -78,6 +78,10 @@ struct CacheAligned<T>(T);
 struct Deferred {
     ptr: *mut u8,
     dropper: unsafe fn(*mut u8),
+    /// `size_of::<T>()` of the retired allocation — approximate garbage
+    /// accounting for the health telemetry (container overhead and heap
+    /// payloads behind the value are not counted).
+    bytes: usize,
 }
 
 // SAFETY: a Deferred is only ever executed once, by whichever thread runs
@@ -95,6 +99,7 @@ impl Deferred {
         Deferred {
             ptr: ptr as *mut u8,
             dropper: drop_box::<T>,
+            bytes: std::mem::size_of::<T>(),
         }
     }
 
@@ -109,6 +114,18 @@ impl Deferred {
 struct Bag {
     epoch: u64,
     items: Vec<Deferred>,
+}
+
+/// Run one batch of deferred destructors, settling the process-wide
+/// deferred-garbage gauges first (so a destructor that re-enters this
+/// module observes the gauges already decremented).
+fn execute_items(items: Vec<Deferred>) {
+    let n = items.len() as i64;
+    let bytes: usize = items.iter().map(|d| d.bytes).sum();
+    csds_metrics::ebr_garbage_delta(-n, -(bytes as i64));
+    for d in items {
+        d.execute();
+    }
 }
 
 /// Per-thread participant record. Cache-line padded: `state` is stored by
@@ -273,9 +290,7 @@ impl OrphanList {
         }
         self.donate(unready);
         for bag in ready {
-            for d in bag.items {
-                d.execute();
-            }
+            execute_items(bag.items);
         }
     }
 }
@@ -318,7 +333,10 @@ impl Collector {
             .0
             .compare_exchange(global, global + 1, Ordering::AcqRel, Ordering::Relaxed)
         {
-            Ok(_) => global + 1,
+            Ok(_) => {
+                csds_metrics::ebr_epoch_advance(global + 1);
+                global + 1
+            }
             Err(cur) => cur,
         }
     }
@@ -338,6 +356,11 @@ fn collector() -> &'static Collector {
 const BAG_CAP: usize = 64;
 /// Run maintenance (advance + collect) every this many pin operations.
 const MAINTENANCE_PERIOD: u64 = 64;
+/// Default reclamation-watchdog threshold (pending deferred items): well
+/// above the steady-state backlog of a healthy churning thread (a few
+/// sealed bags, i.e. a few hundred items), well below the millions the PR 6
+/// starvation bug accumulated.
+pub const WATCHDOG_THRESHOLD_DEFAULT: u64 = 4096;
 
 /// The effective maintenance period. In production this is the constant
 /// above; under the model checker a model can shrink it (usually to 1) via
@@ -496,6 +519,12 @@ struct Local {
     pin_epoch: Cell<u64>,
     pin_count: Cell<u64>,
     bags: RefCell<LocalBags>,
+    /// Deferred destructors retired by this thread and not yet executed
+    /// locally (orphan donations leave with the thread at exit).
+    deferred_pending: Cell<u64>,
+    /// Reclamation-watchdog threshold for this thread (items); see
+    /// [`set_watchdog_threshold`].
+    watchdog_threshold: Cell<u64>,
 }
 
 impl Local {
@@ -506,6 +535,8 @@ impl Local {
             pin_epoch: Cell::new(0),
             pin_count: Cell::new(0),
             bags: RefCell::new(LocalBags::new()),
+            deferred_pending: Cell::new(0),
+            watchdog_threshold: Cell::new(WATCHDOG_THRESHOLD_DEFAULT),
         }
     }
 
@@ -550,7 +581,22 @@ impl Local {
         // queue depth degenerates into a registry scan per retirement
         // whenever a pinned thread is legitimately blocking the advance.
         let tag = self.pin_epoch.get() + 1;
+        let bytes = d.bytes;
         let _sealed = self.bags.borrow_mut().push(tag, d);
+        csds_metrics::ebr_garbage_delta(1, bytes as i64);
+        // Reclamation watchdog: collection is amortized behind the pin
+        // counter (above), so a thread whose pin path never runs maintenance
+        // — the PR 6 repin-starvation class: two long-lived sessions on one
+        // thread make every repin inert, or nested pins skip `acquire` — has
+        // exactly one signal left: its pending queue keeps growing. Fire a
+        // counter + trace event at every threshold multiple so the pathology
+        // is release-build-visible long before it becomes a 130 MB
+        // post-mortem.
+        let pending = self.deferred_pending.get() + 1;
+        self.deferred_pending.set(pending);
+        if pending % self.watchdog_threshold.get() == 0 {
+            csds_metrics::ebr_stall(pending);
+        }
     }
 
     /// Free local sealed bags old enough under `global`. Bags are taken out
@@ -567,9 +613,12 @@ impl Local {
             };
             match bag {
                 Some(b) => {
-                    for d in b.items {
-                        d.execute();
-                    }
+                    self.deferred_pending.set(
+                        self.deferred_pending
+                            .get()
+                            .saturating_sub(b.items.len() as u64),
+                    );
+                    execute_items(b.items);
                 }
                 None => break,
             }
@@ -584,9 +633,13 @@ impl Local {
         if !force && !self.bags.borrow().has_garbage() && c.orphans.is_empty() {
             return;
         }
+        // Latency is only timed past the early-out, so the gauge measures
+        // real passes (advance attempt + both collections), not no-ops.
+        let start = std::time::Instant::now();
         let global = c.try_advance();
         self.collect_sealed(global);
         c.orphans.collect(global);
+        csds_metrics::ebr_collect(start.elapsed().as_nanos() as u64);
     }
 }
 
@@ -779,6 +832,65 @@ impl Drop for Guard {
 /// Current global epoch (for tests and diagnostics).
 pub fn global_epoch() -> u64 {
     collector().epoch.0.load(Ordering::Acquire)
+}
+
+/// Override the calling thread's reclamation-watchdog threshold (pending
+/// deferred items between firings). Per-thread on purpose: tests shrink it
+/// without perturbing concurrently running threads. Clamped to ≥ 1.
+pub fn set_watchdog_threshold(items: u64) {
+    LOCAL.with(|l| l.watchdog_threshold.set(items.max(1)));
+}
+
+/// Point-in-time reclamation health, for live dashboards (`repro watch`)
+/// and post-run audits. Racy by nature — every field is an independent
+/// relaxed observation of a moving system.
+#[derive(Clone, Debug, Default)]
+pub struct EbrHealth {
+    /// Current global epoch.
+    pub global_epoch: u64,
+    /// Registered participant slots of live threads.
+    pub active_participants: usize,
+    /// Active participants currently pinned.
+    pub pinned_participants: usize,
+    /// Epoch lag (`global - pinned_epoch`) of each pinned participant; a
+    /// sustained lag ≥ 2 means that participant is blocking reclamation.
+    pub pinned_lags: Vec<u64>,
+    /// Largest entry of `pinned_lags` (0 when nothing is pinned).
+    pub max_epoch_lag: u64,
+    /// Process-wide deferred garbage not yet reclaimed (items).
+    pub garbage_items: u64,
+    /// Approximate bytes of that garbage (retired allocations only).
+    pub garbage_bytes: u64,
+}
+
+/// Snapshot the reclamation health gauges: per-participant epoch lag from a
+/// registry scan, plus the process-wide deferred-garbage gauges maintained
+/// through `csds_metrics`. Watchdog *firings* are counters in the metrics
+/// registry (`ebr_stall_events`), not here.
+pub fn health() -> EbrHealth {
+    let c = collector();
+    let global = c.epoch.0.load(Ordering::Acquire);
+    let mut h = EbrHealth {
+        global_epoch: global,
+        ..Default::default()
+    };
+    for slot in c.registry.iter() {
+        if !slot.active.load(Ordering::Acquire) {
+            continue;
+        }
+        h.active_participants += 1;
+        let s = slot.state.load(Ordering::Relaxed);
+        if s & 1 == 1 {
+            h.pinned_participants += 1;
+            let lag = global.saturating_sub(s >> 1);
+            h.max_epoch_lag = h.max_epoch_lag.max(lag);
+            h.pinned_lags.push(lag);
+        }
+    }
+    let (items, bytes) = csds_metrics::ebr_garbage();
+    h.garbage_items = items;
+    h.garbage_bytes = bytes;
+    h
 }
 
 /// Registry occupancy `(total_slots, active_slots)` — diagnostics; racy.

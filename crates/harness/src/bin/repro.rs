@@ -6,16 +6,22 @@
 //! repro all [--full]         # run everything, in paper order
 //! repro bench [--json] [--out FILE] [--full|--smoke]
 //!                            # the recorded bench trajectory (BENCH_<pr>.json)
+//! repro watch [--secs N] [--threads N] [--prom]
+//!                            # live dashboard over the metrics registry
+//! repro trace [--out FILE]   # event-tour -> chrome://tracing JSON
 //! ```
 
 use csds_harness::experiments;
+use csds_harness::obs;
 use csds_harness::trajectory;
 use csds_harness::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  repro list\n  repro run <experiment> [--full]\n  repro all [--full]\n  \
-         repro bench [--json] [--out FILE] [--full|--smoke]\n\
+         repro bench [--json] [--out FILE] [--full|--smoke]\n  \
+         repro watch [--secs N] [--threads N] [--prom]\n  \
+         repro trace [--out FILE]\n\
          \nexperiments:"
     );
     for e in experiments::registry() {
@@ -79,6 +85,56 @@ fn main() {
                     eprintln!("wrote {path}");
                 }
                 None => print!("{text}"),
+            }
+        }
+        Some("watch") => {
+            let secs = args
+                .iter()
+                .position(|a| a == "--secs")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse::<f64>().ok())
+                .unwrap_or(5.0);
+            let threads = args
+                .iter()
+                .position(|a| a == "--threads")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(4);
+            let cfg = obs::WatchConfig {
+                duration: std::time::Duration::from_secs_f64(secs),
+                threads,
+                prom: args.iter().any(|a| a == "--prom"),
+                ..obs::WatchConfig::default()
+            };
+            obs::watch(&cfg);
+        }
+        Some("trace") => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .filter(|p| !p.starts_with("--"))
+                .cloned();
+            let report = obs::trace_tour();
+            eprintln!("event coverage:");
+            for (kind, n) in &report.counts {
+                eprintln!("  {:22} {:>8}  [{}]", kind.name(), n, kind.category());
+            }
+            if report.dropped > 0 {
+                eprintln!("  ({} events dropped to ring overflow)", report.dropped);
+            }
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &report.json)
+                        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    eprintln!("wrote {path} (load via chrome://tracing or ui.perfetto.dev)");
+                }
+                None => print!("{}", report.json),
+            }
+            let missing = report.missing();
+            if !missing.is_empty() {
+                eprintln!("error: tour left event kinds unexercised: {missing:?}");
+                std::process::exit(1);
             }
         }
         Some("all") => {

@@ -16,16 +16,24 @@
 //!   runs re-recorded every PR (committed as `BENCH_<pr>.json`) so the
 //!   repo carries its own performance history.
 //!
+//! * [`obs`] — the observability layer's harness face: `repro watch`
+//!   (live dashboard over the seqlock metrics registry and the EBR health
+//!   probe) and `repro trace` (guided tour emitting a chrome://tracing
+//!   JSON timeline that covers every wired event kind).
+//!
 //! The `repro` binary exposes all of it:
 //! ```text
 //! repro list
 //! repro run fig3 [--full]
 //! repro all [--full]
 //! repro bench [--json] [--out FILE] [--full|--smoke]
+//! repro watch [--secs N] [--threads N] [--prom]
+//! repro trace [--out FILE]
 //! ```
 
 pub mod experiments;
 pub mod factory;
+pub mod obs;
 pub mod report;
 pub mod runner;
 pub mod trajectory;

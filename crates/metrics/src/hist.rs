@@ -98,6 +98,36 @@ impl LogHistogram {
         Some(u64::MAX)
     }
 
+    /// Number of `u64` words in the flat representation used by the live
+    /// metrics registry: the buckets, then `count`, then `sum`.
+    pub const WORDS: usize = BUCKETS + 2;
+
+    /// Serialize into `out[..Self::WORDS]` (buckets, count, sum) for seqlock
+    /// slot publication.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`Self::WORDS`].
+    pub fn write_words(&self, out: &mut [u64]) {
+        out[..BUCKETS].copy_from_slice(&self.buckets);
+        out[BUCKETS] = self.count;
+        out[BUCKETS + 1] = self.sum;
+    }
+
+    /// Rebuild a histogram from the flat representation written by
+    /// [`Self::write_words`].
+    ///
+    /// # Panics
+    /// Panics if `words` is shorter than [`Self::WORDS`].
+    pub fn read_words(words: &[u64]) -> Self {
+        let mut buckets = [0u64; BUCKETS];
+        buckets.copy_from_slice(&words[..BUCKETS]);
+        LogHistogram {
+            buckets,
+            count: words[BUCKETS],
+            sum: words[BUCKETS + 1],
+        }
+    }
+
     /// Iterate non-empty buckets as `(lower_bound, upper_bound_exclusive, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
@@ -161,6 +191,23 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.sum(), 21);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(7);
+        h.record(1 << 40);
+        let mut w = [0u64; LogHistogram::WORDS];
+        h.write_words(&mut w);
+        let back = LogHistogram::read_words(&w);
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(
+            back.nonzero_buckets().collect::<Vec<_>>(),
+            h.nonzero_buckets().collect::<Vec<_>>()
+        );
     }
 
     #[test]

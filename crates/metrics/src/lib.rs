@@ -20,13 +20,32 @@
 //!
 //! Structures never talk to the harness directly; they only call into this
 //! crate, which keeps the data-structure code free of benchmarking concerns.
+//!
+//! Since the observability layer landed, recording also feeds two live
+//! surfaces:
+//!
+//! * the [`registry`] — every [`op_boundary`]-driven thread republishes its
+//!   counters into a seqlock-stamped shared slot each
+//!   [`registry::PUBLISH_PERIOD`] ops, so an observer can poll a consistent
+//!   global aggregate mid-run (`repro watch`, Prometheus text exposition);
+//! * [`trace`] — when armed, the rarer structural events (epoch advances,
+//!   migrations, optimistic fallbacks, backpressure, stalls) are also
+//!   recorded as timestamped events exportable to chrome://tracing.
+//!
+//! Building with the **`off` feature** compiles every recording function
+//! down to a no-op — that is the "instrumentation compiled out" arm of the
+//! `fig0_obs` overhead A/B.
 
 use std::cell::{Cell, RefCell};
 use std::time::{Duration, Instant};
 
+pub mod atomic;
 pub mod hist;
+pub mod registry;
+pub mod trace;
 
 pub use hist::LogHistogram;
+pub use trace::EventKind;
 
 /// Number of exact buckets in the per-operation restart histogram.
 /// `restart_hist[k]` counts operations that restarted exactly `k` times;
@@ -89,6 +108,20 @@ pub struct StatsSnapshot {
     /// Operations that exhausted their optimistic retries and fell back to
     /// the pessimistic (locked) path.
     pub optimistic_fallbacks: u64,
+    /// Session repins that went inert past the stall threshold
+    /// (`MapHandle` held across another live guard — the PR 6 bug shape).
+    pub repin_stalls: u64,
+    /// EBR global-epoch advances won by this thread.
+    pub epoch_advances: u64,
+    /// EBR collection passes run by this thread.
+    pub ebr_collects: u64,
+    /// Total nanoseconds this thread spent inside EBR collection passes.
+    pub ebr_collect_ns: u64,
+    /// Reclamation-watchdog firings: deferred garbage crossed the stall
+    /// threshold without a collection running.
+    pub ebr_stall_events: u64,
+    /// Service submissions rejected with `Busy` (ring full) by this thread.
+    pub service_busy: u64,
 }
 
 impl StatsSnapshot {
@@ -121,6 +154,12 @@ impl StatsSnapshot {
         self.optimistic_attempts += other.optimistic_attempts;
         self.optimistic_failures += other.optimistic_failures;
         self.optimistic_fallbacks += other.optimistic_fallbacks;
+        self.repin_stalls += other.repin_stalls;
+        self.epoch_advances += other.epoch_advances;
+        self.ebr_collects += other.ebr_collects;
+        self.ebr_collect_ns += other.ebr_collect_ns;
+        self.ebr_stall_events += other.ebr_stall_events;
+        self.service_busy += other.service_busy;
     }
 
     /// Fraction of optimistic fast-path attempts whose validation failed.
@@ -239,11 +278,29 @@ struct Recorder {
     optimistic_attempts: Cell<u64>,
     optimistic_failures: Cell<u64>,
     optimistic_fallbacks: Cell<u64>,
-    // Per-operation scratch state, folded in by `op_boundary`.
-    cur_op_restarts: Cell<u32>,
-    cur_op_waited: Cell<bool>,
+    repin_stalls: Cell<u64>,
+    epoch_advances: Cell<u64>,
+    ebr_collects: Cell<u64>,
+    ebr_collect_ns: Cell<u64>,
+    ebr_stall_events: Cell<u64>,
+    service_busy: Cell<u64>,
+    // Per-operation scratch state, folded in by `op_boundary`. One word:
+    // bit 31 is the waited flag, the low 31 bits count restarts — so the
+    // (overwhelmingly common) clean op costs `op_boundary` a single
+    // load/store/test instead of two.
+    cur_op: Cell<u32>,
     delay: RefCell<Option<DelayState>>,
+    // Mirror of `delay.is_some()`, readable without the `RefCell` borrow
+    // round-trip: `maybe_delay_in_cs` runs on every instrumented critical
+    // section, and with no policy armed (the overwhelmingly common case) it
+    // must cost one load and one predictable branch.
+    delay_armed: Cell<bool>,
 }
+
+/// Bit 31 of [`Recorder::cur_op`]: the current operation waited on a lock at
+/// least once. The low 31 bits count its restarts (a single op cannot
+/// plausibly restart 2^31 times, so the flag bit is safe from carry).
+const CUR_OP_WAITED: u32 = 1 << 31;
 
 impl Recorder {
     const fn new() -> Self {
@@ -273,9 +330,101 @@ impl Recorder {
             optimistic_attempts: Cell::new(0),
             optimistic_failures: Cell::new(0),
             optimistic_fallbacks: Cell::new(0),
-            cur_op_restarts: Cell::new(0),
-            cur_op_waited: Cell::new(false),
+            repin_stalls: Cell::new(0),
+            epoch_advances: Cell::new(0),
+            ebr_collects: Cell::new(0),
+            ebr_collect_ns: Cell::new(0),
+            ebr_stall_events: Cell::new(0),
+            service_busy: Cell::new(0),
+            cur_op: Cell::new(0),
             delay: RefCell::new(None),
+            delay_armed: Cell::new(false),
+        }
+    }
+
+    /// Copy the current counters into a snapshot **without** resetting —
+    /// what the registry publishes mid-run.
+    fn peek(&self) -> StatsSnapshot {
+        // Bucket 0 is not maintained on the hot path (see `op_boundary`);
+        // materialize it here so snapshots stay a complete per-op histogram.
+        let mut restart_hist = *self.restart_hist.borrow();
+        restart_hist[0] = self.ops.get() - self.ops_restarted.get();
+        StatsSnapshot {
+            lock_acquires: self.lock_acquires.get(),
+            contended_acquires: self.contended_acquires.get(),
+            lock_wait_ns: self.lock_wait_ns.get(),
+            max_wait_ns: self.max_wait_ns.get(),
+            wait_hist: self.wait_hist.borrow().clone(),
+            restarts: self.restarts.get(),
+            ops: self.ops.get(),
+            ops_restarted: self.ops_restarted.get(),
+            ops_restarted_gt3: self.ops_restarted_gt3.get(),
+            ops_waited: self.ops_waited.get(),
+            restart_hist,
+            elide_attempts: self.elide_attempts.get(),
+            elide_commits: self.elide_commits.get(),
+            elide_aborts_conflict: self.elide_aborts_conflict.get(),
+            elide_aborts_interrupt: self.elide_aborts_interrupt.get(),
+            elide_fallbacks: self.elide_fallbacks.get(),
+            injected_delays: self.injected_delays.get(),
+            injected_delay_ns: self.injected_delay_ns.get(),
+            resize_migrations_started: self.resize_migrations_started.get(),
+            resize_migrations_completed: self.resize_migrations_completed.get(),
+            resize_buckets_moved: self.resize_buckets_moved.get(),
+            resize_tables_retired: self.resize_tables_retired.get(),
+            optimistic_attempts: self.optimistic_attempts.get(),
+            optimistic_failures: self.optimistic_failures.get(),
+            optimistic_fallbacks: self.optimistic_fallbacks.get(),
+            repin_stalls: self.repin_stalls.get(),
+            epoch_advances: self.epoch_advances.get(),
+            ebr_collects: self.ebr_collects.get(),
+            ebr_collect_ns: self.ebr_collect_ns.get(),
+            ebr_stall_events: self.ebr_stall_events.get(),
+            service_busy: self.service_busy.get(),
+        }
+    }
+
+    /// Snapshot and clear every counter (the body of [`take_and_reset`],
+    /// shared with the thread-exit drain).
+    fn take(&self) -> StatsSnapshot {
+        // As in `peek`: bucket 0 = completed ops that never restarted.
+        let ops = self.ops.replace(0);
+        let ops_restarted = self.ops_restarted.replace(0);
+        let mut restart_hist =
+            std::mem::replace(&mut *self.restart_hist.borrow_mut(), [0; RESTART_BUCKETS]);
+        restart_hist[0] = ops - ops_restarted;
+        StatsSnapshot {
+            lock_acquires: self.lock_acquires.replace(0),
+            contended_acquires: self.contended_acquires.replace(0),
+            lock_wait_ns: self.lock_wait_ns.replace(0),
+            max_wait_ns: self.max_wait_ns.replace(0),
+            wait_hist: std::mem::take(&mut *self.wait_hist.borrow_mut()),
+            restarts: self.restarts.replace(0),
+            ops,
+            ops_restarted,
+            ops_restarted_gt3: self.ops_restarted_gt3.replace(0),
+            ops_waited: self.ops_waited.replace(0),
+            restart_hist,
+            elide_attempts: self.elide_attempts.replace(0),
+            elide_commits: self.elide_commits.replace(0),
+            elide_aborts_conflict: self.elide_aborts_conflict.replace(0),
+            elide_aborts_interrupt: self.elide_aborts_interrupt.replace(0),
+            elide_fallbacks: self.elide_fallbacks.replace(0),
+            injected_delays: self.injected_delays.replace(0),
+            injected_delay_ns: self.injected_delay_ns.replace(0),
+            resize_migrations_started: self.resize_migrations_started.replace(0),
+            resize_migrations_completed: self.resize_migrations_completed.replace(0),
+            resize_buckets_moved: self.resize_buckets_moved.replace(0),
+            resize_tables_retired: self.resize_tables_retired.replace(0),
+            optimistic_attempts: self.optimistic_attempts.replace(0),
+            optimistic_failures: self.optimistic_failures.replace(0),
+            optimistic_fallbacks: self.optimistic_fallbacks.replace(0),
+            repin_stalls: self.repin_stalls.replace(0),
+            epoch_advances: self.epoch_advances.replace(0),
+            ebr_collects: self.ebr_collects.replace(0),
+            ebr_collect_ns: self.ebr_collect_ns.replace(0),
+            ebr_stall_events: self.ebr_stall_events.replace(0),
+            service_busy: self.service_busy.replace(0),
         }
     }
 }
@@ -287,6 +436,9 @@ thread_local! {
 /// Record an acquired lock; `contended` marks slow-path acquisitions.
 #[inline]
 pub fn lock_acquire(contended: bool) {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| {
         r.lock_acquires.set(r.lock_acquires.get() + 1);
         if contended {
@@ -298,13 +450,16 @@ pub fn lock_acquire(contended: bool) {
 /// Record `ns` nanoseconds spent waiting for a lock (slow path only).
 #[inline]
 pub fn lock_wait(ns: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| {
         r.lock_wait_ns.set(r.lock_wait_ns.get() + ns);
         if ns > r.max_wait_ns.get() {
             r.max_wait_ns.set(ns);
         }
         r.wait_hist.borrow_mut().record(ns);
-        r.cur_op_waited.set(true);
+        r.cur_op.set(r.cur_op.get() | CUR_OP_WAITED);
     });
 }
 
@@ -312,48 +467,93 @@ pub fn lock_wait(ns: u64) {
 /// trylock, lost CAS race that forces a re-traversal, ...).
 #[inline]
 pub fn restart() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| {
         r.restarts.set(r.restarts.get() + 1);
-        r.cur_op_restarts.set(r.cur_op_restarts.get() + 1);
+        r.cur_op.set(r.cur_op.get() + 1);
     });
 }
 
 /// Fold the per-operation scratch counters into the histograms and mark one
 /// completed operation. The harness calls this after every request.
+///
+/// Every [`registry::PUBLISH_PERIOD`]-th operation this also republishes the
+/// thread's counters into its live registry slot (a mask check on the fast
+/// path, ~[`registry::SNAPSHOT_WORDS`] relaxed stores on the periodic one).
 #[inline]
 pub fn op_boundary() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| {
-        r.ops.set(r.ops.get() + 1);
-        let k = r.cur_op_restarts.replace(0) as usize;
-        if k > 0 {
-            r.ops_restarted.set(r.ops_restarted.get() + 1);
-            if k > 3 {
-                r.ops_restarted_gt3.set(r.ops_restarted_gt3.get() + 1);
-            }
+        let ops = r.ops.get() + 1;
+        r.ops.set(ops);
+        let scratch = r.cur_op.replace(0);
+        // `|` (not `||`): both conditions are almost always false, so one
+        // fused test and one predictable branch beat two.
+        if (scratch != 0) | (ops & (registry::PUBLISH_PERIOD - 1) == 0) {
+            op_boundary_slow(r, scratch, ops);
+        }
+    });
+}
+
+/// Everything [`op_boundary`] does besides count: bookkeeping for an op
+/// that restarted or waited, plus the periodic registry publication.
+///
+/// Kept out of line so the clean-op common path stays a handful of `Cell`
+/// loads and stores. Two things live here on purpose: only restarted ops
+/// touch the histogram's `RefCell` (the zero-restart bucket is derivable as
+/// `ops - ops_restarted` and materialized at snapshot time), and
+/// [`Recorder::peek`] materializes a [`registry::SNAPSHOT_WORDS`]-word
+/// snapshot (two histogram copies included) on the stack — letting that
+/// inline into [`op_boundary`] bloats the per-op fast path with dead spills
+/// even on the 1023 of 1024 calls that never publish.
+#[cold]
+#[inline(never)]
+fn op_boundary_slow(r: &Recorder, scratch: u32, ops: u64) {
+    let k = (scratch & !CUR_OP_WAITED) as usize;
+    if k > 0 {
+        r.ops_restarted.set(r.ops_restarted.get() + 1);
+        if k > 3 {
+            r.ops_restarted_gt3.set(r.ops_restarted_gt3.get() + 1);
         }
         let mut hist = r.restart_hist.borrow_mut();
         hist[k.min(RESTART_BUCKETS - 1)] += 1;
-        if r.cur_op_waited.replace(false) {
-            r.ops_waited.set(r.ops_waited.get() + 1);
-        }
-    });
+    }
+    if scratch & CUR_OP_WAITED != 0 {
+        r.ops_waited.set(r.ops_waited.get() + 1);
+    }
+    if ops & (registry::PUBLISH_PERIOD - 1) == 0 {
+        registry::publish_current(&r.peek());
+    }
 }
 
 /// Record one speculative critical-section attempt.
 #[inline]
 pub fn elide_attempt() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| r.elide_attempts.set(r.elide_attempts.get() + 1));
 }
 
 /// Record a committed speculative critical section.
 #[inline]
 pub fn elide_commit() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| r.elide_commits.set(r.elide_commits.get() + 1));
 }
 
 /// Record a speculative abort caused by a data conflict.
 #[inline]
 pub fn elide_abort_conflict() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| {
         r.elide_aborts_conflict
             .set(r.elide_aborts_conflict.get() + 1)
@@ -363,6 +563,9 @@ pub fn elide_abort_conflict() {
 /// Record a speculative abort caused by an (emulated) interrupt.
 #[inline]
 pub fn elide_abort_interrupt() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| {
         r.elide_aborts_interrupt
             .set(r.elide_aborts_interrupt.get() + 1)
@@ -372,6 +575,9 @@ pub fn elide_abort_interrupt() {
 /// Record a critical section that gave up on speculation and took real locks.
 #[inline]
 pub fn elide_fallback() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| r.elide_fallbacks.set(r.elide_fallbacks.get() + 1));
 }
 
@@ -379,40 +585,59 @@ pub fn elide_fallback() {
 /// new table and began draining the old one).
 #[inline]
 pub fn resize_migration_started() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| {
         r.resize_migrations_started
             .set(r.resize_migrations_started.get() + 1)
     });
+    trace::emit(EventKind::MigrationStart, 0);
 }
 
 /// Record the completion of a table migration (this thread moved the old
 /// table's final bucket).
 #[inline]
 pub fn resize_migration_completed() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| {
         r.resize_migrations_completed
             .set(r.resize_migrations_completed.get() + 1)
     });
+    trace::emit(EventKind::MigrationComplete, 0);
 }
 
 /// Record `n` buckets migrated from an old table to its replacement.
 #[inline]
 pub fn resize_buckets_moved(n: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| r.resize_buckets_moved.set(r.resize_buckets_moved.get() + n));
+    trace::emit(EventKind::BucketsMoved, n);
 }
 
 /// Record an old table retired through EBR after its drain completed.
 #[inline]
 pub fn resize_table_retired() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| {
         r.resize_tables_retired
             .set(r.resize_tables_retired.get() + 1)
     });
+    trace::emit(EventKind::TableRetired, 0);
 }
 
 /// Record one optimistic (version-validated) fast-path attempt.
 #[inline]
 pub fn optimistic_attempt() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| r.optimistic_attempts.set(r.optimistic_attempts.get() + 1));
 }
 
@@ -420,6 +645,9 @@ pub fn optimistic_attempt() {
 /// writer's critical section overlapped the unsynchronized read).
 #[inline]
 pub fn optimistic_failure() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| r.optimistic_failures.set(r.optimistic_failures.get() + 1));
 }
 
@@ -427,12 +655,101 @@ pub fn optimistic_failure() {
 /// to the pessimistic (locked) path.
 #[inline]
 pub fn optimistic_fallback() {
+    if cfg!(feature = "off") {
+        return;
+    }
     RECORDER.with(|r| r.optimistic_fallbacks.set(r.optimistic_fallbacks.get() + 1));
+    trace::emit(EventKind::OptimisticFallback, 0);
 }
+
+/// Record a session repin that has gone inert (ineffective) for
+/// `consecutive` refreshes — the PR 6 repin-starvation shape, promoted from
+/// a debug-only stderr warning to a first-class counter + trace event in
+/// all builds.
+#[inline]
+pub fn repin_stall(consecutive: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| r.repin_stalls.set(r.repin_stalls.get() + 1));
+    trace::emit(EventKind::RepinStall, consecutive);
+}
+
+/// Record a won EBR global-epoch advance (`epoch` is the new value).
+#[inline]
+pub fn ebr_epoch_advance(epoch: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| r.epoch_advances.set(r.epoch_advances.get() + 1));
+    trace::emit(EventKind::EpochAdvance, epoch);
+}
+
+/// Record one EBR collection pass that took `ns` nanoseconds.
+#[inline]
+pub fn ebr_collect(ns: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| {
+        r.ebr_collects.set(r.ebr_collects.get() + 1);
+        r.ebr_collect_ns.set(r.ebr_collect_ns.get() + ns);
+    });
+    trace::emit(EventKind::EbrCollect, ns);
+}
+
+/// Record a reclamation-watchdog firing: the calling thread's deferred
+/// garbage crossed a stall threshold without a collection running
+/// (`pending` = deferred items at the time).
+#[inline]
+pub fn ebr_stall(pending: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| r.ebr_stall_events.set(r.ebr_stall_events.get() + 1));
+    trace::emit(EventKind::EbrStall, pending);
+}
+
+/// Record a service submission rejected with `Busy` (`core` = target core
+/// whose ring was full).
+#[inline]
+pub fn service_busy(core: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| r.service_busy.set(r.service_busy.get() + 1));
+    trace::emit(EventKind::ServiceBusy, core);
+}
+
+/// Adjust the process-wide deferred-garbage gauges by signed deltas
+/// (`items`, approximate `bytes`). EBR calls this on defer (+) and after
+/// collection (−); wrapping arithmetic makes negative deltas exact.
+#[inline]
+pub fn ebr_garbage_delta(items: i64, bytes: i64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    use atomic::plain::Ordering;
+    EBR_GARBAGE_ITEMS.fetch_add(items as u64, Ordering::Relaxed);
+    EBR_GARBAGE_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+/// Current process-wide deferred-garbage gauges: `(items, approx_bytes)`.
+pub fn ebr_garbage() -> (u64, u64) {
+    use atomic::plain::Ordering;
+    (
+        EBR_GARBAGE_ITEMS.load(Ordering::Relaxed),
+        EBR_GARBAGE_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+static EBR_GARBAGE_ITEMS: atomic::plain::AtomicU64 = atomic::plain::AtomicU64::new(0);
+static EBR_GARBAGE_BYTES: atomic::plain::AtomicU64 = atomic::plain::AtomicU64::new(0);
 
 /// Install (or clear) the delay-injection policy for the calling thread.
 pub fn set_delay_policy(policy: Option<DelayPolicy>) {
     RECORDER.with(|r| {
+        r.delay_armed.set(policy.is_some());
         *r.delay.borrow_mut() = policy.map(|p| DelayState {
             countdown: p.every,
             rng: p.seed | 1,
@@ -459,20 +776,31 @@ fn xorshift(state: &mut u64) -> u64 {
 #[inline]
 pub fn maybe_delay_in_cs() {
     RECORDER.with(|r| {
-        let mut guard = r.delay.borrow_mut();
-        let Some(state) = guard.as_mut() else { return };
-        state.countdown -= 1;
-        if state.countdown > 0 {
-            return;
+        if r.delay_armed.get() {
+            delay_in_cs_slow(r);
         }
-        state.countdown = state.policy.every;
-        let span = state.policy.max_ns - state.policy.min_ns + 1;
-        let ns = state.policy.min_ns + xorshift(&mut state.rng) % span;
-        drop(guard);
-        spin_for(Duration::from_nanos(ns));
-        r.injected_delays.set(r.injected_delays.get() + 1);
-        r.injected_delay_ns.set(r.injected_delay_ns.get() + ns);
     });
+}
+
+/// The armed half of [`maybe_delay_in_cs`], out of line: only experiment
+/// runs with an installed [`DelayPolicy`] ever pay for the `RefCell` borrow
+/// and countdown bookkeeping.
+#[cold]
+#[inline(never)]
+fn delay_in_cs_slow(r: &Recorder) {
+    let mut guard = r.delay.borrow_mut();
+    let Some(state) = guard.as_mut() else { return };
+    state.countdown -= 1;
+    if state.countdown > 0 {
+        return;
+    }
+    state.countdown = state.policy.every;
+    let span = state.policy.max_ns - state.policy.min_ns + 1;
+    let ns = state.policy.min_ns + xorshift(&mut state.rng) % span;
+    drop(guard);
+    spin_for(Duration::from_nanos(ns));
+    r.injected_delays.set(r.injected_delays.get() + 1);
+    r.injected_delay_ns.set(r.injected_delay_ns.get() + ns);
 }
 
 /// Busy-wait for approximately `d` (used by delay injection; deliberately
@@ -485,40 +813,65 @@ pub fn spin_for(d: Duration) {
     }
 }
 
-/// Snapshot and clear the calling thread's counters.
+/// Snapshot and clear the calling thread's counters. Also republishes the
+/// post-reset zeros to the live [`registry`], so a polled aggregate reflects
+/// "activity since the last reset" rather than double-counting history the
+/// harness already collected.
 pub fn take_and_reset() -> StatsSnapshot {
-    RECORDER.with(|r| StatsSnapshot {
-        lock_acquires: r.lock_acquires.replace(0),
-        contended_acquires: r.contended_acquires.replace(0),
-        lock_wait_ns: r.lock_wait_ns.replace(0),
-        max_wait_ns: r.max_wait_ns.replace(0),
-        wait_hist: std::mem::take(&mut *r.wait_hist.borrow_mut()),
-        restarts: r.restarts.replace(0),
-        ops: r.ops.replace(0),
-        ops_restarted: r.ops_restarted.replace(0),
-        ops_restarted_gt3: r.ops_restarted_gt3.replace(0),
-        ops_waited: r.ops_waited.replace(0),
-        restart_hist: std::mem::replace(&mut *r.restart_hist.borrow_mut(), [0; RESTART_BUCKETS]),
-        elide_attempts: r.elide_attempts.replace(0),
-        elide_commits: r.elide_commits.replace(0),
-        elide_aborts_conflict: r.elide_aborts_conflict.replace(0),
-        elide_aborts_interrupt: r.elide_aborts_interrupt.replace(0),
-        elide_fallbacks: r.elide_fallbacks.replace(0),
-        injected_delays: r.injected_delays.replace(0),
-        injected_delay_ns: r.injected_delay_ns.replace(0),
-        resize_migrations_started: r.resize_migrations_started.replace(0),
-        resize_migrations_completed: r.resize_migrations_completed.replace(0),
-        resize_buckets_moved: r.resize_buckets_moved.replace(0),
-        resize_tables_retired: r.resize_tables_retired.replace(0),
-        optimistic_attempts: r.optimistic_attempts.replace(0),
-        optimistic_failures: r.optimistic_failures.replace(0),
-        optimistic_fallbacks: r.optimistic_fallbacks.replace(0),
-    })
+    let snap = RECORDER.with(|r| r.take());
+    if !cfg!(feature = "off") {
+        registry::publish_current(&StatsSnapshot::default());
+    }
+    snap
+}
+
+/// Thread-exit drain used by the registry's slot-release path: take the
+/// recorder's remaining counters if its TLS is still alive (thread-local
+/// destruction order is unspecified).
+pub(crate) fn drain_recorder_at_exit() -> Option<StatsSnapshot> {
+    RECORDER.try_with(|r| r.take()).ok()
 }
 
 #[cfg(test)]
+#[cfg(not(feature = "off"))]
 mod tests {
     use super::*;
+
+    #[test]
+    fn observability_counters_roundtrip_and_merge() {
+        let _ = take_and_reset();
+        repin_stall(2048);
+        ebr_epoch_advance(41);
+        ebr_epoch_advance(42);
+        ebr_collect(1_000);
+        ebr_collect(500);
+        ebr_stall(4096);
+        service_busy(3);
+        let s = take_and_reset();
+        assert_eq!(s.repin_stalls, 1);
+        assert_eq!(s.epoch_advances, 2);
+        assert_eq!(s.ebr_collects, 2);
+        assert_eq!(s.ebr_collect_ns, 1_500);
+        assert_eq!(s.ebr_stall_events, 1);
+        assert_eq!(s.service_busy, 1);
+        let mut a = s.clone();
+        a.merge(&s);
+        assert_eq!(a.epoch_advances, 4);
+        assert_eq!(a.ebr_collect_ns, 3_000);
+        // The snapshot cleared the thread-local state.
+        assert_eq!(take_and_reset().epoch_advances, 0);
+    }
+
+    #[test]
+    fn garbage_gauges_track_deltas() {
+        let (i0, b0) = ebr_garbage();
+        ebr_garbage_delta(10, 640);
+        ebr_garbage_delta(-4, -256);
+        let (i1, b1) = ebr_garbage();
+        assert_eq!(i1.wrapping_sub(i0), 6);
+        assert_eq!(b1.wrapping_sub(b0), 384);
+        ebr_garbage_delta(-6, -384);
+    }
 
     #[test]
     fn counters_roundtrip() {

@@ -1,0 +1,684 @@
+//! The live metrics registry: lock-free publication of per-thread counters.
+//!
+//! Every instrumented thread periodically flattens its [`StatsSnapshot`]
+//! into a cache-padded shared slot stamped with a sequence word — the same
+//! seqlock protocol as `csds_sync::OptikLock`'s validated reads (even =
+//! stable, odd = mid-write; readers validate with an acquire fence and a
+//! re-load). An observer thread can therefore poll a *consistent* per-slot
+//! snapshot at any time, without stopping workers and without a single lock
+//! on the publication hot path.
+//!
+//! Consistency contract: each slot read is internally consistent (never
+//! torn — this is the property `crates/modelcheck/tests/metrics_registry.rs`
+//! proves exhaustively on [`SeqSlot`]), but the cross-thread aggregate is a
+//! moving sum: slots are read one after another while workers keep
+//! publishing. For a dashboard polled at human timescales that is exactly
+//! the right trade.
+//!
+//! Publication cadence: [`crate::op_boundary`] republishes every
+//! [`PUBLISH_PERIOD`] operations (and [`crate::take_and_reset`] republishes
+//! the post-reset zeros), so a slot lags its thread by at most one period.
+//! Threads that exit fold their final counters into a `retired` accumulator
+//! behind a plain mutex — thread exit is the one cold path here — and
+//! release their slot for recycling.
+
+use crate::atomic::{fence, plain, AtomicBool, AtomicU64, Ordering};
+use crate::{StatsSnapshot, RESTART_BUCKETS};
+use std::cell::Cell;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of `u64` words in the flat [`StatsSnapshot`] representation.
+///
+/// 29 scalar counters, the wait-time [`crate::LogHistogram`], and the exact
+/// restart histogram. `StatsSnapshot::to_words` debug-asserts it wrote
+/// exactly this many words, and the roundtrip unit test pins the layout.
+pub const SNAPSHOT_WORDS: usize = 29 + crate::LogHistogram::WORDS + RESTART_BUCKETS;
+
+/// Maximum concurrently-registered publisher threads. Threads beyond this
+/// are counted in [`Registry::overflowed`] and surface only through the
+/// retired accumulator when they exit.
+pub const MAX_SLOTS: usize = 256;
+
+/// A thread republishes its counters every this many operations (checked in
+/// [`crate::op_boundary`] with a single mask), so the steady-state cost is
+/// ~`SNAPSHOT_WORDS / PUBLISH_PERIOD` relaxed stores per operation.
+pub const PUBLISH_PERIOD: u64 = 1024;
+
+/// A seqlock-stamped array of `N` words with single-writer publication and
+/// lock-free validated reads.
+///
+/// Writer protocol (one designated writer at a time): bump the sequence to
+/// odd (relaxed), release fence, store the words (relaxed), then store the
+/// even successor with release ordering. Reader protocol (any thread):
+/// acquire-load the sequence and reject odd, relaxed-load the words, acquire
+/// fence, re-load the sequence and accept only if unchanged — the exact
+/// shape of `OptikLock::read_begin`/`read_validate`.
+pub struct SeqSlot<const N: usize> {
+    seq: AtomicU64,
+    words: [AtomicU64; N],
+}
+
+impl<const N: usize> Default for SeqSlot<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> SeqSlot<N> {
+    /// An empty slot (sequence 0, all words 0).
+    pub fn new() -> Self {
+        SeqSlot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Publish `words`. Caller must be the slot's only writer; concurrent
+    /// `publish` calls would interleave their sequence bumps and could
+    /// certify torn data to readers.
+    pub fn publish(&self, words: &[u64; N]) {
+        let s = self.seq.load(Ordering::Relaxed);
+        // Odd = publication in progress. The release fence orders this bump
+        // before the word stores: a reader that observes any of the new
+        // words (and fences on its side) must also observe the odd/bumped
+        // sequence and invalidate itself.
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (w, &v) in self.words.iter().zip(words.iter()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// One validated read attempt: `None` if a publication was in progress
+    /// or raced the read (retry).
+    pub fn read(&self) -> Option<[u64; N]> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 == 1 {
+            return None;
+        }
+        let mut out = [0u64; N];
+        for (o, w) in out.iter_mut().zip(self.words.iter()) {
+            *o = w.load(Ordering::Relaxed);
+        }
+        fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) == s1 {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Validated read with bounded retries; `None` only if a writer kept the
+    /// slot continuously unstable for all `retries` attempts.
+    pub fn read_spin(&self, retries: usize) -> Option<[u64; N]> {
+        for _ in 0..retries {
+            if let Some(w) = self.read() {
+                return Some(w);
+            }
+            std::hint::spin_loop();
+        }
+        None
+    }
+
+    /// The word array with **no** validation — a deliberately torn read.
+    /// Exists so the negative model test can demonstrate the tear the
+    /// sequence protocol prevents; never use it for real data.
+    #[doc(hidden)]
+    pub fn read_unvalidated(&self) -> [u64; N] {
+        let mut out = [0u64; N];
+        for (o, w) in out.iter_mut().zip(self.words.iter()) {
+            *o = w.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Little-endian-style cursor pair used to keep `to_words`/`from_words`
+/// symmetric by construction.
+struct Writer<'a> {
+    buf: &'a mut [u64],
+    at: usize,
+}
+
+impl Writer<'_> {
+    #[inline]
+    fn put(&mut self, v: u64) {
+        self.buf[self.at] = v;
+        self.at += 1;
+    }
+    #[inline]
+    fn put_slice(&mut self, v: &[u64]) {
+        self.buf[self.at..self.at + v.len()].copy_from_slice(v);
+        self.at += v.len();
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u64],
+    at: usize,
+}
+
+impl Reader<'_> {
+    #[inline]
+    fn get(&mut self) -> u64 {
+        let v = self.buf[self.at];
+        self.at += 1;
+        v
+    }
+    #[inline]
+    fn get_slice(&mut self, n: usize) -> &[u64] {
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        s
+    }
+}
+
+impl StatsSnapshot {
+    /// Flatten into the fixed word layout published through [`SeqSlot`].
+    pub fn to_words(&self) -> [u64; SNAPSHOT_WORDS] {
+        let mut out = [0u64; SNAPSHOT_WORDS];
+        let mut w = Writer {
+            buf: &mut out,
+            at: 0,
+        };
+        w.put(self.lock_acquires);
+        w.put(self.contended_acquires);
+        w.put(self.lock_wait_ns);
+        w.put(self.max_wait_ns);
+        let mut hist = [0u64; crate::LogHistogram::WORDS];
+        self.wait_hist.write_words(&mut hist);
+        w.put_slice(&hist);
+        w.put(self.restarts);
+        w.put(self.ops);
+        w.put(self.ops_restarted);
+        w.put(self.ops_restarted_gt3);
+        w.put(self.ops_waited);
+        w.put_slice(&self.restart_hist);
+        w.put(self.elide_attempts);
+        w.put(self.elide_commits);
+        w.put(self.elide_aborts_conflict);
+        w.put(self.elide_aborts_interrupt);
+        w.put(self.elide_fallbacks);
+        w.put(self.injected_delays);
+        w.put(self.injected_delay_ns);
+        w.put(self.resize_migrations_started);
+        w.put(self.resize_migrations_completed);
+        w.put(self.resize_buckets_moved);
+        w.put(self.resize_tables_retired);
+        w.put(self.optimistic_attempts);
+        w.put(self.optimistic_failures);
+        w.put(self.optimistic_fallbacks);
+        w.put(self.repin_stalls);
+        w.put(self.epoch_advances);
+        w.put(self.ebr_collects);
+        w.put(self.ebr_collect_ns);
+        w.put(self.ebr_stall_events);
+        w.put(self.service_busy);
+        debug_assert_eq!(w.at, SNAPSHOT_WORDS, "snapshot word layout drifted");
+        out
+    }
+
+    /// Rebuild from the layout written by [`Self::to_words`].
+    pub fn from_words(words: &[u64; SNAPSHOT_WORDS]) -> Self {
+        let mut r = Reader { buf: words, at: 0 };
+        let lock_acquires = r.get();
+        let contended_acquires = r.get();
+        let lock_wait_ns = r.get();
+        let max_wait_ns = r.get();
+        let wait_hist = crate::LogHistogram::read_words(r.get_slice(crate::LogHistogram::WORDS));
+        let restarts = r.get();
+        let ops = r.get();
+        let ops_restarted = r.get();
+        let ops_restarted_gt3 = r.get();
+        let ops_waited = r.get();
+        let mut restart_hist = [0u64; RESTART_BUCKETS];
+        restart_hist.copy_from_slice(r.get_slice(RESTART_BUCKETS));
+        StatsSnapshot {
+            lock_acquires,
+            contended_acquires,
+            lock_wait_ns,
+            max_wait_ns,
+            wait_hist,
+            restarts,
+            ops,
+            ops_restarted,
+            ops_restarted_gt3,
+            ops_waited,
+            restart_hist,
+            elide_attempts: r.get(),
+            elide_commits: r.get(),
+            elide_aborts_conflict: r.get(),
+            elide_aborts_interrupt: r.get(),
+            elide_fallbacks: r.get(),
+            injected_delays: r.get(),
+            injected_delay_ns: r.get(),
+            resize_migrations_started: r.get(),
+            resize_migrations_completed: r.get(),
+            resize_buckets_moved: r.get(),
+            resize_tables_retired: r.get(),
+            optimistic_attempts: r.get(),
+            optimistic_failures: r.get(),
+            optimistic_fallbacks: r.get(),
+            repin_stalls: r.get(),
+            epoch_advances: r.get(),
+            ebr_collects: r.get(),
+            ebr_collect_ns: r.get(),
+            ebr_stall_events: r.get(),
+            service_busy: r.get(),
+        }
+    }
+}
+
+/// One registry slot: a claim flag plus the seqlock-stamped word array.
+/// Cache-line aligned (two lines) so one thread's publication never false-
+/// shares with a neighbour's.
+#[repr(align(128))]
+struct Slot {
+    claimed: AtomicBool,
+    data: SeqSlot<SNAPSHOT_WORDS>,
+}
+
+/// The process-wide registry: a fixed slot array plus the retired-thread
+/// accumulator.
+pub struct Registry {
+    slots: Box<[Slot]>,
+    /// Final counters of exited threads (mutex: thread exit is cold).
+    retired: Mutex<StatsSnapshot>,
+    /// Threads that found every slot claimed (their live counters are
+    /// invisible until exit).
+    overflowed: plain::AtomicU64,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            slots: (0..MAX_SLOTS)
+                .map(|_| Slot {
+                    claimed: AtomicBool::new(false),
+                    data: SeqSlot::new(),
+                })
+                .collect(),
+            retired: Mutex::new(StatsSnapshot::default()),
+            overflowed: plain::AtomicU64::new(0),
+        }
+    }
+
+    fn claim(&self) -> Option<usize> {
+        for (i, s) in self.slots.iter().enumerate() {
+            if !s.claimed.load(Ordering::Relaxed)
+                && s.claimed
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Some(i);
+            }
+        }
+        self.overflowed.fetch_add(1, plain::Ordering::Relaxed);
+        None
+    }
+
+    fn release(&self, idx: usize, finalv: &StatsSnapshot) {
+        self.retired.lock().unwrap().merge(finalv);
+        // Zero before release so a recycled slot never double-counts the
+        // previous owner (their history now lives in `retired`).
+        self.slots[idx].data.publish(&[0u64; SNAPSHOT_WORDS]);
+        self.slots[idx].claimed.store(false, Ordering::Release);
+    }
+
+    /// Number of currently claimed (live publisher) slots.
+    pub fn active_threads(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.claimed.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Threads that could not claim a slot (see [`MAX_SLOTS`]).
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed.load(plain::Ordering::Relaxed)
+    }
+
+    /// Sum of every live slot plus the retired accumulator. Each slot is
+    /// read consistently (seqlock-validated); the sum is a moving aggregate.
+    pub fn aggregate(&self) -> StatsSnapshot {
+        let mut total = self.retired.lock().unwrap().clone();
+        for s in self.slots.iter() {
+            if !s.claimed.load(Ordering::Acquire) {
+                continue;
+            }
+            if let Some(w) = s.data.read_spin(1024) {
+                total.merge(&StatsSnapshot::from_words(&w));
+            }
+        }
+        total
+    }
+
+    /// Per-slot consistent snapshots of every live publisher, with the slot
+    /// index as a stable-ish thread key.
+    pub fn per_thread(&self) -> Vec<(usize, StatsSnapshot)> {
+        let mut out = Vec::new();
+        for (i, s) in self.slots.iter().enumerate() {
+            if !s.claimed.load(Ordering::Acquire) {
+                continue;
+            }
+            if let Some(w) = s.data.read_spin(1024) {
+                out.push((i, StatsSnapshot::from_words(&w)));
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition (`# TYPE` + sample lines) of the aggregate
+    /// and the workspace gauges — scrape-ready output for `repro watch
+    /// --prom` or an HTTP shim.
+    pub fn prometheus_text(&self) -> String {
+        let a = self.aggregate();
+        let (g_items, g_bytes) = crate::ebr_garbage();
+        let mut s = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, v: u64| {
+            s.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter("csds_ops_total", "operations completed", a.ops);
+        counter(
+            "csds_lock_acquires_total",
+            "lock acquisitions",
+            a.lock_acquires,
+        );
+        counter(
+            "csds_contended_acquires_total",
+            "slow-path lock acquisitions",
+            a.contended_acquires,
+        );
+        counter(
+            "csds_lock_wait_ns_total",
+            "nanoseconds spent waiting for locks",
+            a.lock_wait_ns,
+        );
+        counter("csds_restarts_total", "operation restarts", a.restarts);
+        counter(
+            "csds_optimistic_attempts_total",
+            "optimistic fast-path attempts",
+            a.optimistic_attempts,
+        );
+        counter(
+            "csds_optimistic_fallbacks_total",
+            "optimistic ops that fell back to locks",
+            a.optimistic_fallbacks,
+        );
+        counter(
+            "csds_resize_migrations_started_total",
+            "elastic table migrations started",
+            a.resize_migrations_started,
+        );
+        counter(
+            "csds_resize_buckets_moved_total",
+            "elastic buckets migrated",
+            a.resize_buckets_moved,
+        );
+        counter(
+            "csds_epoch_advances_total",
+            "EBR global epoch advances",
+            a.epoch_advances,
+        );
+        counter(
+            "csds_ebr_collects_total",
+            "EBR collection passes",
+            a.ebr_collects,
+        );
+        counter(
+            "csds_ebr_collect_ns_total",
+            "nanoseconds spent in EBR collection",
+            a.ebr_collect_ns,
+        );
+        counter(
+            "csds_ebr_stall_events_total",
+            "reclamation watchdog firings",
+            a.ebr_stall_events,
+        );
+        counter(
+            "csds_repin_stalls_total",
+            "session repin-stall detections",
+            a.repin_stalls,
+        );
+        counter(
+            "csds_service_busy_total",
+            "service submissions rejected with Busy",
+            a.service_busy,
+        );
+        let mut gauge = |name: &str, help: &str, v: u64| {
+            s.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        gauge(
+            "csds_ebr_garbage_items",
+            "deferred EBR garbage items not yet reclaimed",
+            g_items,
+        );
+        gauge(
+            "csds_ebr_garbage_bytes",
+            "approximate bytes of deferred EBR garbage",
+            g_bytes,
+        );
+        gauge(
+            "csds_threads_active",
+            "threads currently publishing to the registry",
+            self.active_threads() as u64,
+        );
+        s
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry (created on first use).
+pub fn global() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread publisher: claims a slot on first publication, folds the final
+// counters into `retired` on thread exit.
+
+const UNCLAIMED: usize = usize::MAX;
+/// Claim was attempted and the registry was full; don't rescan every period.
+const OVERFLOW: usize = usize::MAX - 1;
+
+struct Publisher {
+    idx: Cell<usize>,
+}
+
+impl Drop for Publisher {
+    fn drop(&mut self) {
+        let idx = self.idx.get();
+        if idx == UNCLAIMED || idx == OVERFLOW {
+            // Never published: fold whatever the recorder still holds (it
+            // may already be torn down; thread-local drop order is
+            // unspecified).
+            if let Some(finalv) = crate::drain_recorder_at_exit() {
+                global().retired.lock().unwrap().merge(&finalv);
+            }
+            return;
+        }
+        let finalv = crate::drain_recorder_at_exit().unwrap_or_else(|| {
+            // Recorder TLS destroyed first: the last published words are a
+            // (≤ one-period stale) prefix of the thread's true counters.
+            global().slots[idx]
+                .data
+                .read_spin(1024)
+                .map(|w| StatsSnapshot::from_words(&w))
+                .unwrap_or_default()
+        });
+        global().release(idx, &finalv);
+    }
+}
+
+thread_local! {
+    static PUBLISHER: Publisher = const {
+        Publisher { idx: Cell::new(UNCLAIMED) }
+    };
+}
+
+/// Publish `snapshot` into the calling thread's slot, claiming one on first
+/// use. Called from `op_boundary` every [`PUBLISH_PERIOD`] ops and from
+/// `take_and_reset`; safe to call directly (e.g. before a long quiet phase).
+pub(crate) fn publish_current(snapshot: &StatsSnapshot) {
+    let _ = PUBLISHER.try_with(|p| {
+        let mut idx = p.idx.get();
+        if idx == UNCLAIMED {
+            idx = match global().claim() {
+                Some(i) => i,
+                None => OVERFLOW,
+            };
+            p.idx.set(idx);
+        }
+        if idx == OVERFLOW {
+            return;
+        }
+        global().slots[idx].data.publish(&snapshot.to_words());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercised_snapshot() -> StatsSnapshot {
+        // Every field gets a distinct value so a layout swap cannot cancel
+        // out in the roundtrip comparison.
+        let mut s = StatsSnapshot {
+            lock_acquires: 1,
+            contended_acquires: 2,
+            lock_wait_ns: 3,
+            max_wait_ns: 4,
+            restarts: 5,
+            ops: 6,
+            ops_restarted: 7,
+            ops_restarted_gt3: 8,
+            ops_waited: 9,
+            elide_attempts: 10,
+            elide_commits: 11,
+            elide_aborts_conflict: 12,
+            elide_aborts_interrupt: 13,
+            elide_fallbacks: 14,
+            injected_delays: 15,
+            injected_delay_ns: 16,
+            resize_migrations_started: 17,
+            resize_migrations_completed: 18,
+            resize_buckets_moved: 19,
+            resize_tables_retired: 20,
+            optimistic_attempts: 21,
+            optimistic_failures: 22,
+            optimistic_fallbacks: 23,
+            repin_stalls: 24,
+            epoch_advances: 25,
+            ebr_collects: 26,
+            ebr_collect_ns: 27,
+            ebr_stall_events: 28,
+            service_busy: 29,
+            ..Default::default()
+        };
+        for (k, b) in s.restart_hist.iter_mut().enumerate() {
+            *b = 100 + k as u64;
+        }
+        s.wait_hist.record(1);
+        s.wait_hist.record(1 << 30);
+        s
+    }
+
+    #[test]
+    fn snapshot_words_roundtrip() {
+        let s = exercised_snapshot();
+        let w = s.to_words();
+        let back = StatsSnapshot::from_words(&w);
+        assert_eq!(back.to_words(), w);
+        assert_eq!(back.lock_acquires, 1);
+        assert_eq!(back.service_busy, 29);
+        assert_eq!(back.restart_hist[15], 115);
+        assert_eq!(back.wait_hist.count(), 2);
+        assert_eq!(back.wait_hist.sum(), 1 + (1 << 30));
+    }
+
+    #[test]
+    fn seqslot_publish_read() {
+        let slot = SeqSlot::<3>::new();
+        assert_eq!(slot.read(), Some([0, 0, 0]));
+        slot.publish(&[7, 8, 9]);
+        assert_eq!(slot.read(), Some([7, 8, 9]));
+        slot.publish(&[1, 2, 3]);
+        assert_eq!(slot.read_spin(4), Some([1, 2, 3]));
+    }
+
+    #[test]
+    fn seqslot_rejects_odd_sequence() {
+        let slot = SeqSlot::<1>::new();
+        // Simulate a writer parked mid-publication.
+        slot.seq.store(1, Ordering::Relaxed);
+        assert_eq!(slot.read(), None);
+        assert_eq!(slot.read_spin(8), None);
+    }
+
+    #[test]
+    fn registry_claim_release_and_aggregate() {
+        let reg = Registry::new();
+        let i = reg.claim().unwrap();
+        let j = reg.claim().unwrap();
+        assert_ne!(i, j);
+        assert_eq!(reg.active_threads(), 2);
+        let s = exercised_snapshot();
+        reg.slots[i].data.publish(&s.to_words());
+        let agg = reg.aggregate();
+        assert_eq!(agg.ops, s.ops);
+        assert_eq!(agg.wait_hist.count(), 2);
+        assert_eq!(reg.per_thread().len(), 2);
+        // Releasing folds the final counters into `retired` and zeroes the
+        // slot, so the aggregate is unchanged.
+        reg.release(i, &s);
+        assert_eq!(reg.active_threads(), 1);
+        let agg2 = reg.aggregate();
+        assert_eq!(agg2.ops, s.ops);
+        assert_eq!(agg2.lock_acquires, s.lock_acquires);
+    }
+
+    #[test]
+    fn registry_overflow_counts() {
+        let reg = Registry::new();
+        let claimed: Vec<_> = (0..MAX_SLOTS).map(|_| reg.claim().unwrap()).collect();
+        assert_eq!(claimed.len(), MAX_SLOTS);
+        assert_eq!(reg.claim(), None);
+        assert_eq!(reg.overflowed(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let reg = Registry::new();
+        let i = reg.claim().unwrap();
+        reg.slots[i].data.publish(&exercised_snapshot().to_words());
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE csds_ops_total counter"));
+        assert!(text.contains("csds_ops_total 6"));
+        assert!(text.contains("# TYPE csds_ebr_garbage_items gauge"));
+        assert!(text.contains("csds_threads_active 1"));
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn global_publish_via_op_boundary() {
+        // Exercise the real periodic hook: enough boundaries to cross one
+        // publication period, then the global aggregate must see them.
+        let _ = crate::take_and_reset();
+        let before = global().aggregate().ops;
+        for _ in 0..(PUBLISH_PERIOD + 2) {
+            crate::op_boundary();
+        }
+        let after = global().aggregate().ops;
+        assert!(
+            after >= before + PUBLISH_PERIOD,
+            "aggregate did not advance: {before} -> {after}"
+        );
+        let _ = crate::take_and_reset();
+    }
+}

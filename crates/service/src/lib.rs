@@ -55,7 +55,12 @@
 //! * **Observability** — per-core [`CoreStats`]: ops, batches, batch-size
 //!   and queue-depth maxima, and log₂ histograms
 //!   ([`csds_metrics::LogHistogram`]) of batch sizes and
-//!   submission-to-completion latency.
+//!   submission-to-completion latency. Each worker seqlock-publishes its
+//!   stats on an amortized cadence, so [`Service::stats_now`] /
+//!   [`ServiceClient::stats_now`] return a consistent **live** snapshot
+//!   mid-run (`repro watch` builds on this); rejected submissions tick the
+//!   workspace-wide `service_busy` counter and emit a `ServiceBusy` trace
+//!   event tagged with the saturated core.
 //!
 //! There is no async runtime in this offline workspace, so the future
 //! machinery is hand-rolled in std: [`Completion`] is a
@@ -95,6 +100,7 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use csds_core::{check_user_key, CasOutcome, GuardedMap, MapHandle};
+use csds_metrics::registry::SeqSlot;
 use csds_metrics::LogHistogram;
 use csds_sync::{Backoff, CachePadded, MpscRing};
 
@@ -288,6 +294,11 @@ struct CoreState<V> {
     sleeping: AtomicBool,
     /// The worker's thread handle, for unparking. Written once at startup.
     thread: Mutex<Option<std::thread::Thread>>,
+    /// Live seqlock-published copy of the worker's [`CoreStats`], refreshed
+    /// amortized (every [`PUBLISH_BATCHES`] batches / [`PUBLISH_OPS`] ops)
+    /// and before every park, so [`Service::stats_now`] can observe a
+    /// consistent snapshot mid-run without touching the worker's hot path.
+    live: SeqSlot<CORE_STAT_WORDS>,
 }
 
 /// State shared by the service, its clients, and its workers.
@@ -299,6 +310,26 @@ struct ServiceShared<V> {
     /// the race between a final enqueue and worker exit (see
     /// `try_submit`).
     submitting: AtomicUsize,
+}
+
+impl<V> ServiceShared<V> {
+    /// Read every core's live seqlock slot. A slot mid-publication after the
+    /// spin budget falls back to default (all-zero) stats rather than a torn
+    /// read — observers prefer briefly-stale over inconsistent.
+    fn stats_now(&self) -> ServiceStats {
+        ServiceStats {
+            per_core: self
+                .cores
+                .iter()
+                .map(|c| {
+                    c.live
+                        .read_spin(64)
+                        .map(|w| CoreStats::from_words(&w))
+                        .unwrap_or_default()
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Monotonic per-core service statistics, collected thread-locally by each
@@ -326,7 +357,48 @@ pub struct CoreStats {
     pub latency_ns: LogHistogram,
 }
 
+/// Flat word count of a [`CoreStats`] seqlock publication: six scalars plus
+/// the two log₂ histograms.
+const CORE_STAT_WORDS: usize = 6 + 2 * LogHistogram::WORDS;
+
+/// Publication cadence: a worker republishes its live [`CoreStats`] slot
+/// after this many batches or [`PUBLISH_OPS`] operations, whichever comes
+/// first — and always right before parking, so an idle core's final numbers
+/// are never stale.
+const PUBLISH_BATCHES: u64 = 64;
+const PUBLISH_OPS: u64 = 4096;
+
 impl CoreStats {
+    /// Flatten for seqlock publication (single-writer worker side).
+    fn to_words(&self) -> [u64; CORE_STAT_WORDS] {
+        let mut out = [0u64; CORE_STAT_WORDS];
+        out[0] = self.ops;
+        out[1] = self.batches;
+        out[2] = self.max_batch;
+        out[3] = self.max_depth;
+        out[4] = self.batch_target;
+        out[5] = self.batch_target_max;
+        self.batch_sizes
+            .write_words(&mut out[6..6 + LogHistogram::WORDS]);
+        self.latency_ns
+            .write_words(&mut out[6 + LogHistogram::WORDS..]);
+        out
+    }
+
+    /// Rehydrate a validated seqlock read (observer side).
+    fn from_words(words: &[u64; CORE_STAT_WORDS]) -> Self {
+        CoreStats {
+            ops: words[0],
+            batches: words[1],
+            max_batch: words[2],
+            max_depth: words[3],
+            batch_target: words[4],
+            batch_target_max: words[5],
+            batch_sizes: LogHistogram::read_words(&words[6..6 + LogHistogram::WORDS]),
+            latency_ns: LogHistogram::read_words(&words[6 + LogHistogram::WORDS..]),
+        }
+    }
+
     /// Mean operations per drained batch.
     pub fn mean_batch(&self) -> f64 {
         if self.batches == 0 {
@@ -400,6 +472,7 @@ where
                         ring: MpscRing::with_capacity(cfg.ring_capacity.max(2)),
                         sleeping: AtomicBool::new(false),
                         thread: Mutex::new(None),
+                        live: SeqSlot::new(),
                     })
                 })
                 .collect(),
@@ -448,6 +521,16 @@ where
     /// Current backlog of each core's submission ring (racy; monitoring).
     pub fn queue_depths(&self) -> Vec<usize> {
         self.shared.cores.iter().map(|c| c.ring.len()).collect()
+    }
+
+    /// A live snapshot of every core's statistics **while the service is
+    /// running** — each worker seqlock-publishes its [`CoreStats`] on an
+    /// amortized cadence (and before every park), and this reads every
+    /// core's latest consistent publication. Unlike
+    /// [`shutdown`](Service::shutdown) it does not stop anything; numbers
+    /// may trail the workers by up to one publication interval.
+    pub fn stats_now(&self) -> ServiceStats {
+        self.shared.stats_now()
     }
 
     /// Stop intake, drain every accepted request, join the workers, and
@@ -507,10 +590,9 @@ impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> ServiceClient
     /// disjoint from the elastic table's shard (top byte) and bucket
     /// (bit 32+) indices, so service routing does not correlate with
     /// intra-map placement.
-    fn core_of(&self, key: u64) -> &CoreState<V> {
+    fn core_of(&self, key: u64) -> usize {
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let idx = ((h >> 40) as usize) % self.shared.cores.len();
-        &self.shared.cores[idx]
+        ((h >> 40) as usize) % self.shared.cores.len()
     }
 
     /// Enqueue one operation without waiting: `Ok` with the reply future,
@@ -538,7 +620,8 @@ impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> ServiceClient
                 op,
             });
         }
-        let core = self.core_of(key);
+        let core_idx = self.core_of(key);
+        let core = &sh.cores[core_idx];
         let (tx, rx) = oneshot::completion();
         let pushed = core.ring.try_push(Request {
             key,
@@ -560,10 +643,15 @@ impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> ServiceClient
                 }
                 Ok(rx)
             }
-            Err(back) => Err(Rejected {
-                reason: ServiceError::Busy,
-                op: back.op,
-            }),
+            Err(back) => {
+                // Backpressure is a first-class signal: count it and trace
+                // which core's ring saturated.
+                csds_metrics::service_busy(core_idx as u64);
+                Err(Rejected {
+                    reason: ServiceError::Busy,
+                    op: back.op,
+                })
+            }
         };
         sh.submitting.fetch_sub(1, Ordering::SeqCst);
         res
@@ -650,6 +738,13 @@ impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> ServiceClient
     pub fn queue_depths(&self) -> Vec<usize> {
         self.shared.cores.iter().map(|c| c.ring.len()).collect()
     }
+
+    /// A live snapshot of every core's statistics; see
+    /// [`Service::stats_now`]. Available from any client so monitoring does
+    /// not need a handle on the `Service` itself.
+    pub fn stats_now(&self) -> ServiceStats {
+        self.shared.stats_now()
+    }
 }
 
 /// The core worker: drain batches from the owned ring, execute them against
@@ -681,6 +776,8 @@ where
     // repin harder while a trickling core re-validates (and parks) sooner.
     let floor = max_batch.clamp(1, 8);
     let mut target = floor;
+    // Operations executed since the live stats slot was last published.
+    let mut since_publish = 0u64;
     loop {
         let depth = core.ring.len() as u64;
         let processed = core.ring.pop_batch(&mut batch, target) as u64;
@@ -728,6 +825,15 @@ where
             }
             stats.batch_target = target as u64;
             stats.batch_target_max = stats.batch_target_max.max(target as u64);
+            // Amortized live publication: one seqlock write per
+            // PUBLISH_BATCHES batches (or PUBLISH_OPS ops on huge batches),
+            // so observers see fresh numbers without the worker paying a
+            // per-op cost.
+            since_publish += processed;
+            if stats.batches % PUBLISH_BATCHES == 0 || since_publish >= PUBLISH_OPS {
+                core.live.publish(&stats.to_words());
+                since_publish = 0;
+            }
             continue;
         }
         // Idle. A hot stream that just dried up often refills within a few
@@ -755,9 +861,16 @@ where
             && shared.submitting.load(Ordering::SeqCst) == 0
             && core.ring.is_empty()
         {
+            core.live.publish(&stats.to_words());
             break;
         }
         session = None; // unpin before sleeping
+                        // Publish before parking: an idle core's slot holds its final
+                        // numbers, not up to PUBLISH_BATCHES-stale ones.
+        if since_publish > 0 {
+            core.live.publish(&stats.to_words());
+            since_publish = 0;
+        }
         core.sleeping.store(true, Ordering::SeqCst);
         // Paired with the producer-side fence: re-check after raising the
         // flag so a push racing the park is either seen here or sees the
@@ -904,6 +1017,77 @@ mod tests {
             assert_eq!(map.len(), 128);
             assert_eq!(stats.aggregate().ops, 128);
         }
+    }
+
+    #[test]
+    fn stats_now_sees_live_progress() {
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(256));
+        let svc = Service::start(Arc::clone(&map), small());
+        let client = svc.client();
+        // Idle service: slots hold their initial (all-zero) publication.
+        assert_eq!(svc.stats_now().aggregate().ops, 0);
+        let batch = client
+            .submit_batch((0..512).map(|k| (k, OpKind::Insert(k))))
+            .unwrap();
+        for c in batch {
+            assert!(c.wait().unwrap().inserted());
+        }
+        // Every reply resolved, so all 512 ops executed; the workers then go
+        // idle and publish on the park path. Poll briefly for that.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let live = client.stats_now().aggregate();
+            if live.ops == 512 {
+                assert!(live.batches >= 1);
+                assert_eq!(live.latency_ns.count(), 512);
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "live stats never caught up: {} of 512 ops visible",
+                live.ops
+            );
+            std::thread::yield_now();
+        }
+        // The live snapshot and the shutdown truth agree.
+        let fin = svc.shutdown().aggregate();
+        assert_eq!(fin.ops, 512);
+    }
+
+    #[test]
+    fn busy_rejections_are_counted() {
+        let _ = csds_metrics::take_and_reset();
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(64));
+        // One core, tiny ring: a fast burst of try_submits must hit Busy.
+        let svc = Service::start(
+            Arc::clone(&map),
+            ServiceConfig {
+                cores: 1,
+                ring_capacity: 2,
+                max_batch: 1,
+            },
+        );
+        let client = svc.client();
+        let mut rejected = 0u64;
+        let mut accepted = Vec::new();
+        for k in 0..512u64 {
+            match client.try_submit(k, OpKind::Insert(k)) {
+                Ok(c) => accepted.push(c),
+                Err(r) => {
+                    assert_eq!(r.reason, ServiceError::Busy);
+                    rejected += 1;
+                }
+            }
+        }
+        for c in accepted {
+            c.wait().unwrap();
+        }
+        svc.shutdown();
+        let snap = csds_metrics::take_and_reset();
+        assert_eq!(
+            snap.service_busy, rejected,
+            "every Busy rejection must tick the service_busy counter"
+        );
     }
 
     #[test]

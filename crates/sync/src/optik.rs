@@ -161,17 +161,27 @@ impl OptikLock {
         for _ in 0..OPTIMISTIC_READ_RETRIES {
             csds_metrics::optimistic_attempt();
             let Some(seen) = self.read_begin() else {
-                csds_metrics::optimistic_failure();
+                read_failed_slow();
                 continue;
             };
             let out = f();
             if self.read_validate(seen) {
                 return Some(out);
             }
-            csds_metrics::optimistic_failure();
+            read_failed_slow();
         }
         None
     }
+}
+
+/// Failed-validation recording, out of line: writers are rare on the read
+/// fast path, and keeping the recorder call (a thread-local access plus
+/// counter stores) out of [`OptikLock::optimistic_read`]'s loop body keeps
+/// the validated-success path lean.
+#[cold]
+#[inline(never)]
+fn read_failed_slow() {
+    csds_metrics::optimistic_failure();
 }
 
 impl RawMutex for OptikLock {

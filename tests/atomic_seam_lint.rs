@@ -19,6 +19,11 @@ use std::path::{Path, PathBuf};
 const ALLOWLIST: &[&str] = &[
     // The seam itself: the pass-through re-export of the std types.
     "crates/sync/src/atomic.rs",
+    // csds_metrics sits *below* csds_sync in the dependency graph, so it
+    // carries its own copy of the seam (same pattern, optional
+    // csds_modelcheck shims) plus the documented `plain` escape hatch for
+    // telemetry state that must not create model scheduling points.
+    "crates/metrics/src/atomic.rs",
     // OPTIMISTIC_FAST_PATHS: a test-configuration flag, documented in place
     // as deliberately unshimmed (it is not protocol state, and a scheduling
     // point per optimistic op would bloat every model).
