@@ -26,7 +26,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use csds_bench::{tune, BenchMap};
 use csds_harness::{prefill, AlgoKind};
 use csds_service::{OpKind, ServiceClient, ServiceConfig};
-use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix};
+use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix, TenantSampler};
 
 /// Stationary population; key range is twice this (paper §3.3).
 const SIZE: usize = 4096;
@@ -68,6 +68,45 @@ fn run_service_client(client: &ServiceClient<u64>, total_ops: u64) -> Duration {
     start.elapsed()
 }
 
+/// One client pipelining Zipf-over-Zipf tenant batches: the namespace id
+/// is drawn per op, so every batch mixes hot and cold tenants.
+fn run_tenant_client(client: &ServiceClient<u64>, namespaces: u64, total_ops: u64) -> Duration {
+    let mix = OpMix::updates(UPDATE_PCT);
+    let sampler = TenantSampler::zipf_over_zipf(namespaces, SIZE as u64 * 2);
+    let mut rng = FastRng::new(0x7E4A ^ total_ops ^ namespaces);
+    let mut pending = Vec::with_capacity(BATCH);
+    let mut done = 0u64;
+    let start = Instant::now();
+    while done < total_ops {
+        let n = BATCH.min((total_ops - done) as usize);
+        for _ in 0..n {
+            let (ns, key) = sampler.sample(&mut rng);
+            let op = match mix.sample(&mut rng) {
+                Op::Get => OpKind::Get,
+                Op::Insert => OpKind::Insert(key),
+                Op::Remove => OpKind::Remove,
+                Op::Upsert => OpKind::Upsert(key),
+                Op::Cas => OpKind::CompareSwap {
+                    expected: key,
+                    new: key,
+                },
+                Op::FetchAdd => OpKind::FetchAdd(1),
+            };
+            pending.push(
+                client
+                    .namespace(ns)
+                    .submit(key, op)
+                    .expect("service is running"),
+            );
+        }
+        for f in pending.drain(..) {
+            black_box(f.wait().expect("accepted ops execute"));
+        }
+        done += n as u64;
+    }
+    start.elapsed()
+}
+
 fn closed_loop_vs_service(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig0_service");
     tune(&mut g);
@@ -85,6 +124,7 @@ fn closed_loop_vs_service(c: &mut Criterion) {
                 cores,
                 ring_capacity: 1024,
                 max_batch: BATCH,
+                ..ServiceConfig::default()
             },
         );
         prefill(svc.map().as_ref(), SIZE, SIZE as u64 * 2, 0xB0B5EED);
@@ -94,7 +134,43 @@ fn closed_loop_vs_service(c: &mut Criterion) {
         });
         services.push((cores, svc));
     }
+    // The multi-tenant face: the same pipelined client, but every op
+    // carries a namespace drawn Zipf over 1 / 64 / 4096 hot tenants. The
+    // 1-namespace case is the round-trip baseline; the others price the
+    // directory hop, cold-tenant creation, and idle retirement.
+    let mut tenant_services = Vec::new();
+    for namespaces in [1u64, 64, 4096] {
+        let svc = AlgoKind::ElasticHashTable.make_service(
+            SIZE * 2,
+            ServiceConfig {
+                cores: 2,
+                ring_capacity: 1024,
+                max_batch: BATCH,
+                ..ServiceConfig::default()
+            },
+        );
+        let client = svc.client();
+        g.bench_function(format!("service/tenants_{namespaces}ns"), move |b| {
+            b.iter_custom(|iters| run_tenant_client(&client, namespaces, iters))
+        });
+        tenant_services.push((namespaces, svc));
+    }
     g.finish();
+    for (namespaces, svc) in tenant_services {
+        let counts = svc.namespace_counts();
+        let total = svc.shutdown().aggregate();
+        println!(
+            "    tenants {namespaces}ns (all samples): {} ops ({} tenant-routed) in {} batches \
+             (mean {:.1}), namespaces created {} / retired {}, latency p99 < {} ns",
+            total.ops,
+            total.ns_ops,
+            total.batches,
+            total.mean_batch(),
+            counts.created,
+            counts.retired,
+            total.latency_ns.quantile_upper_bound(0.99).unwrap_or(0),
+        );
+    }
     for (cores, svc) in services {
         let total = svc.shutdown().aggregate();
         println!(

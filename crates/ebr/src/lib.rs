@@ -834,6 +834,15 @@ pub fn global_epoch() -> u64 {
     collector().epoch.0.load(Ordering::Acquire)
 }
 
+/// Deferred items retired by the calling thread and not yet executed
+/// locally (orphan donations at thread exit leave this count with the
+/// thread). Lets a thread that is about to go idle decide whether to keep
+/// walking the epoch forward ([`Guard::flush`]) until its own queue is
+/// empty, instead of warehousing garbage for the duration of its sleep.
+pub fn local_garbage_items() -> u64 {
+    LOCAL.with(|l| l.deferred_pending.get())
+}
+
 /// Override the calling thread's reclamation-watchdog threshold (pending
 /// deferred items between firings). Per-thread on purpose: tests shrink it
 /// without perturbing concurrently running threads. Clamped to ≥ 1.

@@ -149,6 +149,24 @@ impl Default for ElasticConfig {
     }
 }
 
+impl ElasticConfig {
+    /// Tuning for a **tenant-scale** table: one shard, four initial buckets,
+    /// and a shrink floor of a single bucket, so an emptied tenant compacts
+    /// back to (nearly) nothing before the directory retires the table
+    /// itself through EBR. A platform holding thousands of mostly-idle
+    /// namespaces cannot afford the default 8-shard, 16-bucket footprint
+    /// per tenant.
+    pub fn tenant() -> Self {
+        ElasticConfig {
+            shards: 1,
+            initial_buckets: 4,
+            min_buckets: 1,
+            migration_quantum: 4,
+            counter_cells: 1,
+        }
+    }
+}
+
 struct Node<V> {
     key: u64,
     value: V,
@@ -302,6 +320,12 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
         })
     }
 
+    /// Tenant-scale table (see [`ElasticConfig::tenant`]): the footprint a
+    /// namespace directory hands out per keyspace.
+    pub fn tenant() -> Self {
+        Self::with_config(ElasticConfig::tenant())
+    }
+
     /// Table with explicit tuning.
     pub fn with_config(cfg: ElasticConfig) -> Self {
         let shards = cfg.shards.clamp(1, 256).next_power_of_two();
@@ -327,6 +351,46 @@ impl<V: Clone + Send + Sync> ElasticHashTable<V> {
     #[inline]
     fn shard(&self, h: u64) -> &Shard<V> {
         &self.shards[shard_bits(h) & self.shard_mask]
+    }
+
+    /// Run resize maintenance with **no operation driving it**: per shard,
+    /// help any in-flight drain along and re-check the grow/shrink
+    /// thresholds. Normally migrations ride on updates (every
+    /// `RESIZE_CHECK_PERIOD`-th); a table that just went quiescent — an
+    /// idle namespace after its last `remove` — would otherwise stay at its
+    /// high-water bucket count forever. The service's idle sweep calls this
+    /// before deciding whether a tenant is empty enough to retire, which is
+    /// what makes "shrink to zero" reachable without traffic.
+    ///
+    /// Buckets already claimed by other in-flight movers are left to them
+    /// (helping is cooperative, never exclusive), so one call bounds its
+    /// work at two drains per shard.
+    pub fn compact_in(&self, guard: &Guard) {
+        for padded in self.shards.iter() {
+            let shard: &Shard<V> = padded;
+            // Two rounds: finish whatever drain is in flight, run the
+            // threshold check (which may install a shrink), drain that.
+            // Resize targets are computed absolutely (`floor_pow2(2·occ)`),
+            // so the second install already lands on the final size.
+            for _ in 0..2 {
+                loop {
+                    let t = shard.table.load(guard);
+                    // SAFETY: pinned; a shard's current table is always live.
+                    let tref = unsafe { t.deref() };
+                    let prev = tref.prev.load(guard);
+                    if prev.is_null() {
+                        break;
+                    }
+                    // SAFETY: pinned; prev is cleared before retirement.
+                    let p = unsafe { prev.deref() };
+                    if tref.cursor.load(Ordering::Relaxed) >= p.buckets.len() {
+                        break; // the rest belongs to other movers in flight
+                    }
+                    self.help_migration(tref, 0, guard);
+                }
+                self.maybe_resize(shard, guard);
+            }
+        }
     }
 
     /// Walk a chain for `key`. The head must be untagged; the chain is
@@ -1262,6 +1326,40 @@ mod tests {
             h.buckets()
         );
         assert_eq!(s.migrations_completed, s.tables_retired);
+    }
+
+    #[test]
+    fn tenant_table_compacts_to_single_bucket_without_traffic() {
+        // The namespace-directory shape: a tenant table grows under load,
+        // empties, and then sees no further operations. `compact_in` alone
+        // (the idle sweep's maintenance call) must walk it back down to the
+        // one-bucket floor — "shrink to zero" has no ops to ride on.
+        let h: ElasticHashTable<u64> = ElasticHashTable::tenant();
+        for k in 0..600u64 {
+            assert!(h.insert(k, k));
+        }
+        let grown = h.buckets();
+        assert!(grown >= 128, "tenant table failed to grow: {grown} buckets");
+        for k in 0..600u64 {
+            assert_eq!(h.remove(k), Some(k));
+        }
+        assert!(h.is_empty());
+        let guard = csds_ebr::pin();
+        h.compact_in(&guard);
+        drop(guard);
+        assert_eq!(
+            h.buckets(),
+            1,
+            "idle compaction stopped above the tenant floor"
+        );
+        // Revival after compaction: the shrunken table still serves.
+        assert!(h.insert(9, 90));
+        assert_eq!(h.get(9), Some(90));
+        // And a quiescent table is a no-op to compact again.
+        let guard = csds_ebr::pin();
+        h.compact_in(&guard);
+        drop(guard);
+        assert_eq!(h.get(9), Some(90));
     }
 
     #[test]

@@ -74,10 +74,15 @@ fn main() {
                 ("full", scale.duration(), scale.reps())
             };
             let rows = trajectory::run_trajectory(duration, reps);
+            let tenants = trajectory::run_tenant_points(duration);
             let text = if json {
-                trajectory::to_json(&rows, label)
+                trajectory::to_json(&rows, &tenants, label)
             } else {
-                trajectory::render_table(&rows)
+                let mut t = trajectory::render_table(&rows);
+                t.push('\n');
+                t.push_str("multi-tenant service (zipf-over-zipf, 2 cores):\n");
+                t.push_str(&trajectory::render_tenant_table(&tenants));
+                t
             };
             match out {
                 Some(path) => {

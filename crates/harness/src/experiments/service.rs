@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use csds_service::{OpKind, ServiceConfig};
-use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix};
+use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix, TenantSampler};
 
 use crate::factory::AlgoKind;
 use crate::report::{mops, Table};
@@ -122,4 +122,92 @@ pub fn service(scale: Scale) {
          submission-to-completion histograms ({total} ops per row, closed \
          loop, one client thread, batch 64)"
     );
+
+    // The multi-tenant face of the same front-end: Zipf-over-Zipf traffic
+    // across 1 / 64 / 4096 hot namespaces, elastic table, 2 cores. The
+    // 1-namespace row is the round-trip baseline; created/retired show the
+    // directory breathing under the long cold tail.
+    let tenant_total = total / 4;
+    let mut tenants = Table::new(
+        "Multi-tenant service: namespace-routed throughput (zipf-over-zipf, 10% updates)",
+        &[
+            "namespaces",
+            "Mops/s",
+            "lat p50",
+            "lat p99",
+            "ns created",
+            "ns retired",
+            "tenant ops",
+        ],
+    );
+    for namespaces in [1u64, 64, 4096] {
+        let (elapsed, agg, counts) = drive_tenants(namespaces, tenant_total);
+        tenants.row(vec![
+            namespaces.to_string(),
+            mops(tenant_total as f64 / elapsed / 1e6),
+            fmt_ns_bound(agg.latency_ns.quantile_upper_bound(0.5)),
+            fmt_ns_bound(agg.latency_ns.quantile_upper_bound(0.99)),
+            counts.created.to_string(),
+            counts.retired.to_string(),
+            agg.ns_ops.to_string(),
+        ]);
+    }
+    tenants.print();
+    println!(
+        "# {tenant_total} ops per row through an elastic-table service (2 cores); \
+         namespace ids and per-tenant keys both Zipf(s=0.8)"
+    );
+}
+
+/// Drive `total` Zipf-over-Zipf tenant operations through a two-core
+/// elastic-table service; returns `(elapsed_secs, aggregate stats,
+/// namespace counts)`.
+fn drive_tenants(
+    namespaces: u64,
+    total: u64,
+) -> (f64, csds_service::CoreStats, csds_service::NamespaceCounts) {
+    const KEY_RANGE: u64 = 2048;
+    const BATCH: usize = 64;
+    let svc = AlgoKind::ElasticHashTable.make_service(
+        KEY_RANGE as usize,
+        ServiceConfig {
+            cores: 2,
+            ring_capacity: 1024,
+            max_batch: BATCH,
+            ..ServiceConfig::default()
+        },
+    );
+    let client = svc.client();
+    let mix = OpMix::updates(10);
+    let sampler = TenantSampler::zipf_over_zipf(namespaces, KEY_RANGE);
+    let mut rng = FastRng::new(0x7E4A_4711 ^ namespaces);
+    let start = std::time::Instant::now();
+    let mut pending = Vec::with_capacity(BATCH);
+    let mut done = 0u64;
+    while done < total {
+        let n = BATCH.min((total - done) as usize);
+        for _ in 0..n {
+            let (ns, key) = sampler.sample(&mut rng);
+            let op = match mix.sample(&mut rng) {
+                Op::Get => OpKind::Get,
+                Op::Insert => OpKind::Insert(key),
+                Op::Remove => OpKind::Remove,
+                Op::Upsert => OpKind::Upsert(key.wrapping_mul(3)),
+                Op::Cas => OpKind::CompareSwap {
+                    expected: key,
+                    new: key,
+                },
+                Op::FetchAdd => OpKind::FetchAdd(1),
+            };
+            pending.push(client.namespace(ns).submit(key, op).expect("running"));
+        }
+        for f in pending.drain(..) {
+            let _ = f.wait().expect("accepted ops execute");
+        }
+        done += n as u64;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let counts = svc.namespace_counts();
+    let stats = svc.shutdown();
+    (elapsed, stats.aggregate(), counts)
 }

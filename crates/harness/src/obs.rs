@@ -25,7 +25,7 @@ use csds_elastic::ElasticHashTable;
 use csds_metrics::registry;
 use csds_metrics::trace;
 use csds_metrics::{DelayPolicy, EventKind, StatsSnapshot};
-use csds_service::{OpKind, Service, ServiceConfig, ServiceError};
+use csds_service::{block_on, OpKind, Service, ServiceConfig, ServiceError};
 
 /// Configuration for [`watch`].
 #[derive(Clone, Copy, Debug)]
@@ -96,7 +96,8 @@ pub fn watch(cfg: &WatchConfig) -> StatsSnapshot {
         println!(
             "[{:6.1}s] ops {:>10} ({:>9.0}/s) | threads {:>2} | epoch {:>6} (lag {}) | \
              garbage {:>6} items / {:>8} B | locks {:>8} ({} contended) | restarts {:>6} | \
-             opt-fallbacks {:>5} | migrations {}/{} | stalls repin={} ebr={} busy={}",
+             opt-fallbacks {:>5} | migrations {}/{} | ns +{}/-{} quota-rej {} | \
+             stalls repin={} ebr={} busy={}",
             started.elapsed().as_secs_f64(),
             agg.ops,
             rate,
@@ -111,6 +112,9 @@ pub fn watch(cfg: &WatchConfig) -> StatsSnapshot {
             agg.optimistic_fallbacks,
             agg.resize_migrations_completed,
             agg.resize_migrations_started,
+            agg.namespaces_created,
+            agg.namespaces_retired,
+            agg.quota_rejects,
             agg.repin_stalls,
             agg.ebr_stall_events,
             agg.service_busy,
@@ -175,6 +179,10 @@ impl TourReport {
 ///    thread (the PR 6 shape): inert repins (`RepinStall`) while deferred
 ///    garbage accumulates uncollected past the watchdog threshold
 ///    (`EbrStall`).
+/// 5. **Namespace lifecycle** — tenants of a multi-tenant service are
+///    lazily created on first op (`NamespaceCreate`), pushed past their
+///    quota (`QuotaReject`), then emptied and retired by the workers' idle
+///    sweeps (`NamespaceRetire`).
 pub fn trace_tour() -> TourReport {
     let _ = csds_metrics::take_and_reset();
     trace::set_tracing(true);
@@ -195,6 +203,7 @@ pub fn trace_tour() -> TourReport {
     }
     phase_service_backpressure();
     phase_double_handle();
+    phase_namespace_lifecycle();
 
     trace::set_tracing(false);
     let traces = trace::drain_all();
@@ -282,6 +291,7 @@ fn phase_service_backpressure() {
             cores: 1,
             ring_capacity: 2,
             max_batch: 1,
+            ..ServiceConfig::default()
         },
     );
     let client = svc.client();
@@ -325,6 +335,50 @@ fn phase_double_handle() {
     })
     .join()
     .expect("double-handle phase panicked");
+}
+
+/// Phase 5: the full namespace lifecycle of the multi-tenant service.
+/// Four tenants are created lazily by their first operation, pushed one
+/// over their quota, then emptied — after which the owning workers' idle
+/// sweeps retire them all while the service keeps running.
+fn phase_namespace_lifecycle() {
+    let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(64));
+    let svc = Service::start(
+        map,
+        ServiceConfig {
+            cores: 2,
+            namespace_quota: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let client = svc.client();
+    for ns in 1..=4u64 {
+        let tenant = client.namespace(ns);
+        for k in 0..4u64 {
+            block_on(tenant.insert(k, k).expect("tenant insert accepted"))
+                .expect("tenant insert executed");
+        }
+        // One past the quota: bounced at admission with the op handed back.
+        let rejected = tenant
+            .try_submit(99, OpKind::Insert(99))
+            .expect_err("insert past quota must bounce");
+        assert_eq!(rejected.reason, ServiceError::Busy);
+        for k in 0..4u64 {
+            block_on(tenant.remove(k).expect("tenant remove accepted"))
+                .expect("tenant remove executed");
+        }
+    }
+    // The emptied tenants retire on the workers' pre-park sweeps.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while svc.namespace_counts().retired < 4 {
+        assert!(
+            Instant::now() < deadline,
+            "tour tenants never retired: {:?}",
+            svc.namespace_counts()
+        );
+        std::thread::yield_now();
+    }
+    svc.shutdown();
 }
 
 #[cfg(test)]

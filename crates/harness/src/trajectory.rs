@@ -11,10 +11,12 @@
 //! The JSON is hand-rolled — the workspace deliberately has no serde — and
 //! kept to one object per line under `"results"` so snapshots diff cleanly.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::factory::AlgoKind;
 use crate::runner::{run_map_avg, MapRunConfig};
+use csds_service::{OpKind, ServiceConfig};
+use csds_workload::{FastRng, Op, OpMix, TenantSampler};
 
 /// Stationary size of every structure in the trajectory (matches the
 /// `fig0_*` benches: 1024 elements, key range 2×).
@@ -88,8 +90,91 @@ pub fn run_trajectory(duration: Duration, reps: usize) -> Vec<BenchRow> {
     rows
 }
 
+/// One multi-tenant service point: Zipf-over-Zipf traffic through the
+/// namespace-routed front-end at a given hot-namespace count.
+#[derive(Clone, Debug)]
+pub struct TenantBenchRow {
+    /// Hot namespaces the client's traffic spans.
+    pub namespaces: u64,
+    /// Completed operations.
+    pub total_ops: u64,
+    /// Client-observed nanoseconds per operation (single client thread).
+    pub ns_per_op: f64,
+    /// Aggregate throughput in Mops/s.
+    pub mops: f64,
+    /// Tenants lazily created during the run.
+    pub namespaces_created: u64,
+    /// Tenants retired by idle sweeps during the run.
+    pub namespaces_retired: u64,
+}
+
+/// Hot-namespace counts of the recorded multi-tenant points.
+pub const TENANT_POINTS: [u64; 3] = [1, 64, 4096];
+
+/// Run the multi-tenant service points: one client thread pipelines
+/// batched Zipf-over-Zipf traffic (10 % updates) into a two-core service
+/// over the elastic table, for `duration` per point. The 1-namespace row
+/// is the single-tenant round-trip baseline the 64- and 4096-namespace
+/// rows are judged against.
+pub fn run_tenant_points(duration: Duration) -> Vec<TenantBenchRow> {
+    const BATCH: usize = 64;
+    let mix = OpMix::updates(10);
+    TENANT_POINTS
+        .iter()
+        .map(|&namespaces| {
+            let svc = AlgoKind::ElasticHashTable.make_service(
+                BENCH_SIZE * 2,
+                ServiceConfig {
+                    cores: 2,
+                    ring_capacity: 1024,
+                    max_batch: BATCH,
+                    ..ServiceConfig::default()
+                },
+            );
+            let client = svc.client();
+            let sampler = TenantSampler::zipf_over_zipf(namespaces, BENCH_SIZE as u64 * 2);
+            let mut rng = FastRng::new(0x07E4_A117 ^ namespaces);
+            let mut pending = Vec::with_capacity(BATCH);
+            let mut total_ops = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < duration {
+                for _ in 0..BATCH {
+                    let (ns, key) = sampler.sample(&mut rng);
+                    let op = match mix.sample(&mut rng) {
+                        Op::Get => OpKind::Get,
+                        Op::Insert => OpKind::Insert(key),
+                        Op::Remove => OpKind::Remove,
+                        Op::Upsert => OpKind::Upsert(key),
+                        Op::Cas => OpKind::CompareSwap {
+                            expected: key,
+                            new: key,
+                        },
+                        Op::FetchAdd => OpKind::FetchAdd(1),
+                    };
+                    pending.push(client.namespace(ns).submit(key, op).expect("running"));
+                }
+                for f in pending.drain(..) {
+                    let _ = f.wait().expect("accepted ops execute");
+                }
+                total_ops += BATCH as u64;
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let counts = svc.namespace_counts();
+            svc.shutdown();
+            TenantBenchRow {
+                namespaces,
+                total_ops,
+                ns_per_op: elapsed * 1e9 / total_ops.max(1) as f64,
+                mops: total_ops as f64 / elapsed / 1e6,
+                namespaces_created: counts.created,
+                namespaces_retired: counts.retired,
+            }
+        })
+        .collect()
+}
+
 /// Render the matrix as the hand-rolled JSON snapshot format.
-pub fn to_json(rows: &[BenchRow], scale_label: &str) -> String {
+pub fn to_json(rows: &[BenchRow], tenants: &[TenantBenchRow], scale_label: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"csds-bench-trajectory-v1\",\n");
@@ -113,6 +198,26 @@ pub fn to_json(rows: &[BenchRow], scale_label: &str) -> String {
             r.optimistic_failures,
             r.optimistic_fallbacks,
             if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    if tenants.is_empty() {
+        s.push_str("  ]\n}\n");
+        return s;
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"service_tenants\": [\n");
+    for (i, t) in tenants.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"namespaces\": {}, \"total_ops\": {}, \"ns_per_op\": {:.1}, \
+             \"mops\": {:.3}, \"namespaces_created\": {}, \
+             \"namespaces_retired\": {}}}{}\n",
+            t.namespaces,
+            t.total_ops,
+            t.ns_per_op,
+            t.mops,
+            t.namespaces_created,
+            t.namespaces_retired,
+            if i + 1 == tenants.len() { "" } else { "," },
         ));
     }
     s.push_str("  ]\n}\n");
@@ -143,6 +248,27 @@ pub fn render_table(rows: &[BenchRow]) -> String {
     s
 }
 
+/// Render the multi-tenant points as a fixed-width table.
+pub fn render_tenant_table(tenants: &[TenantBenchRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<12} {:>10} {:>9} {:>8} {:>8} {:>8}\n",
+        "namespaces", "ops", "ns/op", "Mops/s", "created", "retired"
+    ));
+    for t in tenants {
+        s.push_str(&format!(
+            "{:<12} {:>10} {:>9.1} {:>8.3} {:>8} {:>8}\n",
+            t.namespaces,
+            t.total_ops,
+            t.ns_per_op,
+            t.mops,
+            t.namespaces_created,
+            t.namespaces_retired,
+        ));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,10 +288,21 @@ mod tests {
         }
     }
 
+    fn fake_tenant_row() -> TenantBenchRow {
+        TenantBenchRow {
+            namespaces: 64,
+            total_ops: 2_048,
+            ns_per_op: 410.0,
+            mops: 2.44,
+            namespaces_created: 64,
+            namespaces_retired: 12,
+        }
+    }
+
     #[test]
     fn json_snapshot_is_balanced_and_carries_every_field() {
         let rows = vec![fake_row(), fake_row()];
-        let j = to_json(&rows, "quick");
+        let j = to_json(&rows, &[], "quick");
         assert_eq!(
             j.matches('{').count(),
             j.matches('}').count(),
@@ -184,6 +321,37 @@ mod tests {
         }
         // Exactly one separating comma between the two result objects.
         assert_eq!(j.matches("}},\n").count() + j.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn json_snapshot_carries_the_tenant_section() {
+        let j = to_json(
+            &[fake_row()],
+            &[fake_tenant_row(), fake_tenant_row()],
+            "quick",
+        );
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in [
+            "\"service_tenants\"",
+            "\"namespaces\": 64",
+            "\"namespaces_created\": 64",
+            "\"namespaces_retired\": 12",
+            "\"ns_per_op\": 410.0",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn tenant_table_renders_one_line_per_row_plus_header() {
+        let t = render_tenant_table(&[fake_tenant_row()]);
+        assert_eq!(t.lines().count(), 2);
+        assert!(t.contains("64"));
     }
 
     #[test]

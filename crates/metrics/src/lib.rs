@@ -122,6 +122,12 @@ pub struct StatsSnapshot {
     pub ebr_stall_events: u64,
     /// Service submissions rejected with `Busy` (ring full) by this thread.
     pub service_busy: u64,
+    /// Service namespaces whose tables this thread created lazily.
+    pub namespaces_created: u64,
+    /// Idle service namespaces whose tables this thread retired through EBR.
+    pub namespaces_retired: u64,
+    /// Operations rejected because their namespace hit its entry quota.
+    pub quota_rejects: u64,
 }
 
 impl StatsSnapshot {
@@ -160,6 +166,9 @@ impl StatsSnapshot {
         self.ebr_collect_ns += other.ebr_collect_ns;
         self.ebr_stall_events += other.ebr_stall_events;
         self.service_busy += other.service_busy;
+        self.namespaces_created += other.namespaces_created;
+        self.namespaces_retired += other.namespaces_retired;
+        self.quota_rejects += other.quota_rejects;
     }
 
     /// Fraction of optimistic fast-path attempts whose validation failed.
@@ -284,6 +293,9 @@ struct Recorder {
     ebr_collect_ns: Cell<u64>,
     ebr_stall_events: Cell<u64>,
     service_busy: Cell<u64>,
+    namespaces_created: Cell<u64>,
+    namespaces_retired: Cell<u64>,
+    quota_rejects: Cell<u64>,
     // Per-operation scratch state, folded in by `op_boundary`. One word:
     // bit 31 is the waited flag, the low 31 bits count restarts — so the
     // (overwhelmingly common) clean op costs `op_boundary` a single
@@ -336,6 +348,9 @@ impl Recorder {
             ebr_collect_ns: Cell::new(0),
             ebr_stall_events: Cell::new(0),
             service_busy: Cell::new(0),
+            namespaces_created: Cell::new(0),
+            namespaces_retired: Cell::new(0),
+            quota_rejects: Cell::new(0),
             cur_op: Cell::new(0),
             delay: RefCell::new(None),
             delay_armed: Cell::new(false),
@@ -381,6 +396,9 @@ impl Recorder {
             ebr_collect_ns: self.ebr_collect_ns.get(),
             ebr_stall_events: self.ebr_stall_events.get(),
             service_busy: self.service_busy.get(),
+            namespaces_created: self.namespaces_created.get(),
+            namespaces_retired: self.namespaces_retired.get(),
+            quota_rejects: self.quota_rejects.get(),
         }
     }
 
@@ -425,6 +443,9 @@ impl Recorder {
             ebr_collect_ns: self.ebr_collect_ns.replace(0),
             ebr_stall_events: self.ebr_stall_events.replace(0),
             service_busy: self.service_busy.replace(0),
+            namespaces_created: self.namespaces_created.replace(0),
+            namespaces_retired: self.namespaces_retired.replace(0),
+            quota_rejects: self.quota_rejects.replace(0),
         }
     }
 }
@@ -721,6 +742,39 @@ pub fn service_busy(core: u64) {
     trace::emit(EventKind::ServiceBusy, core);
 }
 
+/// Record a service namespace table created lazily on first use (`ns` =
+/// namespace id).
+#[inline]
+pub fn namespace_create(ns: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| r.namespaces_created.set(r.namespaces_created.get() + 1));
+    trace::emit(EventKind::NamespaceCreate, ns);
+}
+
+/// Record an idle namespace table unlinked from the service directory and
+/// retired through EBR (`ns` = namespace id).
+#[inline]
+pub fn namespace_retire(ns: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| r.namespaces_retired.set(r.namespaces_retired.get() + 1));
+    trace::emit(EventKind::NamespaceRetire, ns);
+}
+
+/// Record an operation rejected because its namespace hit its entry quota
+/// (`ns` = namespace id).
+#[inline]
+pub fn quota_reject(ns: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| r.quota_rejects.set(r.quota_rejects.get() + 1));
+    trace::emit(EventKind::QuotaReject, ns);
+}
+
 /// Adjust the process-wide deferred-garbage gauges by signed deltas
 /// (`items`, approximate `bytes`). EBR calls this on defer (+) and after
 /// collection (−); wrapping arithmetic makes negative deltas exact.
@@ -847,6 +901,10 @@ mod tests {
         ebr_collect(500);
         ebr_stall(4096);
         service_busy(3);
+        namespace_create(7);
+        namespace_create(8);
+        namespace_retire(7);
+        quota_reject(8);
         let s = take_and_reset();
         assert_eq!(s.repin_stalls, 1);
         assert_eq!(s.epoch_advances, 2);
@@ -854,10 +912,15 @@ mod tests {
         assert_eq!(s.ebr_collect_ns, 1_500);
         assert_eq!(s.ebr_stall_events, 1);
         assert_eq!(s.service_busy, 1);
+        assert_eq!(s.namespaces_created, 2);
+        assert_eq!(s.namespaces_retired, 1);
+        assert_eq!(s.quota_rejects, 1);
         let mut a = s.clone();
         a.merge(&s);
         assert_eq!(a.epoch_advances, 4);
         assert_eq!(a.ebr_collect_ns, 3_000);
+        assert_eq!(a.namespaces_created, 4);
+        assert_eq!(a.quota_rejects, 2);
         // The snapshot cleared the thread-local state.
         assert_eq!(take_and_reset().epoch_advances, 0);
     }

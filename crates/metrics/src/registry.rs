@@ -29,10 +29,10 @@ use std::sync::{Mutex, OnceLock};
 
 /// Number of `u64` words in the flat [`StatsSnapshot`] representation.
 ///
-/// 29 scalar counters, the wait-time [`crate::LogHistogram`], and the exact
+/// 32 scalar counters, the wait-time [`crate::LogHistogram`], and the exact
 /// restart histogram. `StatsSnapshot::to_words` debug-asserts it wrote
 /// exactly this many words, and the roundtrip unit test pins the layout.
-pub const SNAPSHOT_WORDS: usize = 29 + crate::LogHistogram::WORDS + RESTART_BUCKETS;
+pub const SNAPSHOT_WORDS: usize = 32 + crate::LogHistogram::WORDS + RESTART_BUCKETS;
 
 /// Maximum concurrently-registered publisher threads. Threads beyond this
 /// are counted in [`Registry::overflowed`] and surface only through the
@@ -215,6 +215,9 @@ impl StatsSnapshot {
         w.put(self.ebr_collect_ns);
         w.put(self.ebr_stall_events);
         w.put(self.service_busy);
+        w.put(self.namespaces_created);
+        w.put(self.namespaces_retired);
+        w.put(self.quota_rejects);
         debug_assert_eq!(w.at, SNAPSHOT_WORDS, "snapshot word layout drifted");
         out
     }
@@ -266,6 +269,9 @@ impl StatsSnapshot {
             ebr_collect_ns: r.get(),
             ebr_stall_events: r.get(),
             service_busy: r.get(),
+            namespaces_created: r.get(),
+            namespaces_retired: r.get(),
+            quota_rejects: r.get(),
         }
     }
 }
@@ -448,6 +454,21 @@ impl Registry {
             "service submissions rejected with Busy",
             a.service_busy,
         );
+        counter(
+            "csds_namespaces_created_total",
+            "service namespace tables created lazily",
+            a.namespaces_created,
+        );
+        counter(
+            "csds_namespaces_retired_total",
+            "idle service namespace tables retired through EBR",
+            a.namespaces_retired,
+        );
+        counter(
+            "csds_quota_rejects_total",
+            "operations rejected by a namespace entry quota",
+            a.quota_rejects,
+        );
         let mut gauge = |name: &str, help: &str, v: u64| {
             s.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
@@ -579,6 +600,9 @@ mod tests {
             ebr_collect_ns: 27,
             ebr_stall_events: 28,
             service_busy: 29,
+            namespaces_created: 30,
+            namespaces_retired: 31,
+            quota_rejects: 32,
             ..Default::default()
         };
         for (k, b) in s.restart_hist.iter_mut().enumerate() {
@@ -597,6 +621,9 @@ mod tests {
         assert_eq!(back.to_words(), w);
         assert_eq!(back.lock_acquires, 1);
         assert_eq!(back.service_busy, 29);
+        assert_eq!(back.namespaces_created, 30);
+        assert_eq!(back.namespaces_retired, 31);
+        assert_eq!(back.quota_rejects, 32);
         assert_eq!(back.restart_hist[15], 115);
         assert_eq!(back.wait_hist.count(), 2);
         assert_eq!(back.wait_hist.sum(), 1 + (1 << 30));

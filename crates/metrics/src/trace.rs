@@ -51,6 +51,15 @@ pub enum EventKind {
     /// A session's repin went inert past the stall threshold (`arg` =
     /// consecutive ineffective repins).
     RepinStall,
+    /// A service namespace's table was created lazily on first use (`arg` =
+    /// namespace id).
+    NamespaceCreate,
+    /// An idle, empty namespace's table was unlinked from the directory and
+    /// retired through EBR (`arg` = namespace id).
+    NamespaceRetire,
+    /// An operation was rejected because its namespace hit its entry quota
+    /// (`arg` = namespace id).
+    QuotaReject,
 }
 
 impl EventKind {
@@ -67,6 +76,9 @@ impl EventKind {
         EventKind::OptimisticFallback,
         EventKind::ServiceBusy,
         EventKind::RepinStall,
+        EventKind::NamespaceCreate,
+        EventKind::NamespaceRetire,
+        EventKind::QuotaReject,
     ];
 
     /// Stable event name (chrome trace `name` field).
@@ -82,6 +94,9 @@ impl EventKind {
             EventKind::OptimisticFallback => "optimistic_fallback",
             EventKind::ServiceBusy => "service_busy",
             EventKind::RepinStall => "repin_stall",
+            EventKind::NamespaceCreate => "namespace_create",
+            EventKind::NamespaceRetire => "namespace_retire",
+            EventKind::QuotaReject => "quota_reject",
         }
     }
 
@@ -94,7 +109,10 @@ impl EventKind {
             | EventKind::MigrationComplete
             | EventKind::TableRetired => "elastic",
             EventKind::OptimisticFallback => "sync",
-            EventKind::ServiceBusy => "service",
+            EventKind::ServiceBusy
+            | EventKind::NamespaceCreate
+            | EventKind::NamespaceRetire
+            | EventKind::QuotaReject => "service",
             EventKind::RepinStall => "session",
         }
     }

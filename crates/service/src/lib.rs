@@ -19,10 +19,32 @@
 //!   Completion futures ◄── oneshot ──── reply per request
 //! ```
 //!
-//! * **Routing** — requests are routed to a core by key hash, so all
-//!   operations on one key execute on one worker in submission order
-//!   (per-client-per-key FIFO), and a hot core's cache holds its keys'
-//!   nodes.
+//! * **Namespaces** — the front-end is multi-tenant: every request names a
+//!   [`NamespaceId`] (keyspace). Namespace [`DEFAULT_NAMESPACE`] (0) is the
+//!   map the service was started over; every other namespace is a
+//!   tenant-scale [`csds_elastic::ElasticHashTable`] created **lazily on
+//!   first operation** in a lock-free namespace directory (an elastic table
+//!   *of* tables). Idle namespaces are shrunk back to their one-bucket
+//!   floor and, once empty, unlinked and retired through `csds_ebr` — so a
+//!   platform cycling through millions of keyspaces only ever pays for the
+//!   live ones. See [`ServiceClient::namespace`] and
+//!   [`Service::namespace_counts`].
+//! * **Routing** — hash(namespace) then hash(key): a non-default namespace
+//!   routes **by namespace** to a core, so one worker owns a tenant's whole
+//!   lifecycle (creation, every op in submission order, retirement) and no
+//!   cross-core create/retire races exist by construction. The default
+//!   namespace keeps per-key routing, so the single-map service scales
+//!   across all cores exactly as before: all operations on one key execute
+//!   on one worker in submission order (per-client-per-key FIFO), and a hot
+//!   core's cache holds its keys' nodes.
+//! * **Quotas** — [`ServiceConfig::namespace_quota`] bounds each tenant's
+//!   entry count. A submission that would grow a full tenant is rejected at
+//!   admission with [`ServiceError::Busy`] and the operation handed back in
+//!   [`Rejected::op`] (the same backpressure contract as a full ring), and
+//!   ticks the workspace `quota_rejects` counter / `QuotaReject` trace
+//!   event. The check is admission-time, so it is exact for the
+//!   single-client case and bounded-stale (by at most one ring of in-flight
+//!   growth) under concurrency.
 //! * **Batching** — each worker owns one [`MapHandle`] and re-validates its
 //!   guard **once per drained batch** rather than per operation, amortizing
 //!   `Guard::repin` the way PathCAS amortizes validation: the mid-ground
@@ -100,6 +122,8 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use csds_core::{check_user_key, CasOutcome, GuardedMap, MapHandle};
+use csds_ebr::Guard;
+use csds_elastic::ElasticHashTable;
 use csds_metrics::registry::SeqSlot;
 use csds_metrics::LogHistogram;
 use csds_sync::{Backoff, CachePadded, MpscRing};
@@ -107,6 +131,15 @@ use csds_sync::{Backoff, CachePadded, MpscRing};
 mod oneshot;
 
 pub use oneshot::{block_on, Completion};
+
+/// Identifies one tenant keyspace served by the front-end.
+pub type NamespaceId = u64;
+
+/// The namespace the service was started over: the `Arc<M>` map handed to
+/// [`Service::start`]. It is never lazily created nor retired, and keeps
+/// the original per-key core routing — a single-tenant deployment is just a
+/// service that only ever touches this namespace.
+pub const DEFAULT_NAMESPACE: NamespaceId = 0;
 
 /// Value types the service can serve [`OpKind::FetchAdd`] against: a
 /// round-trip to and from `u64` so a worker can execute the counter RMW
@@ -263,6 +296,12 @@ pub struct ServiceConfig {
     /// `repin` per batch). Smaller values bound how stale a worker's epoch
     /// can get under sustained load; larger values amortize harder.
     pub max_batch: usize,
+    /// Entry quota per non-default namespace: a submission that would grow
+    /// a tenant past this many entries is rejected at admission with
+    /// [`ServiceError::Busy`] (op handed back in [`Rejected::op`]).
+    /// `usize::MAX` (the default) disables quota checks entirely; the
+    /// default namespace — the caller's own map — is never quota'd.
+    pub namespace_quota: usize,
 }
 
 impl Default for ServiceConfig {
@@ -271,6 +310,7 @@ impl Default for ServiceConfig {
             cores: 2,
             ring_capacity: 1024,
             max_batch: 64,
+            namespace_quota: usize::MAX,
         }
     }
 }
@@ -278,6 +318,7 @@ impl Default for ServiceConfig {
 /// A queued request: the operation plus its completion and the submission
 /// timestamp (for the latency histogram).
 struct Request<V> {
+    ns: NamespaceId,
     key: u64,
     op: OpKind<V>,
     enqueued: Instant,
@@ -302,7 +343,7 @@ struct CoreState<V> {
 }
 
 /// State shared by the service, its clients, and its workers.
-struct ServiceShared<V> {
+struct ServiceShared<V: Clone + Send + Sync> {
     cores: Box<[CachePadded<CoreState<V>>]>,
     shutdown: AtomicBool,
     /// Producers currently inside `try_submit`'s enqueue window. Workers
@@ -310,9 +351,44 @@ struct ServiceShared<V> {
     /// the race between a final enqueue and worker exit (see
     /// `try_submit`).
     submitting: AtomicUsize,
+    /// The namespace directory: an elastic table *of* tenant tables. Keys
+    /// are [`NamespaceId`]s, values the tenant's map. Entries are created
+    /// lazily by the owning worker on a namespace's first operation and
+    /// removed (node EBR-deferred, table freed at collection) by the same
+    /// worker once the tenant idles empty — the table-of-tables reuse of
+    /// the elastic substrate the ROADMAP promised.
+    directory: ElasticHashTable<Arc<ElasticHashTable<V>>>,
+    /// Entry quota per tenant ([`ServiceConfig::namespace_quota`]).
+    quota: usize,
+    /// Tenant tables created (lifetime total across workers).
+    ns_created: AtomicUsize,
+    /// Tenant tables retired through EBR (lifetime total).
+    ns_retired: AtomicUsize,
 }
 
-impl<V> ServiceShared<V> {
+/// Lifetime namespace-directory counters (see
+/// [`Service::namespace_counts`]). `created - retired` equals `live` once
+/// the service is quiescent; mid-run `live` is a racy gauge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NamespaceCounts {
+    /// Tenant tables created lazily since the service started.
+    pub created: u64,
+    /// Tenant tables retired through EBR since the service started.
+    pub retired: u64,
+    /// Tenant tables currently in the directory (excludes the default
+    /// namespace, which is not directory-managed).
+    pub live: u64,
+}
+
+impl<V: Clone + Send + Sync> ServiceShared<V> {
+    fn namespace_counts(&self) -> NamespaceCounts {
+        NamespaceCounts {
+            created: self.ns_created.load(Ordering::Relaxed) as u64,
+            retired: self.ns_retired.load(Ordering::Relaxed) as u64,
+            live: self.directory.occupancy() as u64,
+        }
+    }
+
     /// Read every core's live seqlock slot. A slot mid-publication after the
     /// spin budget falls back to default (all-zero) stats rather than a torn
     /// read — observers prefer briefly-stale over inconsistent.
@@ -350,6 +426,14 @@ pub struct CoreStats {
     pub batch_target: u64,
     /// Deepest adaptive drain depth the worker reached.
     pub batch_target_max: u64,
+    /// Operations executed against non-default namespaces (a subset of
+    /// [`ops`](CoreStats::ops)).
+    pub ns_ops: u64,
+    /// Tenant tables this worker currently owns (created and not yet
+    /// retired). Ownership is disjoint across cores, so the aggregate sum
+    /// is the service-wide live tenant count as of each worker's last
+    /// publication.
+    pub owned_namespaces: u64,
     /// Distribution of batch sizes (log₂ buckets).
     pub batch_sizes: LogHistogram,
     /// Distribution of submission-to-completion latency in nanoseconds
@@ -357,9 +441,9 @@ pub struct CoreStats {
     pub latency_ns: LogHistogram,
 }
 
-/// Flat word count of a [`CoreStats`] seqlock publication: six scalars plus
-/// the two log₂ histograms.
-const CORE_STAT_WORDS: usize = 6 + 2 * LogHistogram::WORDS;
+/// Flat word count of a [`CoreStats`] seqlock publication: eight scalars
+/// plus the two log₂ histograms.
+const CORE_STAT_WORDS: usize = 8 + 2 * LogHistogram::WORDS;
 
 /// Publication cadence: a worker republishes its live [`CoreStats`] slot
 /// after this many batches or [`PUBLISH_OPS`] operations, whichever comes
@@ -378,10 +462,12 @@ impl CoreStats {
         out[3] = self.max_depth;
         out[4] = self.batch_target;
         out[5] = self.batch_target_max;
+        out[6] = self.ns_ops;
+        out[7] = self.owned_namespaces;
         self.batch_sizes
-            .write_words(&mut out[6..6 + LogHistogram::WORDS]);
+            .write_words(&mut out[8..8 + LogHistogram::WORDS]);
         self.latency_ns
-            .write_words(&mut out[6 + LogHistogram::WORDS..]);
+            .write_words(&mut out[8 + LogHistogram::WORDS..]);
         out
     }
 
@@ -394,8 +480,10 @@ impl CoreStats {
             max_depth: words[3],
             batch_target: words[4],
             batch_target_max: words[5],
-            batch_sizes: LogHistogram::read_words(&words[6..6 + LogHistogram::WORDS]),
-            latency_ns: LogHistogram::read_words(&words[6 + LogHistogram::WORDS..]),
+            ns_ops: words[6],
+            owned_namespaces: words[7],
+            batch_sizes: LogHistogram::read_words(&words[8..8 + LogHistogram::WORDS]),
+            latency_ns: LogHistogram::read_words(&words[8 + LogHistogram::WORDS..]),
         }
     }
 
@@ -416,6 +504,8 @@ impl CoreStats {
         self.max_depth = self.max_depth.max(other.max_depth);
         self.batch_target = self.batch_target.max(other.batch_target);
         self.batch_target_max = self.batch_target_max.max(other.batch_target_max);
+        self.ns_ops += other.ns_ops;
+        self.owned_namespaces += other.owned_namespaces;
         self.batch_sizes.merge(&other.batch_sizes);
         self.latency_ns.merge(&other.latency_ns);
     }
@@ -478,6 +568,12 @@ where
                 .collect(),
             shutdown: AtomicBool::new(false),
             submitting: AtomicUsize::new(0),
+            // Sized for a handful of hot tenants per shard; elastic growth
+            // carries it to thousands and shrink brings it back.
+            directory: ElasticHashTable::with_capacity(64),
+            quota: cfg.namespace_quota,
+            ns_created: AtomicUsize::new(0),
+            ns_retired: AtomicUsize::new(0),
         });
         // Workers wait on the gate until their thread handles are
         // registered, so a producer can always unpark the worker it wakes.
@@ -521,6 +617,13 @@ where
     /// Current backlog of each core's submission ring (racy; monitoring).
     pub fn queue_depths(&self) -> Vec<usize> {
         self.shared.cores.iter().map(|c| c.ring.len()).collect()
+    }
+
+    /// Lifetime namespace-directory counters: tenants created, tenants
+    /// retired through EBR, and tenants currently live. `created` and
+    /// `retired` are exact; `live` is a racy occupancy gauge mid-run.
+    pub fn namespace_counts(&self) -> NamespaceCounts {
+        self.shared.namespace_counts()
     }
 
     /// A live snapshot of every core's statistics **while the service is
@@ -573,11 +676,11 @@ where
 
 /// A submission handle onto a [`Service`]. Cloneable and `Send`; does not
 /// keep the service's workers alive (they belong to the `Service`).
-pub struct ServiceClient<V> {
+pub struct ServiceClient<V: Clone + Send + Sync> {
     shared: Arc<ServiceShared<V>>,
 }
 
-impl<V> Clone for ServiceClient<V> {
+impl<V: Clone + Send + Sync> Clone for ServiceClient<V> {
     fn clone(&self) -> Self {
         ServiceClient {
             shared: Arc::clone(&self.shared),
@@ -585,26 +688,78 @@ impl<V> Clone for ServiceClient<V> {
     }
 }
 
+/// Does executing `op` possibly insert a new key (and so count against a
+/// namespace quota)? `Get`/`Remove` only shrink; `CompareSwap` replaces an
+/// existing value and fails on absent keys.
+fn op_may_insert<V>(op: &OpKind<V>) -> bool {
+    matches!(
+        op,
+        OpKind::Insert(_) | OpKind::Upsert(_) | OpKind::FetchAdd(_)
+    )
+}
+
 impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> ServiceClient<V> {
-    /// The core a key routes to. One Fibonacci multiply, using a bit range
-    /// disjoint from the elastic table's shard (top byte) and bucket
-    /// (bit 32+) indices, so service routing does not correlate with
-    /// intra-map placement.
-    fn core_of(&self, key: u64) -> usize {
-        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    /// The core a request routes to: hash(namespace) then hash(key). A
+    /// non-default namespace routes by namespace alone, giving each tenant
+    /// a single owning worker (which serializes its whole create → operate
+    /// → retire lifecycle); the default namespace spreads by key. One
+    /// Fibonacci multiply either way, using a bit range disjoint from the
+    /// elastic table's shard (top byte) and bucket (bit 32+) indices, so
+    /// service routing does not correlate with intra-map placement.
+    fn core_of(&self, ns: NamespaceId, key: u64) -> usize {
+        let x = if ns == DEFAULT_NAMESPACE { key } else { ns };
+        let h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((h >> 40) as usize) % self.shared.cores.len()
     }
 
-    /// Enqueue one operation without waiting: `Ok` with the reply future,
-    /// or [`Rejected`] with the operation handed back when the ring is full
-    /// ([`ServiceError::Busy`]) or the service is stopping
-    /// ([`ServiceError::ShuttingDown`]).
+    /// Admission-time quota check: would `op` grow an already-full tenant?
+    /// Only consulted for non-default namespaces with a finite quota, and
+    /// only for growing ops; ops on keys the tenant already holds pass, so
+    /// a full tenant can still be read, updated and drained.
+    fn quota_rejects(&self, ns: NamespaceId, key: u64, op: &OpKind<V>) -> bool {
+        let sh = &self.shared;
+        if ns == DEFAULT_NAMESPACE || sh.quota == usize::MAX || !op_may_insert(op) {
+            return false;
+        }
+        let guard = csds_ebr::pin();
+        let Some(table) = sh.directory.get_in(ns, &guard) else {
+            // Not created yet: the op itself can add at most one entry, so
+            // only a zero quota can already be breached.
+            return sh.quota == 0;
+        };
+        table.len_in(&guard) >= sh.quota && table.get_in(key, &guard).is_none()
+    }
+
+    /// Enqueue one operation on the **default namespace** without waiting —
+    /// see [`try_submit_ns`](ServiceClient::try_submit_ns).
     pub fn try_submit(&self, key: u64, op: OpKind<V>) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.try_submit_ns(DEFAULT_NAMESPACE, key, op)
+    }
+
+    /// Enqueue one operation on namespace `ns` without waiting: `Ok` with
+    /// the reply future, or [`Rejected`] with the operation handed back
+    /// when the ring is full ([`ServiceError::Busy`]), the namespace is at
+    /// its entry quota and `op` would grow it (also
+    /// [`ServiceError::Busy`]), or the service is stopping
+    /// ([`ServiceError::ShuttingDown`]).
+    pub fn try_submit_ns(
+        &self,
+        ns: NamespaceId,
+        key: u64,
+        op: OpKind<V>,
+    ) -> Result<Completion<Reply<V>>, Rejected<V>> {
         check_user_key(key);
         let sh = &self.shared;
         if sh.shutdown.load(Ordering::SeqCst) {
             return Err(Rejected {
                 reason: ServiceError::ShuttingDown,
+                op,
+            });
+        }
+        if self.quota_rejects(ns, key, &op) {
+            csds_metrics::quota_reject(ns);
+            return Err(Rejected {
+                reason: ServiceError::Busy,
                 op,
             });
         }
@@ -620,10 +775,11 @@ impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> ServiceClient
                 op,
             });
         }
-        let core_idx = self.core_of(key);
+        let core_idx = self.core_of(ns, key);
         let core = &sh.cores[core_idx];
         let (tx, rx) = oneshot::completion();
         let pushed = core.ring.try_push(Request {
+            ns,
             key,
             op,
             enqueued: Instant::now(),
@@ -657,21 +813,51 @@ impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> ServiceClient
         res
     }
 
-    /// Enqueue one operation, spinning (with [`Backoff`]) while the target
-    /// ring is full — backpressure as blocking. Fails only on shutdown.
+    /// Enqueue one operation on the default namespace, spinning (with
+    /// [`Backoff`]) while the target ring is full — backpressure as
+    /// blocking. Fails only on shutdown.
     pub fn submit(&self, key: u64, op: OpKind<V>) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit_ns(DEFAULT_NAMESPACE, key, op)
+    }
+
+    /// Enqueue one operation on namespace `ns`, spinning (with [`Backoff`])
+    /// while the target ring is full. **A quota breach is returned, not
+    /// spun on**: a ring drains by itself, a full tenant does not — the
+    /// caller decides whether to shed, redirect, or free space.
+    pub fn submit_ns(
+        &self,
+        ns: NamespaceId,
+        key: u64,
+        op: OpKind<V>,
+    ) -> Result<Completion<Reply<V>>, Rejected<V>> {
         let mut op = op;
         let mut backoff = Backoff::new();
         loop {
-            match self.try_submit(key, op) {
+            match self.try_submit_ns(ns, key, op) {
                 Ok(c) => return Ok(c),
-                Err(r) if r.reason == ServiceError::Busy => {
+                Err(r) if r.reason == ServiceError::Busy && !self.quota_rejects(ns, key, &r.op) => {
                     op = r.op;
                     backoff.snooze();
                 }
                 Err(r) => return Err(r),
             }
         }
+    }
+
+    /// A view of this client fixed to namespace `ns`: the same vocabulary
+    /// ([`get`](NamespaceClient::get), [`insert`](NamespaceClient::insert),
+    /// ...) against one tenant keyspace. Cheap; clone freely.
+    pub fn namespace(&self, ns: NamespaceId) -> NamespaceClient<V> {
+        NamespaceClient {
+            client: self.clone(),
+            ns,
+        }
+    }
+
+    /// Lifetime namespace-directory counters; see
+    /// [`Service::namespace_counts`].
+    pub fn namespace_counts(&self) -> NamespaceCounts {
+        self.shared.namespace_counts()
     }
 
     /// `get(k)` through the service; resolves to [`Reply::Got`].
@@ -747,9 +933,250 @@ impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> ServiceClient
     }
 }
 
+/// A [`ServiceClient`] fixed to one namespace: the full submission
+/// vocabulary against a single tenant keyspace. Obtained from
+/// [`ServiceClient::namespace`]; cloneable and `Send` like its parent.
+pub struct NamespaceClient<V: Clone + Send + Sync> {
+    client: ServiceClient<V>,
+    ns: NamespaceId,
+}
+
+impl<V: Clone + Send + Sync> Clone for NamespaceClient<V> {
+    fn clone(&self) -> Self {
+        NamespaceClient {
+            client: self.client.clone(),
+            ns: self.ns,
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static> NamespaceClient<V> {
+    /// The namespace this view is fixed to.
+    pub fn id(&self) -> NamespaceId {
+        self.ns
+    }
+
+    /// Non-blocking submit into this namespace; see
+    /// [`ServiceClient::try_submit_ns`].
+    pub fn try_submit(&self, key: u64, op: OpKind<V>) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.client.try_submit_ns(self.ns, key, op)
+    }
+
+    /// Blocking-on-backpressure submit into this namespace; see
+    /// [`ServiceClient::submit_ns`].
+    pub fn submit(&self, key: u64, op: OpKind<V>) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.client.submit_ns(self.ns, key, op)
+    }
+
+    /// `get(k)` in this namespace; resolves to [`Reply::Got`].
+    pub fn get(&self, key: u64) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::Get)
+    }
+
+    /// `put(k, v)` in this namespace; resolves to [`Reply::Inserted`].
+    pub fn insert(&self, key: u64, value: V) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::Insert(value))
+    }
+
+    /// `remove(k)` in this namespace; resolves to [`Reply::Removed`].
+    pub fn remove(&self, key: u64) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::Remove)
+    }
+
+    /// Insert-or-replace in this namespace; resolves to [`Reply::Upserted`].
+    pub fn upsert(&self, key: u64, value: V) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::Upsert(value))
+    }
+
+    /// Value compare-and-swap in this namespace; resolves to [`Reply::Cas`].
+    pub fn compare_swap(
+        &self,
+        key: u64,
+        expected: V,
+        new: V,
+    ) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::CompareSwap { expected, new })
+    }
+
+    /// Atomic counter bump in this namespace; resolves to [`Reply::Added`].
+    pub fn fetch_add(&self, key: u64, delta: u64) -> Result<Completion<Reply<V>>, Rejected<V>> {
+        self.submit(key, OpKind::FetchAdd(delta))
+    }
+
+    /// Pipelined burst into this namespace; see
+    /// [`ServiceClient::submit_batch`].
+    pub fn submit_batch(
+        &self,
+        ops: impl IntoIterator<Item = (u64, OpKind<V>)>,
+    ) -> Result<Vec<Completion<Reply<V>>>, Rejected<V>> {
+        let ops = ops.into_iter();
+        let mut out = Vec::with_capacity(ops.size_hint().0);
+        for (key, op) in ops {
+            out.push(self.submit(key, op)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Execute one operation against any [`GuardedMap`] under `guard`. Shared
+/// by the default-namespace path (the service's own map) and the tenant
+/// path (directory tables) — one vocabulary, any map.
+fn execute_op<V, T>(map: &T, key: u64, op: OpKind<V>, guard: &Guard) -> Reply<V>
+where
+    V: Clone + Send + Sync + PartialEq + FetchAddValue + 'static,
+    T: GuardedMap<V> + ?Sized,
+{
+    match op {
+        OpKind::Get => Reply::Got(map.get_in(key, guard).cloned()),
+        OpKind::Insert(v) => Reply::Inserted(map.insert_in(key, v, guard)),
+        OpKind::Remove => Reply::Removed(map.remove_in(key, guard)),
+        OpKind::Upsert(v) => Reply::Upserted(map.upsert_in(key, v, guard)),
+        OpKind::CompareSwap { expected, new } => {
+            Reply::Cas(map.compare_swap_in(key, &expected, new, guard))
+        }
+        OpKind::FetchAdd(delta) => {
+            let out = map.rmw_in(
+                key,
+                &mut |cur| Some(V::from_u64(cur.map_or(0, V::to_u64).wrapping_add(delta))),
+                guard,
+            );
+            Reply::Added(out.cur.map_or(0, V::to_u64))
+        }
+    }
+}
+
+/// Routing entries a worker keeps for the tenants it owns. The cache is a
+/// deliberately **pin-free** LRU: entries are `(namespace, Arc<table>)`
+/// pairs, *not* live `MapHandle`s — N live handles on one thread would make
+/// every repin inert and stall reclamation process-wide (the PR 6 bug
+/// class). The worker's single session guard executes ops on every cached
+/// table; parking drops both the cache and the session, so an idle core
+/// holds neither the epoch nor retired tenants' memory.
+struct TenantRouter<V: Clone + Send + Sync> {
+    /// MRU-first routing cache over the directory (bounded at
+    /// [`HANDLE_CACHE_CAP`]).
+    cache: Vec<(NamespaceId, Arc<ElasticHashTable<V>>)>,
+    /// Every namespace this worker created and has not yet retired.
+    /// Ownership is exclusive (namespace-hash routing), so nobody else
+    /// creates or retires these.
+    owned: Vec<NamespaceId>,
+    /// Rotating cursor into `owned` for budgeted idle sweeps.
+    sweep_at: usize,
+}
+
+/// Cached routing entries per worker. Small on purpose: a miss is one
+/// directory lookup, while an unbounded cache would anchor every idle
+/// tenant's memory to the worker.
+const HANDLE_CACHE_CAP: usize = 32;
+
+/// Most owned namespaces examined per idle sweep, so a worker owning
+/// thousands of tenants bounds its pre-park housekeeping and spreads the
+/// scan across parks via `sweep_at`.
+const IDLE_SWEEP_BUDGET: usize = 256;
+
+impl<V: Clone + Send + Sync + 'static> TenantRouter<V> {
+    fn new() -> Self {
+        TenantRouter {
+            cache: Vec::with_capacity(HANDLE_CACHE_CAP),
+            owned: Vec::new(),
+            sweep_at: 0,
+        }
+    }
+
+    /// The tenant table for `ns`, from the cache, the directory, or (first
+    /// operation on this namespace) created lazily and published. Only the
+    /// owning worker calls this, so a miss-then-create cannot race another
+    /// creator; the insert is still the atomic lock-free path, so the
+    /// invariant is checked, not assumed.
+    fn resolve(
+        &mut self,
+        ns: NamespaceId,
+        shared: &ServiceShared<V>,
+        guard: &Guard,
+    ) -> Arc<ElasticHashTable<V>> {
+        if let Some(pos) = self.cache.iter().position(|(n, _)| *n == ns) {
+            let entry = self.cache.remove(pos);
+            let table = Arc::clone(&entry.1);
+            self.cache.insert(0, entry);
+            return table;
+        }
+        let table = match shared.directory.get_in(ns, guard) {
+            Some(t) => Arc::clone(t),
+            None => {
+                let fresh = Arc::new(ElasticHashTable::tenant());
+                if shared.directory.insert_in(ns, Arc::clone(&fresh), guard) {
+                    shared.ns_created.fetch_add(1, Ordering::Relaxed);
+                    csds_metrics::namespace_create(ns);
+                    self.owned.push(ns);
+                    fresh
+                } else {
+                    // Namespace-hash routing makes this unreachable (one
+                    // creator per namespace), but losing the race cleanly —
+                    // drop the loser's table, adopt the winner's — keeps
+                    // correctness independent of the routing policy.
+                    Arc::clone(
+                        shared
+                            .directory
+                            .get_in(ns, guard)
+                            .expect("a racing creator published this namespace"),
+                    )
+                }
+            }
+        };
+        self.cache.insert(0, (ns, Arc::clone(&table)));
+        self.cache.truncate(HANDLE_CACHE_CAP);
+        table
+    }
+
+    /// Pre-park housekeeping over (a budgeted slice of) the owned tenants:
+    /// an **empty** tenant is unlinked from the directory and retired — the
+    /// removed node carries the last directory `Arc`, so the table itself
+    /// is freed by EBR at collection, after any in-flight readers of the
+    /// directory bucket are done. A non-empty tenant is compacted back
+    /// toward its one-bucket floor instead (idle tables see no ops, so no
+    /// op-driven resize would ever shrink them).
+    fn idle_sweep(&mut self, shared: &ServiceShared<V>, guard: &Guard) -> u64 {
+        let mut retired = 0u64;
+        let budget = self.owned.len().min(IDLE_SWEEP_BUDGET);
+        for _ in 0..budget {
+            if self.owned.is_empty() {
+                break;
+            }
+            if self.sweep_at >= self.owned.len() {
+                self.sweep_at = 0;
+            }
+            let ns = self.owned[self.sweep_at];
+            let Some(table) = shared.directory.get_in(ns, guard).map(Arc::clone) else {
+                // Unreachable while ownership is exclusive; tolerate it.
+                self.owned.swap_remove(self.sweep_at);
+                continue;
+            };
+            if table.is_empty_in(guard) {
+                // Exclusive ownership means nothing can repopulate the
+                // table between the emptiness check and the unlink.
+                drop(shared.directory.remove_in(ns, guard));
+                self.owned.swap_remove(self.sweep_at);
+                shared.ns_retired.fetch_add(1, Ordering::Relaxed);
+                csds_metrics::namespace_retire(ns);
+                retired += 1;
+            } else {
+                table.compact_in(guard);
+                self.sweep_at += 1;
+            }
+        }
+        if retired > 0 {
+            // Drop routing entries for retired tenants (and any stale
+            // neighbours) wholesale; the cache refills on demand.
+            let owned = &self.owned;
+            self.cache.retain(|(n, _)| owned.contains(n));
+        }
+        retired
+    }
+}
+
 /// The core worker: drain batches from the owned ring, execute them against
-/// the map through one reused session, sleep when idle, exit when the
-/// service shuts down *and* nothing more can arrive.
+/// the routed map through one reused session, sleep when idle, exit when
+/// the service shuts down *and* nothing more can arrive.
 fn worker_loop<V, M>(
     core_idx: usize,
     map: Arc<M>,
@@ -769,6 +1196,12 @@ where
     // epoch back — the `MapHandle` discipline the library documents,
     // applied to the pool.
     let mut session: Option<MapHandle<'_, V, M>> = None;
+    // Routing state for the tenants this worker owns (see [`TenantRouter`]).
+    let mut tenants: TenantRouter<V> = TenantRouter::new();
+    // Ops executed since the last pre-park flush: their removes deferred
+    // garbage into this thread's local EBR queue, which nobody else can
+    // drain while we sleep.
+    let mut dirty = false;
     let mut batch: Vec<Request<V>> = Vec::with_capacity(max_batch);
     // Adaptive drain depth: start shallow, double (up to `max_batch`) while
     // the ring stays hot — a full drain that leaves a backlog — and decay
@@ -788,30 +1221,23 @@ where
             h.refresh();
             let guard = h.guard();
             for req in batch.drain(..) {
-                let reply = match req.op {
-                    OpKind::Get => Reply::Got(map.get_in(req.key, guard).cloned()),
-                    OpKind::Insert(v) => Reply::Inserted(map.insert_in(req.key, v, guard)),
-                    OpKind::Remove => Reply::Removed(map.remove_in(req.key, guard)),
-                    OpKind::Upsert(v) => Reply::Upserted(map.upsert_in(req.key, v, guard)),
-                    OpKind::CompareSwap { expected, new } => {
-                        Reply::Cas(map.compare_swap_in(req.key, &expected, new, guard))
-                    }
-                    OpKind::FetchAdd(delta) => {
-                        let out = map.rmw_in(
-                            req.key,
-                            &mut |cur| {
-                                Some(V::from_u64(cur.map_or(0, V::to_u64).wrapping_add(delta)))
-                            },
-                            guard,
-                        );
-                        Reply::Added(out.cur.map_or(0, V::to_u64))
-                    }
+                // Routing dispatch: the default namespace is the service's
+                // own map (per-key routing, zero-cost compatibility path);
+                // every other namespace resolves through the directory.
+                let reply = if req.ns == DEFAULT_NAMESPACE {
+                    execute_op(&*map, req.key, req.op, guard)
+                } else {
+                    let table = tenants.resolve(req.ns, &shared, guard);
+                    stats.ns_ops += 1;
+                    execute_op(&*table, req.key, req.op, guard)
                 };
                 stats
                     .latency_ns
                     .record(req.enqueued.elapsed().as_nanos() as u64);
                 req.tx.send(reply);
             }
+            stats.owned_namespaces = tenants.owned.len() as u64;
+            dirty = true;
             stats.ops += processed;
             stats.batches += 1;
             stats.max_batch = stats.max_batch.max(processed);
@@ -864,9 +1290,43 @@ where
             core.live.publish(&stats.to_words());
             break;
         }
-        session = None; // unpin before sleeping
-                        // Publish before parking: an idle core's slot holds its final
-                        // numbers, not up to PUBLISH_BATCHES-stale ones.
+        // Park preparation, in hazard order: close the session (unpin),
+        // drop the routing cache (no `Arc`s anchoring retired tenants),
+        // *then* take a fresh short-lived pin for tenant housekeeping. The
+        // sweep must not run under the session guard — a long-lived outer
+        // guard would make its own `remove_in` deferrals uncollectable
+        // (nested pins skip maintenance), exactly the stall the EBR
+        // watchdog exists to catch.
+        session = None;
+        tenants.cache.clear();
+        if dirty || !tenants.owned.is_empty() {
+            if !tenants.owned.is_empty() {
+                let guard = csds_ebr::pin();
+                let retired = tenants.idle_sweep(&shared, &guard);
+                drop(guard);
+                if retired > 0 {
+                    stats.owned_namespaces = tenants.owned.len() as u64;
+                    since_publish += 1; // force a publish below
+                }
+            }
+            // Drain this worker's deferred garbage (removed nodes, retired
+            // tenant tables) before sleeping: only the retiring thread can
+            // execute its local queue, so a parked worker would warehouse
+            // that memory for the duration of its sleep. Each flush
+            // advances the epoch at most one step and a bag sealed at
+            // epoch E ripens at E+2, so walk a few short pins forward —
+            // bounded, because a genuinely pinned peer can legitimately
+            // hold the epoch (its own maintenance will finish the job).
+            for _ in 0..4 {
+                if csds_ebr::local_garbage_items() == 0 {
+                    break;
+                }
+                csds_ebr::pin().flush();
+            }
+            dirty = false;
+        }
+        // Publish before parking: an idle core's slot holds its final
+        // numbers, not up to PUBLISH_BATCHES-stale ones.
         if since_publish > 0 {
             core.live.publish(&stats.to_words());
             since_publish = 0;
@@ -898,6 +1358,7 @@ mod tests {
             cores: 2,
             ring_capacity: 8,
             max_batch: 4,
+            ..ServiceConfig::default()
         }
     }
 
@@ -1065,6 +1526,7 @@ mod tests {
                 cores: 1,
                 ring_capacity: 2,
                 max_batch: 1,
+                ..ServiceConfig::default()
             },
         );
         let client = svc.client();
@@ -1099,6 +1561,74 @@ mod tests {
         assert!(Reply::<u64>::Inserted(true).inserted());
         assert!(!Reply::<u64>::Inserted(false).inserted());
         assert!(!Reply::<u64>::Got(Some(1)).inserted());
+    }
+
+    #[test]
+    fn namespaces_roundtrip_and_isolate_from_default_map() {
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(64));
+        let svc = Service::start(Arc::clone(&map), small());
+        let client = svc.client();
+        let ns_a = client.namespace(7);
+        let ns_b = client.namespace(8);
+        // Same key, three homes: the default map and two tenants.
+        assert!(block_on(client.insert(1, 100).unwrap()).unwrap().inserted());
+        assert!(block_on(ns_a.insert(1, 200).unwrap()).unwrap().inserted());
+        assert!(block_on(ns_b.insert(1, 300).unwrap()).unwrap().inserted());
+        assert_eq!(
+            block_on(client.get(1).unwrap()).unwrap(),
+            Reply::Got(Some(100))
+        );
+        assert_eq!(
+            block_on(ns_a.get(1).unwrap()).unwrap(),
+            Reply::Got(Some(200))
+        );
+        assert_eq!(
+            block_on(ns_b.get(1).unwrap()).unwrap(),
+            Reply::Got(Some(300))
+        );
+        let counts = svc.namespace_counts();
+        assert_eq!(counts.created, 2, "two tenants were lazily created");
+        assert_eq!(counts.live, 2);
+        // Removing ns_a's key empties that tenant; an idle sweep may retire
+        // it, after which a fresh op revives it transparently.
+        assert_eq!(
+            block_on(ns_a.remove(1).unwrap()).unwrap(),
+            Reply::Removed(Some(200))
+        );
+        assert_eq!(block_on(ns_a.get(1).unwrap()).unwrap(), Reply::Got(None));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn namespace_quota_hands_the_op_back() {
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(64));
+        let svc = Service::start(
+            Arc::clone(&map),
+            ServiceConfig {
+                namespace_quota: 2,
+                ..small()
+            },
+        );
+        let client = svc.client();
+        let ns = client.namespace(42);
+        assert!(block_on(ns.insert(1, 1).unwrap()).unwrap().inserted());
+        assert!(block_on(ns.insert(2, 2).unwrap()).unwrap().inserted());
+        // At quota: a third distinct key is refused with the op handed back…
+        match ns.try_submit(3, OpKind::Insert(3)) {
+            Err(rej) => {
+                assert_eq!(rej.reason, ServiceError::Busy);
+                assert!(matches!(rej.op, OpKind::Insert(3)));
+            }
+            Ok(_) => panic!("insert beyond quota must be rejected"),
+        }
+        // …while updates to resident keys and reads still pass.
+        assert!(!block_on(ns.insert(1, 9).unwrap()).unwrap().inserted());
+        assert_eq!(block_on(ns.get(2).unwrap()).unwrap(), Reply::Got(Some(2)));
+        // The default namespace is never quota'd.
+        for k in 0..8 {
+            assert!(block_on(client.insert(k, k).unwrap()).unwrap().inserted());
+        }
+        svc.shutdown();
     }
 
     #[test]

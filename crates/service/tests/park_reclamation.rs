@@ -1,0 +1,139 @@
+//! Regression test for the worker-park reclamation hazard (PR 6 bug
+//! class, service edition).
+//!
+//! The hazard: a worker that parks while holding EBR state stalls
+//! reclamation process-wide. Two ways the namespace refactor could have
+//! re-introduced it:
+//!
+//! * keeping the map session (a pin) across the park — a parked-but-live
+//!   worker at an old epoch blocks every epoch advance, so no thread can
+//!   ever collect;
+//! * keeping `Arc`s to tenant tables in the routing cache across the park —
+//!   a retired tenant's memory stays anchored for as long as the worker
+//!   sleeps, even though the directory no longer references it.
+//!
+//! The worker loop therefore drops the session *and* clears the routing
+//! cache before every park, and runs its tenant sweep under a fresh
+//! short-lived pin. This test drives a service through warm-up → tenant
+//! retirement → idle, then proves from the outside that (a) an
+//! idle-but-running service leaves no participant pinned, (b) deferred
+//! garbage — including the retired tenant tables — drains while the
+//! service sleeps, and (c) an external thread's churn still advances the
+//! epoch and never trips the stall watchdog.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csds_core::{hashtable::LazyHashTable, GuardedMap};
+use csds_ebr::{health, pin, set_watchdog_threshold, Atomic};
+use csds_service::{block_on, Service, ServiceConfig};
+
+#[test]
+fn parked_service_neither_pins_the_epoch_nor_anchors_retired_tenants() {
+    // Fresh thread → fresh thread-local metrics recorder for the churn
+    // assertions at the end.
+    std::thread::spawn(|| {
+        let _ = csds_metrics::take_and_reset();
+        set_watchdog_threshold(512);
+
+        let map: Arc<dyn GuardedMap<u64>> = Arc::new(LazyHashTable::with_capacity(64));
+        let svc = Service::start(
+            map,
+            ServiceConfig {
+                cores: 2,
+                ring_capacity: 64,
+                max_batch: 16,
+                ..ServiceConfig::default()
+            },
+        );
+        let client = svc.client();
+
+        // Warm the workers' routing caches: traffic on the default map and
+        // on eight tenants, then empty every tenant so the idle sweeps
+        // retire them all.
+        for k in 0..64u64 {
+            assert!(block_on(client.insert(k, k).unwrap()).unwrap().inserted());
+        }
+        for ns in 1..=8u64 {
+            let tenant = client.namespace(ns);
+            for k in 0..64u64 {
+                assert!(block_on(tenant.insert(k, k).unwrap()).unwrap().inserted());
+            }
+            for k in 0..64u64 {
+                assert!(block_on(tenant.remove(k).unwrap())
+                    .unwrap()
+                    .value()
+                    .is_some());
+            }
+        }
+
+        // (a) every empty tenant is retired by the workers' pre-park sweeps
+        // while the service keeps running.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let counts = svc.namespace_counts();
+            if counts.retired == 8 {
+                assert_eq!(counts.live, 0, "retired tenants still in the directory");
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "idle workers never retired the emptied tenants: {counts:?}"
+            );
+            std::thread::yield_now();
+        }
+
+        // (b) with the service idle-but-running, no worker may stay pinned:
+        // workers wake briefly on their park timeout, so poll until an
+        // all-unpinned instant is observed.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while health().pinned_participants != 0 {
+            assert!(
+                Instant::now() < deadline,
+                "a parked worker is still pinned: {:?}",
+                health()
+            );
+            std::thread::yield_now();
+        }
+
+        // ...and the garbage deferred so far — tenant tables, directory
+        // nodes, map nodes — must be collectable from this thread, which it
+        // cannot be if any parked worker anchors an old epoch.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while health().garbage_items > 64 {
+            pin().flush();
+            assert!(
+                Instant::now() < deadline,
+                "garbage not draining while the service idles: {:?}",
+                health()
+            );
+            std::thread::yield_now();
+        }
+
+        // (c) external healthy churn keeps collecting at full speed next to
+        // the parked workers, without a single watchdog event.
+        for i in 0..2_000usize {
+            let g = pin();
+            let slot = Atomic::new(i as u64);
+            let s = slot.load(&g);
+            // SAFETY: freshly allocated, unlinked, retired exactly once;
+            // `Atomic` has no drop glue.
+            unsafe { g.defer_drop(s) };
+            drop(g);
+        }
+        let snap = csds_metrics::take_and_reset();
+        assert_eq!(
+            snap.ebr_stall_events, 0,
+            "idle service must not starve an external thread's reclamation"
+        );
+        assert!(
+            snap.epoch_advances > 0,
+            "epoch frozen while the service idles — a parked worker is pinned"
+        );
+        assert!(snap.ebr_collects > 0, "no collection despite healthy churn");
+
+        svc.shutdown();
+    })
+    .join()
+    .unwrap();
+}

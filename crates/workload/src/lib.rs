@@ -12,6 +12,8 @@
 //! * [`KeyDist`] / [`KeySampler`] — uniform and Zipfian key distributions
 //!   (the Zipf sampler uses a precomputed CDF and binary search);
 //! * [`OpMix`] / [`Op`] — the paper's operation mix;
+//! * [`TenantSampler`] — two-level (namespace × key) sampling for
+//!   multi-tenant service traffic, canonically Zipf-over-Zipf;
 //! * [`ChurnSchedule`] / [`ChurnPhase`] — a phased mix that cycles the key
 //!   population through grow / steady / shrink phases, for exercising
 //!   dynamically-resizing structures (the elastic hash table's
@@ -258,6 +260,76 @@ impl OpMix {
             return Op::FetchAdd;
         }
         Op::Get
+    }
+}
+
+/// A two-level sampler for multi-tenant traffic: *which tenant* an
+/// operation targets is drawn from one distribution, *which key inside
+/// that tenant* from another.
+///
+/// The interesting shape is Zipf-over-Zipf — a few tenants carry most of
+/// the traffic and, within each, a few keys are hot — which is what a
+/// namespace-routed front-end sees in practice: a handful of hot
+/// namespaces that must stay cheap, plus a long tail of cold ones that
+/// must not cost memory while idle. Namespace ids are offset by
+/// [`base`](TenantSampler::base) so callers can keep id 0 (a service's
+/// default namespace) out of the draw.
+#[derive(Clone, Debug)]
+pub struct TenantSampler {
+    namespaces: KeySampler,
+    keys: KeySampler,
+    /// Smallest namespace id this sampler emits (ids span
+    /// `[base, base + namespace_count)`).
+    pub base: u64,
+}
+
+impl TenantSampler {
+    /// A sampler over `ns_count` tenants (ids `base..base + ns_count`) with
+    /// `key_range` keys each.
+    pub fn new(
+        ns_dist: KeyDist,
+        ns_count: u64,
+        key_dist: KeyDist,
+        key_range: u64,
+        base: u64,
+    ) -> Self {
+        TenantSampler {
+            namespaces: KeySampler::new(ns_dist, ns_count),
+            keys: KeySampler::new(key_dist, key_range),
+            base,
+        }
+    }
+
+    /// The canonical multi-tenant workload: the paper's Zipf (`s = 0.8`)
+    /// at **both** levels, namespace ids starting at 1.
+    pub fn zipf_over_zipf(ns_count: u64, key_range: u64) -> Self {
+        Self::new(
+            KeyDist::PAPER_ZIPF,
+            ns_count,
+            KeyDist::PAPER_ZIPF,
+            key_range,
+            1,
+        )
+    }
+
+    /// Number of distinct tenants this sampler can emit.
+    pub fn namespace_count(&self) -> u64 {
+        self.namespaces.range()
+    }
+
+    /// Per-tenant key range.
+    pub fn key_range(&self) -> u64 {
+        self.keys.range()
+    }
+
+    /// Draw a `(namespace, key)` pair. Zipf rank 0 is the hottest tenant,
+    /// so namespace `base` is the hottest id.
+    #[inline]
+    pub fn sample(&self, rng: &mut FastRng) -> (u64, u64) {
+        (
+            self.base + self.namespaces.sample(rng),
+            self.keys.sample(rng),
+        )
     }
 }
 
@@ -519,6 +591,42 @@ mod tests {
         assert!((insf - 0.05).abs() < 0.005, "inserts {insf}");
         assert!((remf - 0.05).abs() < 0.005, "removes {remf}");
         assert!((getf - 0.90).abs() < 0.01, "gets {getf}");
+    }
+
+    #[test]
+    fn tenant_sampler_skews_both_levels_and_respects_base() {
+        let t = TenantSampler::zipf_over_zipf(256, 512);
+        assert_eq!(t.namespace_count(), 256);
+        assert_eq!(t.key_range(), 512);
+        let mut rng = FastRng::new(23);
+        let mut ns_counts = vec![0u64; 257];
+        let mut key_counts = vec![0u64; 512];
+        const N: u64 = 100_000;
+        for _ in 0..N {
+            let (ns, key) = t.sample(&mut rng);
+            assert!((1..=256).contains(&ns), "namespace {ns} out of range");
+            assert!(key < 512, "key {key} out of range");
+            ns_counts[ns as usize] += 1;
+            key_counts[key as usize] += 1;
+        }
+        // Namespace 0 is reserved: never drawn.
+        assert_eq!(ns_counts[0], 0);
+        // Both levels are Zipf-skewed: the hottest rank dominates the
+        // median rank.
+        assert!(ns_counts[1] > ns_counts[128] * 10);
+        assert!(key_counts[0] > key_counts[255] * 10);
+    }
+
+    #[test]
+    fn tenant_sampler_uniform_levels_cover_the_space() {
+        let t = TenantSampler::new(KeyDist::Uniform, 8, KeyDist::Uniform, 4, 100);
+        let mut rng = FastRng::new(31);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4_000 {
+            seen.insert(t.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 32, "all (namespace, key) pairs reachable");
+        assert!(seen.iter().all(|&(ns, _)| (100..108).contains(&ns)));
     }
 
     #[test]

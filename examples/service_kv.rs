@@ -65,6 +65,7 @@ fn main() {
             cores: CORES,
             ring_capacity: 1024,
             max_batch: 64,
+            ..ServiceConfig::default()
         },
     );
 

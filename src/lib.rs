@@ -12,7 +12,8 @@
 //! * [`ebr`] — epoch-based memory reclamation;
 //! * [`htm`] — emulated HTM lock elision (TSX substitute);
 //! * [`service`] — the async request front-end (core worker pool, bounded
-//!   submission rings, std-only futures) over any [`GuardedMap`](core::GuardedMap);
+//!   submission rings, std-only futures, multi-tenant namespaces with lazy
+//!   creation and shrink-to-zero) over any [`GuardedMap`](core::GuardedMap);
 //! * [`metrics`] — fine-grained instrumentation;
 //! * [`workload`] — key distributions and operation mixes;
 //! * [`analysis`] — the birthday-paradox conflict model;
@@ -59,6 +60,7 @@ pub mod prelude {
     };
     pub use csds_elastic::{ElasticConfig, ElasticHashTable};
     pub use csds_service::{
-        block_on, FetchAddValue, OpKind, Reply, Service, ServiceClient, ServiceConfig, ServiceError,
+        block_on, FetchAddValue, NamespaceClient, NamespaceCounts, NamespaceId, OpKind, Reply,
+        Service, ServiceClient, ServiceConfig, ServiceError, DEFAULT_NAMESPACE,
     };
 }

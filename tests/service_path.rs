@@ -19,6 +19,7 @@ fn service_cfg() -> ServiceConfig {
         cores: 2,
         ring_capacity: 64,
         max_batch: 16,
+        ..ServiceConfig::default()
     }
 }
 
@@ -338,6 +339,7 @@ fn full_ring_reports_backpressure_and_recovers() {
             cores: 1,
             ring_capacity: 4,
             max_batch: 4,
+            ..ServiceConfig::default()
         },
     );
     let client = svc.client();
@@ -367,6 +369,282 @@ fn full_ring_reports_backpressure_and_recovers() {
 }
 
 #[test]
+fn namespaces_isolate_the_same_key_across_tenants() {
+    // One key, many homes: the default map and three tenants must never
+    // see each other's values, whichever algorithm serves the default map.
+    for algo in AlgoKind::all() {
+        let svc = algo.make_service(64, service_cfg());
+        let client = svc.client();
+        assert!(block_on(client.insert(1, 1000).unwrap())
+            .unwrap()
+            .inserted());
+        for ns in 1..=3u64 {
+            let tenant = client.namespace(ns);
+            assert!(
+                block_on(tenant.insert(1, 1000 + ns).unwrap())
+                    .unwrap()
+                    .inserted(),
+                "{}: ns {ns} first insert",
+                algo.name()
+            );
+        }
+        // Each namespace reads back its own value.
+        assert_eq!(
+            block_on(client.get(1).unwrap()).unwrap(),
+            Reply::Got(Some(1000)),
+            "{}: default map",
+            algo.name()
+        );
+        for ns in 1..=3u64 {
+            assert_eq!(
+                block_on(client.namespace(ns).get(1).unwrap()).unwrap(),
+                Reply::Got(Some(1000 + ns)),
+                "{}: ns {ns}",
+                algo.name()
+            );
+        }
+        // Removing from one tenant leaves the others (and the default map)
+        // untouched.
+        assert_eq!(
+            block_on(client.namespace(2).remove(1).unwrap()).unwrap(),
+            Reply::Removed(Some(1002)),
+            "{}",
+            algo.name()
+        );
+        assert_eq!(
+            block_on(client.namespace(2).get(1).unwrap()).unwrap(),
+            Reply::Got(None)
+        );
+        assert_eq!(
+            block_on(client.namespace(1).get(1).unwrap()).unwrap(),
+            Reply::Got(Some(1001))
+        );
+        assert_eq!(
+            block_on(client.namespace(3).get(1).unwrap()).unwrap(),
+            Reply::Got(Some(1003))
+        );
+        assert_eq!(
+            block_on(client.get(1).unwrap()).unwrap(),
+            Reply::Got(Some(1000))
+        );
+        assert_eq!(
+            svc.map().len(),
+            1,
+            "{}: tenant ops leaked into the map",
+            algo.name()
+        );
+        // ns 2 went empty above, so an idle sweep may have retired it (and
+        // the subsequent get revived it): created can exceed 3, but the
+        // ledger must always balance.
+        let counts = svc.namespace_counts();
+        assert!(counts.created >= 3, "{}: {counts:?}", algo.name());
+        assert_eq!(
+            counts.created - counts.retired,
+            counts.live,
+            "{}: {counts:?}",
+            algo.name()
+        );
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_first_ops_create_a_namespace_exactly_once() {
+    // Many clients race their very first operation on the same fresh
+    // namespace; the directory must come out with exactly one table, and
+    // every accepted op must land in it.
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: u64 = 200;
+    const FRESH_NS: u64 = 77;
+    let svc = AlgoKind::ElasticHashTable.make_service(16, service_cfg());
+    let gate = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let mut threads = Vec::new();
+    for c in 0..CLIENTS as u64 {
+        let client = svc.client();
+        let gate = Arc::clone(&gate);
+        threads.push(std::thread::spawn(move || {
+            let tenant = client.namespace(FRESH_NS);
+            gate.wait(); // line up the first ops as tightly as possible
+            let mut pending = Vec::new();
+            for i in 0..PER_CLIENT {
+                pending.push(tenant.fetch_add(c * PER_CLIENT + i, 1).unwrap());
+            }
+            for f in pending {
+                assert!(f.wait().unwrap().added().is_some());
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let counts = svc.namespace_counts();
+    assert_eq!(
+        counts.created, 1,
+        "racing first ops must create one table, not {}",
+        counts.created
+    );
+    assert_eq!(counts.live, 1);
+    // Every op landed in the surviving table: all keys distinct, all
+    // present exactly once.
+    let client = svc.client();
+    let tenant = client.namespace(FRESH_NS);
+    for k in 0..CLIENTS as u64 * PER_CLIENT {
+        assert_eq!(
+            block_on(tenant.get(k).unwrap()).unwrap(),
+            Reply::Got(Some(1)),
+            "key {k} lost in the creation race"
+        );
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn idle_namespace_shrinks_to_zero_and_revives_transparently() {
+    let svc = AlgoKind::ElasticHashTable.make_service(16, service_cfg());
+    let client = svc.client();
+    let tenant = client.namespace(9);
+    // Populate past the tenant table's initial capacity, then drain.
+    for k in 0..200u64 {
+        assert!(block_on(tenant.insert(k, k).unwrap()).unwrap().inserted());
+    }
+    for k in 0..200u64 {
+        assert_eq!(
+            block_on(tenant.remove(k).unwrap()).unwrap(),
+            Reply::Removed(Some(k))
+        );
+    }
+    // The owning worker's idle sweeps must now retire the empty tenant:
+    // directory entry unlinked, table freed through EBR.
+    let start = std::time::Instant::now();
+    loop {
+        let counts = svc.namespace_counts();
+        if counts.retired == 1 {
+            assert_eq!(counts.created, 1);
+            assert_eq!(counts.live, 0, "retired tenant still in the directory");
+            break;
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "idle empty namespace was never retired: {counts:?}"
+        );
+        std::thread::yield_now();
+    }
+    // Revival is transparent: the next op lazily creates a fresh table.
+    assert!(block_on(tenant.insert(5, 55).unwrap()).unwrap().inserted());
+    assert_eq!(
+        block_on(tenant.get(5).unwrap()).unwrap(),
+        Reply::Got(Some(55))
+    );
+    let counts = svc.namespace_counts();
+    assert_eq!(counts.created, 2, "revival creates a second incarnation");
+    assert_eq!(counts.retired, 1);
+    assert_eq!(counts.live, 1);
+    svc.shutdown();
+}
+
+#[test]
+fn namespace_quota_rejects_with_busy_and_hands_the_op_back() {
+    let svc = AlgoKind::ElasticHashTable.make_service(
+        16,
+        ServiceConfig {
+            namespace_quota: 4,
+            ..service_cfg()
+        },
+    );
+    let client = svc.client();
+    let tenant = client.namespace(3);
+    for k in 0..4u64 {
+        assert!(block_on(tenant.insert(k, k).unwrap()).unwrap().inserted());
+    }
+    // At quota: a may-insert op on a non-resident key bounces with `Busy`
+    // and the exact op handed back — nothing enqueued, nothing lost.
+    let rejected = tenant.try_submit(100, OpKind::Insert(1)).unwrap_err();
+    assert_eq!(rejected.reason, ServiceError::Busy);
+    assert_eq!(rejected.op, OpKind::Insert(1));
+    let rejected = tenant.try_submit(101, OpKind::Upsert(2)).unwrap_err();
+    assert_eq!(rejected.reason, ServiceError::Busy);
+    assert_eq!(rejected.op, OpKind::Upsert(2));
+    // The blocking path reports the same verdict instead of spinning.
+    let rejected = tenant.insert(102, 3).unwrap_err();
+    assert_eq!(rejected.reason, ServiceError::Busy);
+    // Reads, removes, and updates of resident keys still flow at quota.
+    assert_eq!(
+        block_on(tenant.get(2).unwrap()).unwrap(),
+        Reply::Got(Some(2))
+    );
+    assert!(!block_on(tenant.insert(2, 9).unwrap()).unwrap().inserted());
+    // The default namespace and other tenants are not throttled by ns 3.
+    assert!(block_on(client.insert(100, 1).unwrap()).unwrap().inserted());
+    // Freeing a slot reopens admission.
+    assert_eq!(
+        block_on(tenant.remove(0).unwrap()).unwrap(),
+        Reply::Removed(Some(0))
+    );
+    assert!(block_on(tenant.insert(100, 1).unwrap()).unwrap().inserted());
+    svc.shutdown();
+}
+
+#[test]
+fn shutdown_drains_accepted_ops_across_namespaces_exactly_once() {
+    // One worker, parked inside a default-map op, with tenant traffic for
+    // three namespaces queued behind it. Shutdown must block until every
+    // accepted op — default and tenant alike — has executed exactly once.
+    let map = Arc::new(GateMap::new());
+    let svc = Service::start(
+        Arc::clone(&map),
+        ServiceConfig {
+            cores: 1,
+            ring_capacity: 64,
+            max_batch: 8,
+            ..ServiceConfig::default()
+        },
+    );
+    let client = svc.client();
+    let gate_pending = client.try_submit(GATE_KEY, OpKind::Get).unwrap();
+    map.wait_blocked();
+    // 30 tenant ops across 3 namespaces, accepted while the worker is stuck.
+    let mut queued = Vec::new();
+    for ns in 1..=3u64 {
+        let tenant = client.namespace(ns);
+        for k in 0..10u64 {
+            queued.push((
+                ns,
+                k,
+                tenant.try_submit(k, OpKind::Insert(ns * 100 + k)).unwrap(),
+            ));
+        }
+    }
+    let shutter = {
+        let svc_client = svc.client();
+        let handle = std::thread::spawn(move || svc.shutdown());
+        let start = std::time::Instant::now();
+        while !svc_client.is_shutting_down() {
+            assert!(start.elapsed() < std::time::Duration::from_secs(30));
+            std::thread::yield_now();
+        }
+        handle
+    };
+    assert!(!shutter.is_finished(), "shutdown returned with ops pending");
+    map.release.store(true, Ordering::SeqCst);
+    let stats = shutter.join().unwrap();
+    assert_eq!(gate_pending.wait().unwrap(), Reply::Got(None));
+    for (ns, k, f) in queued {
+        assert!(
+            f.wait().unwrap().inserted(),
+            "accepted op (ns {ns}, key {k}) was dropped or doubled"
+        );
+    }
+    // 1 gate op + 30 tenant ops, each exactly once.
+    assert_eq!(stats.aggregate().ops, 31);
+    assert_eq!(stats.aggregate().ns_ops, 30);
+    assert_eq!(
+        map.inner.len(),
+        0,
+        "tenant ops must not touch the default map"
+    );
+}
+
+#[test]
 fn shutdown_waits_for_pending_ops_and_rejects_new_ones() {
     let map = Arc::new(GateMap::new());
     let svc = Service::start(
@@ -375,6 +653,7 @@ fn shutdown_waits_for_pending_ops_and_rejects_new_ones() {
             cores: 1,
             ring_capacity: 64,
             max_batch: 8,
+            ..ServiceConfig::default()
         },
     );
     let client = svc.client();
