@@ -461,6 +461,116 @@ impl<V: Clone + Send + Sync> LockFreeSkipList<V> {
         }
     }
 
+    /// Guard-scoped pop-min: remove and return the smallest present key —
+    /// the Lotan–Shavit lock-free priority queue over the Harris-marked
+    /// towers. The bottom level is walked from the head, skipping
+    /// logically-deleted (marked) nodes; the first live node is claimed by
+    /// winning its level-0 mark CAS (**the linearization point**), after
+    /// which physical unlinking is batched into one `find` descent,
+    /// exactly as for [`remove_in`](Self::remove_in).
+    ///
+    /// Upper levels are marked *before* the level-0 CAS: the `find` whose
+    /// level-0 snip wins retires the node immediately, relying on the same
+    /// descent having already snipped every marked upper level. Marking a
+    /// node another popper just claimed is harmless — its memory is pinned
+    /// by our guard and the stray marks touch an unreachable tower.
+    ///
+    /// Lost head races (a marked candidate, a failed mark CAS) are counted
+    /// into the pq-pop contention metric. The returned reference stays valid
+    /// for `'g`: the caller's pin blocks the reclamation epoch from
+    /// advancing past its own deferred retirement.
+    pub fn pop_min_in<'g>(&'g self, guard: &'g Guard) -> Option<(u64, &'g V)> {
+        let mut lost = 0u64;
+        let out = 'op: {
+            // SAFETY: pinned bottom-level traversal; head never retired.
+            let mut curr = unsafe { self.head.load(guard).deref() }.next[0]
+                .load(guard)
+                .with_tag(0);
+            loop {
+                // SAFETY: pinned.
+                let c = unsafe { curr.deref() };
+                if c.key == TAIL_IKEY {
+                    break 'op None;
+                }
+                let next = c.next[0].load(guard);
+                if next.tag() == MARK {
+                    curr = next.with_tag(0);
+                    continue;
+                }
+                // Candidate head. Mark its upper levels top-down first
+                // (idempotent; see the method docs for why level 0 is last).
+                for l in (1..=c.top_level).rev() {
+                    loop {
+                        let nxt = c.next[l].load(guard);
+                        if nxt.tag() == MARK {
+                            break;
+                        }
+                        if c.next[l]
+                            .compare_exchange(nxt, nxt.with_tag(MARK), guard)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    }
+                }
+                match c.next[0].compare_exchange(next, next.with_tag(MARK), guard) {
+                    Ok(_) => {
+                        // Claim the value (serializes with `rmw_in`
+                        // replacement, exactly as in `remove_in`).
+                        let vptr = c.value.swap(Shared::null(), guard);
+                        debug_assert!(!vptr.is_null(), "mark winner claims exactly once");
+                        // Batched physical unlink: the find that performs
+                        // the level-0 snip retires the node.
+                        let _ = self.find(c.key, guard);
+                        // SAFETY: claimed by our CAS; the caller's pin keeps
+                        // the box alive across its own deferred retirement.
+                        let val = unsafe { vptr.deref() };
+                        // SAFETY: unlinked from the node by the claim.
+                        unsafe { guard.defer_drop(vptr) };
+                        csds_metrics::pq_pop();
+                        break 'op Some((key::ukey(c.key), val));
+                    }
+                    Err(_) => {
+                        // A racing popper/remover marked it, or an insert
+                        // swung the successor: reload and retry this
+                        // candidate (a fresh mark sends us onward).
+                        lost += 1;
+                        csds_metrics::restart();
+                    }
+                }
+            }
+        };
+        if lost > 0 {
+            csds_metrics::pq_pop_contention(lost);
+        }
+        out
+    }
+
+    /// Guard-scoped peek-min: the smallest present key without removing it
+    /// (quiescently consistent — a racing pop may already have claimed the
+    /// value box, in which case the walk moves past the node).
+    pub fn peek_min_in<'g>(&'g self, guard: &'g Guard) -> Option<(u64, &'g V)> {
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next[0]
+            .load(guard)
+            .with_tag(0);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return None;
+            }
+            let next = c.next[0].load(guard);
+            if next.tag() != MARK {
+                // SAFETY: value boxes are EBR-retired; pinned.
+                if let Some(v) = unsafe { c.value.load(guard).as_ref() } {
+                    return Some((key::ukey(c.key), v));
+                }
+            }
+            curr = next.with_tag(0);
+        }
+    }
+
     /// Guard-scoped `remove`.
     pub fn remove_in(&self, ukey: u64, guard: &Guard) -> Option<V> {
         let ikey = key::ikey(ukey);
@@ -578,6 +688,81 @@ mod tests {
     #[test]
     fn concurrent_net_effect() {
         testutil::concurrent_net_effect(Arc::new(LockFreeSkipList::new()), 4, 4_000, 32);
+    }
+
+    #[test]
+    fn pop_min_drains_in_order() {
+        let s = LockFreeSkipList::new();
+        for k in [12u64, 4, 8, 2, 6] {
+            assert!(s.insert(k, k + 100));
+        }
+        let g = pin();
+        assert_eq!(s.peek_min_in(&g).map(|(k, v)| (k, *v)), Some((2, 102)));
+        let mut popped = Vec::new();
+        while let Some((k, v)) = s.pop_min_in(&g) {
+            popped.push((k, *v));
+        }
+        assert_eq!(
+            popped,
+            vec![(2, 102), (4, 104), (6, 106), (8, 108), (12, 112)]
+        );
+        assert!(s.pop_min_in(&g).is_none());
+        assert!(s.peek_min_in(&g).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_poppers_drain_exactly_once() {
+        let s = Arc::new(LockFreeSkipList::new());
+        let n = 2_000u64;
+        for k in 0..n {
+            assert!(s.insert(k, k));
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    let g = pin();
+                    match s.pop_min_in(&g) {
+                        Some((k, _)) => got.push(k),
+                        None => return got,
+                    }
+                }
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "each key popped once");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pop_min_races_inserts() {
+        let s = Arc::new(LockFreeSkipList::new());
+        let producer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for k in 0..3_000u64 {
+                    assert!(s.insert(k, k));
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 3_000 {
+            let g = pin();
+            if let Some((k, _)) = s.pop_min_in(&g) {
+                got.push(k);
+            }
+        }
+        producer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..3_000u64).collect::<Vec<_>>());
+        assert!(s.is_empty());
     }
 
     #[test]

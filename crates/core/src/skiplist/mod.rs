@@ -23,20 +23,33 @@ pub use pugh::PughSkipList;
 /// largest (8192 elements) with p = 1/2.
 pub const MAX_LEVEL: usize = 20;
 
-use csds_sync::atomic::{AtomicU64, Ordering};
+use csds_sync::atomic::{AtomicU64, LazyStatic, Ordering};
 use std::cell::Cell;
 
-thread_local! {
-    static LEVEL_RNG: Cell<u64> = {
-        static SEED: AtomicU64 = AtomicU64::new(0x853C49E6748FEA9B);
-        Cell::new(SEED.fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed) | 1)
-    };
+/// Seed counter for the per-thread tower RNGs. Routed through the seam's
+/// [`LazyStatic`] so each model-checker execution starts the sequence from
+/// the same constant — a plain `static` would carry RNG state across
+/// explored schedules, making tower heights (and hence the body's atomic-op
+/// sequence) differ between exploration and replay.
+static LEVEL_SEED: LazyStatic<AtomicU64> = LazyStatic::new(|| AtomicU64::new(0x853C49E6748FEA9B));
+
+csds_sync::atomic::seam_thread_local! {
+    static LEVEL_RNG: Cell<u64> = Cell::new(0);
 }
 
 /// Geometric tower height in `1..=MAX_LEVEL` (p = 1/2).
 pub(crate) fn random_level() -> usize {
     LEVEL_RNG.with(|cell| {
         let mut x = cell.get();
+        if x == 0 {
+            // First draw on this thread: grab a distinct odd seed. Lazy (not
+            // in the thread-local initialiser) so the seam never has to run
+            // an atomic op while constructing thread-local state.
+            x = LEVEL_SEED
+                .get()
+                .fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed)
+                | 1;
+        }
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;

@@ -415,6 +415,111 @@ impl<V: Clone + Send + Sync> PughSkipList<V> {
         }
     }
 
+    /// Guard-scoped pop-min: remove and return the smallest present key —
+    /// the blocking half of the skiplist priority-queue family (Pugh towers
+    /// with the head run deleted under per-node locks).
+    ///
+    /// Walks the bottom level from the head to the first non-deleted node,
+    /// locks it, and re-checks the `deleted` flag: losing the head race to
+    /// another popper restarts the walk (counted as pop contention). The
+    /// winner's `deleted` store is the linearization point; unlinking then
+    /// follows the exact [`remove_in`](Self::remove_in) protocol (value box
+    /// claimed under the node lock, levels unlinked top-down one predecessor
+    /// lock at a time, node and box retired through EBR).
+    ///
+    /// The returned reference stays valid for `'g`: the caller's pin blocks
+    /// the reclamation epoch from advancing past its own deferred retirement.
+    pub fn pop_min_in<'g>(&'g self, guard: &'g Guard) -> Option<(u64, &'g V)> {
+        let mut lost = 0u64;
+        let out = 'op: loop {
+            // SAFETY: pinned bottom-level traversal; head never retired.
+            let mut curr = unsafe { self.head.load(guard).deref() }.next[0].load(guard);
+            let victim = loop {
+                // SAFETY: pinned.
+                let c = unsafe { curr.deref() };
+                if c.key == TAIL_IKEY {
+                    break 'op None;
+                }
+                if !c.is_deleted() {
+                    break curr;
+                }
+                curr = c.next[0].load(guard);
+            };
+            // SAFETY: pinned.
+            let v = unsafe { victim.deref() };
+            let vg = lock_guard(&v.lock);
+            if v.is_deleted() {
+                // Lost the head to a racing popper/remover; rescan.
+                drop(vg);
+                lost += 1;
+                csds_metrics::restart();
+                continue;
+            }
+            v.deleted.store(1, Ordering::Release); // linearization point
+            let vptr = v.value.swap(Shared::null(), guard);
+            debug_assert!(!vptr.is_null(), "the winning popper claims once");
+            let ikey = v.key;
+            // Unlink level by level, top-down, one predecessor lock at a
+            // time — the `remove_in` discipline.
+            for level in (0..=v.top_level).rev() {
+                loop {
+                    let (preds, _) = self.find(ikey, guard);
+                    let Some(pred) = self.get_lock(preds[level], ikey, level, guard) else {
+                        csds_metrics::restart();
+                        continue;
+                    };
+                    // SAFETY: pinned; locked.
+                    let p = unsafe { pred.deref() };
+                    if p.next[level].load(guard) == victim {
+                        p.next[level].store(v.next[level].load(guard));
+                        p.lock.unlock();
+                        break;
+                    }
+                    p.lock.unlock();
+                    csds_metrics::restart();
+                }
+            }
+            drop(vg);
+            // SAFETY: claimed under the node lock; the caller's pin keeps
+            // the box alive across its own deferred retirement.
+            let val = unsafe { vptr.deref() };
+            // SAFETY: the claim made us the unique owner of the box, and
+            // the deleted flag the unique retirer of the node.
+            unsafe {
+                guard.defer_drop(vptr);
+                guard.defer_drop(victim);
+            }
+            csds_metrics::pq_pop();
+            break Some((key::ukey(ikey), val));
+        };
+        if lost > 0 {
+            csds_metrics::pq_pop_contention(lost);
+        }
+        out
+    }
+
+    /// Guard-scoped peek-min: the smallest present key without removing it
+    /// (quiescently consistent — a racing pop may already have claimed the
+    /// value box, in which case the walk moves past the node).
+    pub fn peek_min_in<'g>(&'g self, guard: &'g Guard) -> Option<(u64, &'g V)> {
+        // SAFETY: pinned bottom-level traversal.
+        let mut curr = unsafe { self.head.load(guard).deref() }.next[0].load(guard);
+        loop {
+            // SAFETY: pinned.
+            let c = unsafe { curr.deref() };
+            if c.key == TAIL_IKEY {
+                return None;
+            }
+            if !c.is_deleted() {
+                // SAFETY: value boxes are EBR-retired; pinned.
+                if let Some(v) = unsafe { c.value.load(guard).as_ref() } {
+                    return Some((key::ukey(c.key), v));
+                }
+            }
+            curr = c.next[0].load(guard);
+        }
+    }
+
     /// Guard-scoped `remove`.
     pub fn remove_in(&self, ukey: u64, guard: &Guard) -> Option<V> {
         let ikey = key::ikey(ukey);
@@ -543,6 +648,54 @@ mod tests {
     #[test]
     fn concurrent_net_effect() {
         testutil::concurrent_net_effect(Arc::new(PughSkipList::new()), 4, 3_000, 32);
+    }
+
+    #[test]
+    fn pop_min_drains_in_order() {
+        let s = PughSkipList::new();
+        for k in [7u64, 3, 9, 1, 5] {
+            assert!(s.insert(k, k * 10));
+        }
+        let g = pin();
+        assert_eq!(s.peek_min_in(&g).map(|(k, v)| (k, *v)), Some((1, 10)));
+        let mut popped = Vec::new();
+        while let Some((k, v)) = s.pop_min_in(&g) {
+            popped.push((k, *v));
+        }
+        assert_eq!(popped, vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]);
+        assert!(s.pop_min_in(&g).is_none());
+        assert!(s.peek_min_in(&g).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_poppers_drain_exactly_once() {
+        let s = Arc::new(PughSkipList::new());
+        let n = 2_000u64;
+        for k in 0..n {
+            assert!(s.insert(k, k));
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    let g = pin();
+                    match s.pop_min_in(&g) {
+                        Some((k, _)) => got.push(k),
+                        None => return got,
+                    }
+                }
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "each key popped once");
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -75,13 +75,17 @@ fn main() {
             };
             let rows = trajectory::run_trajectory(duration, reps);
             let tenants = trajectory::run_tenant_points(duration);
+            let pq = trajectory::run_pq_points(duration);
             let text = if json {
-                trajectory::to_json(&rows, &tenants, label)
+                trajectory::to_json(&rows, &tenants, &pq, label)
             } else {
                 let mut t = trajectory::render_table(&rows);
                 t.push('\n');
                 t.push_str("multi-tenant service (zipf-over-zipf, 2 cores):\n");
                 t.push_str(&trajectory::render_tenant_table(&tenants));
+                t.push('\n');
+                t.push_str("priority queues (blocking vs lock-free):\n");
+                t.push_str(&trajectory::render_pq_table(&pq));
                 t
             };
             match out {

@@ -9,6 +9,7 @@ use csds_core::list::{CouplingList, HarrisList, LazyList, WaitFreeList};
 use csds_core::skiplist::{HerlihySkipList, LockFreeSkipList, PughSkipList};
 use csds_core::{ConcurrentMap, GuardedMap, SyncMode};
 use csds_elastic::ElasticHashTable;
+use csds_pq::{ConcurrentPq, GuardedPq, LotanShavitPq, PughPq};
 use csds_service::{Service, ServiceConfig};
 use std::sync::Arc;
 
@@ -232,6 +233,58 @@ impl AlgoKind {
     }
 }
 
+/// The second structure kind beside the maps: every priority-queue
+/// algorithm in the library (`csds_pq`), behind one enum — the
+/// [`AlgoKind`] of priority queues. One blocking and one lock-free
+/// design, both over the skiplist substrate, so the paper's
+/// blocking-vs-lock-free comparison carries over structure kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PqKind {
+    /// Blocking: Pugh towers, pop-min deletes the head under its locks.
+    PughPq,
+    /// Lock-free: Lotan–Shavit over the Harris-marked skiplist.
+    LotanShavitPq,
+}
+
+impl PqKind {
+    /// All priority-queue algorithms (for exhaustive sweeps and tests).
+    pub fn all() -> &'static [PqKind] {
+        &[PqKind::PughPq, PqKind::LotanShavitPq]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PqKind::PughPq => "pugh-pq",
+            PqKind::LotanShavitPq => "lotanshavit-pq",
+        }
+    }
+
+    /// Whether the design is blocking (for table labels).
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, PqKind::PughPq)
+    }
+
+    /// Instantiate behind the pin-per-op trait.
+    pub fn make(&self) -> Box<dyn ConcurrentPq<u64>> {
+        match self {
+            PqKind::PughPq => Box::new(PughPq::<u64>::new()),
+            PqKind::LotanShavitPq => Box::new(LotanShavitPq::<u64>::new()),
+        }
+    }
+
+    /// Instantiate behind the guard-scoped trait (for `PqHandle` hot
+    /// loops). A `dyn GuardedPq<u64>` also implements `ConcurrentPq`
+    /// (blanket pin-per-op wrapper), so one boxed queue serves both call
+    /// paths.
+    pub fn make_guarded(&self) -> Box<dyn GuardedPq<u64>> {
+        match self {
+            PqKind::PughPq => Box::new(PughPq::<u64>::new()),
+            PqKind::LotanShavitPq => Box::new(LotanShavitPq::<u64>::new()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +360,31 @@ mod tests {
             );
             let stats = svc.shutdown();
             assert_eq!(stats.aggregate().ops, 3, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn every_pq_supports_both_interfaces() {
+        use csds_pq::PqHandle;
+        for kind in PqKind::all() {
+            let q = kind.make();
+            assert!(q.push(5, 50), "{}", kind.name());
+            assert!(q.push(2, 20), "{}", kind.name());
+            assert!(!q.push(5, 51), "{}", kind.name());
+            assert_eq!(q.peek_min(), Some((2, 20)), "{}", kind.name());
+            assert_eq!(q.pop_min(), Some((2, 20)), "{}", kind.name());
+            assert_eq!(q.pop_min(), Some((5, 50)), "{}", kind.name());
+            assert_eq!(q.pop_min(), None, "{}", kind.name());
+
+            let q = kind.make_guarded();
+            let mut h = PqHandle::new(q.as_ref());
+            assert!(h.push(7, 70), "{}", kind.name());
+            assert_eq!(h.pop_min_cloned(), Some((7, 70)), "{}", kind.name());
+            assert!(h.is_empty(), "{}", kind.name());
+            assert_eq!(h.ops(), 3, "{}", kind.name());
+            // The guarded box still serves the pin-per-op path.
+            assert!(q.push(9, 90), "{}", kind.name());
+            assert_eq!(q.pop_min(), Some((9, 90)), "{}", kind.name());
         }
     }
 

@@ -38,10 +38,10 @@ pub mod report;
 pub mod runner;
 pub mod trajectory;
 
-pub use factory::{AlgoKind, Family};
+pub use factory::{AlgoKind, Family, PqKind};
 pub use runner::{
-    prefill, run_map, run_map_avg, run_pool, timed_ops, timed_ops_handle, MapRunConfig, PoolKind,
-    PoolRunConfig, RunResult,
+    prefill, run_map, run_map_avg, run_pool, run_pq, timed_ops, timed_ops_handle, MapRunConfig,
+    PoolKind, PoolRunConfig, PqRunConfig, RunResult,
 };
 
 use std::time::Duration;

@@ -183,6 +183,10 @@ impl TourReport {
 ///    lazily created on first op (`NamespaceCreate`), pushed past their
 ///    quota (`QuotaReject`), then emptied and retired by the workers' idle
 ///    sweeps (`NamespaceRetire`).
+/// 6. **Priority-queue head race** — poppers gang up on a small
+///    lock-free queue so several threads chase the same minimum and the
+///    losers' failed claim attempts land (`PqPopContention`). Retried
+///    like phase 2: the race is probabilistic per round.
 pub fn trace_tour() -> TourReport {
     let _ = csds_metrics::take_and_reset();
     trace::set_tracing(true);
@@ -204,6 +208,15 @@ pub fn trace_tour() -> TourReport {
     phase_service_backpressure();
     phase_double_handle();
     phase_namespace_lifecycle();
+    // Same retry-budget shape as phase 2: each round makes a lost head
+    // race overwhelmingly likely, but never certain.
+    let pq_contention_before = registry::global().aggregate().pq_pop_contention;
+    for _ in 0..8 {
+        phase_pq_pop_race();
+        if registry::global().aggregate().pq_pop_contention > pq_contention_before {
+            break;
+        }
+    }
 
     trace::set_tracing(false);
     let traces = trace::drain_all();
@@ -379,6 +392,37 @@ fn phase_namespace_lifecycle() {
         std::thread::yield_now();
     }
     svc.shutdown();
+}
+
+/// Phase 6: several poppers fight over the head run of a small lock-free
+/// priority queue. Every pop-min targets the current minimum, so with
+/// more poppers than elements most claim attempts lose their mark CAS —
+/// exactly what `PqPopContention` counts.
+fn phase_pq_pop_race() {
+    use csds_pq::{ConcurrentPq, LotanShavitPq};
+    let pq: Arc<LotanShavitPq<u64>> = Arc::new(LotanShavitPq::new());
+    let threads = 4;
+    let rounds = 2_000u64;
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    let workers: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            let pq = Arc::clone(&pq);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..rounds {
+                    // Tiny priority space: pushes collide on the same few
+                    // keys and every popper chases the same head node.
+                    let _ = pq.push((t * rounds + i) % 8, i);
+                    let _ = pq.pop_min();
+                    csds_metrics::op_boundary();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("pq pop-race thread panicked");
+    }
 }
 
 #[cfg(test)]

@@ -12,9 +12,10 @@ use std::time::{Duration, Instant};
 
 use csds_core::{ConcurrentMap, ConcurrentPool, GuardedMap, GuardedPool, MapHandle, PoolHandle};
 use csds_metrics::{DelayPolicy, StatsSnapshot};
-use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix};
+use csds_pq::{ConcurrentPq, GuardedPq, PqHandle};
+use csds_workload::{FastRng, KeyDist, KeySampler, Op, OpMix, PqOp, PqOpMix};
 
-use crate::factory::AlgoKind;
+use crate::factory::{AlgoKind, PqKind};
 
 /// Configuration of one map-structure run.
 #[derive(Clone, Debug)]
@@ -374,6 +375,97 @@ pub fn run_pool(cfg: &PoolRunConfig) -> RunResult {
     }
 }
 
+/// Configuration of one priority-queue run (push/pop/peek mix over a
+/// priority space; the queue is prefilled so early pops have something to
+/// fight over).
+#[derive(Clone, Debug)]
+pub struct PqRunConfig {
+    /// Queue under test.
+    pub kind: PqKind,
+    /// Prefilled element count.
+    pub prefill: usize,
+    /// Priority space for pushes (`[0, key_range)`).
+    pub key_range: u64,
+    /// Operation mix.
+    pub mix: PqOpMix,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Execute one timed run of a priority-queue workload (one [`PqHandle`]
+/// per worker thread). Unlike the map runs, every pop-min lands on the
+/// head run, so contention scales with the pop share rather than with key
+/// locality.
+pub fn run_pq(cfg: &PqRunConfig) -> RunResult {
+    let pq: Arc<Box<dyn GuardedPq<u64>>> = Arc::new(cfg.kind.make_guarded());
+    {
+        let mut rng = FastRng::new(cfg.seed | 1);
+        let mut n = 0;
+        while n < cfg.prefill {
+            if pq.push(rng.bounded(cfg.key_range), 0) {
+                n += 1;
+            }
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+    let mut handles = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        let pq = Arc::clone(&pq);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let mix = cfg.mix;
+        let range = cfg.key_range;
+        let seed = cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = FastRng::new(seed);
+            let _ = csds_metrics::take_and_reset();
+            barrier.wait();
+            let mut handle = PqHandle::new(pq.as_ref().as_ref());
+            while !stop.load(Ordering::Relaxed) {
+                match mix.sample(&mut rng) {
+                    PqOp::Push => {
+                        let _ = handle.push(rng.bounded(range), 0);
+                    }
+                    PqOp::PopMin => {
+                        let _ = handle.pop_min();
+                    }
+                    PqOp::PeekMin => {
+                        let _ = handle.peek_min();
+                    }
+                }
+                csds_metrics::op_boundary();
+            }
+            let ops = handle.ops();
+            drop(handle);
+            (ops, csds_metrics::take_and_reset())
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut per_thread_ops = Vec::with_capacity(cfg.threads);
+    let mut stats = StatsSnapshot::default();
+    for h in handles {
+        let (ops, snap) = h.join().expect("worker panicked");
+        per_thread_ops.push(ops);
+        stats.merge(&snap);
+    }
+    let elapsed = start.elapsed();
+    RunResult {
+        total_ops: per_thread_ops.iter().sum(),
+        per_thread_ops,
+        stats,
+        threads: cfg.threads,
+        elapsed,
+    }
+}
+
 /// Time a fixed number of operations on an existing map, split across
 /// `threads` workers (the building block for criterion benches, which need
 /// work proportional to their iteration count).
@@ -600,6 +692,27 @@ mod tests {
         });
         assert!(r.total_ops > 100);
         assert!(r.wait_fraction() >= 0.0);
+    }
+
+    #[test]
+    fn pq_run_smoke() {
+        for kind in PqKind::all() {
+            let r = run_pq(&PqRunConfig {
+                kind: *kind,
+                prefill: 256,
+                key_range: 1 << 20,
+                mix: PqOpMix::mixed(),
+                threads: 3,
+                duration: Duration::from_millis(60),
+                seed: 1,
+            });
+            assert!(r.total_ops > 100, "{}: {} ops", kind.name(), r.total_ops);
+            assert!(
+                r.stats.pq_pops > 0 && r.stats.pq_pushes > 0,
+                "{}: pq counters silent",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -13,10 +13,10 @@
 
 use std::time::{Duration, Instant};
 
-use crate::factory::AlgoKind;
-use crate::runner::{run_map_avg, MapRunConfig};
+use crate::factory::{AlgoKind, PqKind};
+use crate::runner::{run_map_avg, run_pq, MapRunConfig, PqRunConfig};
 use csds_service::{OpKind, ServiceConfig};
-use csds_workload::{FastRng, Op, OpMix, TenantSampler};
+use csds_workload::{FastRng, Op, OpMix, PqOpMix, TenantSampler};
 
 /// Stationary size of every structure in the trajectory (matches the
 /// `fig0_*` benches: 1024 elements, key range 2×).
@@ -173,11 +173,83 @@ pub fn run_tenant_points(duration: Duration) -> Vec<TenantBenchRow> {
         .collect()
 }
 
+/// One priority-queue point of the trajectory: a [`PqKind`] × mix ×
+/// thread-count cell, with the head-contention counter that explains the
+/// scaling (every pop-min fights over the same head run).
+#[derive(Clone, Debug)]
+pub struct PqBenchRow {
+    /// Queue short name ([`PqKind::name`]).
+    pub algo: &'static str,
+    /// Workload label (`push-heavy`, `pop-heavy`, `mixed`).
+    pub workload: &'static str,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Completed operations across all threads.
+    pub total_ops: u64,
+    /// Per-thread nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Aggregate throughput in Mops/s.
+    pub mops: f64,
+    /// Pushes that took effect.
+    pub pq_pushes: u64,
+    /// Pop-mins that returned an element.
+    pub pq_pops: u64,
+    /// Failed head-claim attempts across contended pops.
+    pub pq_pop_contention: u64,
+}
+
+/// Run the priority-queue points: both [`PqKind`]s × the three
+/// [`PqOpMix`] presets × {1, 4} threads, `duration` per cell.
+pub fn run_pq_points(duration: Duration) -> Vec<PqBenchRow> {
+    let mut rows = Vec::new();
+    for kind in PqKind::all() {
+        for (workload, mix) in [
+            ("push-heavy", PqOpMix::push_heavy()),
+            ("pop-heavy", PqOpMix::pop_heavy()),
+            ("mixed", PqOpMix::mixed()),
+        ] {
+            for threads in [1usize, 4] {
+                let r = run_pq(&PqRunConfig {
+                    kind: *kind,
+                    prefill: BENCH_SIZE,
+                    key_range: BENCH_SIZE as u64 * 2,
+                    mix,
+                    threads,
+                    duration,
+                    seed: 0xBEEF ^ threads as u64,
+                });
+                rows.push(PqBenchRow {
+                    algo: kind.name(),
+                    workload,
+                    threads,
+                    total_ops: r.total_ops,
+                    ns_per_op: r.elapsed.as_nanos() as f64 * threads as f64
+                        / r.total_ops.max(1) as f64,
+                    mops: r.throughput_mops(),
+                    pq_pushes: r.stats.pq_pushes,
+                    pq_pops: r.stats.pq_pops,
+                    pq_pop_contention: r.stats.pq_pop_contention,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// Render the matrix as the hand-rolled JSON snapshot format.
-pub fn to_json(rows: &[BenchRow], tenants: &[TenantBenchRow], scale_label: &str) -> String {
+///
+/// Schema `v2` extends `v1` additively: the optional `"pq"` array joins
+/// `"service_tenants"`; every `v1` key keeps its meaning, so older
+/// snapshots still diff against new ones section by section.
+pub fn to_json(
+    rows: &[BenchRow],
+    tenants: &[TenantBenchRow],
+    pq: &[PqBenchRow],
+    scale_label: &str,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"csds-bench-trajectory-v1\",\n");
+    s.push_str("  \"schema\": \"csds-bench-trajectory-v2\",\n");
     s.push_str(&format!("  \"scale\": \"{scale_label}\",\n"));
     s.push_str(&format!("  \"size\": {BENCH_SIZE},\n"));
     s.push_str("  \"results\": [\n");
@@ -200,24 +272,49 @@ pub fn to_json(rows: &[BenchRow], tenants: &[TenantBenchRow], scale_label: &str)
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    if tenants.is_empty() {
+    if tenants.is_empty() && pq.is_empty() {
         s.push_str("  ]\n}\n");
         return s;
     }
     s.push_str("  ],\n");
-    s.push_str("  \"service_tenants\": [\n");
-    for (i, t) in tenants.iter().enumerate() {
+    if !tenants.is_empty() {
+        s.push_str("  \"service_tenants\": [\n");
+        for (i, t) in tenants.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"namespaces\": {}, \"total_ops\": {}, \"ns_per_op\": {:.1}, \
+                 \"mops\": {:.3}, \"namespaces_created\": {}, \
+                 \"namespaces_retired\": {}}}{}\n",
+                t.namespaces,
+                t.total_ops,
+                t.ns_per_op,
+                t.mops,
+                t.namespaces_created,
+                t.namespaces_retired,
+                if i + 1 == tenants.len() { "" } else { "," },
+            ));
+        }
+        if pq.is_empty() {
+            s.push_str("  ]\n}\n");
+            return s;
+        }
+        s.push_str("  ],\n");
+    }
+    s.push_str("  \"pq\": [\n");
+    for (i, p) in pq.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"namespaces\": {}, \"total_ops\": {}, \"ns_per_op\": {:.1}, \
-             \"mops\": {:.3}, \"namespaces_created\": {}, \
-             \"namespaces_retired\": {}}}{}\n",
-            t.namespaces,
-            t.total_ops,
-            t.ns_per_op,
-            t.mops,
-            t.namespaces_created,
-            t.namespaces_retired,
-            if i + 1 == tenants.len() { "" } else { "," },
+            "    {{\"algo\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \
+             \"total_ops\": {}, \"ns_per_op\": {:.1}, \"mops\": {:.3}, \
+             \"pq_pushes\": {}, \"pq_pops\": {}, \"pq_pop_contention\": {}}}{}\n",
+            p.algo,
+            p.workload,
+            p.threads,
+            p.total_ops,
+            p.ns_per_op,
+            p.mops,
+            p.pq_pushes,
+            p.pq_pops,
+            p.pq_pop_contention,
+            if i + 1 == pq.len() { "" } else { "," },
         ));
     }
     s.push_str("  ]\n}\n");
@@ -243,6 +340,30 @@ pub fn render_table(rows: &[BenchRow]) -> String {
             r.optimistic_attempts,
             r.optimistic_failures,
             r.optimistic_fallbacks,
+        ));
+    }
+    s
+}
+
+/// Render the priority-queue points as a fixed-width table.
+pub fn render_pq_table(pq: &[PqBenchRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<16} {:<11} {:>7} {:>10} {:>9} {:>8} {:>9} {:>9} {:>10}\n",
+        "queue", "mix", "threads", "ops", "ns/op", "Mops/s", "pushes", "pops", "contention"
+    ));
+    for p in pq {
+        s.push_str(&format!(
+            "{:<16} {:<11} {:>7} {:>10} {:>9.1} {:>8.3} {:>9} {:>9} {:>10}\n",
+            p.algo,
+            p.workload,
+            p.threads,
+            p.total_ops,
+            p.ns_per_op,
+            p.mops,
+            p.pq_pushes,
+            p.pq_pops,
+            p.pq_pop_contention,
         ));
     }
     s
@@ -299,10 +420,24 @@ mod tests {
         }
     }
 
+    fn fake_pq_row() -> PqBenchRow {
+        PqBenchRow {
+            algo: "lotanshavit-pq",
+            workload: "pop-heavy",
+            threads: 4,
+            total_ops: 9_000,
+            ns_per_op: 180.5,
+            mops: 5.54,
+            pq_pushes: 2_700,
+            pq_pops: 5_400,
+            pq_pop_contention: 37,
+        }
+    }
+
     #[test]
     fn json_snapshot_is_balanced_and_carries_every_field() {
         let rows = vec![fake_row(), fake_row()];
-        let j = to_json(&rows, &[], "quick");
+        let j = to_json(&rows, &[], &[], "quick");
         assert_eq!(
             j.matches('{').count(),
             j.matches('}').count(),
@@ -328,6 +463,7 @@ mod tests {
         let j = to_json(
             &[fake_row()],
             &[fake_tenant_row(), fake_tenant_row()],
+            &[],
             "quick",
         );
         assert_eq!(
@@ -345,6 +481,44 @@ mod tests {
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");
         }
+    }
+
+    #[test]
+    fn json_snapshot_carries_the_pq_section_in_every_combination() {
+        // All three optional-section combinations stay balanced JSON.
+        for (tenants, pq) in [
+            (vec![], vec![fake_pq_row(), fake_pq_row()]),
+            (vec![fake_tenant_row()], vec![fake_pq_row()]),
+            (vec![fake_tenant_row()], vec![]),
+        ] {
+            let j = to_json(&[fake_row()], &tenants, &pq, "quick");
+            assert_eq!(
+                j.matches('{').count(),
+                j.matches('}').count(),
+                "unbalanced braces:\n{j}"
+            );
+            assert_eq!(j.matches('[').count(), j.matches(']').count());
+            assert!(j.contains("csds-bench-trajectory-v2"));
+            if !pq.is_empty() {
+                for key in [
+                    "\"pq\"",
+                    "\"algo\": \"lotanshavit-pq\"",
+                    "\"workload\": \"pop-heavy\"",
+                    "\"pq_pushes\": 2700",
+                    "\"pq_pops\": 5400",
+                    "\"pq_pop_contention\": 37",
+                ] {
+                    assert!(j.contains(key), "missing {key} in:\n{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pq_table_renders_one_line_per_row_plus_header() {
+        let t = render_pq_table(&[fake_pq_row(), fake_pq_row()]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("lotanshavit-pq"));
     }
 
     #[test]

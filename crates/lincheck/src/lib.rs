@@ -231,6 +231,167 @@ pub fn check_history(initial: &[(u64, u64)], events: &[Event]) -> CheckResult {
     CheckResult::Linearizable
 }
 
+/// Operation kinds in a priority-queue history (`csds_pq`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PqOpKind {
+    /// `push(key, _)` returned success/failure (set semantics per key).
+    Push {
+        /// Whether the push took effect (the priority was absent).
+        ok: bool,
+    },
+    /// `pop_min()` returned this key (`None` = queue observed empty).
+    PopMin {
+        /// The popped priority.
+        popped: Option<u64>,
+    },
+    /// `peek_min()` observed this key (`None` = queue observed empty).
+    PeekMin {
+        /// The observed minimum priority.
+        seen: Option<u64>,
+    },
+}
+
+/// One completed priority-queue operation with its real-time interval.
+/// For pushes, `key` is the pushed priority; for pops and peeks, `key` is
+/// ignored (the observation lives in the kind).
+#[derive(Clone, Copy, Debug)]
+pub struct PqEvent {
+    /// Priority a push targeted (unused for pop/peek).
+    pub key: u64,
+    /// What happened.
+    pub kind: PqOpKind,
+    /// Invocation timestamp (ns from a common origin).
+    pub invoke: u64,
+    /// Response timestamp (must be ≥ invoke).
+    pub respond: u64,
+}
+
+impl PqEvent {
+    /// Convenience constructor.
+    pub fn new(key: u64, kind: PqOpKind, invoke: u64, respond: u64) -> Self {
+        assert!(invoke <= respond, "response before invocation");
+        PqEvent {
+            key,
+            kind,
+            invoke,
+            respond,
+        }
+    }
+}
+
+/// Was priority `x` *resident for the whole interval* `[a, b]`? True when
+/// some successful push of `x` responded before `a` and no pop claiming
+/// `x` was even invoked before `b`. Conservative under re-pushes (a key
+/// popped and re-pushed concurrently is not counted), so it never
+/// produces a false alarm.
+fn resident_throughout(events: &[PqEvent], x: u64, a: u64, b: u64) -> bool {
+    let pushed_before = events
+        .iter()
+        .any(|e| matches!(e.kind, PqOpKind::Push { ok: true }) && e.key == x && e.respond < a);
+    if !pushed_before {
+        return false;
+    }
+    !events
+        .iter()
+        .any(|e| matches!(e.kind, PqOpKind::PopMin { popped: Some(p) } if p == x && e.invoke < b))
+}
+
+/// Check a priority-queue history against the ordering contract of
+/// `csds_pq`'s `pop_min` (quiescent consistency with real-time bounds —
+/// the check the Lotan–Shavit design actually guarantees, which is weaker
+/// than full linearizability for racing pops and pushes):
+///
+/// 1. **No invention / no duplication** — per priority, pops claiming it
+///    number at most its successful pushes, and every pop (and peek) of a
+///    priority follows the invocation of a successful push of it;
+/// 2. **Priority ordering** — a pop (or peek) returning `k` never
+///    overtakes a smaller priority: every `x < k` resident in the queue
+///    for the operation's *whole* interval is a violation;
+/// 3. **No false empties** — a pop/peek returning `None` is illegal while
+///    any priority was resident for its whole interval;
+/// 4. **Set semantics** — a failed push requires its priority plausibly
+///    present (a successful push of it invoked before the failure
+///    responded).
+pub fn check_pq_history(events: &[PqEvent]) -> CheckResult {
+    // Rule 1a: per-priority pop counts.
+    let mut pushes: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut pops: BTreeMap<u64, usize> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            PqOpKind::Push { ok: true } => *pushes.entry(e.key).or_default() += 1,
+            PqOpKind::PopMin { popped: Some(k) } => *pops.entry(k).or_default() += 1,
+            _ => {}
+        }
+    }
+    for (&k, &n) in &pops {
+        let pushed = pushes.get(&k).copied().unwrap_or(0);
+        if n > pushed {
+            return CheckResult::NotLinearizable(format!(
+                "priority {k} popped {n} times but pushed only {pushed}"
+            ));
+        }
+    }
+    for e in events {
+        match e.kind {
+            PqOpKind::PopMin { popped: Some(k) } | PqOpKind::PeekMin { seen: Some(k) } => {
+                // Rule 1b: the observed priority must have been pushed by
+                // the time the observation responded.
+                let sourced = events.iter().any(|p| {
+                    matches!(p.kind, PqOpKind::Push { ok: true })
+                        && p.key == k
+                        && p.invoke <= e.respond
+                });
+                if !sourced {
+                    return CheckResult::NotLinearizable(format!(
+                        "priority {k} observed at [{}, {}] before any push of it",
+                        e.invoke, e.respond
+                    ));
+                }
+                // Rule 2: no smaller priority resident for the whole op.
+                for x in pushes.keys().copied().filter(|&x| x < k) {
+                    if resident_throughout(events, x, e.invoke, e.respond) {
+                        return CheckResult::NotLinearizable(format!(
+                            "{k} returned at [{}, {}] while smaller priority {x} \
+                             was resident throughout",
+                            e.invoke, e.respond
+                        ));
+                    }
+                }
+            }
+            PqOpKind::PopMin { popped: None } | PqOpKind::PeekMin { seen: None } => {
+                // Rule 3: empty observed while something was resident.
+                for x in pushes.keys().copied() {
+                    if resident_throughout(events, x, e.invoke, e.respond) {
+                        return CheckResult::NotLinearizable(format!(
+                            "empty observed at [{}, {}] while priority {x} was \
+                             resident throughout",
+                            e.invoke, e.respond
+                        ));
+                    }
+                }
+            }
+            PqOpKind::Push { ok: false } => {
+                // Rule 4: the duplicate must plausibly exist.
+                let k = e.key;
+                let plausible = events.iter().any(|p| {
+                    matches!(p.kind, PqOpKind::Push { ok: true })
+                        && p.key == k
+                        && p.invoke <= e.respond
+                });
+                if !plausible {
+                    return CheckResult::NotLinearizable(format!(
+                        "push of {k} failed at [{}, {}] with no successful push \
+                         of it anywhere before",
+                        e.invoke, e.respond
+                    ));
+                }
+            }
+            PqOpKind::Push { ok: true } => {}
+        }
+    }
+    CheckResult::Linearizable
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,6 +682,105 @@ mod tests {
             .map(|i| ev(1, OpKind::Get { found: None }, i * 2, i * 2 + 1))
             .collect();
         assert!(!check_single_key(None, &h).is_ok());
+    }
+
+    fn pq(key: u64, kind: PqOpKind, invoke: u64, respond: u64) -> PqEvent {
+        PqEvent::new(key, kind, invoke, respond)
+    }
+    const PUSH_OK: PqOpKind = PqOpKind::Push { ok: true };
+
+    #[test]
+    fn pq_sequential_legal_history_passes() {
+        let h = [
+            pq(5, PUSH_OK, 0, 1),
+            pq(2, PUSH_OK, 2, 3),
+            pq(0, PqOpKind::PeekMin { seen: Some(2) }, 4, 5),
+            pq(0, PqOpKind::PopMin { popped: Some(2) }, 6, 7),
+            pq(0, PqOpKind::PopMin { popped: Some(5) }, 8, 9),
+            pq(0, PqOpKind::PopMin { popped: None }, 10, 11),
+        ];
+        assert!(check_pq_history(&h).is_ok());
+    }
+
+    #[test]
+    fn pq_priority_inversion_is_caught() {
+        // 2 is resident for the whole pop, yet the pop returns 5.
+        let h = [
+            pq(5, PUSH_OK, 0, 1),
+            pq(2, PUSH_OK, 2, 3),
+            pq(0, PqOpKind::PopMin { popped: Some(5) }, 6, 7),
+        ];
+        assert!(!check_pq_history(&h).is_ok());
+        // A peek overtaking a resident smaller priority is just as wrong.
+        let h2 = [
+            pq(5, PUSH_OK, 0, 1),
+            pq(2, PUSH_OK, 2, 3),
+            pq(0, PqOpKind::PeekMin { seen: Some(5) }, 6, 7),
+        ];
+        assert!(!check_pq_history(&h2).is_ok());
+    }
+
+    #[test]
+    fn pq_racing_smaller_push_is_not_an_inversion() {
+        // The push of 2 overlaps the pop: the pop may linearize first.
+        let h = [
+            pq(5, PUSH_OK, 0, 1),
+            pq(2, PUSH_OK, 4, 10),
+            pq(0, PqOpKind::PopMin { popped: Some(5) }, 4, 10),
+        ];
+        assert!(check_pq_history(&h).is_ok());
+    }
+
+    #[test]
+    fn pq_pop_duplication_and_invention_are_caught() {
+        // One push, two pops claiming the same priority.
+        let h = [
+            pq(3, PUSH_OK, 0, 1),
+            pq(0, PqOpKind::PopMin { popped: Some(3) }, 2, 3),
+            pq(0, PqOpKind::PopMin { popped: Some(3) }, 4, 5),
+        ];
+        assert!(!check_pq_history(&h).is_ok());
+        // A pop of a never-pushed priority.
+        let h2 = [
+            pq(3, PUSH_OK, 0, 1),
+            pq(0, PqOpKind::PopMin { popped: Some(9) }, 2, 3),
+        ];
+        assert!(!check_pq_history(&h2).is_ok());
+    }
+
+    #[test]
+    fn pq_false_empty_is_caught() {
+        // 4 was pushed long before and never popped: the queue cannot be
+        // empty for the whole interval.
+        let h = [
+            pq(4, PUSH_OK, 0, 1),
+            pq(0, PqOpKind::PopMin { popped: None }, 5, 6),
+        ];
+        assert!(!check_pq_history(&h).is_ok());
+        // But an empty racing the only push is fine.
+        let h2 = [
+            pq(4, PUSH_OK, 0, 10),
+            pq(0, PqOpKind::PopMin { popped: None }, 0, 10),
+        ];
+        assert!(check_pq_history(&h2).is_ok());
+        // And so is one racing the pop that drained the queue.
+        let h3 = [
+            pq(4, PUSH_OK, 0, 1),
+            pq(0, PqOpKind::PopMin { popped: Some(4) }, 2, 8),
+            pq(0, PqOpKind::PopMin { popped: None }, 3, 9),
+        ];
+        assert!(check_pq_history(&h3).is_ok());
+    }
+
+    #[test]
+    fn pq_failed_push_needs_a_plausible_duplicate() {
+        let h = [
+            pq(6, PUSH_OK, 0, 1),
+            pq(6, PqOpKind::Push { ok: false }, 2, 3),
+        ];
+        assert!(check_pq_history(&h).is_ok());
+        let h2 = [pq(6, PqOpKind::Push { ok: false }, 2, 3)];
+        assert!(!check_pq_history(&h2).is_ok());
     }
 
     #[test]

@@ -128,6 +128,13 @@ pub struct StatsSnapshot {
     pub namespaces_retired: u64,
     /// Operations rejected because their namespace hit its entry quota.
     pub quota_rejects: u64,
+    /// Priority-queue pushes completed (both PQ families).
+    pub pq_pushes: u64,
+    /// Priority-queue pop-min operations that returned an element.
+    pub pq_pops: u64,
+    /// Failed pop-min attempts across contended pops (lost head races,
+    /// failed mark CASes, locked-then-found-deleted restarts).
+    pub pq_pop_contention: u64,
 }
 
 impl StatsSnapshot {
@@ -169,6 +176,9 @@ impl StatsSnapshot {
         self.namespaces_created += other.namespaces_created;
         self.namespaces_retired += other.namespaces_retired;
         self.quota_rejects += other.quota_rejects;
+        self.pq_pushes += other.pq_pushes;
+        self.pq_pops += other.pq_pops;
+        self.pq_pop_contention += other.pq_pop_contention;
     }
 
     /// Fraction of optimistic fast-path attempts whose validation failed.
@@ -296,6 +306,9 @@ struct Recorder {
     namespaces_created: Cell<u64>,
     namespaces_retired: Cell<u64>,
     quota_rejects: Cell<u64>,
+    pq_pushes: Cell<u64>,
+    pq_pops: Cell<u64>,
+    pq_pop_contention: Cell<u64>,
     // Per-operation scratch state, folded in by `op_boundary`. One word:
     // bit 31 is the waited flag, the low 31 bits count restarts — so the
     // (overwhelmingly common) clean op costs `op_boundary` a single
@@ -351,6 +364,9 @@ impl Recorder {
             namespaces_created: Cell::new(0),
             namespaces_retired: Cell::new(0),
             quota_rejects: Cell::new(0),
+            pq_pushes: Cell::new(0),
+            pq_pops: Cell::new(0),
+            pq_pop_contention: Cell::new(0),
             cur_op: Cell::new(0),
             delay: RefCell::new(None),
             delay_armed: Cell::new(false),
@@ -399,6 +415,9 @@ impl Recorder {
             namespaces_created: self.namespaces_created.get(),
             namespaces_retired: self.namespaces_retired.get(),
             quota_rejects: self.quota_rejects.get(),
+            pq_pushes: self.pq_pushes.get(),
+            pq_pops: self.pq_pops.get(),
+            pq_pop_contention: self.pq_pop_contention.get(),
         }
     }
 
@@ -446,6 +465,9 @@ impl Recorder {
             namespaces_created: self.namespaces_created.replace(0),
             namespaces_retired: self.namespaces_retired.replace(0),
             quota_rejects: self.quota_rejects.replace(0),
+            pq_pushes: self.pq_pushes.replace(0),
+            pq_pops: self.pq_pops.replace(0),
+            pq_pop_contention: self.pq_pop_contention.replace(0),
         }
     }
 }
@@ -775,6 +797,39 @@ pub fn quota_reject(ns: u64) {
     trace::emit(EventKind::QuotaReject, ns);
 }
 
+/// Record one completed priority-queue push.
+#[inline]
+pub fn pq_push() {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| r.pq_pushes.set(r.pq_pushes.get() + 1));
+}
+
+/// Record one priority-queue pop-min that returned an element.
+#[inline]
+pub fn pq_pop() {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| r.pq_pops.set(r.pq_pops.get() + 1));
+}
+
+/// Record a contended pop-min: `attempts` candidates were lost to racing
+/// poppers (or failed mark/lock steps) before this pop succeeded or
+/// observed emptiness.
+#[inline]
+pub fn pq_pop_contention(attempts: u64) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    RECORDER.with(|r| {
+        r.pq_pop_contention
+            .set(r.pq_pop_contention.get() + attempts)
+    });
+    trace::emit(EventKind::PqPopContention, attempts);
+}
+
 /// Adjust the process-wide deferred-garbage gauges by signed deltas
 /// (`items`, approximate `bytes`). EBR calls this on defer (+) and after
 /// collection (−); wrapping arithmetic makes negative deltas exact.
@@ -905,6 +960,11 @@ mod tests {
         namespace_create(8);
         namespace_retire(7);
         quota_reject(8);
+        pq_push();
+        pq_push();
+        pq_push();
+        pq_pop();
+        pq_pop_contention(5);
         let s = take_and_reset();
         assert_eq!(s.repin_stalls, 1);
         assert_eq!(s.epoch_advances, 2);
@@ -915,12 +975,17 @@ mod tests {
         assert_eq!(s.namespaces_created, 2);
         assert_eq!(s.namespaces_retired, 1);
         assert_eq!(s.quota_rejects, 1);
+        assert_eq!(s.pq_pushes, 3);
+        assert_eq!(s.pq_pops, 1);
+        assert_eq!(s.pq_pop_contention, 5);
         let mut a = s.clone();
         a.merge(&s);
         assert_eq!(a.epoch_advances, 4);
         assert_eq!(a.ebr_collect_ns, 3_000);
         assert_eq!(a.namespaces_created, 4);
         assert_eq!(a.quota_rejects, 2);
+        assert_eq!(a.pq_pushes, 6);
+        assert_eq!(a.pq_pop_contention, 10);
         // The snapshot cleared the thread-local state.
         assert_eq!(take_and_reset().epoch_advances, 0);
     }

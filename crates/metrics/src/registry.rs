@@ -29,10 +29,10 @@ use std::sync::{Mutex, OnceLock};
 
 /// Number of `u64` words in the flat [`StatsSnapshot`] representation.
 ///
-/// 32 scalar counters, the wait-time [`crate::LogHistogram`], and the exact
+/// 35 scalar counters, the wait-time [`crate::LogHistogram`], and the exact
 /// restart histogram. `StatsSnapshot::to_words` debug-asserts it wrote
 /// exactly this many words, and the roundtrip unit test pins the layout.
-pub const SNAPSHOT_WORDS: usize = 32 + crate::LogHistogram::WORDS + RESTART_BUCKETS;
+pub const SNAPSHOT_WORDS: usize = 35 + crate::LogHistogram::WORDS + RESTART_BUCKETS;
 
 /// Maximum concurrently-registered publisher threads. Threads beyond this
 /// are counted in [`Registry::overflowed`] and surface only through the
@@ -218,6 +218,9 @@ impl StatsSnapshot {
         w.put(self.namespaces_created);
         w.put(self.namespaces_retired);
         w.put(self.quota_rejects);
+        w.put(self.pq_pushes);
+        w.put(self.pq_pops);
+        w.put(self.pq_pop_contention);
         debug_assert_eq!(w.at, SNAPSHOT_WORDS, "snapshot word layout drifted");
         out
     }
@@ -272,6 +275,9 @@ impl StatsSnapshot {
             namespaces_created: r.get(),
             namespaces_retired: r.get(),
             quota_rejects: r.get(),
+            pq_pushes: r.get(),
+            pq_pops: r.get(),
+            pq_pop_contention: r.get(),
         }
     }
 }
@@ -469,6 +475,21 @@ impl Registry {
             "operations rejected by a namespace entry quota",
             a.quota_rejects,
         );
+        counter(
+            "csds_pq_pushes_total",
+            "priority-queue pushes completed",
+            a.pq_pushes,
+        );
+        counter(
+            "csds_pq_pops_total",
+            "priority-queue pop-min operations that returned an element",
+            a.pq_pops,
+        );
+        counter(
+            "csds_pq_pop_contention_total",
+            "failed pop-min attempts across contended pops",
+            a.pq_pop_contention,
+        );
         let mut gauge = |name: &str, help: &str, v: u64| {
             s.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
@@ -603,6 +624,9 @@ mod tests {
             namespaces_created: 30,
             namespaces_retired: 31,
             quota_rejects: 32,
+            pq_pushes: 33,
+            pq_pops: 34,
+            pq_pop_contention: 35,
             ..Default::default()
         };
         for (k, b) in s.restart_hist.iter_mut().enumerate() {
@@ -624,6 +648,9 @@ mod tests {
         assert_eq!(back.namespaces_created, 30);
         assert_eq!(back.namespaces_retired, 31);
         assert_eq!(back.quota_rejects, 32);
+        assert_eq!(back.pq_pushes, 33);
+        assert_eq!(back.pq_pops, 34);
+        assert_eq!(back.pq_pop_contention, 35);
         assert_eq!(back.restart_hist[15], 115);
         assert_eq!(back.wait_hist.count(), 2);
         assert_eq!(back.wait_hist.sum(), 1 + (1 << 30));

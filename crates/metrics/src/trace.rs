@@ -60,6 +60,10 @@ pub enum EventKind {
     /// An operation was rejected because its namespace hit its entry quota
     /// (`arg` = namespace id).
     QuotaReject,
+    /// A priority-queue pop-min lost at least one race (another popper took
+    /// the candidate head, or a mark/lock attempt failed) before succeeding
+    /// (`arg` = failed attempts before the winning one).
+    PqPopContention,
 }
 
 impl EventKind {
@@ -79,6 +83,7 @@ impl EventKind {
         EventKind::NamespaceCreate,
         EventKind::NamespaceRetire,
         EventKind::QuotaReject,
+        EventKind::PqPopContention,
     ];
 
     /// Stable event name (chrome trace `name` field).
@@ -97,6 +102,7 @@ impl EventKind {
             EventKind::NamespaceCreate => "namespace_create",
             EventKind::NamespaceRetire => "namespace_retire",
             EventKind::QuotaReject => "quota_reject",
+            EventKind::PqPopContention => "pq_pop_contention",
         }
     }
 
@@ -114,6 +120,7 @@ impl EventKind {
             | EventKind::NamespaceRetire
             | EventKind::QuotaReject => "service",
             EventKind::RepinStall => "session",
+            EventKind::PqPopContention => "pq",
         }
     }
 }

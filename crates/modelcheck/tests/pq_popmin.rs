@@ -1,0 +1,80 @@
+//! Interleaving model for the lock-free pop-min race (`csds_pq`'s
+//! Lotan–Shavit queue): two poppers chase one element, and under every
+//! explored schedule **exactly one** wins the level-0 mark CAS and claims
+//! the value; the loser either observes the queue empty or returns a
+//! later element — never the same one, never a torn value.
+//!
+//! This is the protocol the `pq_pop_contention` metric counts failures
+//! of: the model proves the race is claim-exactly-once, the metric merely
+//! reports how often it is lost.
+
+use csds_modelcheck::{thread, Model};
+use csds_pq::{ConcurrentPq, LotanShavitPq};
+use std::sync::Arc;
+
+#[test]
+fn two_poppers_one_element_exactly_one_wins() {
+    let report = Model::new()
+        // CHESS-style bound: a lost CAS needs only one untimely switch.
+        .preemption_bound(2)
+        .max_steps(50_000)
+        .max_executions(30_000)
+        .run(|| {
+            let pq = Arc::new(LotanShavitPq::<u64>::new());
+            assert!(pq.push(3, 33));
+            let pq2 = Arc::clone(&pq);
+            let t = thread::spawn(move || pq2.pop_min());
+            let mine = pq.pop_min();
+            let theirs = t.join().unwrap();
+            match (mine, theirs) {
+                // Exactly one popper claims the element, value intact.
+                (Some((3, 33)), None) | (None, Some((3, 33))) => {}
+                (a, b) => panic!("pop race broke exactly-once: {a:?} / {b:?}"),
+            }
+            assert!(pq.pop_min().is_none(), "element must not resurrect");
+        });
+    assert!(
+        report.failure.is_none(),
+        "pop-min race violated exactly-once: {:?}",
+        report.failure
+    );
+    assert!(
+        report.executions > 1,
+        "the mark-CAS race must actually be explored"
+    );
+    assert_eq!(report.truncated, 0, "model must fit the step budget");
+}
+
+#[test]
+fn loser_sees_the_next_element_not_the_same_one() {
+    let report = Model::new()
+        .preemption_bound(2)
+        .max_steps(50_000)
+        .max_executions(30_000)
+        .run(|| {
+            let pq = Arc::new(LotanShavitPq::<u64>::new());
+            assert!(pq.push(1, 11));
+            assert!(pq.push(2, 22));
+            let pq2 = Arc::clone(&pq);
+            let t = thread::spawn(move || pq2.pop_min());
+            let mine = pq.pop_min();
+            let theirs = t.join().unwrap();
+            // Two elements, two poppers: between them they claim both,
+            // each exactly once, in some order.
+            let mut got = [mine, theirs];
+            got.sort();
+            assert_eq!(
+                got,
+                [Some((1, 11)), Some((2, 22))],
+                "each element claimed exactly once"
+            );
+            assert!(pq.pop_min().is_none());
+        });
+    assert!(
+        report.failure.is_none(),
+        "two-element pop race failed: {:?}",
+        report.failure
+    );
+    assert!(report.executions > 1);
+    assert_eq!(report.truncated, 0);
+}

@@ -263,6 +263,77 @@ impl OpMix {
     }
 }
 
+/// One operation of the priority-queue interface (`csds_pq`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PqOp {
+    /// `push(priority, v)`
+    Push,
+    /// `pop_min()`
+    PopMin,
+    /// `peek_min()`
+    PeekMin,
+}
+
+/// Operation mix for priority-queue workloads: `push_pct` percent pushes,
+/// `pop_pct` percent pop-mins, the remainder peek-mins.
+///
+/// Unlike the map mixes, where keys spread contention across the structure,
+/// every pop-min targets the head run — so the pop share directly dials the
+/// hot-spot pressure the Lotan–Shavit mark CAS and the Pugh head locks
+/// fight over. A mix with `push_pct > pop_pct` grows the queue over the
+/// run; `pop_pct > push_pct` drains toward (and bounces off) empty.
+#[derive(Clone, Copy, Debug)]
+pub struct PqOpMix {
+    /// Percentage of operations that are pushes (0–100).
+    pub push_pct: u32,
+    /// Percentage of operations that are pop-mins (0–100).
+    pub pop_pct: u32,
+}
+
+impl PqOpMix {
+    /// A mix with explicit push and pop shares (the remainder is peeks);
+    /// shares must sum to ≤ 100.
+    pub fn new(push_pct: u32, pop_pct: u32) -> Self {
+        assert!(
+            push_pct + pop_pct <= 100,
+            "pq op-mix shares must sum to at most 100%"
+        );
+        PqOpMix { push_pct, pop_pct }
+    }
+
+    /// Preset: producer-dominated traffic (60% push, 30% pop, 10% peek) —
+    /// the queue grows, pops rarely collide.
+    pub fn push_heavy() -> Self {
+        Self::new(60, 30)
+    }
+
+    /// Preset: consumer-dominated traffic (30% push, 60% pop, 10% peek) —
+    /// the queue hovers near empty and every popper fights over the same
+    /// few head nodes: the worst-case contention point.
+    pub fn pop_heavy() -> Self {
+        Self::new(30, 60)
+    }
+
+    /// Preset: balanced scheduler traffic (45% push, 45% pop, 10% peek) —
+    /// stationary queue size, sustained head contention.
+    pub fn mixed() -> Self {
+        Self::new(45, 45)
+    }
+
+    /// Draw the next operation.
+    #[inline]
+    pub fn sample(&self, rng: &mut FastRng) -> PqOp {
+        let r = rng.bounded(100) as u32;
+        if r < self.push_pct {
+            PqOp::Push
+        } else if r < self.push_pct + self.pop_pct {
+            PqOp::PopMin
+        } else {
+            PqOp::PeekMin
+        }
+    }
+}
+
 /// A two-level sampler for multi-tenant traffic: *which tenant* an
 /// operation targets is drawn from one distribution, *which key inside
 /// that tenant* from another.
@@ -591,6 +662,36 @@ mod tests {
         assert!((insf - 0.05).abs() < 0.005, "inserts {insf}");
         assert!((remf - 0.05).abs() < 0.005, "removes {remf}");
         assert!((getf - 0.90).abs() < 0.01, "gets {getf}");
+    }
+
+    #[test]
+    fn pq_mix_ratios_and_presets() {
+        let mix = PqOpMix::mixed();
+        let mut rng = FastRng::new(77);
+        let (mut push, mut pop, mut peek) = (0u32, 0u32, 0u32);
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            match mix.sample(&mut rng) {
+                PqOp::Push => push += 1,
+                PqOp::PopMin => pop += 1,
+                PqOp::PeekMin => peek += 1,
+            }
+        }
+        assert!(
+            (push as f64 / N as f64 - 0.45).abs() < 0.01,
+            "pushes {push}"
+        );
+        assert!((pop as f64 / N as f64 - 0.45).abs() < 0.01, "pops {pop}");
+        assert!((peek as f64 / N as f64 - 0.10).abs() < 0.01, "peeks {peek}");
+        // Presets: push-heavy grows, pop-heavy drains.
+        assert!(PqOpMix::push_heavy().push_pct > PqOpMix::push_heavy().pop_pct);
+        assert!(PqOpMix::pop_heavy().pop_pct > PqOpMix::pop_heavy().push_pct);
+    }
+
+    #[test]
+    #[should_panic(expected = "pq op-mix shares must sum to at most 100%")]
+    fn pq_mix_rejects_oversubscribed_shares() {
+        let _ = PqOpMix::new(60, 60);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`service`] — the async request front-end (core worker pool, bounded
 //!   submission rings, std-only futures, multi-tenant namespaces with lazy
 //!   creation and shrink-to-zero) over any [`GuardedMap`](core::GuardedMap);
+//! * [`pq`] — the second structure kind: concurrent priority queues
+//!   (blocking Pugh and lock-free Lotan–Shavit) over the skiplist
+//!   substrate;
 //! * [`metrics`] — fine-grained instrumentation;
 //! * [`workload`] — key distributions and operation mixes;
 //! * [`analysis`] — the birthday-paradox conflict model;
@@ -41,6 +44,7 @@ pub use csds_harness as harness;
 pub use csds_htm as htm;
 pub use csds_lincheck as lincheck;
 pub use csds_metrics as metrics;
+pub use csds_pq as pq;
 pub use csds_service as service;
 pub use csds_sync as sync;
 pub use csds_workload as workload;
@@ -59,6 +63,7 @@ pub mod prelude {
         RmwFn, RmwOutcome, SyncMode, MAX_USER_KEY,
     };
     pub use csds_elastic::{ElasticConfig, ElasticHashTable};
+    pub use csds_pq::{ConcurrentPq, GuardedPq, LotanShavitPq, PqHandle, PughPq};
     pub use csds_service::{
         block_on, FetchAddValue, NamespaceClient, NamespaceCounts, NamespaceId, OpKind, Reply,
         Service, ServiceClient, ServiceConfig, ServiceError, DEFAULT_NAMESPACE,
